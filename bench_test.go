@@ -1,0 +1,324 @@
+package mobileserver
+
+// The benchmark harness regenerates every experiment of the reproduction
+// (one benchmark per table in EXPERIMENTS.md, E1–E12) and additionally
+// micro-benchmarks the computational kernels (geometric median, the
+// simulator step loop, the offline DPs).
+//
+// Experiment benchmarks report the headline quantities via b.ReportMetric
+// (e.g. the fitted log–log slope or the key ratio), so `go test -bench=.`
+// reproduces the shape of every claim. Full-size tables are printed by
+// cmd/mobbench; the benches run scaled-down sweeps to stay fast.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/median"
+	"repro/internal/offline"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// benchCfg is the scaled-down experiment configuration used by benches.
+func benchCfg() experiments.RunConfig {
+	return experiments.RunConfig{Seed: 1, Seeds: 4, Scale: 0.15}
+}
+
+// reportFinding extracts a labelled numeric from the experiment findings
+// when available; benches mainly assert the experiment runs and publish
+// its headline metric.
+func runExperiment(b *testing.B, id string, metric func(experiments.Result) (string, float64)) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Run(benchCfg())
+	}
+	if len(res.Table.Rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	if metric != nil {
+		name, v := metric(res)
+		b.ReportMetric(v, name)
+	}
+}
+
+// meanColumn averages a column over rows passing the filter.
+func meanColumn(res experiments.Result, col int, filter func(row []float64) bool) float64 {
+	sum, n := 0.0, 0
+	for _, row := range res.Table.Rows {
+		if filter == nil || filter(row) {
+			sum += row[col]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func BenchmarkE01Theorem1LowerBound(b *testing.B) {
+	runExperiment(b, "E1", func(res experiments.Result) (string, float64) {
+		// Mean ratio at the largest T (D=1 rows).
+		maxT := 0.0
+		for _, row := range res.Table.Rows {
+			if row[0] == 1 && row[1] > maxT {
+				maxT = row[1]
+			}
+		}
+		return "ratio@maxT", meanColumn(res, 2, func(r []float64) bool { return r[0] == 1 && r[1] == maxT })
+	})
+}
+
+func BenchmarkE02Theorem2LowerBound(b *testing.B) {
+	runExperiment(b, "E2", func(res experiments.Result) (string, float64) {
+		// ratio·δ should be roughly constant; report its mean over the
+		// Rmax=Rmin sweep.
+		return "ratio_x_delta", meanColumn(res, 5, func(r []float64) bool { return r[1] == 1 })
+	})
+}
+
+func BenchmarkE03AnswerFirstLowerBound(b *testing.B) {
+	runExperiment(b, "E3", func(res experiments.Result) (string, float64) {
+		return "ratio@r32_D1", meanColumn(res, 2, func(r []float64) bool { return r[0] == 1 && r[1] == 32 })
+	})
+}
+
+func BenchmarkE04MtCLineDelta(b *testing.B) {
+	runExperiment(b, "E4", func(res experiments.Result) (string, float64) {
+		return "ratiohi_x_delta", meanColumn(res, 5, func(r []float64) bool { return r[0] == 0 })
+	})
+}
+
+func BenchmarkE05MtCPlaneDelta(b *testing.B) {
+	runExperiment(b, "E5", func(res experiments.Result) (string, float64) {
+		return "ratiohi_x_d32", meanColumn(res, 4, nil)
+	})
+}
+
+func BenchmarkE06Lemma6Geometry(b *testing.B) {
+	runExperiment(b, "E6", func(res experiments.Result) (string, float64) {
+		return "fixed_violations", meanColumn(res, 4, nil)
+	})
+}
+
+func BenchmarkE07AnswerFirstMtC(b *testing.B) {
+	runExperiment(b, "E7", func(res experiments.Result) (string, float64) {
+		return "overhead@r16", meanColumn(res, 4, func(r []float64) bool { return r[0] == 16 && r[1] == 1 })
+	})
+}
+
+func BenchmarkE08MovingClientLowerBound(b *testing.B) {
+	runExperiment(b, "E8", func(res experiments.Result) (string, float64) {
+		maxT := 0.0
+		for _, row := range res.Table.Rows {
+			if row[0] == 1 && row[1] > maxT {
+				maxT = row[1]
+			}
+		}
+		return "ratio@eps1_maxT", meanColumn(res, 2, func(r []float64) bool { return r[0] == 1 && r[1] == maxT })
+	})
+}
+
+func BenchmarkE09MovingClientMtC(b *testing.B) {
+	runExperiment(b, "E9", func(res experiments.Result) (string, float64) {
+		return "ratio_lo_mean", meanColumn(res, 3, nil)
+	})
+}
+
+func BenchmarkE10Baselines(b *testing.B) {
+	runExperiment(b, "E10", func(res experiments.Result) (string, float64) {
+		// Lazy vs MtC on the hotspot workload (wl=1, alg=1).
+		return "lazy_vs_mtc@hotspot", meanColumn(res, 4, func(r []float64) bool { return r[0] == 1 && r[1] == 1 })
+	})
+}
+
+func BenchmarkE11Ablations(b *testing.B) {
+	runExperiment(b, "E11", func(res experiments.Result) (string, float64) {
+		// Full-speed variant overhead on the scatter scenario.
+		return "fullspeed_vs_paper", meanColumn(res, 4, func(r []float64) bool { return r[0] == 1 && r[1] == 2 })
+	})
+}
+
+func BenchmarkE12MultiServer(b *testing.B) {
+	runExperiment(b, "E12", func(res experiments.Result) (string, float64) {
+		var c1, c4 float64
+		for _, row := range res.Table.Rows {
+			if row[1] == 0 && row[0] == 1 {
+				c1 = row[2]
+			}
+			if row[1] == 0 && row[0] == 4 {
+				c4 = row[2]
+			}
+		}
+		if c4 == 0 {
+			return "k1_vs_k4", 0
+		}
+		return "k1_vs_k4", c1 / c4
+	})
+}
+
+func BenchmarkE13PotentialAudit(b *testing.B) {
+	runExperiment(b, "E13", func(res experiments.Result) (string, float64) {
+		worst := 0.0
+		for _, row := range res.Table.Rows {
+			if row[5] > worst {
+				worst = row[5]
+			}
+		}
+		return "max_const_x_delta", worst
+	})
+}
+
+func BenchmarkE14PlanarOpenProblem(b *testing.B) {
+	runExperiment(b, "E14", func(res experiments.Result) (string, float64) {
+		// Mean ratio·δ over the zigzag style — flat means Θ(1/δ).
+		return "zigzag_ratio_x_delta", meanColumn(res, 4, func(r []float64) bool { return r[0] == 1 })
+	})
+}
+
+// --- kernel micro-benchmarks ---
+
+func benchPoints(n, dim int, seed uint64) []Point {
+	r := xrand.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, dim)
+		for k := range p {
+			p[k] = r.Range(-10, 10)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func BenchmarkGeometricMedian8Points2D(b *testing.B) {
+	pts := benchPoints(8, 2, 1)
+	anchor := NewPoint(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		median.Closest(pts, anchor, median.Options{})
+	}
+}
+
+func BenchmarkGeometricMedian64Points3D(b *testing.B) {
+	pts := benchPoints(64, 3, 2)
+	anchor := NewPoint(0, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		median.Closest(pts, anchor, median.Options{})
+	}
+}
+
+func BenchmarkMedianCollinear1D(b *testing.B) {
+	pts := benchPoints(32, 1, 3)
+	anchor := NewPoint(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		median.Closest(pts, anchor, median.Options{})
+	}
+}
+
+func BenchmarkSimulateMtCHotspot(b *testing.B) {
+	cfg := Config{Dim: 2, D: 2, M: 1, Delta: 0.5, Order: MoveFirst}
+	in := workload.Hotspot{Requests: 4}.Generate(xrand.New(4), cfg, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(in, core.NewMtC(), sim.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLineDP(b *testing.B) {
+	cfg := Config{Dim: 1, D: 2, M: 1, Delta: 0, Order: MoveFirst}
+	in := workload.Hotspot{Half: 20, Sigma: 1}.Generate(xrand.New(5), cfg, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.LineDP(in, 4, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaneDP(b *testing.B) {
+	cfg := Config{Dim: 2, D: 2, M: 1, Delta: 0, Order: MoveFirst}
+	in := workload.Hotspot{Half: 6, Sigma: 1}.Generate(xrand.New(6), cfg, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.PlaneDP(in, 3, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDescentRefinement(b *testing.B) {
+	cfg := Config{Dim: 2, D: 2, M: 1, Delta: 0, Order: MoveFirst}
+	in := workload.Clusters{Requests: 3}.Generate(xrand.New(7), cfg, 200)
+	init := offline.Greedy(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := offline.Descent(in, init, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelThroughput(b *testing.B) {
+	// Measures harness overhead: tiny jobs through the worker pool.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Parallel(256, 1, func(j int, r *xrand.Rand) float64 { return r.Float64() })
+	}
+}
+
+// Guard: every experiment in the registry has a corresponding benchmark in
+// this file (checked by name convention at test time).
+func TestEveryExperimentHasABenchmark(t *testing.T) {
+	src := benchSourceNames
+	for _, e := range experiments.Registry() {
+		num := strings.TrimPrefix(e.ID, "E")
+		if len(num) == 1 {
+			num = "0" + num
+		}
+		want := "BenchmarkE" + num
+		found := false
+		for _, name := range src {
+			if strings.HasPrefix(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s has no benchmark (want prefix %s)", e.ID, want)
+		}
+	}
+}
+
+// benchSourceNames lists the experiment benchmarks defined above; kept in
+// one place so TestEveryExperimentHasABenchmark stays trivial.
+var benchSourceNames = []string{
+	"BenchmarkE01Theorem1LowerBound",
+	"BenchmarkE02Theorem2LowerBound",
+	"BenchmarkE03AnswerFirstLowerBound",
+	"BenchmarkE04MtCLineDelta",
+	"BenchmarkE05MtCPlaneDelta",
+	"BenchmarkE06Lemma6Geometry",
+	"BenchmarkE07AnswerFirstMtC",
+	"BenchmarkE08MovingClientLowerBound",
+	"BenchmarkE09MovingClientMtC",
+	"BenchmarkE10Baselines",
+	"BenchmarkE11Ablations",
+	"BenchmarkE12MultiServer",
+	"BenchmarkE13PotentialAudit",
+	"BenchmarkE14PlanarOpenProblem",
+}

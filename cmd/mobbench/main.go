@@ -1,0 +1,94 @@
+// Command mobbench regenerates the reproduction tables (experiments
+// E1–E12, one per theorem/lemma of the paper — see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mobbench                 # run the full suite at default scale
+//	mobbench -exp E4         # run a single experiment
+//	mobbench -scale 0.25     # shrink sequence lengths (faster)
+//	mobbench -seeds 32       # more repetitions per parameter point
+//	mobbench -csv out/       # also write one CSV per experiment
+//	mobbench -list           # list experiments and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment ID to run (default: all)")
+		scale  = flag.Float64("scale", 1.0, "sequence-length scale factor (0 < s <= 1)")
+		seeds  = flag.Int("seeds", 16, "repetitions per parameter point")
+		seed   = flag.Uint64("seed", 1, "base random seed")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV tables")
+		plot   = flag.Bool("plot", false, "render the headline curve of each experiment as ASCII art")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	cfg := experiments.RunConfig{Seed: *seed, Seeds: *seeds, Scale: *scale}
+	var toRun []experiments.Experiment
+	if *expID != "" {
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			fatal(err)
+		}
+		toRun = []experiments.Experiment{e}
+	} else {
+		toRun = experiments.Registry()
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		res := e.Run(cfg)
+		fmt.Print(experiments.RenderText(res))
+		if *plot {
+			if rendered, ok := experiments.PlotFor(res); ok {
+				fmt.Print(rendered)
+			}
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, res experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, strings.ToLower(res.ID)+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Table.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mobbench:", err)
+	os.Exit(1)
+}

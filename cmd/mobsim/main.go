@@ -1,0 +1,172 @@
+// Command mobsim runs one Mobile Server simulation and reports the costs,
+// the offline-optimum bracket, and the resulting competitive-ratio
+// estimate, optionally with an ASCII plot of the per-step costs.
+//
+// Usage:
+//
+//	mobsim -workload hotspot -T 500 -dim 2 -D 4 -delta 0.5 -alg mtc
+//	mobsim -workload burst -alg lazy -plot
+//	mobsim -trace instance.json -alg mtc     # replay a recorded instance
+//	mobsim -list                             # show workloads and algorithms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/asciiplot"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/offline"
+	"repro/internal/sim"
+	"repro/internal/traceio"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "hotspot", "workload: uniform|hotspot|clusters|burst")
+		algName   = flag.String("alg", "mtc", "algorithm: mtc|lazy|follow|greedy|movetomin|coinflip")
+		T         = flag.Int("T", 500, "sequence length")
+		dim       = flag.Int("dim", 2, "dimension (1 or 2 for OPT bounds; higher allowed)")
+		D         = flag.Float64("D", 2, "page weight D >= 1")
+		m         = flag.Float64("m", 1, "offline movement cap m")
+		delta     = flag.Float64("delta", 0.5, "augmentation delta in [0,1]")
+		answer    = flag.Bool("answer-first", false, "serve requests before moving")
+		requests  = flag.Int("r", 1, "requests per step")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		plot      = flag.Bool("plot", false, "ASCII plot of cumulative costs")
+		tracePath = flag.String("trace", "", "replay an instance from JSON instead of generating")
+		saveTrace = flag.String("save", "", "save the generated instance to JSON")
+		list      = flag.Bool("list", false, "list workloads and algorithms")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, g := range workload.Registry() {
+			fmt.Printf("  %s\n", g.Name())
+		}
+		fmt.Println("algorithms: mtc lazy follow greedy movetomin coinflip")
+		return
+	}
+
+	in, err := buildInstance(*tracePath, *wlName, *T, *dim, *D, *m, *delta, *answer, *requests, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(f, in); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("saved instance to %s\n", *saveTrace)
+	}
+
+	alg, err := algorithmByName(*algName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(in, alg, sim.RunOptions{RecordTrace: *plot})
+	if err != nil {
+		fatal(err)
+	}
+	rmin, rmax := in.RequestRange()
+	fmt.Printf("instance: T=%d dim=%d D=%g m=%g delta=%g order=%s r=[%d,%d]\n",
+		in.T(), in.Config.Dim, in.Config.D, in.Config.M, in.Config.Delta, in.Config.Order, rmin, rmax)
+	fmt.Printf("%-12s %s  (max step %.4g, cap %.4g)\n", res.Algorithm+":", res.Cost, res.MaxMove, in.Config.OnlineCap())
+
+	est, err := offline.Best(in, offline.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("OPT bracket: [%.6g, %.6g]  (lower: %s, upper: %s)\n", est.Lower, est.Upper, est.LowerMethod, est.UpperMethod)
+	fmt.Printf("ratio:       [%.4g, %.4g]\n", sim.Ratio(res.Cost.Total(), est.Upper), sim.Ratio(res.Cost.Total(), est.Lower))
+
+	if *plot {
+		var xs, serve, move []float64
+		cumS, cumM := 0.0, 0.0
+		for t, rec := range res.Trace {
+			cumS += rec.Cost.Serve
+			cumM += rec.Cost.Move
+			xs = append(xs, float64(t+1))
+			serve = append(serve, cumS)
+			move = append(move, cumM)
+		}
+		fmt.Print(asciiplot.Plot{Title: "cumulative cost", Width: 70, Height: 16}.Render([]asciiplot.Series{
+			{Name: "serve", X: xs, Y: serve},
+			{Name: "move (D-weighted)", X: xs, Y: move},
+		}))
+	}
+}
+
+func buildInstance(tracePath, wlName string, T, dim int, D, m, delta float64, answer bool, requests int, seed uint64) (*core.Instance, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return traceio.ReadInstance(f)
+	}
+	order := core.MoveFirst
+	if answer {
+		order = core.AnswerFirst
+	}
+	cfg := core.Config{Dim: dim, D: D, M: m, Delta: delta, Order: order}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := workload.ByName(wlName)
+	if err != nil {
+		return nil, err
+	}
+	switch g := gen.(type) {
+	case workload.Uniform:
+		g.Requests = requests
+		gen = g
+	case workload.Hotspot:
+		g.Requests = requests
+		gen = g
+	case workload.Clusters:
+		g.Requests = requests
+		gen = g
+	}
+	return gen.Generate(xrand.New(seed), cfg, T), nil
+}
+
+func algorithmByName(name string, seed uint64) (core.Algorithm, error) {
+	switch name {
+	case "mtc":
+		return core.NewMtC(), nil
+	case "lazy":
+		return baseline.NewLazy(), nil
+	case "follow":
+		return baseline.NewFollow(), nil
+	case "greedy":
+		return baseline.NewGreedy(), nil
+	case "movetomin":
+		return baseline.NewMoveToMin(), nil
+	case "coinflip":
+		return baseline.NewCoinFlip(xrand.New(seed ^ 0xc01f)), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// writeTrace saves an instance in the traceio JSON schema.
+func writeTrace(w io.Writer, in *core.Instance) error {
+	return traceio.WriteInstance(w, in)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mobsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAlgorithmByName(t *testing.T) {
+	for _, name := range []string{"mtc", "lazy", "follow", "greedy", "movetomin", "coinflip"} {
+		alg, err := algorithmByName(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if alg.Name() == "" {
+			t.Fatalf("%s: empty algorithm name", name)
+		}
+	}
+	if _, err := algorithmByName("bogus", 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestBuildInstanceGenerated(t *testing.T) {
+	in, err := buildInstance("", "hotspot", 50, 2, 2, 1, 0.5, false, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.T() != 50 || in.Config.Dim != 2 {
+		t.Fatalf("shape: T=%d dim=%d", in.T(), in.Config.Dim)
+	}
+	rmin, rmax := in.RequestRange()
+	if rmin != 3 || rmax != 3 {
+		t.Fatalf("requests not propagated: %d..%d", rmin, rmax)
+	}
+}
+
+func TestBuildInstanceAnswerFirst(t *testing.T) {
+	in, err := buildInstance("", "uniform", 10, 1, 1, 1, 0, true, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Config.Order != core.AnswerFirst {
+		t.Fatal("answer-first flag ignored")
+	}
+}
+
+func TestBuildInstanceRejectsBadConfig(t *testing.T) {
+	if _, err := buildInstance("", "uniform", 10, 0, 1, 1, 0, false, 1, 1); err == nil {
+		t.Fatal("dim=0 accepted")
+	}
+	if _, err := buildInstance("", "nope", 10, 1, 1, 1, 0, false, 1, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestBuildInstanceFromTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	in, err := buildInstance("", "burst", 20, 2, 2, 1, 0.5, false, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTrace(f, in); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := buildInstance(path, "", 0, 0, 0, 0, 0, false, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T() != in.T() || got.Config != in.Config {
+		t.Fatal("trace round trip mismatch")
+	}
+}

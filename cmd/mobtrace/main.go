@@ -1,0 +1,157 @@
+// Command mobtrace generates, inspects, and converts Mobile Server
+// workload traces.
+//
+// Usage:
+//
+//	mobtrace gen -workload clusters -T 1000 -o trace.json
+//	mobtrace info trace.json
+//	mobtrace adversary -theorem 1 -T 400 -o hard.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/traceio"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "adversary":
+		cmdAdversary(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mobtrace gen       -workload <name> [-T n] [-dim d] [-D w] [-m cap] [-delta x] [-r k] [-seed s] -o file.json
+  mobtrace info      <file.json>
+  mobtrace adversary -theorem <1|2|3> [-T n] [-D w] [-delta x] [-r k] [-seed s] -o file.json`)
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	wlName := fs.String("workload", "hotspot", "workload name")
+	T := fs.Int("T", 1000, "length")
+	dim := fs.Int("dim", 2, "dimension")
+	D := fs.Float64("D", 2, "page weight")
+	m := fs.Float64("m", 1, "movement cap")
+	delta := fs.Float64("delta", 0.5, "augmentation")
+	r := fs.Int("r", 1, "requests per step")
+	seed := fs.Uint64("seed", 1, "seed")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		usage()
+	}
+	gen, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	switch g := gen.(type) {
+	case workload.Uniform:
+		g.Requests = *r
+		gen = g
+	case workload.Hotspot:
+		g.Requests = *r
+		gen = g
+	case workload.Clusters:
+		g.Requests = *r
+		gen = g
+	}
+	cfg := core.Config{Dim: *dim, D: *D, M: *m, Delta: *delta, Order: core.MoveFirst}
+	in := gen.Generate(xrand.New(*seed), cfg, *T)
+	writeInstance(*out, in)
+}
+
+func cmdAdversary(args []string) {
+	fs := flag.NewFlagSet("adversary", flag.ExitOnError)
+	theorem := fs.Int("theorem", 1, "lower-bound construction: 1, 2, or 3")
+	T := fs.Int("T", 400, "length")
+	D := fs.Float64("D", 1, "page weight")
+	delta := fs.Float64("delta", 0.5, "augmentation (theorem 2)")
+	r := fs.Int("r", 1, "requests per step (theorems 2: Rmax, 3: r)")
+	seed := fs.Uint64("seed", 1, "seed")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		usage()
+	}
+	rng := xrand.New(*seed)
+	var in *core.Instance
+	switch *theorem {
+	case 1:
+		g := adversary.Theorem1(adversary.Theorem1Params{T: *T, D: *D, M: 1, Dim: 1}, rng)
+		in = g.Instance
+	case 2:
+		g := adversary.Theorem2(adversary.Theorem2Params{T: *T, D: *D, M: 1, Delta: *delta, Rmin: 1, Rmax: *r, Dim: 1}, rng)
+		in = g.Instance
+	case 3:
+		g := adversary.Theorem3(adversary.Theorem3Params{T: *T, D: *D, M: 1, R: *r, Dim: 1}, rng)
+		in = g.Instance
+	default:
+		fatal(fmt.Errorf("unknown theorem %d", *theorem))
+	}
+	writeInstance(*out, in)
+}
+
+func cmdInfo(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	in, err := traceio.ReadInstance(f)
+	if err != nil {
+		fatal(err)
+	}
+	rmin, rmax := in.RequestRange()
+	b := in.Bounds()
+	fmt.Printf("T=%d dim=%d D=%g m=%g delta=%g order=%s\n",
+		in.T(), in.Config.Dim, in.Config.D, in.Config.M, in.Config.Delta, in.Config.Order)
+	fmt.Printf("requests: total=%d per-step=[%d,%d]\n", in.TotalRequests(), rmin, rmax)
+	fmt.Printf("bounds: %v .. %v (diagonal %.4g)\n", b.Min, b.Max, b.Diagonal())
+	// Per-step request-count distribution.
+	counts := make([]float64, in.T())
+	for t, s := range in.Steps {
+		counts[t] = float64(len(s.Requests))
+	}
+	sum := stats.Summarize(counts)
+	fmt.Printf("r per step: mean=%.3g median=%.3g max=%.3g\n", sum.Mean, sum.Median, sum.Max)
+}
+
+func writeInstance(path string, in *core.Instance) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := traceio.WriteInstance(f, in); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (T=%d, %d requests)\n", path, in.T(), in.TotalRequests())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mobtrace:", err)
+	os.Exit(1)
+}

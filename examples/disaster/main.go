@@ -1,0 +1,60 @@
+// Disaster response: Section 5 of the paper motivates the Moving Client
+// variant with helpers forming an ad-hoc network in a disaster area, where
+// data is physically transported or carried by a mobile signal station.
+// The station (mobile server) follows a search team whose leader walks a
+// random search pattern; we compare server strategies and show the effect
+// of the paper's d(P,A)/D damping rule.
+//
+//	go run ./examples/disaster
+package main
+
+import (
+	"fmt"
+
+	ms "repro"
+)
+
+func main() {
+	const T = 3000
+	cfg := ms.AgentConfig{Dim: 2, D: 5, MS: 1, MA: 1, Delta: 0}
+	base := ms.NewPoint(0, 0)
+
+	fmt.Println("disaster-area signal station following a search team")
+	fmt.Println()
+	fmt.Println("  pattern     total-cost   per-step   (D=5, m_s=m_a=1)")
+
+	patterns := []struct {
+		name string
+		path []ms.Point
+	}{
+		{"random-walk", ms.RandomWalkPath(1, base, T, cfg.MA)},
+		{"grid-sweep", ms.CommuterPath(base, ms.NewPoint(40, 0), T, cfg.MA)},
+		{"perimeter", ms.PatrolPath(base, ms.NewPoint(10, 10), 12, T, cfg.MA)},
+	}
+	for _, p := range patterns {
+		in := &ms.AgentInstance{Config: cfg, Start: base, Path: p.path}
+		res, err := ms.RunAgent(in, ms.NewFollowAgent(), ms.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-11s %10.1f   %8.3f\n", p.name, res.Cost.Total(), res.Cost.Total()/float64(T))
+	}
+
+	fmt.Println()
+	fmt.Println("Theorem 10 in action: whatever the search pattern, the station's")
+	fmt.Println("per-step cost stays a constant (it trails the team at distance at most")
+	fmt.Println("D*m_s once caught up, trading movement cost against link distance).")
+	fmt.Println()
+
+	// Show the damping trade-off explicitly on the random walk: the
+	// station deliberately lags ~D·m behind rather than mirroring every
+	// zig-zag, which would multiply its movement bill by D.
+	in := &ms.AgentInstance{Config: cfg, Start: base, Path: patterns[0].path}
+	res, err := ms.RunAgent(in, ms.NewFollowAgent(), ms.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost split for random-walk: move=%.1f (D-weighted) vs serve=%.1f\n",
+		res.Cost.Move, res.Cost.Serve)
+	fmt.Println("the damped rule min(m, d/D) keeps the move share small on jittery paths.")
+}

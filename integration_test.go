@@ -1,0 +1,157 @@
+package mobileserver
+
+// End-to-end integration tests crossing package boundaries: workload
+// generation → simulation of every algorithm → OPT estimation → consistency
+// of orderings and serialization round trips. These are the tests a
+// downstream user effectively runs on day one.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/agent"
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/multi"
+	"repro/internal/offline"
+	"repro/internal/sim"
+	"repro/internal/traceio"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func TestIntegrationAllAlgorithmsOnAllWorkloads(t *testing.T) {
+	cfg := Config{Dim: 2, D: 3, M: 1, Delta: 0.5, Order: MoveFirst}
+	for _, wl := range workload.Registry() {
+		in := wl.Generate(xrand.New(42), cfg, 200)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s: %v", wl.Name(), err)
+		}
+		for _, alg := range baseline.All(xrand.New(7)) {
+			res, err := sim.Run(in, alg, sim.RunOptions{Mode: sim.Strict})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", alg.Name(), wl.Name(), err)
+			}
+			if !(res.Cost.Total() >= 0) || math.IsNaN(res.Cost.Total()) {
+				t.Fatalf("%s on %s: cost %v", alg.Name(), wl.Name(), res.Cost)
+			}
+			if res.MaxMove > cfg.OnlineCap()*(1+1e-9) {
+				t.Fatalf("%s on %s: cap broken (%v)", alg.Name(), wl.Name(), res.MaxMove)
+			}
+		}
+	}
+}
+
+func TestIntegrationOptBracketsEveryAlgorithm(t *testing.T) {
+	// No algorithm may beat the OPT lower bound (sanity of both sides).
+	cfg := Config{Dim: 1, D: 2, M: 1, Delta: 0.25, Order: MoveFirst}
+	in := workload.Hotspot{Half: 12, Sigma: 1}.Generate(xrand.New(3), cfg, 250)
+	est, err := offline.Best(in, offline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range baseline.All(xrand.New(9)) {
+		res, err := sim.Run(in, alg, sim.RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		// The augmented online algorithm can undercut the m-capped OPT by
+		// at most the augmentation advantage; it must never beat the
+		// certified lower bound by a large factor.
+		if res.Cost.Total() < est.Lower*0.5 {
+			t.Fatalf("%s cost %v below half the OPT lower bound %v", alg.Name(), res.Cost.Total(), est.Lower)
+		}
+	}
+}
+
+func TestIntegrationAdversaryBeatsMtCOnlyWithoutAugmentation(t *testing.T) {
+	// The Theorem-1 instance punishes MtC badly; the same demand pattern
+	// with augmentation (Theorem-2 instance at δ=1) stays mild.
+	hard := adversary.Theorem1(adversary.Theorem1Params{T: 1600, D: 1, M: 1, Dim: 1}, xrand.New(5))
+	resHard := sim.MustRun(hard.Instance, core.NewMtC(), sim.RunOptions{})
+	ratioHard := sim.Ratio(resHard.Cost.Total(), hard.WitnessCost().Total())
+
+	mild := adversary.Theorem2(adversary.Theorem2Params{T: 1600, D: 1, M: 1, Delta: 1, Rmin: 1, Rmax: 1, Dim: 1}, xrand.New(5))
+	resMild := sim.MustRun(mild.Instance, core.NewMtC(), sim.RunOptions{})
+	ratioMild := sim.Ratio(resMild.Cost.Total(), mild.WitnessCost().Total())
+
+	if ratioHard < 5*ratioMild {
+		t.Fatalf("augmentation gap not visible: hard %v vs mild %v", ratioHard, ratioMild)
+	}
+}
+
+func TestIntegrationSerializationPreservesRuns(t *testing.T) {
+	cfg := Config{Dim: 2, D: 2, M: 1, Delta: 0.5, Order: MoveFirst}
+	in := workload.Clusters{}.Generate(xrand.New(11), cfg, 150)
+	var buf bytes.Buffer
+	if err := traceio.WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := traceio.ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sim.MustRun(in, core.NewMtC(), sim.RunOptions{})
+	b := sim.MustRun(back, core.NewMtC(), sim.RunOptions{})
+	if math.Abs(a.Cost.Total()-b.Cost.Total()) > 1e-9 {
+		t.Fatalf("costs diverged after round trip: %v vs %v", a.Cost.Total(), b.Cost.Total())
+	}
+}
+
+func TestIntegrationMovingClientMatchesCoreReduction(t *testing.T) {
+	// Running Follow through the agent adapter equals simulating the
+	// equivalent single-request core instance by hand.
+	cfgA := agent.Config{Dim: 2, D: 2, MS: 1, MA: 1, Delta: 0}
+	path := agent.RandomWalk(xrand.New(13), NewPoint(0, 0), 200, cfgA.MA)
+	in := &agent.Instance{Config: cfgA, Start: NewPoint(0, 0), Path: path}
+	res, err := RunAgent(in, NewFollowAgent(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual replay.
+	follow := agent.NewFollow()
+	follow.Reset(cfgA, NewPoint(0, 0))
+	manual := 0.0
+	prev := NewPoint(0, 0)
+	for _, a := range path {
+		next := follow.Move(a)
+		manual += cfgA.D*dist(prev, next) + dist(next, a)
+		prev = next.Clone()
+	}
+	if math.Abs(res.Cost.Total()-manual) > 1e-9*(1+manual) {
+		t.Fatalf("adapter cost %v != manual %v", res.Cost.Total(), manual)
+	}
+}
+
+func TestIntegrationFleetReducesToSingleServer(t *testing.T) {
+	// A K=1 fleet must exactly match the single-server simulator on the
+	// same instance.
+	cfg := Config{Dim: 2, D: 2, M: 1, Delta: 0, Order: MoveFirst}
+	src := workload.Hotspot{}.Generate(xrand.New(17), cfg, 150)
+	fleetCfg := multi.Config{Dim: 2, D: 2, M: 1, Delta: 0, K: 1}
+	fin := &multi.Instance{Config: fleetCfg, Starts: []Point{src.Start.Clone()}, Steps: src.Steps}
+	fleetRes, err := multi.Run(fin, multi.NewMtCK(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleRes := sim.MustRun(src, core.NewMtC(), sim.RunOptions{})
+	if math.Abs(fleetRes.Cost.Total()-singleRes.Cost.Total()) > 1e-6*(1+singleRes.Cost.Total()) {
+		t.Fatalf("K=1 fleet %v != single server %v", fleetRes.Cost.Total(), singleRes.Cost.Total())
+	}
+}
+
+func TestIntegrationPotentialAuditEndToEnd(t *testing.T) {
+	g := adversary.Theorem2(adversary.Theorem2Params{T: 300, D: 2, M: 1, Delta: 0.5, Rmin: 2, Rmax: 2, Dim: 1}, xrand.New(19))
+	res, err := analysis.AuditMtC(g.Instance, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PrefixHolds {
+		t.Fatal("amortized inequality failed end-to-end")
+	}
+}
+
+func dist(a, b Point) float64 { return a.Sub(b).Norm() }

@@ -1,0 +1,52 @@
+// Package adversary implements the randomized lower-bound constructions of
+// the paper (Theorems 1, 2, 3, and 8) as oblivious input generators.
+//
+// Each construction draws its coin flips from an explicit random stream —
+// independently of any online algorithm, exactly as required for oblivious
+// adversaries under Yao's principle — and emits both the request sequence
+// and the adversary's own server trajectory. That trajectory is a feasible
+// offline solution (it respects the unaugmented cap m), so its cost upper
+// bounds OPT; measured ratios ALG/witness therefore lower bound the true
+// competitive ratio, which is the conservative direction for validating
+// lower-bound theorems.
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Generated bundles a constructed instance with the adversary's witness
+// trajectory.
+type Generated struct {
+	// Instance is the constructed input sequence.
+	Instance *core.Instance
+	// Witness is the adversary's server trajectory, positions[0..T] with
+	// positions[0] == Instance.Start. It respects the offline cap m.
+	Witness []geom.Point
+	// Note describes the construction parameters for reports.
+	Note string
+}
+
+// WitnessCost returns the cost of the witness trajectory (an upper bound
+// on OPT). It panics if the witness is infeasible or malformed — the
+// generators in this package always produce feasible witnesses, so a
+// failure here is a bug.
+func (g *Generated) WitnessCost() core.Cost {
+	c, err := sim.CheckFeasible(g.Instance, g.Witness, g.Instance.Config.OfflineCap(), 0)
+	if err != nil {
+		panic(fmt.Sprintf("adversary: infeasible witness: %v", err))
+	}
+	return c
+}
+
+// axisStep returns the displacement sign·m along the first coordinate axis
+// in the given dimension.
+func axisStep(dim int, sign, m float64) geom.Point {
+	v := geom.Zero(dim)
+	v[0] = sign * m
+	return v
+}

@@ -1,0 +1,258 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func TestTheorem1Structure(t *testing.T) {
+	g := Theorem1(Theorem1Params{T: 100, D: 2, M: 1, Dim: 1, X: 10}, xrand.New(1))
+	in := g.Instance
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.T() != 100 {
+		t.Fatalf("T = %d", in.T())
+	}
+	// Phase 1: requests at the origin.
+	for tt := 0; tt < 10; tt++ {
+		if !in.Steps[tt].Requests[0].Equal(geom.Zero(1)) {
+			t.Fatalf("phase-1 step %d request = %v", tt, in.Steps[tt].Requests[0])
+		}
+	}
+	// Phase 2: requests on the witness position after the move.
+	for tt := 10; tt < 100; tt++ {
+		if !in.Steps[tt].Requests[0].Equal(g.Witness[tt+1]) {
+			t.Fatalf("phase-2 step %d request %v != witness %v", tt, in.Steps[tt].Requests[0], g.Witness[tt+1])
+		}
+	}
+	// Witness walks m per step.
+	for tt := 1; tt <= 100; tt++ {
+		if d := geom.Dist(g.Witness[tt-1], g.Witness[tt]); math.Abs(d-1) > 1e-12 {
+			t.Fatalf("witness step %d length %v", tt, d)
+		}
+	}
+}
+
+func TestTheorem1WitnessFeasible(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g := Theorem1(Theorem1Params{T: 400, D: 4, M: 0.5, Dim: 2}, xrand.New(seed))
+		c := g.WitnessCost() // panics if infeasible
+		if !(c.Total() > 0) {
+			t.Fatalf("witness cost = %v", c)
+		}
+	}
+}
+
+func TestTheorem1RatioGrowsWithT(t *testing.T) {
+	ratioAt := func(T int) float64 {
+		sum := 0.0
+		n := 10
+		for seed := 0; seed < n; seed++ {
+			g := Theorem1(Theorem1Params{T: T, D: 1, M: 1, Dim: 1}, xrand.New(uint64(seed)))
+			res := sim.MustRun(g.Instance, core.NewMtC(), sim.RunOptions{})
+			sum += sim.Ratio(res.Cost.Total(), g.WitnessCost().Total())
+		}
+		return sum / float64(n)
+	}
+	small, large := ratioAt(100), ratioAt(1600)
+	// √(1600)/√(100) = 4; demand at least a factor 2 to be robust.
+	if large < 2*small {
+		t.Fatalf("ratio did not grow with T: %v -> %v", small, large)
+	}
+}
+
+func TestTheorem1DefaultX(t *testing.T) {
+	g := Theorem1(Theorem1Params{T: 400, D: 1, M: 1, Dim: 1}, xrand.New(3))
+	// x defaults to √400 = 20: step 19 request at origin, step 20 not.
+	if !g.Instance.Steps[19].Requests[0].Equal(geom.Zero(1)) {
+		t.Fatal("step 19 should be phase 1")
+	}
+	if g.Instance.Steps[20].Requests[0].Equal(geom.Zero(1)) {
+		t.Fatal("step 20 should be phase 2")
+	}
+}
+
+func TestTheorem2Structure(t *testing.T) {
+	p := Theorem2Params{T: 500, D: 1, M: 1, Delta: 0.5, Rmin: 2, Rmax: 6, Dim: 1, X: 4}
+	g := Theorem2(p, xrand.New(2))
+	in := g.Instance
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rmin, rmax := in.RequestRange()
+	if rmin != 2 || rmax != 6 {
+		t.Fatalf("request range = %d..%d", rmin, rmax)
+	}
+	// Phase B length = ceil(4/0.5) = 8; cycle = 12 steps. Steps 0..3 have
+	// Rmin requests, steps 4..11 have Rmax requests.
+	for tt := 0; tt < 4; tt++ {
+		if len(in.Steps[tt].Requests) != 2 {
+			t.Fatalf("phase-A step %d has %d requests", tt, len(in.Steps[tt].Requests))
+		}
+	}
+	for tt := 4; tt < 12; tt++ {
+		if len(in.Steps[tt].Requests) != 6 {
+			t.Fatalf("phase-B step %d has %d requests", tt, len(in.Steps[tt].Requests))
+		}
+		if !in.Steps[tt].Requests[0].Equal(g.Witness[tt+1]) {
+			t.Fatalf("phase-B request not on witness at step %d", tt)
+		}
+	}
+}
+
+func TestTheorem2WitnessFeasible(t *testing.T) {
+	for _, delta := range []float64{1, 0.5, 0.25, 0.125} {
+		g := Theorem2(Theorem2Params{T: 600, D: 2, M: 1, Delta: delta, Rmin: 1, Rmax: 4, Dim: 2}, xrand.New(7))
+		if !(g.WitnessCost().Total() > 0) {
+			t.Fatalf("delta=%v: witness cost not positive", delta)
+		}
+	}
+}
+
+func TestTheorem2Panics(t *testing.T) {
+	for name, p := range map[string]Theorem2Params{
+		"bad delta":   {T: 10, Delta: 0},
+		"rmax < rmin": {T: 10, Delta: 0.5, Rmin: 5, Rmax: 2},
+		"zero length": {T: 0, Delta: 0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			Theorem2(p, xrand.New(1))
+		}()
+	}
+}
+
+func TestTheorem3Structure(t *testing.T) {
+	g := Theorem3(Theorem3Params{T: 40, D: 2, M: 1, R: 5, Dim: 1}, xrand.New(4))
+	in := g.Instance
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Config.Order != core.AnswerFirst {
+		t.Fatal("Theorem3 must use Answer-First")
+	}
+	rmin, rmax := in.RequestRange()
+	if rmin != 5 || rmax != 5 {
+		t.Fatalf("request counts = %d..%d, want fixed 5", rmin, rmax)
+	}
+	// Even steps (0-indexed): requests on the base = witness position
+	// before the move; odd steps: on the witness position.
+	for tt := 0; tt < in.T(); tt++ {
+		req := in.Steps[tt].Requests[0]
+		if tt%2 == 0 {
+			if !req.Equal(g.Witness[tt]) {
+				t.Fatalf("step %d: request %v != base %v", tt, req, g.Witness[tt])
+			}
+		} else {
+			if !req.Equal(g.Witness[tt+1]) {
+				t.Fatalf("step %d: request %v != adversary pos %v", tt, req, g.Witness[tt+1])
+			}
+		}
+	}
+}
+
+func TestTheorem3WitnessFeasible(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := Theorem3(Theorem3Params{T: 101, D: 3, M: 2, R: 4, Dim: 2}, xrand.New(seed))
+		if !(g.WitnessCost().Total() > 0) {
+			t.Fatal("witness cost not positive")
+		}
+	}
+}
+
+func TestTheorem3RatioGrowsWithR(t *testing.T) {
+	ratioAt := func(R int) float64 {
+		sum := 0.0
+		n := 8
+		for seed := 0; seed < n; seed++ {
+			g := Theorem3(Theorem3Params{T: 200, D: 4, M: 1, R: R, Dim: 1}, xrand.New(uint64(seed)))
+			res := sim.MustRun(g.Instance, core.NewMtC(), sim.RunOptions{})
+			sum += sim.Ratio(res.Cost.Total(), g.WitnessCost().Total())
+		}
+		return sum / float64(n)
+	}
+	small, large := ratioAt(1), ratioAt(16)
+	if large < 3*small {
+		t.Fatalf("Answer-First ratio did not grow with r: r=1 -> %v, r=16 -> %v", small, large)
+	}
+}
+
+func TestTheorem8StructureAndFeasibility(t *testing.T) {
+	g := Theorem8(Theorem8Params{T: 400, D: 1, MS: 1, Eps: 1, Dim: 1}, xrand.New(5))
+	if err := g.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Instance.Config.MA != 2 {
+		t.Fatalf("MA = %v, want (1+1)·1 = 2", g.Instance.Config.MA)
+	}
+	if !(g.WitnessCost() > 0) {
+		t.Fatal("witness cost not positive")
+	}
+	// Witness walks m_s per round.
+	for tt := 1; tt <= g.Instance.T(); tt++ {
+		if d := geom.Dist(g.Witness[tt-1], g.Witness[tt]); d > 1+1e-12 {
+			t.Fatalf("witness overspeed at %d: %v", tt, d)
+		}
+	}
+}
+
+func TestTheorem8AgentCatchesAdversary(t *testing.T) {
+	g := Theorem8(Theorem8Params{T: 500, D: 1, MS: 1, Eps: 0.5, Dim: 1}, xrand.New(6))
+	// In phase 2 the agent must coincide with the adversary's server.
+	T := g.Instance.T()
+	for tt := T / 2; tt < T; tt++ {
+		if d := geom.Dist(g.Instance.Path[tt], g.Witness[tt+1]); d > 1e-9 {
+			t.Fatalf("round %d: agent %v != adversary %v", tt, g.Instance.Path[tt], g.Witness[tt+1])
+		}
+	}
+}
+
+func TestTheorem8OnlineLagsBehind(t *testing.T) {
+	// The unaugmented Follow algorithm must pay far more than the witness
+	// on long sequences.
+	g := Theorem8(Theorem8Params{T: 2500, D: 1, MS: 1, Eps: 1, Dim: 1}, xrand.New(8))
+	res, err := sim.Run(g.Instance.ToCore(), agent.Adapt(g.Instance, agent.NewFollow()), sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sim.Ratio(res.Cost.Total(), g.WitnessCost())
+	if ratio < 3 {
+		t.Fatalf("fast-agent ratio = %v, expected online to lag badly", ratio)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Theorem1(Theorem1Params{T: 50, D: 1, M: 1, Dim: 1}, xrand.New(9))
+	b := Theorem1(Theorem1Params{T: 50, D: 1, M: 1, Dim: 1}, xrand.New(9))
+	for tt := range a.Instance.Steps {
+		if !a.Instance.Steps[tt].Requests[0].Equal(b.Instance.Steps[tt].Requests[0]) {
+			t.Fatal("Theorem1 not deterministic")
+		}
+	}
+	c := Theorem2(Theorem2Params{T: 60, Delta: 0.5, D: 1, M: 1, Rmin: 1, Rmax: 2}, xrand.New(10))
+	d := Theorem2(Theorem2Params{T: 60, Delta: 0.5, D: 1, M: 1, Rmin: 1, Rmax: 2}, xrand.New(10))
+	if c.Note != d.Note || len(c.Instance.Steps) != len(d.Instance.Steps) {
+		t.Fatal("Theorem2 not deterministic")
+	}
+}
+
+func TestTheorem1HigherDim(t *testing.T) {
+	g := Theorem1(Theorem1Params{T: 64, D: 1, M: 1, Dim: 3}, xrand.New(11))
+	if err := g.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Instance.Config.Dim != 3 {
+		t.Fatal("dim not propagated")
+	}
+}

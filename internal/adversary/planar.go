@@ -1,0 +1,160 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// PlanarParams configures genuinely two-dimensional variants of the
+// Theorem-2 construction, built to probe the paper's open problem: the
+// upper bound for MtC in the plane is O(1/δ^{3/2}) while the lower bound
+// is Ω(1/δ), and the authors conjecture the truth is Θ(1/δ). These
+// constructions let the adversary exploit the plane (fresh escape
+// directions, perpendicular request offsets) so experiments can measure
+// which exponent MtC actually exhibits.
+type PlanarParams struct {
+	// T is the total sequence length.
+	T int
+	// D is the page weight.
+	D float64
+	// M is the offline movement cap.
+	M float64
+	// Delta is the online augmentation δ ∈ (0, 1].
+	Delta float64
+	// X is the separation-phase length; 0 selects max(2, ⌈2/δ⌉, ⌈D/δ⌉).
+	X int
+	// Style selects the 2-D twist, see the constants below.
+	Style PlanarStyle
+}
+
+// PlanarStyle enumerates the 2-D escape patterns.
+type PlanarStyle int
+
+const (
+	// StyleRandomDir draws a fresh uniformly random escape direction per
+	// cycle — the natural planar analog of the ±1 coin on the line.
+	StyleRandomDir PlanarStyle = iota
+	// StyleZigzag rotates the escape direction by ±90° (coin flip) each
+	// cycle, so the online server's accumulated momentum is always
+	// perpendicular to the new escape.
+	StyleZigzag
+	// StylePerpOffset escapes in a random direction but places the
+	// phase-B requests offset perpendicularly from the adversary's
+	// position by √δ times the current gap — planting P'_Opt near the
+	// 90° configuration that makes the paper's 2-D analysis lose the
+	// √δ factor (Lemma 6 / Figure 2).
+	StylePerpOffset
+)
+
+// String names the style for reports.
+func (s PlanarStyle) String() string {
+	switch s {
+	case StyleRandomDir:
+		return "random-dir"
+	case StyleZigzag:
+		return "zigzag"
+	case StylePerpOffset:
+		return "perp-offset"
+	default:
+		return fmt.Sprintf("PlanarStyle(%d)", int(s))
+	}
+}
+
+func (p PlanarParams) withDefaults() PlanarParams {
+	if p.M == 0 {
+		p.M = 1
+	}
+	if p.D == 0 {
+		p.D = 1
+	}
+	if p.X == 0 {
+		x := math.Max(2/p.Delta, p.D/p.Delta)
+		p.X = int(math.Ceil(x))
+		if p.X < 2 {
+			p.X = 2
+		}
+	}
+	return p
+}
+
+// Planar builds the chosen 2-D construction. Each cycle: phase A (x steps)
+// pins one request per step on the cycle base while the adversary walks m
+// per step along the cycle's escape direction; phase B (⌈x/δ⌉ steps)
+// issues one request per step at (or perpendicular-offset from) the
+// adversary, which keeps walking. The witness is the adversary trajectory.
+func Planar(p PlanarParams, r *xrand.Rand) Generated {
+	p = p.withDefaults()
+	if p.T < 1 {
+		panic("adversary: Planar requires T >= 1")
+	}
+	if !(p.Delta > 0) || p.Delta > 1 {
+		panic("adversary: Planar requires 0 < delta <= 1")
+	}
+	phaseB := int(math.Ceil(float64(p.X) / p.Delta))
+
+	start := geom.Zero(2)
+	in := &core.Instance{
+		Config: core.Config{Dim: 2, D: p.D, M: p.M, Delta: p.Delta, Order: core.MoveFirst},
+		Start:  start,
+		Steps:  make([]core.Step, 0, p.T),
+	}
+	witness := make([]geom.Point, 1, p.T+1)
+	witness[0] = start.Clone()
+
+	base := start.Clone()
+	pos := start.Clone()
+	dir := geom.NewPoint(1, 0)
+	cycles := 0
+	for len(in.Steps) < p.T {
+		cycles++
+		dir = p.nextDirection(r, dir)
+		step := dir.Scale(p.M)
+		// Phase A: pin on the base.
+		for i := 0; i < p.X && len(in.Steps) < p.T; i++ {
+			pos = pos.Add(step)
+			witness = append(witness, pos.Clone())
+			in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{base.Clone()}})
+		}
+		// Phase B: requests at (or offset from) the adversary.
+		perp := geom.NewPoint(-dir[1], dir[0])
+		perpSign := r.Sign()
+		for j := 0; j < phaseB && len(in.Steps) < p.T; j++ {
+			pos = pos.Add(step)
+			witness = append(witness, pos.Clone())
+			req := pos.Clone()
+			if p.Style == StylePerpOffset {
+				// Offset shrinks as phase B progresses, tracking the
+				// remaining gap x·m·(1 − j/phaseB).
+				gap := float64(p.X) * p.M * (1 - float64(j)/float64(phaseB))
+				req = req.Add(perp.Scale(perpSign * math.Sqrt(p.Delta) * gap))
+			}
+			in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{req}})
+		}
+		base = pos.Clone()
+	}
+	return Generated{
+		Instance: in,
+		Witness:  witness,
+		Note: fmt.Sprintf("Planar(style=%s, T=%d, D=%g, m=%g, delta=%g, x=%d, cycles=%d)",
+			p.Style, p.T, p.D, p.M, p.Delta, p.X, cycles),
+	}
+}
+
+// nextDirection draws the next cycle's escape direction per the style.
+func (p PlanarParams) nextDirection(r *xrand.Rand, prev geom.Point) geom.Point {
+	switch p.Style {
+	case StyleZigzag:
+		// Rotate ±90°.
+		if r.Coin() {
+			return geom.NewPoint(-prev[1], prev[0])
+		}
+		return geom.NewPoint(prev[1], -prev[0])
+	default:
+		angle := r.Range(0, 2*math.Pi)
+		return geom.NewPoint(math.Cos(angle), math.Sin(angle))
+	}
+}

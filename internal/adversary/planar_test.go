@@ -1,0 +1,127 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func TestPlanarStructure(t *testing.T) {
+	for _, style := range []PlanarStyle{StyleRandomDir, StyleZigzag, StylePerpOffset} {
+		g := Planar(PlanarParams{T: 300, D: 1, M: 1, Delta: 0.5, Style: style}, xrand.New(1))
+		if err := g.Instance.Validate(); err != nil {
+			t.Fatalf("%s: %v", style, err)
+		}
+		if g.Instance.Config.Dim != 2 {
+			t.Fatalf("%s: dim = %d", style, g.Instance.Config.Dim)
+		}
+		if g.Instance.T() != 300 {
+			t.Fatalf("%s: T = %d", style, g.Instance.T())
+		}
+	}
+}
+
+func TestPlanarWitnessFeasible(t *testing.T) {
+	for _, style := range []PlanarStyle{StyleRandomDir, StyleZigzag, StylePerpOffset} {
+		for _, delta := range []float64{1, 0.25, 0.0625} {
+			g := Planar(PlanarParams{T: 500, D: 2, M: 1, Delta: delta, Style: style}, xrand.New(2))
+			if c := g.WitnessCost(); !(c.Total() > 0) {
+				t.Fatalf("%s δ=%v: witness cost %v", style, delta, c)
+			}
+		}
+	}
+}
+
+func TestPlanarWitnessSpeed(t *testing.T) {
+	g := Planar(PlanarParams{T: 400, D: 1, M: 0.5, Delta: 0.25, Style: StyleZigzag}, xrand.New(3))
+	for i := 1; i < len(g.Witness); i++ {
+		if d := geom.Dist(g.Witness[i-1], g.Witness[i]); d > 0.5*(1+1e-9) {
+			t.Fatalf("witness overspeed %v at %d", d, i)
+		}
+	}
+}
+
+func TestPlanarZigzagTurnsPerpendicular(t *testing.T) {
+	// The zigzag style must rotate the escape direction by exactly 90°
+	// between cycles: consecutive cycle displacement vectors are
+	// orthogonal.
+	p := PlanarParams{T: 2000, D: 1, M: 1, Delta: 0.5, X: 4}
+	p.Style = StyleZigzag
+	g := Planar(p, xrand.New(4))
+	// Cycle length = x + ceil(x/δ) = 4 + 8 = 12 steps.
+	cycle := 12
+	w := g.Witness
+	var dirs []geom.Point
+	for start := 0; start+cycle < len(w)-1; start += cycle {
+		dirs = append(dirs, w[start+1].Sub(w[start]))
+	}
+	for i := 1; i < len(dirs); i++ {
+		if dot := dirs[i-1].Dot(dirs[i]); math.Abs(dot) > 1e-9 {
+			t.Fatalf("cycle %d: directions not perpendicular (dot=%v)", i, dot)
+		}
+	}
+}
+
+func TestPlanarPerpOffsetShrinks(t *testing.T) {
+	// In the perp-offset style, phase-B requests start far from the
+	// witness and converge onto it by the end of the phase.
+	p := PlanarParams{T: 60, D: 1, M: 1, Delta: 0.25, X: 4, Style: StylePerpOffset}
+	g := Planar(p, xrand.New(5))
+	// Cycle: 4 + 16 = 20 steps; phase B spans steps 4..19 of the cycle.
+	first := geom.Dist(g.Instance.Steps[4].Requests[0], g.Witness[5])
+	last := geom.Dist(g.Instance.Steps[19].Requests[0], g.Witness[20])
+	if first <= last {
+		t.Fatalf("perp offset did not shrink: first %v, last %v", first, last)
+	}
+	if first == 0 {
+		t.Fatal("perp offset absent at phase-B start")
+	}
+}
+
+func TestPlanarRatioGrowsAsDeltaShrinks(t *testing.T) {
+	ratioAt := func(delta float64) float64 {
+		sum := 0.0
+		n := 6
+		for seed := 0; seed < n; seed++ {
+			x := int(math.Ceil(2 / delta))
+			T := 3 * (x + int(math.Ceil(float64(x)/delta)))
+			g := Planar(PlanarParams{T: T, D: 1, M: 1, Delta: delta, Style: StyleRandomDir}, xrand.New(uint64(seed)))
+			res := sim.MustRun(g.Instance, core.NewMtC(), sim.RunOptions{})
+			sum += sim.Ratio(res.Cost.Total(), g.WitnessCost().Total())
+		}
+		return sum / float64(n)
+	}
+	loose, tight := ratioAt(0.5), ratioAt(0.125)
+	if tight < 1.5*loose {
+		t.Fatalf("planar ratio did not grow as δ shrank: %v -> %v", loose, tight)
+	}
+}
+
+func TestPlanarPanics(t *testing.T) {
+	for name, p := range map[string]PlanarParams{
+		"zero T":    {T: 0, Delta: 0.5},
+		"bad delta": {T: 10, Delta: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			Planar(p, xrand.New(1))
+		}()
+	}
+}
+
+func TestPlanarStyleString(t *testing.T) {
+	if StyleRandomDir.String() != "random-dir" || StyleZigzag.String() != "zigzag" || StylePerpOffset.String() != "perp-offset" {
+		t.Fatal("style names wrong")
+	}
+	if PlanarStyle(9).String() == "" {
+		t.Fatal("unknown style should still render")
+	}
+}

@@ -1,0 +1,89 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Theorem1Params configures the Ω(√T/D) construction against unaugmented
+// online algorithms (Theorem 1 of the paper).
+type Theorem1Params struct {
+	// T is the sequence length.
+	T int
+	// D is the page weight.
+	D float64
+	// M is the movement cap m (shared: no augmentation in this theorem).
+	M float64
+	// Dim is the dimension; the construction moves along the first axis.
+	Dim int
+	// X is the length of the separation phase; 0 selects the paper's
+	// choice x = round(√T).
+	X int
+}
+
+func (p Theorem1Params) withDefaults() Theorem1Params {
+	if p.Dim == 0 {
+		p.Dim = 1
+	}
+	if p.M == 0 {
+		p.M = 1
+	}
+	if p.D == 0 {
+		p.D = 1
+	}
+	if p.X == 0 {
+		p.X = int(math.Round(math.Sqrt(float64(p.T))))
+	}
+	if p.X < 1 {
+		p.X = 1
+	}
+	if p.X > p.T {
+		p.X = p.T
+	}
+	return p
+}
+
+// Theorem1 builds the two-phase sequence of Theorem 1. Phase 1 (x steps):
+// one request per step on the server's starting position, while the
+// adversary walks distance m per step in a coin-flip direction. Phase 2
+// (T−x steps): one request per step on the adversary's position, which
+// keeps moving in the same direction. An online algorithm limited to speed
+// m cannot close the expected gap of x·m, paying Θ(x·m) per remaining step.
+func Theorem1(p Theorem1Params, r *xrand.Rand) Generated {
+	p = p.withDefaults()
+	if p.T < 1 {
+		panic("adversary: Theorem1 requires T >= 1")
+	}
+	sign := r.Sign()
+	step := axisStep(p.Dim, sign, p.M)
+
+	start := geom.Zero(p.Dim)
+	in := &core.Instance{
+		Config: core.Config{Dim: p.Dim, D: p.D, M: p.M, Delta: 0, Order: core.MoveFirst},
+		Start:  start,
+		Steps:  make([]core.Step, p.T),
+	}
+	witness := make([]geom.Point, p.T+1)
+	witness[0] = start.Clone()
+	pos := start.Clone()
+	for t := 1; t <= p.T; t++ {
+		pos = pos.Add(step)
+		witness[t] = pos.Clone()
+		var req geom.Point
+		if t <= p.X {
+			req = start.Clone()
+		} else {
+			req = pos.Clone()
+		}
+		in.Steps[t-1] = core.Step{Requests: []geom.Point{req}}
+	}
+	return Generated{
+		Instance: in,
+		Witness:  witness,
+		Note:     fmt.Sprintf("Theorem1(T=%d, D=%g, m=%g, x=%d, dir=%+g)", p.T, p.D, p.M, p.X, sign),
+	}
+}

@@ -1,0 +1,127 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Theorem2Params configures the Ω((1/δ)·Rmax/Rmin) construction against
+// online algorithms augmented to speed (1+δ)m (Theorem 2 of the paper).
+type Theorem2Params struct {
+	// T is the total sequence length (cycles are truncated to fit).
+	T int
+	// D is the page weight.
+	D float64
+	// M is the offline movement cap m.
+	M float64
+	// Delta is the online augmentation δ ∈ (0, 1].
+	Delta float64
+	// Rmin and Rmax are the request counts in the separation and the
+	// punishment phase respectively.
+	Rmin, Rmax int
+	// Dim is the dimension; the construction moves along the first axis.
+	Dim int
+	// X is the separation-phase length; 0 selects an automatic value large
+	// enough that the adversary's cost is dominated by the Rmin·m·x² term,
+	// as the proof requires.
+	X int
+}
+
+func (p Theorem2Params) withDefaults() Theorem2Params {
+	if p.Dim == 0 {
+		p.Dim = 1
+	}
+	if p.M == 0 {
+		p.M = 1
+	}
+	if p.D == 0 {
+		p.D = 1
+	}
+	if p.Rmin == 0 {
+		p.Rmin = 1
+	}
+	if p.Rmax == 0 {
+		p.Rmax = p.Rmin
+	}
+	if p.X == 0 {
+		// x >= 2/δ (paper) and x >= D/(δ·Rmin) so that the D-terms of the
+		// adversary's cost are dominated.
+		x := math.Max(2/p.Delta, p.D/(p.Delta*float64(p.Rmin)))
+		p.X = int(math.Ceil(x))
+		if p.X < 2 {
+			p.X = 2
+		}
+	}
+	return p
+}
+
+// Theorem2 builds the cyclic two-phase sequence of Theorem 2. Each cycle:
+// Phase A (x steps) issues Rmin requests per step on the cycle's base
+// position while the adversary walks m per step in a fresh coin-flip
+// direction; Phase B (⌈x/δ⌉ steps) issues Rmax requests per step on the
+// adversary's position, which keeps moving. An augmented online algorithm
+// closes the x·m gap at rate at most δ·m per step, paying
+// Θ(Rmax·m·x²/δ) per cycle while the adversary pays O(Rmin·m·x²).
+func Theorem2(p Theorem2Params, r *xrand.Rand) Generated {
+	p = p.withDefaults()
+	if p.T < 1 {
+		panic("adversary: Theorem2 requires T >= 1")
+	}
+	if !(p.Delta > 0) || p.Delta > 1 {
+		panic("adversary: Theorem2 requires 0 < delta <= 1")
+	}
+	if p.Rmax < p.Rmin {
+		panic("adversary: Theorem2 requires Rmax >= Rmin")
+	}
+	phaseB := int(math.Ceil(float64(p.X) / p.Delta))
+
+	start := geom.Zero(p.Dim)
+	in := &core.Instance{
+		Config: core.Config{Dim: p.Dim, D: p.D, M: p.M, Delta: p.Delta, Order: core.MoveFirst},
+		Start:  start,
+		Steps:  make([]core.Step, 0, p.T),
+	}
+	witness := make([]geom.Point, 1, p.T+1)
+	witness[0] = start.Clone()
+
+	base := start.Clone()
+	pos := start.Clone()
+	cycles := 0
+	for len(in.Steps) < p.T {
+		sign := r.Sign()
+		step := axisStep(p.Dim, sign, p.M)
+		cycles++
+		// Phase A: Rmin requests on the base; adversary walks away.
+		for i := 0; i < p.X && len(in.Steps) < p.T; i++ {
+			pos = pos.Add(step)
+			witness = append(witness, pos.Clone())
+			in.Steps = append(in.Steps, core.Step{Requests: repeatPoint(base, p.Rmin)})
+		}
+		// Phase B: Rmax requests on the adversary; it keeps walking.
+		for j := 0; j < phaseB && len(in.Steps) < p.T; j++ {
+			pos = pos.Add(step)
+			witness = append(witness, pos.Clone())
+			in.Steps = append(in.Steps, core.Step{Requests: repeatPoint(pos, p.Rmax)})
+		}
+		base = pos.Clone()
+	}
+	return Generated{
+		Instance: in,
+		Witness:  witness,
+		Note: fmt.Sprintf("Theorem2(T=%d, D=%g, m=%g, delta=%g, Rmin=%d, Rmax=%d, x=%d, cycles=%d)",
+			p.T, p.D, p.M, p.Delta, p.Rmin, p.Rmax, p.X, cycles),
+	}
+}
+
+// repeatPoint returns n copies of p (cloned).
+func repeatPoint(p geom.Point, n int) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = p.Clone()
+	}
+	return out
+}

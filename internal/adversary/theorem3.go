@@ -1,0 +1,90 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Theorem3Params configures the Ω(r/D) construction for the Answer-First
+// variant (Theorem 3 of the paper).
+type Theorem3Params struct {
+	// T is the sequence length (an even number of steps is used; a
+	// trailing odd step is filled with a phase-1 step).
+	T int
+	// D is the page weight.
+	D float64
+	// M is the movement cap m.
+	M float64
+	// R is the fixed number of requests per step.
+	R int
+	// Dim is the dimension; the construction moves along the first axis.
+	Dim int
+	// Delta optionally grants the online algorithm augmentation; the
+	// theorem's bound is independent of it.
+	Delta float64
+}
+
+func (p Theorem3Params) withDefaults() Theorem3Params {
+	if p.Dim == 0 {
+		p.Dim = 1
+	}
+	if p.M == 0 {
+		p.M = 1
+	}
+	if p.D == 0 {
+		p.D = 1
+	}
+	if p.R == 0 {
+		p.R = 1
+	}
+	return p
+}
+
+// Theorem3 builds the two-step cycle of Theorem 3 for the Answer-First
+// order. In step 1 of each cycle, r requests appear on the cycle base
+// (where both servers sit); the adversary then moves distance m in a fresh
+// coin-flip direction. In step 2, r requests appear on the adversary's new
+// position; the adversary stays. An Answer-First online algorithm must
+// serve step 2 from a position chosen before the coin flip was revealed,
+// paying r·m with probability 1/2, while the adversary pays D·m per cycle.
+func Theorem3(p Theorem3Params, r *xrand.Rand) Generated {
+	p = p.withDefaults()
+	if p.T < 1 {
+		panic("adversary: Theorem3 requires T >= 1")
+	}
+	start := geom.Zero(p.Dim)
+	in := &core.Instance{
+		Config: core.Config{Dim: p.Dim, D: p.D, M: p.M, Delta: p.Delta, Order: core.AnswerFirst},
+		Start:  start,
+		Steps:  make([]core.Step, 0, p.T),
+	}
+	witness := make([]geom.Point, 1, p.T+1)
+	witness[0] = start.Clone()
+
+	base := start.Clone()
+	cycles := 0
+	for len(in.Steps) < p.T {
+		cycles++
+		sign := r.Sign()
+		next := base.Add(axisStep(p.Dim, sign, p.M))
+		// Step 1: requests on the base; adversary serves there (cost 0 in
+		// Answer-First, since it sits on base) and then moves to next.
+		in.Steps = append(in.Steps, core.Step{Requests: repeatPoint(base, p.R)})
+		witness = append(witness, next.Clone())
+		if len(in.Steps) == p.T {
+			break
+		}
+		// Step 2: requests on the adversary's new position; it stays.
+		in.Steps = append(in.Steps, core.Step{Requests: repeatPoint(next, p.R)})
+		witness = append(witness, next.Clone())
+		base = next
+	}
+	return Generated{
+		Instance: in,
+		Witness:  witness,
+		Note:     fmt.Sprintf("Theorem3(T=%d, D=%g, m=%g, r=%d, cycles=%d)", p.T, p.D, p.M, p.R, cycles),
+	}
+}

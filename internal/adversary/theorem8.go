@@ -1,0 +1,134 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/agent"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Theorem8Params configures the Ω(√T·ε/(1+ε)) construction for the Moving
+// Client variant with a fast agent, m_a = (1+ε)·m_s (Theorem 8).
+type Theorem8Params struct {
+	// T is the number of rounds.
+	T int
+	// D is the page weight.
+	D float64
+	// MS is the server speed m_s; the agent moves at (1+Eps)·MS.
+	MS float64
+	// Eps is the agent speed advantage ε > 0.
+	Eps float64
+	// Dim is the dimension; the construction moves along the first axis.
+	Dim int
+	// X tunes the separation phase; 0 selects the paper's choice
+	// x = √(T·m_s/m_a).
+	X int
+}
+
+func (p Theorem8Params) withDefaults() Theorem8Params {
+	if p.Dim == 0 {
+		p.Dim = 1
+	}
+	if p.MS == 0 {
+		p.MS = 1
+	}
+	if p.D == 0 {
+		p.D = 1
+	}
+	if p.X == 0 {
+		ma := (1 + p.Eps) * p.MS
+		p.X = int(math.Round(math.Sqrt(float64(p.T) * p.MS / ma)))
+	}
+	if p.X < 1 {
+		p.X = 1
+	}
+	return p
+}
+
+// GeneratedAgent bundles a Moving Client instance with the adversary's
+// witness server trajectory.
+type GeneratedAgent struct {
+	Instance *agent.Instance
+	// Witness is the adversary's server path, positions[0..T], feasible at
+	// speed m_s.
+	Witness []geom.Point
+	Note    string
+}
+
+// WitnessCost returns the cost of the witness on the converted core
+// instance (an upper bound on OPT). It panics on an infeasible witness.
+func (g *GeneratedAgent) WitnessCost() float64 {
+	c, err := sim.CheckFeasible(g.Instance.ToCore(), g.Witness, g.Instance.Config.MS, 0)
+	if err != nil {
+		panic(fmt.Sprintf("adversary: infeasible Theorem8 witness: %v", err))
+	}
+	return c.Total()
+}
+
+// Theorem8 builds the fast-agent construction. Phase 1: the adversary's
+// server walks m_s per round in a coin-flip direction for R1 = ⌊x·m_a/m_s⌋
+// rounds; the agent idles at the origin and sprints (speed m_a) to the
+// adversary during the last x rounds. Phase 2: agent and adversary continue
+// together at speed m_s. An online server limited to m_s ends phase 1 at
+// distance ≥ x·(m_a−m_s) = x·ε·m_s from the agent with probability 1/2 and
+// can never close the gap.
+func Theorem8(p Theorem8Params, r *xrand.Rand) GeneratedAgent {
+	p = p.withDefaults()
+	if p.T < 1 {
+		panic("adversary: Theorem8 requires T >= 1")
+	}
+	if !(p.Eps > 0) {
+		panic("adversary: Theorem8 requires eps > 0")
+	}
+	ma := (1 + p.Eps) * p.MS
+	r1 := int(math.Floor(float64(p.X) * ma / p.MS))
+	if r1 > p.T {
+		r1 = p.T
+	}
+	if r1 < 1 {
+		r1 = 1
+	}
+	sprint := p.X // agent sprints during the last `sprint` rounds of phase 1
+	if sprint > r1 {
+		sprint = r1
+	}
+
+	sign := r.Sign()
+	step := axisStep(p.Dim, sign, p.MS)
+	start := geom.Zero(p.Dim)
+
+	cfg := agent.Config{Dim: p.Dim, D: p.D, MS: p.MS, MA: ma, Delta: 0}
+	path := make([]geom.Point, p.T)
+	witness := make([]geom.Point, p.T+1)
+	witness[0] = start.Clone()
+
+	serverPos := start.Clone()
+	agentPos := start.Clone()
+	// Meeting point: the adversary's position at the end of phase 1.
+	meet := start.Add(step.Scale(float64(r1)))
+	for t := 1; t <= p.T; t++ {
+		// Adversary server walks m_s per round throughout.
+		serverPos = serverPos.Add(step)
+		witness[t] = serverPos.Clone()
+		switch {
+		case t <= r1-sprint:
+			// Agent idles at the origin.
+		case t <= r1:
+			// Agent sprints toward the meeting point at speed m_a.
+			agentPos = geom.MoveToward(agentPos, meet, ma)
+		default:
+			// Phase 2: agent tracks the adversary at speed m_s.
+			agentPos = geom.MoveToward(agentPos, serverPos, p.MS)
+		}
+		path[t-1] = agentPos.Clone()
+	}
+	in := &agent.Instance{Config: cfg, Start: start, Path: path}
+	return GeneratedAgent{
+		Instance: in,
+		Witness:  witness,
+		Note:     fmt.Sprintf("Theorem8(T=%d, D=%g, ms=%g, eps=%g, x=%d, r1=%d)", p.T, p.D, p.MS, p.Eps, p.X, r1),
+	}
+}

@@ -1,0 +1,282 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func validConfig() Config {
+	return Config{Dim: 2, D: 2, MS: 1, MA: 1, Delta: 0}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Dim = 0 },
+		func(c *Config) { c.D = 0.5 },
+		func(c *Config) { c.MS = 0 },
+		func(c *Config) { c.MA = -1 },
+		func(c *Config) { c.Delta = 2 },
+		func(c *Config) { c.Delta = math.NaN() },
+	}
+	for i, mutate := range cases {
+		c := validConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestOnlineCap(t *testing.T) {
+	c := Config{Dim: 1, D: 1, MS: 2, MA: 1, Delta: 0.5}
+	if c.OnlineCap() != 3 {
+		t.Fatalf("OnlineCap = %v", c.OnlineCap())
+	}
+}
+
+func walkInstance(t *testing.T, T int) *Instance {
+	t.Helper()
+	cfg := validConfig()
+	r := xrand.New(1)
+	in := &Instance{
+		Config: cfg,
+		Start:  pt(0, 0),
+		Path:   RandomWalk(r, pt(0, 0), T, cfg.MA),
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestInstanceValidateSpeed(t *testing.T) {
+	in := walkInstance(t, 10)
+	in.Path[3] = in.Path[3].Add(pt(100, 0))
+	if err := in.Validate(); err == nil {
+		t.Fatal("agent overspeed accepted")
+	}
+}
+
+func TestInstanceValidateShape(t *testing.T) {
+	in := walkInstance(t, 5)
+	in.Path = nil
+	if err := in.Validate(); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	in = walkInstance(t, 5)
+	in.Path[0] = pt(1.0)
+	if err := in.Validate(); err == nil {
+		t.Fatal("wrong-dim agent position accepted")
+	}
+	in = walkInstance(t, 5)
+	in.Start = pt(0, 0, 0)
+	if err := in.Validate(); err == nil {
+		t.Fatal("wrong-dim start accepted")
+	}
+}
+
+func TestToCoreShape(t *testing.T) {
+	in := walkInstance(t, 12)
+	cin := in.ToCore()
+	if err := cin.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cin.T() != 12 || cin.TotalRequests() != 12 {
+		t.Fatalf("converted shape T=%d reqs=%d", cin.T(), cin.TotalRequests())
+	}
+	if cin.Config.M != in.Config.MS || cin.Config.Order != core.MoveFirst {
+		t.Fatalf("converted config = %+v", cin.Config)
+	}
+	for tt, s := range cin.Steps {
+		if len(s.Requests) != 1 || !s.Requests[0].Equal(in.Path[tt]) {
+			t.Fatalf("step %d requests wrong", tt)
+		}
+	}
+}
+
+func TestToCoreCostEquivalence(t *testing.T) {
+	// The Moving Client objective of a trajectory equals the core cost of
+	// the converted instance.
+	in := walkInstance(t, 20)
+	cin := in.ToCore()
+	// Build some feasible server trajectory: follow at speed MS.
+	positions := []geom.Point{in.Start.Clone()}
+	cur := in.Start.Clone()
+	manual := 0.0
+	for _, a := range in.Path {
+		next := geom.MoveToward(cur, a, in.Config.MS)
+		manual += in.Config.D*geom.Dist(cur, next) + geom.Dist(next, a)
+		cur = next
+		positions = append(positions, next.Clone())
+	}
+	got, err := core.TrajectoryCost(cin, positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Total()-manual) > 1e-9*(1+manual) {
+		t.Fatalf("converted cost %v != manual %v", got.Total(), manual)
+	}
+}
+
+func TestFollowMovesByRule(t *testing.T) {
+	// d(P,A)/D below the cap: move exactly d/D.
+	f := NewFollow()
+	f.Reset(Config{Dim: 1, D: 4, MS: 10, MA: 10, Delta: 0}, pt(0.0))
+	got := f.Move(pt(8.0))
+	if !got.ApproxEqual(pt(2.0), 1e-12) {
+		t.Fatalf("Follow moved to %v, want 2", got)
+	}
+	// Far agent: cap binds.
+	f.Reset(Config{Dim: 1, D: 1, MS: 1, MA: 1, Delta: 0}, pt(0.0))
+	got = f.Move(pt(100.0))
+	if !got.ApproxEqual(pt(1.0), 1e-12) {
+		t.Fatalf("Follow moved to %v, want 1", got)
+	}
+}
+
+func TestFollowMaintainsBoundedDistance(t *testing.T) {
+	// Theorem 10's intuition: with MS = MA the server maintains distance
+	// at most ~D·MS from the agent once it has caught up.
+	cfg := Config{Dim: 2, D: 3, MS: 1, MA: 1, Delta: 0}
+	r := xrand.New(9)
+	in := &Instance{Config: cfg, Start: pt(0, 0), Path: RandomWalk(r, pt(0, 0), 400, cfg.MA)}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(in.ToCore(), Adapt(in, NewFollow()), sim.RunOptions{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := cfg.D*cfg.MS + cfg.MA + 1e-9
+	for tt, rec := range res.Trace {
+		if d := geom.Dist(rec.Pos, in.Path[tt]); d > bound {
+			t.Fatalf("round %d: server-agent distance %v > bound %v", tt, d, bound)
+		}
+	}
+}
+
+func TestFollowRespectsCapUnderSim(t *testing.T) {
+	cfg := Config{Dim: 2, D: 1, MS: 0.5, MA: 0.5, Delta: 0.25}
+	r := xrand.New(10)
+	in := &Instance{Config: cfg, Start: pt(0, 0), Path: RandomWalk(r, pt(0, 0), 200, cfg.MA)}
+	res, err := sim.Run(in.ToCore(), Adapt(in, NewFollow()), sim.RunOptions{Mode: sim.Strict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMove > cfg.OnlineCap()*(1+1e-9) {
+		t.Fatalf("MaxMove %v > cap %v", res.MaxMove, cfg.OnlineCap())
+	}
+}
+
+func TestRandomWalkSpeed(t *testing.T) {
+	r := xrand.New(2)
+	origin := pt(5, 5)
+	path := RandomWalk(r, origin, 300, 0.7)
+	prev := origin
+	for i, a := range path {
+		if d := geom.Dist(prev, a); d > 0.7*(1+1e-12) {
+			t.Fatalf("step %d moved %v", i, d)
+		}
+		prev = a
+	}
+}
+
+func TestDriftSpeedAndProgress(t *testing.T) {
+	r := xrand.New(3)
+	origin := pt(0, 0)
+	path := Drift(r, origin, 500, 1.0, 0.2)
+	prev := origin
+	for i, a := range path {
+		if d := geom.Dist(prev, a); d > 1.0*(1+1e-9) {
+			t.Fatalf("step %d moved %v", i, d)
+		}
+		prev = a
+	}
+	// A drift should travel a substantial fraction of T·speed.
+	if total := geom.Dist(origin, path[len(path)-1]); total < 250 {
+		t.Fatalf("drift traveled only %v over 500 steps", total)
+	}
+}
+
+func TestCommuterOscillates(t *testing.T) {
+	origin, target := pt(0.0), pt(5.0)
+	path := Commuter(origin, target, 40, 1)
+	prev := origin
+	reachedTarget, reachedOrigin := false, false
+	for i, a := range path {
+		if d := geom.Dist(prev, a); d > 1+1e-12 {
+			t.Fatalf("step %d moved %v", i, d)
+		}
+		if a.ApproxEqual(target, 1e-9) {
+			reachedTarget = true
+		}
+		if reachedTarget && a.ApproxEqual(origin, 1e-9) {
+			reachedOrigin = true
+		}
+		prev = a
+	}
+	if !reachedTarget || !reachedOrigin {
+		t.Fatalf("commuter did not oscillate (target=%v origin=%v)", reachedTarget, reachedOrigin)
+	}
+}
+
+func TestPatrolStaysOnCircle(t *testing.T) {
+	center := pt(0, 0)
+	origin := pt(10, 0) // already on the circle of radius 10
+	path := Patrol(origin, center, 10, 200, 0.5)
+	prev := origin
+	for i, a := range path {
+		if d := geom.Dist(prev, a); d > 0.5*(1+1e-9) {
+			t.Fatalf("step %d moved %v", i, d)
+		}
+		if r := geom.Dist(center, a); math.Abs(r-10) > 1e-6 {
+			t.Fatalf("step %d radius %v", i, r)
+		}
+		prev = a
+	}
+	// The patrol should make progress around the circle.
+	if geom.Dist(origin, path[len(path)-1]) < 1 {
+		t.Fatal("patrol did not advance")
+	}
+}
+
+func TestPatrolEntersCircle(t *testing.T) {
+	center := pt(0, 0)
+	origin := pt(20, 0) // off-circle start
+	path := Patrol(origin, center, 5, 100, 1)
+	last := path[len(path)-1]
+	if math.Abs(geom.Dist(center, last)-5) > 1e-6 {
+		t.Fatalf("patrol did not reach the circle: radius %v", geom.Dist(center, last))
+	}
+}
+
+func TestPatrolPanicsIn1D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Patrol in 1-D did not panic")
+		}
+	}()
+	Patrol(pt(0.0), pt(1.0), 1, 10, 1)
+}
+
+func TestAdaptPanicsOnBadStep(t *testing.T) {
+	in := walkInstance(t, 3)
+	alg := Adapt(in, NewFollow())
+	alg.Reset(in.ToCore().Config, in.Start)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adapter accepted 2 requests")
+		}
+	}()
+	alg.Move([]geom.Point{pt(0, 0), pt(1, 1)})
+}

@@ -1,0 +1,180 @@
+// Package agent implements the Moving Client variant of the Mobile Server
+// Problem (Section 5 of the paper): the requests are posed by a single
+// agent that itself moves at bounded speed m_a per step, while the server
+// moves at speed m_s (optionally augmented to (1+δ)m_s for the online
+// algorithm). In round t the agent position A_t is revealed, then the
+// server moves, then it pays d(P_t, A_t); the move costs D·d(P_{t-1}, P_t).
+//
+// The variant reduces to the core model with exactly one request per step
+// located at A_t, so the simulation and offline machinery is shared via
+// Instance.ToCore.
+package agent
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Config carries the parameters of a Moving Client instance.
+type Config struct {
+	// Dim is the dimension of the space, >= 1.
+	Dim int
+	// D is the page weight, >= 1.
+	D float64
+	// MS is the per-step movement limit of the (offline) server.
+	MS float64
+	// MA is the per-step movement limit of the agent.
+	MA float64
+	// Delta is the augmentation for the online server: cap (1+δ)·MS.
+	Delta float64
+}
+
+// OnlineCap returns (1+δ)·m_s.
+func (c Config) OnlineCap() float64 { return (1 + c.Delta) * c.MS }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Dim < 1:
+		return fmt.Errorf("agent: Dim = %d, need >= 1", c.Dim)
+	case !(c.D >= 1) || math.IsInf(c.D, 0):
+		return fmt.Errorf("agent: D = %v, need finite D >= 1", c.D)
+	case !(c.MS > 0) || math.IsInf(c.MS, 0):
+		return fmt.Errorf("agent: MS = %v, need finite MS > 0", c.MS)
+	case !(c.MA > 0) || math.IsInf(c.MA, 0):
+		return fmt.Errorf("agent: MA = %v, need finite MA > 0", c.MA)
+	case c.Delta < 0 || c.Delta > 1 || math.IsNaN(c.Delta):
+		return fmt.Errorf("agent: Delta = %v, need 0 <= delta <= 1", c.Delta)
+	}
+	return nil
+}
+
+// Instance is a Moving Client input: the common start position of server
+// and agent (A_0 = P_0 in the paper) and the agent path A_1..A_T.
+type Instance struct {
+	Config Config
+	Start  geom.Point
+	Path   []geom.Point
+}
+
+// T returns the number of rounds.
+func (in *Instance) T() int { return len(in.Path) }
+
+// Validate checks the configuration, dimensions, finiteness, and that the
+// agent path respects the agent speed limit MA within relative tolerance.
+func (in *Instance) Validate() error {
+	if err := in.Config.Validate(); err != nil {
+		return err
+	}
+	if in.Start.Dim() != in.Config.Dim {
+		return fmt.Errorf("agent: start dim %d != config dim %d", in.Start.Dim(), in.Config.Dim)
+	}
+	if len(in.Path) == 0 {
+		return fmt.Errorf("agent: instance has no rounds")
+	}
+	prev := in.Start
+	for t, a := range in.Path {
+		if a.Dim() != in.Config.Dim {
+			return fmt.Errorf("agent: A_%d has dim %d, want %d", t+1, a.Dim(), in.Config.Dim)
+		}
+		if !a.IsFinite() {
+			return fmt.Errorf("agent: A_%d = %v is not finite", t+1, a)
+		}
+		if moved := geom.Dist(prev, a); moved > in.Config.MA*(1+1e-9) {
+			return fmt.Errorf("agent: agent moves %.12g > MA %.12g at round %d", moved, in.Config.MA, t+1)
+		}
+		prev = a
+	}
+	return nil
+}
+
+// ToCore converts the instance to the core model: one request per step at
+// the agent position, Move-First order, server limit MS. Costs coincide
+// exactly with the Moving Client objective.
+func (in *Instance) ToCore() *core.Instance {
+	out := &core.Instance{
+		Config: core.Config{
+			Dim:   in.Config.Dim,
+			D:     in.Config.D,
+			M:     in.Config.MS,
+			Delta: in.Config.Delta,
+			Order: core.MoveFirst,
+		},
+		Start: in.Start.Clone(),
+		Steps: make([]core.Step, len(in.Path)),
+	}
+	for t, a := range in.Path {
+		out.Steps[t] = core.Step{Requests: []geom.Point{a.Clone()}}
+	}
+	return out
+}
+
+// Algorithm is an online algorithm for the Moving Client variant.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Reset prepares for a fresh instance.
+	Reset(cfg Config, start geom.Point)
+	// Move observes the agent's new position and returns the new server
+	// position; the simulator enforces the cap (1+δ)·MS.
+	Move(agentPos geom.Point) geom.Point
+}
+
+// Follow is the paper's MtC algorithm specialized to the Moving Client
+// variant (Theorem 10): upon receiving the agent position A_t, move
+// min(cap, d(P, A_t)/D) toward A_t, where cap is (1+δ)·MS (δ = 0 in the
+// theorem's setting).
+type Follow struct {
+	cfg Config
+	pos geom.Point
+}
+
+// NewFollow returns the follow-the-agent MtC algorithm.
+func NewFollow() *Follow { return &Follow{} }
+
+// Name implements Algorithm.
+func (f *Follow) Name() string { return "Follow-MtC" }
+
+// Reset implements Algorithm.
+func (f *Follow) Reset(cfg Config, start geom.Point) {
+	f.cfg = cfg
+	f.pos = start.Clone()
+}
+
+// Move implements Algorithm.
+func (f *Follow) Move(agentPos geom.Point) geom.Point {
+	want := geom.Dist(f.pos, agentPos) / f.cfg.D
+	step := math.Min(want, f.cfg.OnlineCap())
+	f.pos = geom.MoveToward(f.pos, agentPos, step)
+	return f.pos
+}
+
+// coreAdapter lifts an agent.Algorithm to a core.Algorithm over the
+// converted instance (requests[0] is the agent position).
+type coreAdapter struct {
+	inner Algorithm
+	cfg   Config
+}
+
+func (c *coreAdapter) Name() string { return c.inner.Name() }
+
+func (c *coreAdapter) Reset(cfg core.Config, start geom.Point) {
+	c.inner.Reset(c.cfg, start)
+}
+
+func (c *coreAdapter) Move(reqs []geom.Point) geom.Point {
+	if len(reqs) != 1 {
+		panic("agent: converted instance must have exactly one request per step")
+	}
+	return c.inner.Move(reqs[0])
+}
+
+// Adapt wraps an agent.Algorithm as a core.Algorithm for use with sim.Run
+// on in.ToCore(). The adapter passes the agent-variant Config through to
+// the inner algorithm.
+func Adapt(in *Instance, alg Algorithm) core.Algorithm {
+	return &coreAdapter{inner: alg, cfg: in.Config}
+}

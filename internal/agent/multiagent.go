@@ -1,0 +1,92 @@
+package agent
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// MultiInstance is the multiple-agent Moving Client variant the paper
+// sketches in Section 5 ("our results can be modified to also work for
+// multiple agents by similar arguments"): k agents move at bounded speed
+// m_a, and in every round the server pays the distance to each of them
+// after moving. The variant reduces to the core model with r = k requests
+// per step located at the agent positions, so the general MtC algorithm
+// (not just Follow) applies directly.
+type MultiInstance struct {
+	Config Config
+	// Start is the common start position of the server and all agents.
+	Start geom.Point
+	// Paths[j][t] is agent j's position in round t+1. All paths must have
+	// equal length.
+	Paths [][]geom.Point
+}
+
+// K returns the number of agents.
+func (in *MultiInstance) K() int { return len(in.Paths) }
+
+// T returns the number of rounds.
+func (in *MultiInstance) T() int {
+	if len(in.Paths) == 0 {
+		return 0
+	}
+	return len(in.Paths[0])
+}
+
+// Validate checks the configuration, path shapes, and every agent's speed.
+func (in *MultiInstance) Validate() error {
+	if err := in.Config.Validate(); err != nil {
+		return err
+	}
+	if in.Start.Dim() != in.Config.Dim {
+		return fmt.Errorf("agent: start dim %d != config dim %d", in.Start.Dim(), in.Config.Dim)
+	}
+	if len(in.Paths) == 0 {
+		return fmt.Errorf("agent: MultiInstance has no agents")
+	}
+	T := in.T()
+	if T == 0 {
+		return fmt.Errorf("agent: MultiInstance has no rounds")
+	}
+	for j, path := range in.Paths {
+		if len(path) != T {
+			return fmt.Errorf("agent: agent %d has %d rounds, want %d", j, len(path), T)
+		}
+		prev := in.Start
+		for t, a := range path {
+			if a.Dim() != in.Config.Dim || !a.IsFinite() {
+				return fmt.Errorf("agent: agent %d round %d bad position %v", j, t+1, a)
+			}
+			if moved := geom.Dist(prev, a); moved > in.Config.MA*(1+1e-9) {
+				return fmt.Errorf("agent: agent %d moves %.12g > MA %.12g at round %d", j, moved, in.Config.MA, t+1)
+			}
+			prev = a
+		}
+	}
+	return nil
+}
+
+// ToCore converts the instance to the core model with one request per
+// agent per step.
+func (in *MultiInstance) ToCore() *core.Instance {
+	out := &core.Instance{
+		Config: core.Config{
+			Dim:   in.Config.Dim,
+			D:     in.Config.D,
+			M:     in.Config.MS,
+			Delta: in.Config.Delta,
+			Order: core.MoveFirst,
+		},
+		Start: in.Start.Clone(),
+		Steps: make([]core.Step, in.T()),
+	}
+	for t := 0; t < in.T(); t++ {
+		reqs := make([]geom.Point, len(in.Paths))
+		for j, path := range in.Paths {
+			reqs[j] = path[t].Clone()
+		}
+		out.Steps[t] = core.Step{Requests: reqs}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package agent
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// teamInstance builds k agents random-walking as a loose team: each agent
+// random-walks around a common drifting anchor so they stay together.
+func teamInstance(t *testing.T, k, T int, seed uint64) *MultiInstance {
+	t.Helper()
+	cfg := Config{Dim: 2, D: 2, MS: 1, MA: 1, Delta: 0}
+	r := xrand.New(seed)
+	origin := pt(0, 0)
+	// Anchor drifts at half speed; agents use the other half to jitter
+	// around it, so every agent's per-step move is within MA.
+	anchor := origin.Clone()
+	paths := make([][]geom.Point, k)
+	positions := make([]geom.Point, k)
+	for j := range paths {
+		paths[j] = make([]geom.Point, T)
+		positions[j] = origin.Clone()
+	}
+	heading := geom.NewPoint(1, 0)
+	for tt := 0; tt < T; tt++ {
+		if r.Bernoulli(0.05) {
+			heading = geom.NewPoint(r.Range(-1, 1), r.Range(-1, 1))
+			if heading.Norm() < 1e-6 {
+				heading = geom.NewPoint(1, 0)
+			}
+			heading = heading.Unit()
+		}
+		anchor = anchor.Add(heading.Scale(cfg.MA / 2))
+		for j := range paths {
+			jitter := geom.NewPoint(r.Range(-1, 1), r.Range(-1, 1)).Scale(cfg.MA / 4)
+			target := anchor.Add(jitter)
+			positions[j] = geom.MoveToward(positions[j], target, cfg.MA)
+			paths[j][tt] = positions[j].Clone()
+		}
+	}
+	in := &MultiInstance{Config: cfg, Start: origin, Paths: paths}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestMultiInstanceShape(t *testing.T) {
+	in := teamInstance(t, 3, 50, 1)
+	if in.K() != 3 || in.T() != 50 {
+		t.Fatalf("K=%d T=%d", in.K(), in.T())
+	}
+	cin := in.ToCore()
+	if cin.TotalRequests() != 150 {
+		t.Fatalf("TotalRequests = %d", cin.TotalRequests())
+	}
+	rmin, rmax := cin.RequestRange()
+	if rmin != 3 || rmax != 3 {
+		t.Fatalf("request range %d..%d", rmin, rmax)
+	}
+}
+
+func TestMultiInstanceValidateRejects(t *testing.T) {
+	in := teamInstance(t, 2, 10, 2)
+	in.Paths[1] = in.Paths[1][:5]
+	if err := in.Validate(); err == nil {
+		t.Fatal("ragged paths accepted")
+	}
+
+	in = teamInstance(t, 2, 10, 2)
+	in.Paths[0][3] = in.Paths[0][3].Add(pt(50, 0))
+	if err := in.Validate(); err == nil {
+		t.Fatal("overspeed agent accepted")
+	}
+
+	in = teamInstance(t, 2, 10, 2)
+	in.Paths = nil
+	if err := in.Validate(); err == nil {
+		t.Fatal("zero agents accepted")
+	}
+}
+
+func TestMtCServesAgentTeamWithConstantCost(t *testing.T) {
+	// The paper's multi-agent remark: with m_s = m_a, the general MtC on
+	// the reduced instance keeps a bounded distance to the team, so the
+	// per-step cost is bounded by a constant (depending on D, m, and the
+	// team spread, not on T).
+	short := teamInstance(t, 3, 300, 7)
+	long := teamInstance(t, 3, 1200, 7)
+	perStep := func(in *MultiInstance) float64 {
+		res, err := sim.Run(in.ToCore(), core.NewMtC(), sim.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost.Total() / float64(in.T())
+	}
+	a, b := perStep(short), perStep(long)
+	if b > 1.5*a {
+		t.Fatalf("per-step cost grew with T: %v -> %v", a, b)
+	}
+}
+
+func TestMtCTracksTeamCentroid(t *testing.T) {
+	in := teamInstance(t, 4, 400, 9)
+	res, err := sim.Run(in.ToCore(), core.NewMtC(), sim.RunOptions{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After a warm-up, the server must stay within a constant of the
+	// team's centroid.
+	warm := 50
+	bound := in.Config.D*in.Config.MS + 6 // team spread + damped lag
+	for tt := warm; tt < in.T(); tt++ {
+		reqs := make([]geom.Point, in.K())
+		for j := range in.Paths {
+			reqs[j] = in.Paths[j][tt]
+		}
+		c := geom.Centroid(reqs)
+		if d := geom.Dist(res.Trace[tt].Pos, c); d > bound {
+			t.Fatalf("round %d: server %v is %v from centroid %v (bound %v)", tt, res.Trace[tt].Pos, d, c, bound)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func pt(x float64) geom.Point { return geom.NewPoint(x) }
+
+func TestPhiShape(t *testing.T) {
+	cfg := core.Config{Dim: 1, D: 4, M: 1, Delta: 0.5}
+	// r > D: factor 1; r <= D: factor 2.
+	rBig, rSmall := 8, 2
+	thrBig := cfg.Delta * cfg.D * cfg.M / (4 * float64(rBig))
+	// Below threshold: linear 2Dd.
+	d := thrBig / 2
+	if got := Phi(cfg, rBig, d); math.Abs(got-2*cfg.D*d) > 1e-12 {
+		t.Fatalf("linear regime Phi = %v, want %v", got, 2*cfg.D*d)
+	}
+	// Above threshold: quadratic 8r/(δm)·d².
+	d = 3.0
+	want := 8 * float64(rBig) / (cfg.Delta * cfg.M) * d * d
+	if got := Phi(cfg, rBig, d); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("quadratic regime Phi = %v, want %v", got, want)
+	}
+	// r <= D doubles both regimes.
+	if got, want := Phi(cfg, rSmall, d), 16*float64(rSmall)/(cfg.Delta*cfg.M)*d*d; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("doubled Phi = %v, want %v", got, want)
+	}
+}
+
+func TestPhiZeroAtZeroDistance(t *testing.T) {
+	cfg := core.Config{Dim: 1, D: 2, M: 1, Delta: 0.25}
+	if Phi(cfg, 1, 0) != 0 {
+		t.Fatal("Phi(0) != 0")
+	}
+}
+
+func TestPhiMonotone(t *testing.T) {
+	cfg := core.Config{Dim: 1, D: 2, M: 1, Delta: 0.25}
+	prev := 0.0
+	for d := 0.0; d < 5; d += 0.01 {
+		v := Phi(cfg, 3, d)
+		if v < prev-1e-12 {
+			t.Fatalf("Phi not monotone at d=%v", d)
+		}
+		prev = v
+	}
+}
+
+// coincidentInstance builds a 1-D instance whose batches are coincident
+// points following a bounded-speed demand walk.
+func coincidentInstance(seed uint64, T, r int, delta float64) *core.Instance {
+	rng := xrand.New(seed)
+	cfg := core.Config{Dim: 1, D: 2, M: 1, Delta: delta, Order: core.MoveFirst}
+	in := &core.Instance{Config: cfg, Start: pt(0)}
+	x := 0.0
+	for t := 0; t < T; t++ {
+		x += rng.Range(-1, 1) // demand moves at most m per step
+		reqs := make([]geom.Point, r)
+		for i := range reqs {
+			reqs[i] = pt(x)
+		}
+		in.Steps = append(in.Steps, core.Step{Requests: reqs})
+	}
+	return in
+}
+
+func TestAuditPrefixInvariantRandomWalks(t *testing.T) {
+	for _, r := range []int{1, 4} {
+		for _, delta := range []float64{1, 0.5, 0.25} {
+			in := coincidentInstance(11, 300, r, delta)
+			res, err := AuditMtC(in, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.PrefixHolds {
+				t.Fatalf("r=%d δ=%v: prefix invariant broken", r, delta)
+			}
+			if res.MaxEmpiricalConstant > res.K {
+				t.Fatalf("r=%d δ=%v: empirical constant %v exceeds K=%v", r, delta, res.MaxEmpiricalConstant, res.K)
+			}
+		}
+	}
+}
+
+func TestAuditAdversarialInstance(t *testing.T) {
+	// The Theorem-2 construction has coincident batches; the amortized
+	// inequality must hold on it too (it is the proof's own worst case).
+	g := adversary.Theorem2(adversary.Theorem2Params{T: 400, D: 2, M: 1, Delta: 0.25, Rmin: 1, Rmax: 1, Dim: 1}, xrand.New(5))
+	res, err := AuditMtC(g.Instance, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PrefixHolds {
+		t.Fatal("prefix invariant broken on the adversarial instance")
+	}
+}
+
+func TestAuditRejectsSpreadBatches(t *testing.T) {
+	in := &core.Instance{
+		Config: core.Config{Dim: 1, D: 1, M: 1, Delta: 0.5},
+		Start:  pt(0),
+		Steps: []core.Step{
+			{Requests: []geom.Point{pt(1), pt(2)}},
+		},
+	}
+	if _, err := AuditMtC(in, Options{}); err == nil {
+		t.Fatal("spread batch accepted")
+	}
+}
+
+func TestAuditRejects2D(t *testing.T) {
+	in := &core.Instance{
+		Config: core.Config{Dim: 2, D: 1, M: 1, Delta: 0.5},
+		Start:  geom.NewPoint(0, 0),
+		Steps:  []core.Step{{Requests: []geom.Point{geom.NewPoint(1, 1)}}},
+	}
+	if _, err := AuditMtC(in, Options{}); err == nil {
+		t.Fatal("2-D instance accepted")
+	}
+}
+
+func TestAuditRejectsZeroDelta(t *testing.T) {
+	in := coincidentInstance(1, 10, 1, 0.5)
+	in.Config.Delta = 0
+	if _, err := AuditMtC(in, Options{}); err == nil {
+		t.Fatal("delta=0 accepted")
+	}
+}
+
+func TestAuditRejectsEmptyStep(t *testing.T) {
+	in := coincidentInstance(1, 10, 1, 0.5)
+	in.Steps[3].Requests = nil
+	if _, err := AuditMtC(in, Options{}); err == nil {
+		t.Fatal("empty step accepted")
+	}
+}
+
+func TestAuditStepAccounting(t *testing.T) {
+	in := coincidentInstance(3, 50, 2, 0.5)
+	res, err := AuditMtC(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 50 {
+		t.Fatalf("got %d step records", len(res.Steps))
+	}
+	// Amortized must equal CAlg + DeltaPhi and the potential must
+	// telescope: Σ DeltaPhi = φ_final ≥ 0.
+	sumDelta := 0.0
+	for i, rec := range res.Steps {
+		if math.Abs(rec.Amortized-(rec.CAlg+rec.DeltaPhi)) > 1e-12 {
+			t.Fatalf("step %d: amortized mismatch", i)
+		}
+		sumDelta += rec.DeltaPhi
+	}
+	if sumDelta < -1e-9 {
+		t.Fatalf("telescoped potential negative: %v", sumDelta)
+	}
+}

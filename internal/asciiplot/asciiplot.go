@@ -1,0 +1,150 @@
+// Package asciiplot renders small scatter/line plots as plain text for the
+// CLI tools, supporting linear and logarithmic axes. It exists so that the
+// experiment binaries can show the shape of a curve (growth, flatness,
+// crossover) without any plotting dependency.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named point set.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Marker is the glyph used for points; 0 picks one automatically.
+	Marker byte
+}
+
+// Plot describes the canvas.
+type Plot struct {
+	// Width and Height of the plotting area in characters; defaults 64×20.
+	Width, Height int
+	// Title is printed above the canvas.
+	Title string
+	// LogX and LogY select logarithmic axes (non-positive values are
+	// dropped on a log axis).
+	LogX, LogY bool
+}
+
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws all series onto one canvas with shared axes.
+func (p Plot) Render(series []Series) string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	tx := func(v float64) (float64, bool) { return v, true }
+	ty := tx
+	if p.LogX {
+		tx = logT
+	}
+	if p.LogY {
+		ty = logT
+	}
+
+	// Collect transformed points and ranges.
+	type pt struct {
+		x, y float64
+		m    byte
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			pts = append(pts, pt{x: x, y: y, m: marker})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, q := range pts {
+		col := int((q.x - minX) / (maxX - minX) * float64(w-1))
+		row := h - 1 - int((q.y-minY)/(maxY-minY)*float64(h-1))
+		grid[row][col] = q.m
+	}
+	yLo, yHi := inv(minY, p.LogY), inv(maxY, p.LogY)
+	xLo, xHi := inv(minX, p.LogX), inv(maxX, p.LogX)
+	for i, row := range grid {
+		label := "          "
+		if i == 0 {
+			label = fmt.Sprintf("%10.3g", yHi)
+		} else if i == h-1 {
+			label = fmt.Sprintf("%10.3g", yLo)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", w) + "\n")
+	b.WriteString(fmt.Sprintf("%12.3g%s%.3g\n", xLo, strings.Repeat(" ", maxInt(1, w-10)), xHi))
+	// Legend.
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, s.Name)
+	}
+	return b.String()
+}
+
+func logT(v float64) (float64, bool) {
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+func inv(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsMarkersAndLegend(t *testing.T) {
+	out := Plot{Title: "demo", Width: 40, Height: 10}.Render([]Series{
+		{Name: "alpha", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		{Name: "beta", X: []float64{1, 2, 3}, Y: []float64{9, 4, 1}},
+	})
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatal("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing markers")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Plot{}.Render(nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRenderLogAxesDropNonPositive(t *testing.T) {
+	out := Plot{LogX: true, LogY: true}.Render([]Series{
+		{Name: "s", X: []float64{-1, 0, 10, 100}, Y: []float64{5, 5, 10, 100}},
+	})
+	if strings.Contains(out, "no data") {
+		t.Fatal("log plot dropped everything")
+	}
+}
+
+func TestRenderAllNonPositiveOnLog(t *testing.T) {
+	out := Plot{LogY: true}.Render([]Series{
+		{Name: "s", X: []float64{1, 2}, Y: []float64{-5, 0}},
+	})
+	if !strings.Contains(out, "no data") {
+		t.Fatal("expected no data on log axis with non-positive values")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out := Plot{}.Render([]Series{
+		{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}},
+	})
+	if strings.Contains(out, "no data") {
+		t.Fatal("constant series dropped")
+	}
+}
+
+func TestRenderPointPlacement(t *testing.T) {
+	// One point at each corner: first row should hold the max-y point.
+	out := Plot{Width: 10, Height: 5}.Render([]Series{
+		{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}, Marker: '#'},
+	})
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "#") {
+		t.Fatalf("top row missing max point:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "#") {
+		t.Fatalf("bottom row missing min point:\n%s", out)
+	}
+}
+
+func TestCustomMarker(t *testing.T) {
+	out := Plot{}.Render([]Series{{Name: "s", X: []float64{1}, Y: []float64{1}, Marker: '%'}})
+	if !strings.Contains(out, "%") {
+		t.Fatal("custom marker ignored")
+	}
+}
+
+func TestMismatchedLengthsTruncate(t *testing.T) {
+	out := Plot{}.Render([]Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1}}})
+	if strings.Contains(out, "no data") {
+		t.Fatal("should plot the one complete pair")
+	}
+}

@@ -1,0 +1,176 @@
+// Package baseline provides reference online algorithms to compare against
+// the paper's Move-to-Center: trivial strategies (Lazy, Follow, Greedy) and
+// capped-movement adaptations of classical Page Migration algorithms
+// (Westbrook's Move-To-Min and the randomized Coin-Flip algorithm). The
+// classical algorithms assume unrestricted jumps; here every move is capped
+// at (1+δ)m per step, with the jump target tracked across steps, which is
+// the natural adaptation discussed in the paper's introduction.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/median"
+	"repro/internal/xrand"
+)
+
+// Lazy never moves the server. It is the baseline the lower-bound
+// constructions punish maximally.
+type Lazy struct{ core.PositionTracker }
+
+// NewLazy returns the never-moving baseline.
+func NewLazy() *Lazy { return &Lazy{} }
+
+// Name implements core.Algorithm.
+func (l *Lazy) Name() string { return "Lazy" }
+
+// Move implements core.Algorithm.
+func (l *Lazy) Move(_ []geom.Point) geom.Point { return l.Pos }
+
+// Follow moves at full speed toward the most recent request (the last one
+// of the current batch).
+type Follow struct{ core.PositionTracker }
+
+// NewFollow returns the follow-the-last-request baseline.
+func NewFollow() *Follow { return &Follow{} }
+
+// Name implements core.Algorithm.
+func (f *Follow) Name() string { return "Follow" }
+
+// Move implements core.Algorithm.
+func (f *Follow) Move(reqs []geom.Point) geom.Point {
+	if len(reqs) == 0 {
+		return f.Pos
+	}
+	target := reqs[len(reqs)-1]
+	return f.CappedMove(target, geom.Dist(f.Pos, target))
+}
+
+// Greedy moves at full speed toward the 1-median of the current batch,
+// ignoring the paper's min(1, r/D) damping — it is MtC without the speed
+// rule and serves as the "chase aggressively" baseline.
+type Greedy struct{ core.PositionTracker }
+
+// NewGreedy returns the full-speed center-chasing baseline.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements core.Algorithm.
+func (g *Greedy) Name() string { return "Greedy" }
+
+// Move implements core.Algorithm.
+func (g *Greedy) Move(reqs []geom.Point) geom.Point {
+	if len(reqs) == 0 {
+		return g.Pos
+	}
+	target := median.Closest(reqs, g.Pos, median.Options{})
+	return g.CappedMove(target, geom.Dist(g.Pos, target))
+}
+
+// MoveToMin adapts Westbrook's deterministic Move-To-Min page-migration
+// algorithm: after every window of ⌈D⌉ requests, it recomputes the point
+// minimizing the total distance to the window (the geometric median) and
+// heads toward it; movement is capped per step.
+type MoveToMin struct {
+	core.PositionTracker
+	window  []geom.Point
+	size    int
+	target  geom.Point
+	hasTgt  bool
+	pending int
+}
+
+// NewMoveToMin returns the capped Move-To-Min baseline.
+func NewMoveToMin() *MoveToMin { return &MoveToMin{} }
+
+// Name implements core.Algorithm.
+func (a *MoveToMin) Name() string { return "Move-To-Min" }
+
+// Reset implements core.Algorithm.
+func (a *MoveToMin) Reset(cfg core.Config, start geom.Point) {
+	a.PositionTracker.Reset(cfg, start)
+	a.size = int(math.Ceil(cfg.D))
+	if a.size < 1 {
+		a.size = 1
+	}
+	a.window = a.window[:0]
+	a.hasTgt = false
+	a.pending = 0
+}
+
+// Move implements core.Algorithm.
+func (a *MoveToMin) Move(reqs []geom.Point) geom.Point {
+	for _, v := range reqs {
+		a.window = append(a.window, v.Clone())
+		a.pending++
+		if len(a.window) > a.size {
+			a.window = a.window[1:]
+		}
+		if a.pending >= a.size {
+			a.target = median.Closest(a.window, a.Pos, median.Options{})
+			a.hasTgt = true
+			a.pending = 0
+		}
+	}
+	if !a.hasTgt {
+		return a.Pos
+	}
+	return a.CappedMove(a.target, geom.Dist(a.Pos, a.target))
+}
+
+// CoinFlip adapts Westbrook's randomized Coin-Flip algorithm: each request
+// independently triggers, with probability 1/(2D), a retarget onto the
+// requesting point; the server then heads toward its current target at full
+// (capped) speed. The classical analysis gives 3-competitiveness for
+// unrestricted page migration against adaptive adversaries.
+type CoinFlip struct {
+	core.PositionTracker
+	rng    *xrand.Rand
+	target geom.Point
+	hasTgt bool
+}
+
+// NewCoinFlip returns the capped Coin-Flip baseline drawing coins from r.
+func NewCoinFlip(r *xrand.Rand) *CoinFlip { return &CoinFlip{rng: r} }
+
+// Name implements core.Algorithm.
+func (a *CoinFlip) Name() string { return "Coin-Flip" }
+
+// Reset implements core.Algorithm.
+func (a *CoinFlip) Reset(cfg core.Config, start geom.Point) {
+	a.PositionTracker.Reset(cfg, start)
+	a.hasTgt = false
+}
+
+// Move implements core.Algorithm.
+func (a *CoinFlip) Move(reqs []geom.Point) geom.Point {
+	p := 1 / (2 * a.Cfg.D)
+	for _, v := range reqs {
+		if a.rng.Bernoulli(p) {
+			a.target = v.Clone()
+			a.hasTgt = true
+		}
+	}
+	if !a.hasTgt {
+		return a.Pos
+	}
+	next := a.CappedMove(a.target, geom.Dist(a.Pos, a.target))
+	if geom.Dist(next, a.target) == 0 {
+		a.hasTgt = false
+	}
+	return next
+}
+
+// All returns one fresh instance of every baseline (Coin-Flip drawing coins
+// from the provided stream), plus the paper's MtC for convenience.
+func All(r *xrand.Rand) []core.Algorithm {
+	return []core.Algorithm{
+		core.NewMtC(),
+		NewLazy(),
+		NewFollow(),
+		NewGreedy(),
+		NewMoveToMin(),
+		NewCoinFlip(r),
+	}
+}

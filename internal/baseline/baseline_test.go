@@ -1,0 +1,193 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func cfg() core.Config { return core.Config{Dim: 1, D: 2, M: 1, Delta: 0, Order: core.MoveFirst} }
+
+func TestLazyNeverMoves(t *testing.T) {
+	a := NewLazy()
+	a.Reset(cfg(), pt(3.0))
+	for i := 0; i < 5; i++ {
+		if !a.Move([]geom.Point{pt(float64(i * 10))}).Equal(pt(3.0)) {
+			t.Fatal("Lazy moved")
+		}
+	}
+}
+
+func TestFollowChasesLastRequest(t *testing.T) {
+	a := NewFollow()
+	a.Reset(cfg(), pt(0.0))
+	got := a.Move([]geom.Point{pt(-5.0), pt(0.5)})
+	if !got.ApproxEqual(pt(0.5), 1e-12) {
+		t.Fatalf("Follow moved to %v, want 0.5", got)
+	}
+	// Far target: capped at m=1.
+	got = a.Move([]geom.Point{pt(100.0)})
+	if !got.ApproxEqual(pt(1.5), 1e-12) {
+		t.Fatalf("Follow moved to %v, want 1.5", got)
+	}
+}
+
+func TestFollowNoRequests(t *testing.T) {
+	a := NewFollow()
+	a.Reset(cfg(), pt(2.0))
+	if !a.Move(nil).Equal(pt(2.0)) {
+		t.Fatal("Follow moved without requests")
+	}
+}
+
+func TestGreedyHeadsToMedian(t *testing.T) {
+	a := NewGreedy()
+	a.Reset(cfg(), pt(0.0))
+	// Median of {2, 3, 100} is 3; capped at 1.
+	got := a.Move([]geom.Point{pt(2.0), pt(3.0), pt(100.0)})
+	if !got.ApproxEqual(pt(1.0), 1e-12) {
+		t.Fatalf("Greedy moved to %v, want 1", got)
+	}
+}
+
+func TestGreedyIgnoresSpeedRule(t *testing.T) {
+	// With r=1 < D=2, MtC would move half the distance; Greedy moves all
+	// the way (within cap).
+	c := cfg()
+	c.M = 100
+	a := NewGreedy()
+	a.Reset(c, pt(0.0))
+	got := a.Move([]geom.Point{pt(8.0)})
+	if !got.ApproxEqual(pt(8.0), 1e-12) {
+		t.Fatalf("Greedy moved to %v, want 8", got)
+	}
+}
+
+func TestMoveToMinWaitsForWindow(t *testing.T) {
+	// D=2 → window size 2: no move after the first request, target after
+	// the second.
+	a := NewMoveToMin()
+	a.Reset(cfg(), pt(0.0))
+	got := a.Move([]geom.Point{pt(10.0)})
+	if !got.Equal(pt(0.0)) {
+		t.Fatalf("MoveToMin moved before window full: %v", got)
+	}
+	got = a.Move([]geom.Point{pt(10.0)})
+	if !got.ApproxEqual(pt(1.0), 1e-12) {
+		t.Fatalf("MoveToMin = %v, want 1 (capped toward 10)", got)
+	}
+}
+
+func TestMoveToMinRetargets(t *testing.T) {
+	a := NewMoveToMin()
+	a.Reset(cfg(), pt(0.0))
+	// Fill window with two requests at 10 → target 10.
+	a.Move([]geom.Point{pt(10.0), pt(10.0)})
+	// New window of two at -10 → target flips.
+	got := a.Move([]geom.Point{pt(-10.0), pt(-10.0)})
+	if got[0] >= 1 {
+		t.Fatalf("MoveToMin did not retarget: %v", got)
+	}
+}
+
+func TestMoveToMinKeepsMovingBetweenBatches(t *testing.T) {
+	a := NewMoveToMin()
+	a.Reset(cfg(), pt(0.0))
+	a.Move([]geom.Point{pt(10.0), pt(10.0)}) // target 10, pos 1
+	got := a.Move(nil)                       // keeps heading to 10
+	if !got.ApproxEqual(pt(2.0), 1e-12) {
+		t.Fatalf("MoveToMin stalled: %v", got)
+	}
+}
+
+func TestCoinFlipDeterministicWithSeed(t *testing.T) {
+	run := func() geom.Point {
+		a := NewCoinFlip(xrand.New(42))
+		a.Reset(cfg(), pt(0.0))
+		var got geom.Point
+		for i := 0; i < 20; i++ {
+			got = a.Move([]geom.Point{pt(5.0)})
+		}
+		return got
+	}
+	if !run().Equal(run()) {
+		t.Fatal("CoinFlip with fixed seed not reproducible")
+	}
+}
+
+func TestCoinFlipEventuallyMoves(t *testing.T) {
+	a := NewCoinFlip(xrand.New(7))
+	a.Reset(cfg(), pt(0.0))
+	moved := false
+	for i := 0; i < 200 && !moved; i++ {
+		if !a.Move([]geom.Point{pt(50.0)}).Equal(pt(0.0)) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("CoinFlip never moved in 200 steps with p=1/4 per step")
+	}
+}
+
+func TestAllRespectCapsOnRandomWorkload(t *testing.T) {
+	r := xrand.New(11)
+	in := &core.Instance{
+		Config: core.Config{Dim: 2, D: 3, M: 0.5, Delta: 0.5, Order: core.MoveFirst},
+		Start:  pt(0, 0),
+	}
+	for i := 0; i < 100; i++ {
+		n := r.IntN(4)
+		var s core.Step
+		for k := 0; k < n; k++ {
+			s.Requests = append(s.Requests, pt(r.Range(-20, 20), r.Range(-20, 20)))
+		}
+		in.Steps = append(in.Steps, s)
+	}
+	for _, alg := range All(xrand.New(1)) {
+		res, err := sim.Run(in, alg, sim.RunOptions{Mode: sim.Strict})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if res.MaxMove > in.Config.OnlineCap()*(1+1e-9) {
+			t.Fatalf("%s exceeded cap: %v", alg.Name(), res.MaxMove)
+		}
+	}
+}
+
+func TestAllNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, alg := range All(xrand.New(1)) {
+		if seen[alg.Name()] {
+			t.Fatalf("duplicate name %q", alg.Name())
+		}
+		seen[alg.Name()] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 algorithms, got %d", len(seen))
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	a := NewMoveToMin()
+	a.Reset(cfg(), pt(0.0))
+	a.Move([]geom.Point{pt(10.0), pt(10.0)})
+	a.Reset(cfg(), pt(0.0))
+	if got := a.Move([]geom.Point{pt(-10.0)}); !got.Equal(pt(0.0)) {
+		t.Fatalf("MoveToMin retained state across Reset: %v", got)
+	}
+
+	c := NewCoinFlip(xrand.New(3))
+	c.Reset(cfg(), pt(0.0))
+	for i := 0; i < 50; i++ {
+		c.Move([]geom.Point{pt(9.0)})
+	}
+	c.Reset(cfg(), pt(0.0))
+	if got := c.Move(nil); !got.Equal(pt(0.0)) {
+		t.Fatalf("CoinFlip retained target across Reset: %v", got)
+	}
+}

@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// WorkFunction1D is the work-function algorithm adapted to the Mobile
+// Server Problem on a line segment: it maintains the offline work function
+// w_t(x) — the cheapest cost of serving the first t steps and ending at x,
+// restricted to a grid over a declared arena and to the offline movement
+// cap m — and after each step moves to the reachable position minimizing
+// w_t(x) + D·d(P, x).
+//
+// Work functions are the classical route to strong online algorithms for
+// k-server-style problems (see the related-work discussion in the paper);
+// this adaptation shows how the movement cap changes their behavior. The
+// algorithm needs the arena bounds up front (to lay out its grid), which
+// is a standard practical concession; requests outside the arena are
+// clamped onto it for the internal computation (costs are still charged by
+// the simulator at the true request positions).
+type WorkFunction1D struct {
+	core.PositionTracker
+	lo, hi    float64
+	cellsPerM int
+
+	g      float64
+	n      int
+	w      []float64 // work function over the grid
+	buf    []float64
+	serve  []float64
+	winOff int // offline window in cells
+}
+
+// NewWorkFunction1D returns a work-function server for the arena [lo, hi]
+// with grid resolution cellsPerM cells per movement radius (default 4).
+func NewWorkFunction1D(lo, hi float64, cellsPerM int) *WorkFunction1D {
+	if hi <= lo {
+		panic("baseline: WorkFunction1D requires hi > lo")
+	}
+	if cellsPerM <= 0 {
+		cellsPerM = 4
+	}
+	return &WorkFunction1D{lo: lo, hi: hi, cellsPerM: cellsPerM}
+}
+
+// Name implements core.Algorithm.
+func (a *WorkFunction1D) Name() string { return "Work-Function" }
+
+// Reset implements core.Algorithm.
+func (a *WorkFunction1D) Reset(cfg core.Config, start geom.Point) {
+	if cfg.Dim != 1 {
+		panic("baseline: WorkFunction1D requires dimension 1")
+	}
+	a.PositionTracker.Reset(cfg, start)
+	a.g = cfg.M / float64(a.cellsPerM)
+	a.n = int((a.hi-a.lo)/a.g) + 2
+	const maxCells = 1 << 20
+	if a.n > maxCells {
+		a.n = maxCells
+		a.g = (a.hi - a.lo) / float64(a.n-1)
+	}
+	a.w = make([]float64, a.n)
+	a.buf = make([]float64, a.n)
+	a.serve = make([]float64, a.n)
+	for i := range a.w {
+		a.w[i] = math.Inf(1)
+	}
+	a.w[a.nearest(start[0])] = 0
+	a.winOff = int(cfg.M/a.g + 1e-9)
+	if a.winOff < 1 {
+		a.winOff = 1
+	}
+}
+
+func (a *WorkFunction1D) x(i int) float64 { return a.lo + float64(i)*a.g }
+
+func (a *WorkFunction1D) nearest(v float64) int {
+	i := int((v-a.lo)/a.g + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= a.n {
+		i = a.n - 1
+	}
+	return i
+}
+
+// Move implements core.Algorithm.
+func (a *WorkFunction1D) Move(reqs []geom.Point) geom.Point {
+	// Update the work function: offline transition then serve charge.
+	D := a.Cfg.D
+	for i := 0; i < a.n; i++ {
+		best := math.Inf(1)
+		for j := i - a.winOff; j <= i+a.winOff; j++ {
+			if j < 0 || j >= a.n {
+				continue
+			}
+			if cand := a.w[j] + D*a.g*math.Abs(float64(i-j)); cand < best {
+				best = cand
+			}
+		}
+		a.buf[i] = best
+	}
+	for i := 0; i < a.n; i++ {
+		s := 0.0
+		for _, v := range reqs {
+			s += math.Abs(a.x(i) - clamp(v[0], a.lo, a.hi))
+		}
+		a.serve[i] = s
+		a.w[i] = a.buf[i] + s
+	}
+	if len(reqs) == 0 {
+		return a.Pos
+	}
+	// Online rule: among positions reachable under the online cap, pick
+	// the one minimizing w_t(x) + D·d(P, x).
+	cap := a.Cfg.OnlineCap()
+	pos := a.Pos[0]
+	loIdx := a.nearest(pos - cap)
+	hiIdx := a.nearest(pos + cap)
+	bestI, bestV := -1, math.Inf(1)
+	for i := loIdx; i <= hiIdx; i++ {
+		x := a.x(i)
+		if math.Abs(x-pos) > cap*(1+1e-12) {
+			continue
+		}
+		if v := a.w[i] + D*math.Abs(x-pos); v < bestV {
+			bestI, bestV = i, v
+		}
+	}
+	if bestI < 0 {
+		return a.Pos
+	}
+	target := geom.NewPoint(a.x(bestI))
+	return a.CappedMove(target, geom.Dist(a.Pos, target))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/offline"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func TestWorkFunctionTracksSingleRequestStream(t *testing.T) {
+	// Requests march right at speed m: WFA should follow like MtC does.
+	cfg := core.Config{Dim: 1, D: 1, M: 1, Delta: 0, Order: core.MoveFirst}
+	in := &core.Instance{Config: cfg, Start: pt(0.0)}
+	for i := 1; i <= 30; i++ {
+		in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{pt(float64(i))}})
+	}
+	res, err := sim.Run(in, NewWorkFunction1D(-5, 40, 4), sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final[0] < 25 {
+		t.Fatalf("WFA did not follow the stream: final %v", res.Final)
+	}
+}
+
+func TestWorkFunctionRespectsCap(t *testing.T) {
+	cfg := core.Config{Dim: 1, D: 2, M: 0.5, Delta: 0.5, Order: core.MoveFirst}
+	in := workload.Hotspot{Half: 10, Sigma: 1}.Generate(xrand.New(1), cfg, 150)
+	res, err := sim.Run(in, NewWorkFunction1D(-12, 12, 4), sim.RunOptions{Mode: sim.Strict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMove > cfg.OnlineCap()*(1+1e-9) {
+		t.Fatalf("MaxMove %v > cap %v", res.MaxMove, cfg.OnlineCap())
+	}
+}
+
+func TestWorkFunctionCompetitiveOnHotspot(t *testing.T) {
+	// WFA should land within a small factor of OPT on a followable
+	// workload, and in the same league as MtC.
+	cfg := core.Config{Dim: 1, D: 2, M: 1, Delta: 0.5, Order: core.MoveFirst}
+	in := workload.Hotspot{Half: 15, Sigma: 1}.Generate(xrand.New(2), cfg, 300)
+	wfa, err := sim.Run(in, NewWorkFunction1D(-17, 17, 4), sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtc := sim.MustRun(in, core.NewMtC(), sim.RunOptions{})
+	est, err := offline.Best(in, offline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioWFA := wfa.Cost.Total() / est.Upper
+	if ratioWFA > 6 {
+		t.Fatalf("WFA ratio %v too large", ratioWFA)
+	}
+	if wfa.Cost.Total() > 3*mtc.Cost.Total() {
+		t.Fatalf("WFA (%v) much worse than MtC (%v)", wfa.Cost.Total(), mtc.Cost.Total())
+	}
+}
+
+func TestWorkFunctionStaysWithoutRequests(t *testing.T) {
+	a := NewWorkFunction1D(-10, 10, 4)
+	a.Reset(core.Config{Dim: 1, D: 1, M: 1, Delta: 0, Order: core.MoveFirst}, pt(2.0))
+	if got := a.Move(nil); !got.Equal(pt(2.0)) {
+		t.Fatalf("WFA moved without requests: %v", got)
+	}
+}
+
+func TestWorkFunctionClampsOutsideArena(t *testing.T) {
+	// A request far outside the arena must not crash; the server heads to
+	// the arena edge.
+	cfg := core.Config{Dim: 1, D: 1, M: 1, Delta: 0, Order: core.MoveFirst}
+	in := &core.Instance{Config: cfg, Start: pt(0.0)}
+	for i := 0; i < 30; i++ {
+		in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{pt(100.0)}})
+	}
+	res, err := sim.Run(in, NewWorkFunction1D(-10, 10, 4), sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Final[0]-10) > 0.5 {
+		t.Fatalf("WFA final %v, want near arena edge 10", res.Final)
+	}
+}
+
+func TestWorkFunctionPanicsOn2D(t *testing.T) {
+	a := NewWorkFunction1D(-1, 1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic in 2-D")
+		}
+	}()
+	a.Reset(core.Config{Dim: 2, D: 1, M: 1}, pt(0, 0))
+}
+
+func TestWorkFunctionPanicsOnBadArena(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for hi <= lo")
+		}
+	}()
+	NewWorkFunction1D(5, 5, 4)
+}
+
+func TestWorkFunctionBeatsLazyOnDriftingLoad(t *testing.T) {
+	cfg := core.Config{Dim: 1, D: 2, M: 1, Delta: 0.25, Order: core.MoveFirst}
+	in := workload.Hotspot{Half: 20, Sigma: 0.5}.Generate(xrand.New(3), cfg, 400)
+	wfa, err := sim.Run(in, NewWorkFunction1D(-22, 22, 4), sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazyRes := sim.MustRun(in, NewLazy(), sim.RunOptions{})
+	if wfa.Cost.Total() >= lazyRes.Cost.Total() {
+		t.Fatalf("WFA (%v) did not beat Lazy (%v)", wfa.Cost.Total(), lazyRes.Cost.Total())
+	}
+}

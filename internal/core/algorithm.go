@@ -1,0 +1,49 @@
+package core
+
+import "repro/internal/geom"
+
+// Algorithm is an online algorithm for the Mobile Server Problem. The
+// simulator drives it step by step: Reset once, then one Move call per time
+// step with that step's requests. Move returns the desired new server
+// position; the simulator enforces the movement cap (1+δ)·m.
+//
+// Implementations must be deterministic given their construction inputs
+// (randomized algorithms receive an explicit random stream at
+// construction), so simulations are reproducible.
+type Algorithm interface {
+	// Name identifies the algorithm in reports and tables.
+	Name() string
+	// Reset prepares the algorithm for a fresh instance with the given
+	// configuration and start position.
+	Reset(cfg Config, start geom.Point)
+	// Move observes the requests of the current step and returns the new
+	// server position. In the Move-First order the requests are then
+	// served from the returned position; in Answer-First they have already
+	// been served from the previous position. Either way the algorithm
+	// sees the requests before moving (the paper's information model).
+	Move(requests []geom.Point) geom.Point
+}
+
+// PositionTracker is a helper embedded by algorithm implementations to hold
+// the common per-run state.
+type PositionTracker struct {
+	Cfg Config
+	Pos geom.Point
+}
+
+// Reset stores the configuration and start position.
+func (p *PositionTracker) Reset(cfg Config, start geom.Point) {
+	p.Cfg = cfg
+	p.Pos = start.Clone()
+}
+
+// CappedMove moves the tracked position toward target by at most the
+// algorithm's online cap and by at most want, returning the new position.
+func (p *PositionTracker) CappedMove(target geom.Point, want float64) geom.Point {
+	step := want
+	if cap := p.Cfg.OnlineCap(); step > cap {
+		step = cap
+	}
+	p.Pos = geom.MoveToward(p.Pos, target, step)
+	return p.Pos
+}

@@ -1,0 +1,191 @@
+// Package core defines the Mobile Server Problem (Feldkord & Meyer auf der
+// Heide, SPAA 2017) and implements the paper's Move-to-Center (MtC)
+// algorithm.
+//
+// Model recap: a single server holding a data page lives in ℝ^d. Time is
+// discrete. In step t a finite batch of requests v_{t,1..r_t} appears. The
+// server may move at most distance m per step (the online algorithm may be
+// augmented to (1+δ)m); moving distance x costs D·x for a constant D ≥ 1,
+// and each request costs its distance to the server. In the default
+// Move-First order the server moves after seeing the requests and serves
+// them from the new position; in the Answer-First variant it serves from
+// the old position and then moves.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// ServeOrder selects when requests are charged relative to the move.
+type ServeOrder int
+
+const (
+	// MoveFirst is the paper's default: the server moves upon knowing the
+	// current requests, which are then served from the new position.
+	MoveFirst ServeOrder = iota
+	// AnswerFirst serves the requests from the current position before the
+	// server moves (Section 2 / Theorems 3 and 7 of the paper).
+	AnswerFirst
+)
+
+// String returns the canonical name of the serve order.
+func (s ServeOrder) String() string {
+	switch s {
+	case MoveFirst:
+		return "move-first"
+	case AnswerFirst:
+		return "answer-first"
+	default:
+		return fmt.Sprintf("ServeOrder(%d)", int(s))
+	}
+}
+
+// Config carries the global parameters of a Mobile Server instance.
+type Config struct {
+	// Dim is the dimension of the Euclidean space, d >= 1.
+	Dim int
+	// D is the page weight: moving distance x costs D·x. D >= 1.
+	D float64
+	// M is the per-step movement limit m of the offline optimum, m > 0.
+	M float64
+	// Delta is the resource-augmentation factor δ ∈ [0, 1]: the online
+	// algorithm may move up to (1+δ)·M per step. Zero means no
+	// augmentation.
+	Delta float64
+	// Order selects Move-First (default) or Answer-First serving.
+	Order ServeOrder
+}
+
+// OnlineCap returns the per-step movement bound (1+δ)·m available to the
+// online algorithm.
+func (c Config) OnlineCap() float64 { return (1 + c.Delta) * c.M }
+
+// OfflineCap returns the per-step movement bound m of the offline optimum.
+func (c Config) OfflineCap() float64 { return c.M }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Dim < 1:
+		return fmt.Errorf("core: Dim = %d, need >= 1", c.Dim)
+	case !(c.D >= 1) || math.IsInf(c.D, 0):
+		return fmt.Errorf("core: D = %v, need finite D >= 1", c.D)
+	case !(c.M > 0) || math.IsInf(c.M, 0):
+		return fmt.Errorf("core: M = %v, need finite M > 0", c.M)
+	case c.Delta < 0 || c.Delta > 1 || math.IsNaN(c.Delta):
+		return fmt.Errorf("core: Delta = %v, need 0 <= delta <= 1", c.Delta)
+	case c.Order != MoveFirst && c.Order != AnswerFirst:
+		return fmt.Errorf("core: unknown serve order %d", int(c.Order))
+	}
+	return nil
+}
+
+// Step is one time step: the batch of requests revealed at that step. A
+// step may be empty (no requests), in which case only movement can incur
+// cost.
+type Step struct {
+	Requests []geom.Point
+}
+
+// Instance is a complete Mobile Server input: configuration, the server's
+// start position, and the request sequence.
+type Instance struct {
+	Config Config
+	Start  geom.Point
+	Steps  []Step
+}
+
+// T returns the number of time steps.
+func (in *Instance) T() int { return len(in.Steps) }
+
+// TotalRequests returns Σ_t r_t.
+func (in *Instance) TotalRequests() int {
+	n := 0
+	for _, s := range in.Steps {
+		n += len(s.Requests)
+	}
+	return n
+}
+
+// RequestRange returns the minimum and maximum number of requests over
+// steps (Rmin, Rmax). Both are 0 for an empty instance.
+func (in *Instance) RequestRange() (rmin, rmax int) {
+	if len(in.Steps) == 0 {
+		return 0, 0
+	}
+	rmin = math.MaxInt
+	for _, s := range in.Steps {
+		r := len(s.Requests)
+		if r < rmin {
+			rmin = r
+		}
+		if r > rmax {
+			rmax = r
+		}
+	}
+	return rmin, rmax
+}
+
+// AllRequests returns all request points of the instance in step order.
+func (in *Instance) AllRequests() []geom.Point {
+	out := make([]geom.Point, 0, in.TotalRequests())
+	for _, s := range in.Steps {
+		out = append(out, s.Requests...)
+	}
+	return out
+}
+
+// Bounds returns an axis-aligned box containing the start position and all
+// requests.
+func (in *Instance) Bounds() geom.Box {
+	pts := append([]geom.Point{in.Start}, in.AllRequests()...)
+	return geom.Bounds(pts)
+}
+
+// ErrEmptyInstance is returned by Validate for instances without steps.
+var ErrEmptyInstance = errors.New("core: instance has no steps")
+
+// Validate checks the configuration, the start position, and every request
+// for dimension and finiteness.
+func (in *Instance) Validate() error {
+	if err := in.Config.Validate(); err != nil {
+		return err
+	}
+	if in.Start.Dim() != in.Config.Dim {
+		return fmt.Errorf("core: start position dim %d != config dim %d", in.Start.Dim(), in.Config.Dim)
+	}
+	if !in.Start.IsFinite() {
+		return fmt.Errorf("core: start position %v not finite", in.Start)
+	}
+	if len(in.Steps) == 0 {
+		return ErrEmptyInstance
+	}
+	for t, s := range in.Steps {
+		for i, v := range s.Requests {
+			if v.Dim() != in.Config.Dim {
+				return fmt.Errorf("core: request %d in step %d has dim %d, want %d", i, t, v.Dim(), in.Config.Dim)
+			}
+			if !v.IsFinite() {
+				return fmt.Errorf("core: request %d in step %d is not finite: %v", i, t, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{Config: in.Config, Start: in.Start.Clone(), Steps: make([]Step, len(in.Steps))}
+	for t, s := range in.Steps {
+		reqs := make([]geom.Point, len(s.Requests))
+		for i, v := range s.Requests {
+			reqs[i] = v.Clone()
+		}
+		out.Steps[t] = Step{Requests: reqs}
+	}
+	return out
+}

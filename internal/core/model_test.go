@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func validCfg() Config {
+	return Config{Dim: 2, D: 2, M: 1, Delta: 0.5, Order: MoveFirst}
+}
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func TestConfigValidateOK(t *testing.T) {
+	if err := validCfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// Delta 0 and 1 are both allowed.
+	c := validCfg()
+	c.Delta = 0
+	if err := c.Validate(); err != nil {
+		t.Fatalf("delta=0 rejected: %v", err)
+	}
+	c.Delta = 1
+	if err := c.Validate(); err != nil {
+		t.Fatalf("delta=1 rejected: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero dim", func(c *Config) { c.Dim = 0 }},
+		{"negative dim", func(c *Config) { c.Dim = -2 }},
+		{"D below 1", func(c *Config) { c.D = 0.5 }},
+		{"D NaN", func(c *Config) { c.D = math.NaN() }},
+		{"D Inf", func(c *Config) { c.D = math.Inf(1) }},
+		{"M zero", func(c *Config) { c.M = 0 }},
+		{"M negative", func(c *Config) { c.M = -1 }},
+		{"M Inf", func(c *Config) { c.M = math.Inf(1) }},
+		{"delta negative", func(c *Config) { c.Delta = -0.1 }},
+		{"delta above 1", func(c *Config) { c.Delta = 1.5 }},
+		{"delta NaN", func(c *Config) { c.Delta = math.NaN() }},
+		{"bad order", func(c *Config) { c.Order = ServeOrder(99) }},
+	}
+	for _, tc := range cases {
+		c := validCfg()
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, c)
+		}
+	}
+}
+
+func TestCaps(t *testing.T) {
+	c := Config{Dim: 1, D: 1, M: 2, Delta: 0.25}
+	if c.OnlineCap() != 2.5 {
+		t.Fatalf("OnlineCap = %v, want 2.5", c.OnlineCap())
+	}
+	if c.OfflineCap() != 2 {
+		t.Fatalf("OfflineCap = %v, want 2", c.OfflineCap())
+	}
+}
+
+func TestServeOrderString(t *testing.T) {
+	if MoveFirst.String() != "move-first" || AnswerFirst.String() != "answer-first" {
+		t.Fatal("ServeOrder names wrong")
+	}
+	if !strings.Contains(ServeOrder(42).String(), "42") {
+		t.Fatal("unknown serve order should include its value")
+	}
+}
+
+func newTestInstance() *Instance {
+	return &Instance{
+		Config: validCfg(),
+		Start:  pt(0, 0),
+		Steps: []Step{
+			{Requests: []geom.Point{pt(1, 0), pt(2, 0)}},
+			{Requests: []geom.Point{pt(3, 1)}},
+			{Requests: nil},
+			{Requests: []geom.Point{pt(-1, -1), pt(0, 4), pt(2, 2)}},
+		},
+	}
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	in := newTestInstance()
+	if in.T() != 4 {
+		t.Fatalf("T = %d", in.T())
+	}
+	if in.TotalRequests() != 6 {
+		t.Fatalf("TotalRequests = %d", in.TotalRequests())
+	}
+	rmin, rmax := in.RequestRange()
+	if rmin != 0 || rmax != 3 {
+		t.Fatalf("RequestRange = %d,%d", rmin, rmax)
+	}
+	if len(in.AllRequests()) != 6 {
+		t.Fatalf("AllRequests len = %d", len(in.AllRequests()))
+	}
+	b := in.Bounds()
+	if !b.Min.Equal(pt(-1, -1)) || !b.Max.Equal(pt(3, 4)) {
+		t.Fatalf("Bounds = %v..%v", b.Min, b.Max)
+	}
+}
+
+func TestRequestRangeEmpty(t *testing.T) {
+	in := &Instance{}
+	rmin, rmax := in.RequestRange()
+	if rmin != 0 || rmax != 0 {
+		t.Fatalf("empty RequestRange = %d,%d", rmin, rmax)
+	}
+}
+
+func TestInstanceValidateOK(t *testing.T) {
+	if err := newTestInstance().Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+}
+
+func TestInstanceValidateRejects(t *testing.T) {
+	in := newTestInstance()
+	in.Start = pt(1, 2, 3)
+	if err := in.Validate(); err == nil {
+		t.Error("wrong start dim accepted")
+	}
+
+	in = newTestInstance()
+	in.Start = pt(math.NaN(), 0)
+	if err := in.Validate(); err == nil {
+		t.Error("NaN start accepted")
+	}
+
+	in = newTestInstance()
+	in.Steps = nil
+	if err := in.Validate(); err != ErrEmptyInstance {
+		t.Errorf("empty instance error = %v, want ErrEmptyInstance", err)
+	}
+
+	in = newTestInstance()
+	in.Steps[1].Requests = []geom.Point{pt(1.0)}
+	if err := in.Validate(); err == nil {
+		t.Error("wrong request dim accepted")
+	}
+
+	in = newTestInstance()
+	in.Steps[0].Requests[0] = pt(math.Inf(1), 0)
+	if err := in.Validate(); err == nil {
+		t.Error("infinite request accepted")
+	}
+
+	in = newTestInstance()
+	in.Config.D = 0
+	if err := in.Validate(); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestInstanceCloneDeep(t *testing.T) {
+	in := newTestInstance()
+	cp := in.Clone()
+	cp.Start[0] = 99
+	cp.Steps[0].Requests[0][0] = 99
+	if in.Start[0] == 99 || in.Steps[0].Requests[0][0] == 99 {
+		t.Fatal("Clone aliases original storage")
+	}
+	if cp.T() != in.T() || cp.TotalRequests() != in.TotalRequests() {
+		t.Fatal("Clone changed shape")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/median"
+)
+
+// TieBreak selects the center when the 1-median minimizer set is not a
+// single point (collinear requests, even count).
+type TieBreak int
+
+const (
+	// TieBreakClosest is the paper's rule: among all minimizers pick the
+	// one closest to the current server position.
+	TieBreakClosest TieBreak = iota
+	// TieBreakMidpoint picks the midpoint of the minimizer segment. Used
+	// as an ablation (experiment E11).
+	TieBreakMidpoint
+)
+
+// SpeedPolicy selects how far MtC moves toward the center per step.
+type SpeedPolicy int
+
+const (
+	// SpeedPaper is the paper's rule: move min(1, r/D)·d(P, c), capped at
+	// (1+δ)m.
+	SpeedPaper SpeedPolicy = iota
+	// SpeedFull always moves min(d(P, c), (1+δ)m): greedy full speed. Used
+	// as an ablation (experiment E11).
+	SpeedFull
+)
+
+// MtCOptions configures variants of the Move-to-Center algorithm. The zero
+// value is the algorithm exactly as described in the paper.
+type MtCOptions struct {
+	TieBreak TieBreak
+	Speed    SpeedPolicy
+	// Median controls the geometric-median solver.
+	Median median.Options
+}
+
+// MtC is the paper's deterministic Move-to-Center algorithm (Section 4).
+//
+// On receiving requests v_1..v_r at server position P: let c minimize
+// Σ_i d(c, v_i), breaking ties toward P. Move toward c by
+// min( min(1, r/D)·d(P,c), (1+δ)m ). With no requests the server stays.
+type MtC struct {
+	PositionTracker
+	opts MtCOptions
+}
+
+// NewMtC returns the paper's Move-to-Center algorithm.
+func NewMtC() *MtC { return &MtC{} }
+
+// NewMtCWithOptions returns an MtC variant for ablation studies.
+func NewMtCWithOptions(opts MtCOptions) *MtC { return &MtC{opts: opts} }
+
+// Name implements Algorithm.
+func (a *MtC) Name() string {
+	switch {
+	case a.opts.TieBreak == TieBreakMidpoint && a.opts.Speed == SpeedFull:
+		return "MtC[midpoint,full-speed]"
+	case a.opts.TieBreak == TieBreakMidpoint:
+		return "MtC[midpoint]"
+	case a.opts.Speed == SpeedFull:
+		return "MtC[full-speed]"
+	default:
+		return "MtC"
+	}
+}
+
+// Center returns the target point c for the given requests from the current
+// position, applying the configured tie-break.
+func (a *MtC) Center(requests []geom.Point) geom.Point {
+	if a.opts.TieBreak == TieBreakMidpoint {
+		return median.Point(requests, a.opts.Median)
+	}
+	return median.Closest(requests, a.Pos, a.opts.Median)
+}
+
+// Move implements Algorithm.
+func (a *MtC) Move(requests []geom.Point) geom.Point {
+	if len(requests) == 0 {
+		return a.Pos
+	}
+	c := a.Center(requests)
+	dist := geom.Dist(a.Pos, c)
+	want := dist
+	if a.opts.Speed == SpeedPaper {
+		r := float64(len(requests))
+		speed := math.Min(1, r/a.Cfg.D)
+		want = speed * dist
+	}
+	return a.CappedMove(c, want)
+}

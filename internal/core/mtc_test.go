@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func TestMtCNoRequestsStays(t *testing.T) {
+	a := NewMtC()
+	a.Reset(validCfg(), pt(1, 2))
+	got := a.Move(nil)
+	if !got.Equal(pt(1, 2)) {
+		t.Fatalf("MtC moved without requests: %v", got)
+	}
+}
+
+func TestMtCSingleRequestFullWeight(t *testing.T) {
+	// r=1, D=1: speed = min(1, 1/1) = 1, so move all the way to the
+	// request if within the cap.
+	cfg := Config{Dim: 1, D: 1, M: 10, Delta: 0}
+	a := NewMtC()
+	a.Reset(cfg, pt(0.0))
+	got := a.Move([]geom.Point{pt(3.0)})
+	if !got.ApproxEqual(pt(3.0), 1e-12) {
+		t.Fatalf("MtC position = %v, want 3", got)
+	}
+}
+
+func TestMtCSpeedFractionROverD(t *testing.T) {
+	// r=1, D=4: speed = 1/4, so the server covers a quarter of the
+	// distance to the center.
+	cfg := Config{Dim: 1, D: 4, M: 100, Delta: 0}
+	a := NewMtC()
+	a.Reset(cfg, pt(0.0))
+	got := a.Move([]geom.Point{pt(8.0)})
+	if !got.ApproxEqual(pt(2.0), 1e-12) {
+		t.Fatalf("MtC position = %v, want 2", got)
+	}
+}
+
+func TestMtCSpeedManyRequests(t *testing.T) {
+	// r=8, D=4: speed = min(1, 2) = 1.
+	cfg := Config{Dim: 1, D: 4, M: 100, Delta: 0}
+	a := NewMtC()
+	a.Reset(cfg, pt(0.0))
+	reqs := make([]geom.Point, 8)
+	for i := range reqs {
+		reqs[i] = pt(8.0)
+	}
+	got := a.Move(reqs)
+	if !got.ApproxEqual(pt(8.0), 1e-12) {
+		t.Fatalf("MtC position = %v, want 8", got)
+	}
+}
+
+func TestMtCCapBinds(t *testing.T) {
+	// Distance to center 100, cap (1+0.5)*2 = 3: move exactly 3.
+	cfg := Config{Dim: 1, D: 1, M: 2, Delta: 0.5}
+	a := NewMtC()
+	a.Reset(cfg, pt(0.0))
+	got := a.Move([]geom.Point{pt(100.0)})
+	if !got.ApproxEqual(pt(3.0), 1e-12) {
+		t.Fatalf("MtC position = %v, want 3", got)
+	}
+}
+
+func TestMtCCapOnFraction(t *testing.T) {
+	// r=1, D=2 → want 0.5·dist = 50; cap 3 binds.
+	cfg := Config{Dim: 1, D: 2, M: 2, Delta: 0.5}
+	a := NewMtC()
+	a.Reset(cfg, pt(0.0))
+	got := a.Move([]geom.Point{pt(100.0)})
+	if !got.ApproxEqual(pt(3.0), 1e-12) {
+		t.Fatalf("MtC position = %v, want 3", got)
+	}
+}
+
+func TestMtCTieBreakStaysInsideMedianInterval(t *testing.T) {
+	// Two requests straddle the server in 1-D: every point between them is
+	// a minimizer; the closest one is the server's own position, so MtC
+	// does not move.
+	cfg := Config{Dim: 1, D: 1, M: 10, Delta: 0}
+	a := NewMtC()
+	a.Reset(cfg, pt(5.0))
+	got := a.Move([]geom.Point{pt(0.0), pt(10.0)})
+	if !got.ApproxEqual(pt(5.0), 1e-9) {
+		t.Fatalf("MtC moved inside median interval: %v", got)
+	}
+}
+
+func TestMtCTieBreakMovesToNearestEnd(t *testing.T) {
+	// Server left of the interval [4, 10]: nearest minimizer is 4.
+	// r=2, D=1 → speed 1, cap large → lands exactly on 4.
+	cfg := Config{Dim: 1, D: 1, M: 100, Delta: 0}
+	a := NewMtC()
+	a.Reset(cfg, pt(0.0))
+	got := a.Move([]geom.Point{pt(4.0), pt(10.0)})
+	if !got.ApproxEqual(pt(4.0), 1e-9) {
+		t.Fatalf("MtC position = %v, want 4", got)
+	}
+}
+
+func TestMtCMidpointAblation(t *testing.T) {
+	cfg := Config{Dim: 1, D: 1, M: 100, Delta: 0}
+	a := NewMtCWithOptions(MtCOptions{TieBreak: TieBreakMidpoint})
+	a.Reset(cfg, pt(0.0))
+	got := a.Move([]geom.Point{pt(4.0), pt(10.0)})
+	if !got.ApproxEqual(pt(7.0), 1e-9) {
+		t.Fatalf("midpoint MtC position = %v, want 7", got)
+	}
+}
+
+func TestMtCFullSpeedAblation(t *testing.T) {
+	// r=1, D=4 normally moves a quarter; full-speed covers everything
+	// within the cap.
+	cfg := Config{Dim: 1, D: 4, M: 100, Delta: 0}
+	a := NewMtCWithOptions(MtCOptions{Speed: SpeedFull})
+	a.Reset(cfg, pt(0.0))
+	got := a.Move([]geom.Point{pt(8.0)})
+	if !got.ApproxEqual(pt(8.0), 1e-9) {
+		t.Fatalf("full-speed MtC position = %v, want 8", got)
+	}
+}
+
+func TestMtCNames(t *testing.T) {
+	if NewMtC().Name() != "MtC" {
+		t.Fatalf("Name = %q", NewMtC().Name())
+	}
+	if NewMtCWithOptions(MtCOptions{TieBreak: TieBreakMidpoint}).Name() != "MtC[midpoint]" {
+		t.Fatal("midpoint name wrong")
+	}
+	if NewMtCWithOptions(MtCOptions{Speed: SpeedFull}).Name() != "MtC[full-speed]" {
+		t.Fatal("full-speed name wrong")
+	}
+	if NewMtCWithOptions(MtCOptions{TieBreak: TieBreakMidpoint, Speed: SpeedFull}).Name() != "MtC[midpoint,full-speed]" {
+		t.Fatal("combined name wrong")
+	}
+}
+
+func TestMtC2DMovesTowardMedian(t *testing.T) {
+	cfg := Config{Dim: 2, D: 1, M: 0.5, Delta: 0}
+	a := NewMtC()
+	a.Reset(cfg, pt(0, 0))
+	reqs := []geom.Point{pt(10, 0), pt(10, 1), pt(10, -1)}
+	got := a.Move(reqs)
+	// Median of the three requests is (10, 0); the step is capped at 0.5.
+	if math.Abs(geom.Dist(pt(0, 0), got)-0.5) > 1e-9 {
+		t.Fatalf("moved %v, want cap 0.5", geom.Dist(pt(0, 0), got))
+	}
+	if math.Abs(got[1]) > 1e-9 || got[0] <= 0 {
+		t.Fatalf("did not move toward (10,0): %v", got)
+	}
+}
+
+func TestMtCNeverExceedsCapProperty(t *testing.T) {
+	r := xrand.New(77)
+	for trial := 0; trial < 300; trial++ {
+		dim := 1 + r.IntN(3)
+		cfg := Config{
+			Dim:   dim,
+			D:     1 + r.Range(0, 9),
+			M:     r.Range(0.01, 2),
+			Delta: r.Float64(),
+		}
+		a := NewMtC()
+		start := make(geom.Point, dim)
+		for k := range start {
+			start[k] = r.Range(-10, 10)
+		}
+		a.Reset(cfg, start)
+		prev := start.Clone()
+		for step := 0; step < 20; step++ {
+			nreq := r.IntN(5)
+			reqs := make([]geom.Point, nreq)
+			for i := range reqs {
+				p := make(geom.Point, dim)
+				for k := range p {
+					p[k] = r.Range(-50, 50)
+				}
+				reqs[i] = p
+			}
+			got := a.Move(reqs)
+			moved := geom.Dist(prev, got)
+			if moved > cfg.OnlineCap()*(1+1e-9)+1e-12 {
+				t.Fatalf("trial %d step %d: moved %v > cap %v", trial, step, moved, cfg.OnlineCap())
+			}
+			prev = got.Clone()
+		}
+	}
+}
+
+func TestMtCProgressProperty(t *testing.T) {
+	// Moving toward the center never increases the distance to it.
+	r := xrand.New(78)
+	for trial := 0; trial < 200; trial++ {
+		cfg := Config{Dim: 2, D: 1 + r.Range(0, 4), M: r.Range(0.1, 1), Delta: r.Float64()}
+		a := NewMtC()
+		a.Reset(cfg, pt(r.Range(-5, 5), r.Range(-5, 5)))
+		nreq := 1 + r.IntN(6)
+		reqs := make([]geom.Point, nreq)
+		for i := range reqs {
+			reqs[i] = pt(r.Range(-20, 20), r.Range(-20, 20))
+		}
+		before := a.Pos.Clone()
+		c := a.Center(reqs)
+		after := a.Move(reqs)
+		if geom.Dist(after, c) > geom.Dist(before, c)+1e-9 {
+			t.Fatalf("distance to center grew: %v -> %v", geom.Dist(before, c), geom.Dist(after, c))
+		}
+	}
+}
+
+func TestPositionTrackerCappedMove(t *testing.T) {
+	p := &PositionTracker{}
+	p.Reset(Config{Dim: 1, D: 1, M: 1, Delta: 0}, pt(0.0))
+	got := p.CappedMove(pt(10.0), 5)
+	// want 5 but cap (1+0)*1 = 1.
+	if !got.ApproxEqual(pt(1.0), 1e-12) {
+		t.Fatalf("CappedMove = %v, want 1", got)
+	}
+	got = p.CappedMove(pt(10.0), 0.25)
+	if !got.ApproxEqual(pt(1.25), 1e-12) {
+		t.Fatalf("CappedMove = %v, want 1.25", got)
+	}
+}

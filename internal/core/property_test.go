@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// TestMtCTranslationEquivariance: translating the whole instance
+// translates MtC's trajectory, leaving costs unchanged.
+func TestMtCTranslationEquivariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		shift := geom.NewPoint(r.Range(-100, 100), r.Range(-100, 100))
+		cfg := Config{Dim: 2, D: 1 + r.Range(0, 3), M: r.Range(0.2, 2), Delta: r.Float64(), Order: MoveFirst}
+
+		a := NewMtC()
+		b := NewMtC()
+		a.Reset(cfg, geom.NewPoint(0, 0))
+		b.Reset(cfg, shift.Clone())
+		for step := 0; step < 15; step++ {
+			n := 1 + r.IntN(4)
+			reqs := make([]geom.Point, n)
+			shifted := make([]geom.Point, n)
+			for i := range reqs {
+				reqs[i] = geom.NewPoint(r.Range(-20, 20), r.Range(-20, 20))
+				shifted[i] = reqs[i].Add(shift)
+			}
+			pa := a.Move(reqs)
+			pb := b.Move(shifted)
+			if !pa.Add(shift).ApproxEqual(pb, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMtCScaleEquivariance: scaling distances (requests, start, m) by s
+// scales the trajectory by s.
+func TestMtCScaleEquivariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := r.Range(0.5, 5)
+		base := Config{Dim: 1, D: 2, M: 1, Delta: 0.5, Order: MoveFirst}
+		scaled := base
+		scaled.M = base.M * s
+
+		a := NewMtC()
+		b := NewMtC()
+		a.Reset(base, geom.NewPoint(0))
+		b.Reset(scaled, geom.NewPoint(0))
+		for step := 0; step < 15; step++ {
+			x := r.Range(-10, 10)
+			pa := a.Move([]geom.Point{geom.NewPoint(x)})
+			pb := b.Move([]geom.Point{geom.NewPoint(x * s)})
+			if math.Abs(pa[0]*s-pb[0]) > 1e-7*(1+math.Abs(pb[0])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMtCResetIndependence: a reused MtC equals a fresh one.
+func TestMtCResetIndependence(t *testing.T) {
+	cfg := validCfg()
+	reqSets := [][]geom.Point{
+		{pt(3, 1)}, {pt(-2, 4), pt(0, 0)}, {pt(5, 5), pt(5, 6), pt(6, 5)},
+	}
+	a := NewMtC()
+	a.Reset(cfg, pt(0, 0))
+	for _, reqs := range reqSets {
+		a.Move(reqs)
+	}
+	a.Reset(cfg, pt(0, 0))
+	fresh := NewMtC()
+	fresh.Reset(cfg, pt(0, 0))
+	for _, reqs := range reqSets {
+		if !a.Move(reqs).ApproxEqual(fresh.Move(reqs), 1e-12) {
+			t.Fatal("Reset did not clear state")
+		}
+	}
+}
+
+// TestStepCostOrderIdentity: when the server does not move, both serve
+// orders charge identically.
+func TestStepCostOrderIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		pos := geom.NewPoint(r.Range(-5, 5), r.Range(-5, 5))
+		n := r.IntN(5)
+		reqs := make([]geom.Point, n)
+		for i := range reqs {
+			reqs[i] = geom.NewPoint(r.Range(-5, 5), r.Range(-5, 5))
+		}
+		mf := StepCost(Config{Dim: 2, D: 2, M: 1, Order: MoveFirst}, pos, pos, reqs)
+		af := StepCost(Config{Dim: 2, D: 2, M: 1, Order: AnswerFirst}, pos, pos, reqs)
+		return mf == af
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepCostOrderGap: the two orders differ by at most r·d(from,to) —
+// the ±r·a1 term in the paper's Theorem-7 argument.
+func TestStepCostOrderGap(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		from := geom.NewPoint(r.Range(-5, 5), r.Range(-5, 5))
+		to := geom.NewPoint(r.Range(-5, 5), r.Range(-5, 5))
+		n := 1 + r.IntN(5)
+		reqs := make([]geom.Point, n)
+		for i := range reqs {
+			reqs[i] = geom.NewPoint(r.Range(-5, 5), r.Range(-5, 5))
+		}
+		cfgMF := Config{Dim: 2, D: 2, M: 1, Order: MoveFirst}
+		cfgAF := Config{Dim: 2, D: 2, M: 1, Order: AnswerFirst}
+		gap := math.Abs(StepCost(cfgMF, from, to, reqs).Serve - StepCost(cfgAF, from, to, reqs).Serve)
+		return gap <= float64(n)*geom.Dist(from, to)*(1+1e-12)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMtCFixedPoint: once the server reaches an isolated repeated request,
+// it stays there forever.
+func TestMtCFixedPoint(t *testing.T) {
+	cfg := Config{Dim: 2, D: 1, M: 1, Delta: 0, Order: MoveFirst}
+	a := NewMtC()
+	a.Reset(cfg, pt(5, 5))
+	target := []geom.Point{pt(5, 5)}
+	for i := 0; i < 10; i++ {
+		if !a.Move(target).ApproxEqual(pt(5, 5), 1e-12) {
+			t.Fatal("MtC left its fixed point")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traceio"
+	"repro/internal/xrand"
+)
+
+// e1 validates Theorem 1: without augmentation the competitive ratio of
+// any online algorithm grows as Ω(√T/D). MtC is run on the Theorem-1
+// construction; ratios are measured against the adversary's witness (an
+// upper bound on OPT, so measured ratios under-state the truth — the
+// conservative direction for a lower-bound claim).
+func e1() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "Lower bound without augmentation: ratio grows like √T/D",
+		Claim: "Theorem 1: every online algorithm is Ω(√T/D)-competitive; expected log–log slope in T ≈ 0.5",
+		Run:   runE1,
+	}
+}
+
+func runE1(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	Ds := []float64{1, 4, 16}
+	Ts := []int{100, 400, 1600, 6400}
+
+	type point struct {
+		D float64
+		T int
+	}
+	var points []point
+	for _, d := range Ds {
+		for _, t := range Ts {
+			points = append(points, point{D: d, T: cfg.scaleT(t)})
+		}
+	}
+	table := traceio.Table{Columns: []string{"D", "T", "ratio_mean", "ratio_stderr", "sqrtT_over_D"}}
+	var findings []string
+
+	results := sim.Parallel(len(points)*cfg.Seeds, cfg.Seed, func(i int, r *xrand.Rand) float64 {
+		p := points[i/cfg.Seeds]
+		g := adversary.Theorem1(adversary.Theorem1Params{T: p.T, D: p.D, M: 1, Dim: 1}, r)
+		res := sim.MustRun(g.Instance, core.NewMtC(), sim.RunOptions{})
+		return sim.Ratio(res.Cost.Total(), g.WitnessCost().Total())
+	})
+
+	for pi, p := range points {
+		s := stats.Summarize(results[pi*cfg.Seeds : (pi+1)*cfg.Seeds])
+		table.Add(p.D, float64(p.T), s.Mean, s.StdErr, math.Sqrt(float64(p.T))/p.D)
+	}
+	// Fit the growth exponent per D.
+	for _, d := range Ds {
+		var xs, ys []float64
+		for ri, row := range table.Rows {
+			_ = ri
+			if row[0] == d {
+				xs = append(xs, row[1])
+				ys = append(ys, row[2])
+			}
+		}
+		fit := stats.LogLogSlope(xs, ys)
+		findings = append(findings, fmt.Sprintf("D=%g: ratio ~ T^%.3f (R²=%.3f); paper predicts exponent 0.5", d, fit.Slope, fit.R2))
+	}
+	return Result{ID: "E1", Title: e1().Title, Claim: e1().Claim, Table: table, Findings: findings}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traceio"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// e10 compares MtC against the page-migration baselines (Lazy, Follow,
+// Greedy, Move-To-Min, Coin-Flip) across the standard workloads. Costs are
+// normalized per workload by MtC's mean cost, so a cell > 1 means "worse
+// than MtC".
+func e10() Experiment {
+	return Experiment{
+		ID:    "E10",
+		Title: "Baseline comparison: MtC vs capped page-migration algorithms",
+		Claim: "MtC tracks drifting/clustered demand without over-reacting; Lazy and Follow degrade on moving workloads",
+		Run:   runE10,
+	}
+}
+
+// algorithm codes in the E10/E11 tables follow the order of baseline.All:
+// 0=MtC 1=Lazy 2=Follow 3=Greedy 4=Move-To-Min 5=Coin-Flip.
+func algByCode(code int, r *xrand.Rand) core.Algorithm {
+	return baseline.All(r)[code]
+}
+
+const numAlgs = 6
+
+func runE10(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	wls := workload.Registry()
+	T := cfg.scaleT(800)
+	c := core.Config{Dim: 2, D: 4, M: 1, Delta: 0.5, Order: core.MoveFirst}
+
+	type point struct {
+		wl  int
+		alg int
+	}
+	var points []point
+	for wi := range wls {
+		for a := 0; a < numAlgs; a++ {
+			points = append(points, point{wl: wi, alg: a})
+		}
+	}
+	table := traceio.Table{Columns: []string{"wl", "alg", "cost_mean", "cost_stderr", "vs_mtc"}}
+	results := sim.Parallel(len(points)*cfg.Seeds, cfg.Seed, func(i int, r *xrand.Rand) float64 {
+		p := points[i/cfg.Seeds]
+		// The workload stream must be identical across algorithms for a
+		// paired comparison: derive it from the seed index only.
+		wlStream := xrand.NewStream(cfg.Seed^0xabcdef, uint64(i%cfg.Seeds)*uint64(len(wls))+uint64(p.wl))
+		in := wls[p.wl].Generate(wlStream, c, T)
+		alg := algByCode(p.alg, r)
+		res, err := sim.Run(in, alg, sim.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		return res.Cost.Total()
+	})
+
+	means := make([]stats.Summary, len(points))
+	for pi := range points {
+		means[pi] = stats.Summarize(results[pi*cfg.Seeds : (pi+1)*cfg.Seeds])
+	}
+	mtcMean := map[int]float64{}
+	for pi, p := range points {
+		if p.alg == 0 {
+			mtcMean[p.wl] = means[pi].Mean
+		}
+	}
+	for pi, p := range points {
+		table.Add(float64(p.wl), float64(p.alg), means[pi].Mean, means[pi].StdErr, means[pi].Mean/mtcMean[p.wl])
+	}
+
+	findings := []string{
+		"wl codes: 0=uniform 1=hotspot 2=clusters 3=burst; alg codes: 0=MtC 1=Lazy 2=Follow 3=Greedy 4=Move-To-Min 5=Coin-Flip",
+	}
+	// Summarize who wins per workload.
+	for wi, wl := range wls {
+		best, bestCost := -1, 0.0
+		var lazyRel float64
+		for pi, p := range points {
+			if p.wl != wi {
+				continue
+			}
+			if best == -1 || means[pi].Mean < bestCost {
+				best, bestCost = p.alg, means[pi].Mean
+			}
+			if p.alg == 1 {
+				lazyRel = means[pi].Mean / mtcMean[wi]
+			}
+		}
+		findings = append(findings, fmt.Sprintf("%s: best alg code %d; Lazy costs %.2f× MtC", wl.Name(), best, lazyRel))
+	}
+	return Result{ID: "E10", Title: e10().Title, Claim: e10().Claim, Table: table, Findings: findings}
+}

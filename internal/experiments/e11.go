@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traceio"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// e11 ablates the two design choices DESIGN.md calls out in the paper's
+// MtC rule:
+//
+//   - the tie-break "closest minimizer to the server" (vs the midpoint of
+//     the median segment), and
+//   - the damped speed min(1, r/D)·d (vs always moving at full speed).
+//
+// Each variant runs on the Theorem-2 adversarial line instance (where the
+// analysis needs the paper's choices) and on noisy 2-D workloads with
+// r < D (where full speed over-reacts to scatter).
+func e11() Experiment {
+	return Experiment{
+		ID:    "E11",
+		Title: "Ablations: tie-break rule and the min(1, r/D) speed rule",
+		Claim: "The paper's tie-break and damped speed are load-bearing: removing either inflates cost on the workloads their analysis targets",
+		Run:   runE11,
+	}
+}
+
+// variant codes in the E11 table.
+var e11Variants = []struct {
+	name string
+	opts core.MtCOptions
+}{
+	{"paper", core.MtCOptions{}},
+	{"midpoint", core.MtCOptions{TieBreak: core.TieBreakMidpoint}},
+	{"full-speed", core.MtCOptions{Speed: core.SpeedFull}},
+	{"midpoint+full", core.MtCOptions{TieBreak: core.TieBreakMidpoint, Speed: core.SpeedFull}},
+}
+
+// scenario codes in the E11 table.
+const (
+	scAdversarialLine = iota
+	scHotspotScatter
+	scBurst
+	scStraddle
+)
+
+func runE11(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	scenarios := []int{scAdversarialLine, scHotspotScatter, scBurst, scStraddle}
+
+	type point struct {
+		sc, v int
+	}
+	var points []point
+	for _, sc := range scenarios {
+		for v := range e11Variants {
+			points = append(points, point{sc: sc, v: v})
+		}
+	}
+	table := traceio.Table{Columns: []string{"scenario", "variant", "cost_mean", "cost_stderr", "vs_paper"}}
+	results := sim.Parallel(len(points)*cfg.Seeds, cfg.Seed, func(i int, r *xrand.Rand) float64 {
+		p := points[i/cfg.Seeds]
+		wlStream := xrand.NewStream(cfg.Seed^0x5ca1ab1e, uint64(i%cfg.Seeds)*3+uint64(p.sc))
+		var in *core.Instance
+		switch p.sc {
+		case scAdversarialLine:
+			// D=4 > r=1 so the damped speed rule differs from full speed
+			// on this instance.
+			g := adversary.Theorem2(adversary.Theorem2Params{
+				T: cfg.scaleT(cyclesT(0.25, 4)), D: 4, M: 1, Delta: 0.25, Rmin: 1, Rmax: 1, Dim: 1,
+			}, wlStream)
+			in = g.Instance
+		case scStraddle:
+			// Pairs of requests straddling a slowly drifting center: the
+			// median set is the whole between-segment, so the tie-break
+			// rule decides whether the server holds still (paper) or
+			// jitters to the segment midpoint (ablation).
+			in = straddleInstance(wlStream, cfg.scaleT(600))
+		case scHotspotScatter:
+			// r=1 < D=8: the damped speed rule matters; scatter is large
+			// relative to drift so full speed chases noise.
+			c := core.Config{Dim: 2, D: 8, M: 1, Delta: 0.25, Order: core.MoveFirst}
+			in = workload.Hotspot{Half: 15, Sigma: 4, Speed: 0.2}.Generate(wlStream, c, cfg.scaleT(600))
+		case scBurst:
+			c := core.Config{Dim: 2, D: 4, M: 1, Delta: 0.25, Order: core.MoveFirst}
+			in = workload.Burst{}.Generate(wlStream, c, cfg.scaleT(600))
+		}
+		alg := core.NewMtCWithOptions(e11Variants[p.v].opts)
+		res, err := sim.Run(in, alg, sim.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		return res.Cost.Total()
+	})
+
+	means := make([]stats.Summary, len(points))
+	for pi := range points {
+		means[pi] = stats.Summarize(results[pi*cfg.Seeds : (pi+1)*cfg.Seeds])
+	}
+	paperMean := map[int]float64{}
+	for pi, p := range points {
+		if p.v == 0 {
+			paperMean[p.sc] = means[pi].Mean
+		}
+	}
+	for pi, p := range points {
+		table.Add(float64(p.sc), float64(p.v), means[pi].Mean, means[pi].StdErr, means[pi].Mean/paperMean[p.sc])
+	}
+	findings := []string{
+		"scenario codes: 0=adversarial line (Thm 2, δ=1/4, D=4) 1=hotspot with heavy scatter (r<D) 2=burst 3=straddling pairs (non-unique median); variant codes: 0=paper 1=midpoint tie-break 2=full speed 3=both",
+	}
+	for _, sc := range scenarios {
+		worst, worstRel := 0, 1.0
+		for pi, p := range points {
+			if p.sc == sc {
+				if rel := means[pi].Mean / paperMean[sc]; rel > worstRel {
+					worstRel, worst = rel, p.v
+				}
+			}
+		}
+		findings = append(findings, fmt.Sprintf("scenario %d: worst variant %q at %.2f× the paper rule", sc, e11Variants[worst].name, worstRel))
+	}
+	return Result{ID: "E11", Title: e11().Title, Claim: e11().Claim, Table: table, Findings: findings}
+}
+
+// straddleInstance emits pairs of requests symmetric around a center that
+// drifts at a fraction of m, in 1-D. Every batch's 1-median is the whole
+// segment between the pair, so the tie-break rule is exercised each step.
+func straddleInstance(rng *xrand.Rand, T int) *core.Instance {
+	cfg := core.Config{Dim: 1, D: 2, M: 1, Delta: 0.25, Order: core.MoveFirst}
+	in := &core.Instance{Config: cfg, Start: geom.NewPoint(0)}
+	center := 0.0
+	for t := 0; t < T; t++ {
+		center += rng.Range(-0.3, 0.3)
+		gap := rng.Range(2, 6)
+		in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{
+			geom.NewPoint(center - gap/2),
+			geom.NewPoint(center + gap/2),
+		}})
+	}
+	return in
+}

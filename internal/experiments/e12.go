@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/multi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traceio"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// e12 explores the paper's future-work extension (Section 6): k mobile
+// servers with capped movement. On a clustered workload with c demand
+// sites, the fleet MtC's cost should fall as k approaches c and flatten
+// beyond, while a lazy fleet stays expensive.
+func e12() Experiment {
+	return Experiment{
+		ID:    "E12",
+		Title: "Extension: k mobile servers (future work §6)",
+		Claim: "Fleet MtC cost decreases with k up to the number of demand clusters; capped movement still binds per server",
+		Run:   runE12,
+	}
+}
+
+func runE12(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	ks := []int{1, 2, 4, 8}
+	clusters := 4
+	T := cfg.scaleT(600)
+
+	type point struct {
+		k    int
+		lazy bool
+	}
+	var points []point
+	for _, k := range ks {
+		points = append(points, point{k: k, lazy: false})
+		points = append(points, point{k: k, lazy: true})
+	}
+	table := traceio.Table{Columns: []string{"k", "alg", "cost_mean", "cost_stderr"}}
+	results := sim.Parallel(len(points)*cfg.Seeds, cfg.Seed, func(i int, r *xrand.Rand) float64 {
+		p := points[i/cfg.Seeds]
+		fleetCfg := multi.Config{Dim: 2, D: 2, M: 1, Delta: 0, K: p.k}
+		wlStream := xrand.NewStream(cfg.Seed^0xfeed, uint64(i%cfg.Seeds))
+		src := workload.Clusters{K: clusters, Sigma: 0.8, SwitchProb: 0.03, Requests: 2}.
+			Generate(wlStream, core.Config{Dim: 2, D: fleetCfg.D, M: fleetCfg.M, Order: core.MoveFirst}, T)
+		in := &multi.Instance{Config: fleetCfg, Starts: multi.SpreadStarts(fleetCfg, 8), Steps: src.Steps}
+		var alg multi.Algorithm
+		if p.lazy {
+			alg = multi.NewLazyK()
+		} else {
+			alg = multi.NewMtCK()
+		}
+		res, err := multi.Run(in, alg, 0)
+		if err != nil {
+			panic(err)
+		}
+		return res.Cost.Total()
+	})
+	means := make([]stats.Summary, len(points))
+	for pi := range points {
+		means[pi] = stats.Summarize(results[pi*cfg.Seeds : (pi+1)*cfg.Seeds])
+	}
+	for pi, p := range points {
+		algCode := 0.0
+		if p.lazy {
+			algCode = 1
+		}
+		table.Add(float64(p.k), algCode, means[pi].Mean, means[pi].StdErr)
+	}
+	findings := []string{
+		fmt.Sprintf("alg codes: 0=MtC-k 1=Lazy-k; workload has %d clusters", clusters),
+	}
+	// Cost at k=1 vs k=clusters for MtC-k.
+	var c1, ck float64
+	for pi, p := range points {
+		if !p.lazy && p.k == 1 {
+			c1 = means[pi].Mean
+		}
+		if !p.lazy && p.k == clusters {
+			ck = means[pi].Mean
+		}
+	}
+	findings = append(findings, fmt.Sprintf("MtC-k: k=%d costs %.2f× less than k=1 (%.4g vs %.4g)", clusters, c1/ck, ck, c1))
+	return Result{ID: "E12", Title: e12().Title, Claim: e12().Claim, Table: table, Findings: findings}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traceio"
+	"repro/internal/xrand"
+)
+
+// e13 audits the proof of Theorem 4 itself: it evaluates the paper's
+// potential function φ along real runs (MtC vs the DP optimum on the
+// line) and checks the amortized inequality C_Alg + Δφ ≤ K·C_Opt in
+// prefix form, reporting the measured worst-case constant next to the
+// paper's explicit one (the case analysis reaches 264/δ on the line).
+func e13() Experiment {
+	return Experiment{
+		ID:    "E13",
+		Title: "Potential-function audit: the amortized inequality of Theorem 4, executed",
+		Claim: "Section 4: C_Alg + Δφ ≤ O(1/δ)·C_Opt per step on the line (explicit constants ≤ ~264)",
+		Run:   runE13,
+	}
+}
+
+// instance codes for E13.
+const (
+	e13Walk = iota
+	e13Adversarial
+)
+
+func runE13(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	deltas := []float64{1, 0.5, 0.25}
+	rs := []int{1, 4}
+	T := cfg.scaleT(400)
+
+	type point struct {
+		kind  int
+		delta float64
+		r     int
+	}
+	var points []point
+	for _, d := range deltas {
+		for _, r := range rs {
+			points = append(points, point{kind: e13Walk, delta: d, r: r})
+		}
+		points = append(points, point{kind: e13Adversarial, delta: d, r: 1})
+	}
+	table := traceio.Table{Columns: []string{
+		"kind", "delta", "r", "prefix_holds", "step_violations", "max_const_x_delta",
+	}}
+	type outcome struct {
+		prefixOK   bool
+		violations int
+		maxConst   float64
+	}
+	results := sim.Parallel(len(points)*cfg.Seeds, cfg.Seed, func(i int, rng *xrand.Rand) outcome {
+		p := points[i/cfg.Seeds]
+		var in *core.Instance
+		switch p.kind {
+		case e13Adversarial:
+			g := adversary.Theorem2(adversary.Theorem2Params{
+				T: T, D: 2, M: 1, Delta: p.delta, Rmin: p.r, Rmax: p.r, Dim: 1,
+			}, rng)
+			in = g.Instance
+		default:
+			in = coincidentWalk(rng, T, p.r, p.delta)
+		}
+		res, err := analysis.AuditMtC(in, analysis.Options{})
+		if err != nil {
+			panic(err)
+		}
+		return outcome{prefixOK: res.PrefixHolds, violations: res.PerStepViolations, maxConst: res.MaxEmpiricalConstant}
+	})
+	for pi, p := range points {
+		allHold := 1.0
+		viol := 0.0
+		var consts []float64
+		for _, o := range results[pi*cfg.Seeds : (pi+1)*cfg.Seeds] {
+			if !o.prefixOK {
+				allHold = 0
+			}
+			viol += float64(o.violations)
+			consts = append(consts, o.maxConst)
+		}
+		maxC := stats.Summarize(consts).Max
+		table.Add(float64(p.kind), p.delta, float64(p.r), allHold, viol, maxC*p.delta)
+	}
+	findings := []string{
+		"kind codes: 0=coincident random walk, 1=Theorem-2 adversarial instance",
+	}
+	prefixFailures := 0
+	worst := 0.0
+	for _, row := range table.Rows {
+		if row[3] != 1 {
+			prefixFailures++
+		}
+		if row[5] > worst {
+			worst = row[5]
+		}
+	}
+	if prefixFailures == 0 {
+		findings = append(findings, "prefix form of the amortized inequality holds on every audited run")
+	} else {
+		findings = append(findings, fmt.Sprintf("prefix inequality FAILED on %d parameter points", prefixFailures))
+	}
+	findings = append(findings, fmt.Sprintf("measured worst amortized constant × δ = %.3g (paper's explicit constants reach ~264)", worst))
+	return Result{ID: "E13", Title: e13().Title, Claim: e13().Claim, Table: table, Findings: findings}
+}
+
+// coincidentWalk builds a 1-D instance whose per-step batch is r requests
+// on a single demand point moving at most m per step.
+func coincidentWalk(rng *xrand.Rand, T, r int, delta float64) *core.Instance {
+	cfg := core.Config{Dim: 1, D: 2, M: 1, Delta: delta, Order: core.MoveFirst}
+	in := &core.Instance{Config: cfg, Start: geom.NewPoint(0)}
+	x := 0.0
+	for t := 0; t < T; t++ {
+		x += rng.Range(-cfg.M, cfg.M)
+		reqs := make([]geom.Point, r)
+		for i := range reqs {
+			reqs[i] = geom.NewPoint(x)
+		}
+		in.Steps = append(in.Steps, core.Step{Requests: reqs})
+	}
+	return in
+}

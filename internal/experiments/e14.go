@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/offline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traceio"
+	"repro/internal/xrand"
+)
+
+// e14 probes the paper's open problem (Section 6): in the plane the upper
+// bound for MtC is O(1/δ^{3/2}) but the lower bound is Ω(1/δ), and the
+// authors conjecture the gap closes toward the lower bound. Three
+// genuinely planar adversarial constructions (fresh random escape
+// directions, perpendicular zigzags, and perpendicular request offsets
+// that plant the Lemma-6 worst-case geometry) attack MtC; if no style
+// pushes the δ-exponent of the measured ratio below −1, the experiment
+// supports the Θ(1/δ) conjecture.
+func e14() Experiment {
+	return Experiment{
+		ID:    "E14",
+		Title: "Open problem probe: is MtC's 2-D ratio Θ(1/δ) or Θ(1/δ^{3/2})?",
+		Claim: "Conjecture (§6): the planar gap closes toward the Ω(1/δ) lower bound — no planar construction should force a δ-exponent below −1",
+		Run:   runE14,
+	}
+}
+
+func runE14(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	styles := []adversary.PlanarStyle{
+		adversary.StyleRandomDir,
+		adversary.StyleZigzag,
+		adversary.StylePerpOffset,
+	}
+	deltas := []float64{1, 0.5, 0.25, 0.125, 0.0625}
+
+	type point struct {
+		style adversary.PlanarStyle
+		delta float64
+	}
+	var points []point
+	for _, s := range styles {
+		for _, d := range deltas {
+			points = append(points, point{style: s, delta: d})
+		}
+	}
+	table := traceio.Table{Columns: []string{"style", "delta", "T", "ratio_mean", "ratio_x_delta", "ratio_x_delta32"}}
+	results := sim.Parallel(len(points)*cfg.Seeds, cfg.Seed, func(i int, r *xrand.Rand) float64 {
+		p := points[i/cfg.Seeds]
+		T := cfg.scaleT(cyclesT(p.delta, 4))
+		g := adversary.Planar(adversary.PlanarParams{
+			T: T, D: 1, M: 1, Delta: p.delta, Style: p.style,
+		}, r)
+		res := sim.MustRun(g.Instance, core.NewMtC(), sim.RunOptions{})
+		// OPT upper bound: witness refined by descent (grid DP is
+		// impractical on the T·m-sized arena these instances roam).
+		est, err := offline.Best(g.Instance, offline.Options{Witness: g.Witness, SkipDP: true, Sweeps: 3})
+		if err != nil {
+			panic(err)
+		}
+		return sim.Ratio(res.Cost.Total(), est.Upper)
+	})
+	for pi, p := range points {
+		s := stats.Summarize(results[pi*cfg.Seeds : (pi+1)*cfg.Seeds])
+		T := float64(cfg.scaleT(cyclesT(p.delta, 4)))
+		d := p.delta
+		table.Add(float64(p.style), d, T, s.Mean, s.Mean*d, s.Mean*math.Pow(d, 1.5))
+	}
+	var findings []string
+	findings = append(findings, "style codes: 0=random-dir 1=zigzag 2=perp-offset (plants the Lemma-6 worst-case geometry)")
+	for _, st := range styles {
+		var xs, ys []float64
+		for _, row := range table.Rows {
+			if int(row[0]) == int(st) {
+				xs = append(xs, row[1])
+				ys = append(ys, row[3])
+			}
+		}
+		fit := stats.LogLogSlope(xs, ys)
+		verdict := "consistent with the Θ(1/δ) conjecture"
+		if fit.Slope < -1.15 {
+			verdict = "EXCEEDS 1/δ — evidence against the conjecture"
+		}
+		findings = append(findings, fmt.Sprintf("style %s: ratio ~ δ^%.3f (R²=%.3f) — %s", st, fit.Slope, fit.R2, verdict))
+	}
+	return Result{ID: "E14", Title: e14().Title, Claim: e14().Claim, Table: table, Findings: findings}
+}

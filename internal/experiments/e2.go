@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traceio"
+	"repro/internal/xrand"
+)
+
+// e2 validates Theorem 2: with augmentation (1+δ)m the ratio is still
+// Ω((1/δ)·Rmax/Rmin). Two sweeps: δ with Rmax=Rmin (ratio ∝ 1/δ), and
+// Rmax/Rmin at fixed δ (ratio ∝ Rmax/Rmin).
+func e2() Experiment {
+	return Experiment{
+		ID:    "E2",
+		Title: "Lower bound with augmentation: ratio ~ (1/δ)·Rmax/Rmin",
+		Claim: "Theorem 2: Ω((1/δ)·Rmax/Rmin) against (1+δ)m-augmented algorithms",
+		Run:   runE2,
+	}
+}
+
+func runE2(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	deltas := []float64{1, 0.5, 0.25, 0.125, 0.0625}
+	imbalances := []int{1, 2, 4, 8}
+	fixedDelta := 0.25
+
+	type point struct {
+		delta      float64
+		rmin, rmax int
+	}
+	var points []point
+	for _, d := range deltas {
+		points = append(points, point{delta: d, rmin: 1, rmax: 1})
+	}
+	for _, im := range imbalances {
+		points = append(points, point{delta: fixedDelta, rmin: 1, rmax: im})
+	}
+
+	// T: enough for several cycles at the smallest delta; the generator
+	// truncates cleanly, so one size fits all points.
+	table := traceio.Table{Columns: []string{"delta", "Rmax_over_Rmin", "T", "ratio_mean", "ratio_stderr", "ratio_x_delta"}}
+
+	results := sim.Parallel(len(points)*cfg.Seeds, cfg.Seed, func(i int, r *xrand.Rand) float64 {
+		p := points[i/cfg.Seeds]
+		T := cfg.scaleT(cyclesT(p.delta, 4))
+		g := adversary.Theorem2(adversary.Theorem2Params{
+			T: T, D: 1, M: 1, Delta: p.delta, Rmin: p.rmin, Rmax: p.rmax, Dim: 1,
+		}, r)
+		res := sim.MustRun(g.Instance, core.NewMtC(), sim.RunOptions{})
+		return sim.Ratio(res.Cost.Total(), g.WitnessCost().Total())
+	})
+
+	for pi, p := range points {
+		s := stats.Summarize(results[pi*cfg.Seeds : (pi+1)*cfg.Seeds])
+		T := float64(cfg.scaleT(cyclesT(p.delta, 4)))
+		table.Add(p.delta, float64(p.rmax)/float64(p.rmin), T, s.Mean, s.StdErr, s.Mean*p.delta)
+	}
+
+	var findings []string
+	// δ scaling: slope of ratio vs δ in log–log should be ≈ −1.
+	var dx, dy []float64
+	for _, row := range table.Rows {
+		if row[1] == 1 {
+			dx = append(dx, row[0])
+			dy = append(dy, row[3])
+		}
+	}
+	fit := stats.LogLogSlope(dx, dy)
+	findings = append(findings, fmt.Sprintf("Rmax=Rmin: ratio ~ δ^%.3f (R²=%.3f); paper predicts exponent −1", fit.Slope, fit.R2))
+	// Imbalance scaling at fixed δ.
+	var ix, iy []float64
+	for _, row := range table.Rows {
+		if row[0] == fixedDelta && row[1] >= 1 {
+			ix = append(ix, row[1])
+			iy = append(iy, row[3])
+		}
+	}
+	fit = stats.LogLogSlope(ix, iy)
+	findings = append(findings, fmt.Sprintf("δ=%.3g: ratio ~ (Rmax/Rmin)^%.3f (R²=%.3f); paper predicts exponent 1", fixedDelta, fit.Slope, fit.R2))
+	return Result{ID: "E2", Title: e2().Title, Claim: e2().Claim, Table: table, Findings: findings}
+}
+
+// cyclesT returns a length covering the given number of Theorem-2 cycles
+// at delta (x ≈ 2/δ, phase B ≈ x/δ).
+func cyclesT(delta float64, cycles int) int {
+	x := int(2/delta) + 1
+	phaseB := int(float64(x)/delta) + 1
+	return cycles * (x + phaseB)
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/agent"
+	"repro/internal/geom"
+	"repro/internal/offline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traceio"
+	"repro/internal/xrand"
+)
+
+// e9 validates Theorem 10 and Corollary 9 for the Moving Client variant:
+//
+//   - Theorem 10: with m_s = m_a and NO augmentation, Follow-MtC is
+//     O(1)-competitive — ratios stay flat and small across T and across
+//     trajectory families.
+//   - Corollary 9: even against the fast-agent adversary of Theorem 8,
+//     augmenting the server to (1+δ)m_s with δ ≥ ε restores a
+//     T-independent ratio.
+func e9() Experiment {
+	return Experiment{
+		ID:    "E9",
+		Title: "Moving Client upper bounds: Follow-MtC is O(1) when m_s ≥ m_a; augmentation tames fast agents",
+		Claim: "Theorem 10: O(1) without augmentation for m_s = m_a; Corollary 9: O(1/δ^{3/2}) with (1+δ)m_s",
+		Run:   runE9,
+	}
+}
+
+// trajectory codes for the E9 table.
+const (
+	trWalk = iota
+	trDrift
+	trCommuter
+	trPatrol
+	trFastAgentAugmented
+)
+
+func runE9(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	Ts := []int{200, 800, 3200}
+	trajs := []int{trWalk, trDrift, trCommuter, trPatrol, trFastAgentAugmented}
+
+	type point struct {
+		traj int
+		T    int
+	}
+	var points []point
+	for _, tr := range trajs {
+		for _, T := range Ts {
+			points = append(points, point{traj: tr, T: cfg.scaleT(T)})
+		}
+	}
+	table := traceio.Table{Columns: []string{"traj", "T", "ratio_hi", "ratio_lo"}}
+	results := sim.Parallel(len(points)*cfg.Seeds, cfg.Seed, func(i int, r *xrand.Rand) ratioBracket {
+		p := points[i/cfg.Seeds]
+		var in *agent.Instance
+		var witness []geom.Point
+		switch p.traj {
+		case trFastAgentAugmented:
+			// Corollary 9: fast agent (ε = 0.5) vs augmented server
+			// (δ = 0.5 ≥ ε restores the server's ability to keep up).
+			g := adversary.Theorem8(adversary.Theorem8Params{T: p.T, D: 1, MS: 1, Eps: 0.5, Dim: 1}, r)
+			in = g.Instance
+			in.Config.Delta = 0.5
+			witness = g.Witness
+		default:
+			cfgA := agent.Config{Dim: 2, D: 2, MS: 1, MA: 1, Delta: 0}
+			origin := geom.NewPoint(0, 0)
+			var path []geom.Point
+			switch p.traj {
+			case trWalk:
+				path = agent.RandomWalk(r, origin, p.T, cfgA.MA)
+			case trDrift:
+				path = agent.Drift(r, origin, p.T, cfgA.MA, 0.3)
+			case trCommuter:
+				target := geom.NewPoint(r.Range(5, 15), r.Range(-10, 10))
+				path = agent.Commuter(origin, target, p.T, cfgA.MA)
+			case trPatrol:
+				path = agent.Patrol(origin, geom.NewPoint(5, 0), 6, p.T, cfgA.MA)
+			}
+			in = &agent.Instance{Config: cfgA, Start: origin, Path: path}
+		}
+		cin := in.ToCore()
+		res, err := sim.Run(cin, agent.Adapt(in, agent.NewFollow()), sim.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		// OPT bracket: 2-D instances use descent/greedy upper bounds and
+		// the serve-only lower bound (the drift can leave a huge bounding
+		// box, so grid DP is skipped); the 1-D fast-agent rows use the
+		// witness.
+		est, err := offline.Best(cin, offline.Options{Witness: witness, SkipDP: cin.Config.Dim != 1})
+		if err != nil {
+			panic(err)
+		}
+		return bracketOf(res.Cost.Total(), est)
+	})
+	for pi, p := range points {
+		var hi, lo []float64
+		for _, b := range results[pi*cfg.Seeds : (pi+1)*cfg.Seeds] {
+			hi = append(hi, b.Hi)
+			lo = append(lo, b.Lo)
+		}
+		table.Add(float64(p.traj), float64(p.T), stats.Summarize(hi).Mean, stats.Summarize(lo).Mean)
+	}
+	var findings []string
+	findings = append(findings, "traj codes: 0=walk 1=drift 2=commuter 3=patrol (all m_s=m_a, δ=0); 4=fast agent ε=0.5 with δ=0.5 (Corollary 9)")
+	for _, tr := range trajs {
+		var xs, ys []float64
+		for _, row := range table.Rows {
+			if int(row[0]) == tr {
+				xs = append(xs, row[1])
+				ys = append(ys, row[3]) // ratio_lo: ALG/upper-bound — safe to read flatness from
+			}
+		}
+		fit := stats.LogLogSlope(xs, ys)
+		findings = append(findings, fmt.Sprintf("traj=%d: ratio ~ T^%.3f (R²=%.3f); constant competitiveness predicts exponent ≈ 0", tr, fit.Slope, fit.R2))
+	}
+	return Result{ID: "E9", Title: e9().Title, Claim: e9().Claim, Table: table, Findings: findings}
+}

@@ -1,0 +1,136 @@
+// Package experiments defines the reproduction suite E1–E12: one
+// experiment per theorem/lemma of the paper (plus baselines, ablations,
+// and the multi-server extension). Each experiment runs a parameter sweep
+// in parallel, aggregates ratios over seeds, and emits a table whose shape
+// mirrors the corresponding claim — growth exponents for lower bounds,
+// flat curves for upper bounds.
+//
+// The same experiments back the testing.B benchmarks in the repository
+// root (one per table) and the cmd/mobbench binary.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/traceio"
+)
+
+// RunConfig controls an experiment run.
+type RunConfig struct {
+	// Seed is the base seed; all job streams derive from it.
+	Seed uint64
+	// Seeds is the number of repetitions per parameter point. Default 16.
+	Seeds int
+	// Scale multiplies the sequence lengths (0 < Scale ≤ 1 shrinks the
+	// experiment for quick runs). Default 1.
+	Scale float64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Seeds <= 0 {
+		c.Seeds = 16
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// scaleT applies the run scale with a floor.
+func (c RunConfig) scaleT(t int) int {
+	v := int(float64(t) * c.Scale)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim restates the paper's claim being validated.
+	Claim string
+	// Table holds the measured rows.
+	Table traceio.Table
+	// Findings are derived quantities (fitted slopes, pass/fail notes).
+	Findings []string
+}
+
+// Experiment couples metadata with a runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(cfg RunConfig) Result
+}
+
+// Registry returns all experiments in ID order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(),
+		e8(), e9(), e10(), e11(), e12(), e13(), e14(),
+	}
+	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
+	return exps
+}
+
+func idOrder(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RenderText formats a Result as an aligned text table with findings.
+func RenderText(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", res.ID, res.Title)
+	fmt.Fprintf(&b, "claim: %s\n", res.Claim)
+
+	widths := make([]int, len(res.Table.Columns))
+	cells := make([][]string, len(res.Table.Rows))
+	for i, col := range res.Table.Columns {
+		widths[i] = len(col)
+	}
+	for r, row := range res.Table.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := fmt.Sprintf("%.4g", v)
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(res.Table.Columns)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	for _, f := range res.Findings {
+		fmt.Fprintf(&b, "finding: %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickCfg shrinks every experiment for CI-speed smoke runs.
+func quickCfg() RunConfig { return RunConfig{Seed: 1, Seeds: 3, Scale: 0.08} }
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(reg))
+	}
+	for i, e := range reg {
+		wantID := i + 1
+		if idOrder(e.ID) != wantID {
+			t.Fatalf("position %d has ID %s", i, e.ID)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E3")
+	if err != nil || e.ID != "E3" {
+		t.Fatalf("ByID(E3) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("e7"); err != nil {
+		t.Fatalf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+// TestAllExperimentsSmoke runs every experiment at a tiny scale and checks
+// structural invariants of the results.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke suite skipped in -short mode")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res := e.Run(quickCfg())
+			if res.ID != e.ID {
+				t.Fatalf("result ID %q != %q", res.ID, e.ID)
+			}
+			if len(res.Table.Columns) == 0 || len(res.Table.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for ri, row := range res.Table.Rows {
+				if len(row) != len(res.Table.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", ri, len(row), len(res.Table.Columns))
+				}
+				for ci, v := range row {
+					if math.IsInf(v, 0) {
+						t.Fatalf("row %d col %s is infinite", ri, res.Table.Columns[ci])
+					}
+				}
+			}
+			if len(res.Findings) == 0 {
+				t.Fatal("no findings")
+			}
+			out := RenderText(res)
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, "claim:") {
+				t.Fatalf("render missing headers:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestE6CorrectedLemmaHolds gives the Lemma-6 check a larger sample than
+// the smoke run: the corrected premise (√δ/(1+δ)) must have zero
+// violations. The paper's literal premise is known to admit rare sub-1%
+// violations (see e6.go); that column is informational, not asserted.
+func TestE6CorrectedLemmaHolds(t *testing.T) {
+	e, err := ByID("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(RunConfig{Seed: 7, Seeds: 1, Scale: 0.3})
+	for _, row := range res.Table.Rows {
+		if row[4] != 0 {
+			t.Fatalf("corrected Lemma 6 violated %v times at delta=%v", row[4], row[0])
+		}
+		if row[5] < -1e-9 {
+			t.Fatalf("corrected min margin %v negative at delta=%v", row[5], row[0])
+		}
+	}
+}
+
+func TestRenderTextAligned(t *testing.T) {
+	res := Result{
+		ID: "EX", Title: "t", Claim: "c",
+		Findings: []string{"f"},
+	}
+	res.Table.Columns = []string{"a", "longcolumn"}
+	res.Table.Add(1, 2)
+	out := RenderText(res)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[4], "finding:") {
+		t.Fatalf("last line = %q", lines[4])
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/asciiplot"
+)
+
+// plotSpec describes how to read a curve family out of a result table.
+type plotSpec struct {
+	title      string
+	xCol, yCol int
+	// groupCol < 0 plots a single series; otherwise one series per
+	// distinct value of that column.
+	groupCol   int
+	groupLabel string
+	logX, logY bool
+	// filter optionally restricts rows.
+	filter func(row []float64) bool
+}
+
+// plotSpecs maps experiment IDs to their natural visualization: growth
+// curves for lower bounds (log–log), flatness curves for upper bounds.
+var plotSpecs = map[string]plotSpec{
+	"E1": {title: "E1: ratio vs T (log-log; slope 0.5 expected)",
+		xCol: 1, yCol: 2, groupCol: 0, groupLabel: "D", logX: true, logY: true},
+	"E2": {title: "E2: ratio vs delta (log-log; slope -1 expected)",
+		xCol: 0, yCol: 3, groupCol: -1, logX: true, logY: true,
+		filter: func(row []float64) bool { return row[1] == 1 }},
+	"E3": {title: "E3: Answer-First ratio vs r (log-log; slope 1 expected)",
+		xCol: 1, yCol: 2, groupCol: 0, groupLabel: "D", logX: true, logY: true},
+	"E4": {title: "E4: line ratio vs delta, adversarial (log-log; at most slope -1)",
+		xCol: 1, yCol: 3, groupCol: -1, logX: true, logY: true,
+		filter: func(row []float64) bool { return row[0] == 0 }},
+	"E5": {title: "E5: plane ratio vs delta (log-log; flat on benign workloads)",
+		xCol: 0, yCol: 2, groupCol: -1, logX: true, logY: true},
+	"E8": {title: "E8: moving-client ratio vs T (log-log; slope 0.5 expected)",
+		xCol: 1, yCol: 2, groupCol: 0, groupLabel: "eps", logX: true, logY: true},
+	"E9": {title: "E9: moving-client ratio vs T (flat expected)",
+		xCol: 1, yCol: 3, groupCol: 0, groupLabel: "traj", logX: true},
+	"E12": {title: "E12: fleet cost vs k (MtC-k)",
+		xCol: 0, yCol: 2, groupCol: -1, logY: true,
+		filter: func(row []float64) bool { return row[1] == 0 }},
+	"E14": {title: "E14: planar ratio vs delta (log-log; conjecture: slope >= -1)",
+		xCol: 1, yCol: 3, groupCol: 0, groupLabel: "style", logX: true, logY: true},
+}
+
+// PlotFor renders the experiment's headline curve as ASCII art. ok is
+// false for experiments without a natural curve (pass/fail audits and
+// cross tables).
+func PlotFor(res Result) (string, bool) {
+	spec, found := plotSpecs[res.ID]
+	if !found {
+		return "", false
+	}
+	groups := map[float64]*asciiplot.Series{}
+	var order []float64
+	for _, row := range res.Table.Rows {
+		if spec.filter != nil && !spec.filter(row) {
+			continue
+		}
+		key := 0.0
+		if spec.groupCol >= 0 {
+			key = row[spec.groupCol]
+		}
+		s, exists := groups[key]
+		if !exists {
+			name := res.ID
+			if spec.groupCol >= 0 {
+				name = fmt.Sprintf("%s=%g", spec.groupLabel, key)
+			}
+			s = &asciiplot.Series{Name: name}
+			groups[key] = s
+			order = append(order, key)
+		}
+		s.X = append(s.X, row[spec.xCol])
+		s.Y = append(s.Y, row[spec.yCol])
+	}
+	if len(order) == 0 {
+		return "", false
+	}
+	series := make([]asciiplot.Series, 0, len(order))
+	for _, key := range order {
+		series = append(series, *groups[key])
+	}
+	plot := asciiplot.Plot{Title: spec.title, Width: 64, Height: 18, LogX: spec.logX, LogY: spec.logY}
+	return plot.Render(series), true
+}

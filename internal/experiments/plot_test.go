@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotForE1(t *testing.T) {
+	res := Result{ID: "E1"}
+	res.Table.Columns = []string{"D", "T", "ratio_mean", "ratio_stderr", "ref"}
+	res.Table.Add(1, 100, 6.4, 0, 10)
+	res.Table.Add(1, 400, 13, 0, 20)
+	res.Table.Add(4, 100, 2.8, 0, 2.5)
+	res.Table.Add(4, 400, 5, 0, 5)
+	out, ok := PlotFor(res)
+	if !ok {
+		t.Fatal("E1 should plot")
+	}
+	if !strings.Contains(out, "D=1") || !strings.Contains(out, "D=4") {
+		t.Fatalf("missing series legend:\n%s", out)
+	}
+	if !strings.Contains(out, "slope 0.5") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestPlotForFilters(t *testing.T) {
+	res := Result{ID: "E2"}
+	res.Table.Columns = []string{"delta", "Rmax_over_Rmin", "T", "ratio_mean", "se", "xd"}
+	res.Table.Add(0.5, 1, 64, 1.0, 0, 0.5)
+	res.Table.Add(0.25, 1, 184, 2.1, 0, 0.53)
+	res.Table.Add(0.25, 4, 184, 7.0, 0, 1.75) // filtered out (imbalance row)
+	out, ok := PlotFor(res)
+	if !ok {
+		t.Fatal("E2 should plot")
+	}
+	if strings.Count(out, "E2") < 1 {
+		t.Fatalf("missing series:\n%s", out)
+	}
+}
+
+func TestPlotForUnknownExperiment(t *testing.T) {
+	res := Result{ID: "E6"}
+	res.Table.Columns = []string{"a"}
+	res.Table.Add(1)
+	if _, ok := PlotFor(res); ok {
+		t.Fatal("E6 has no natural curve and should not plot")
+	}
+}
+
+func TestPlotForEmptyAfterFilter(t *testing.T) {
+	res := Result{ID: "E4"}
+	res.Table.Columns = []string{"wl", "delta", "T", "ratio_hi", "ratio_lo", "x"}
+	res.Table.Add(1, 0.5, 600, 1.7, 0.87, 0.85) // only hotspot rows; filter wants wl=0
+	if _, ok := PlotFor(res); ok {
+		t.Fatal("empty filtered plot should report ok=false")
+	}
+}
+
+func TestPlotForAllRegisteredSpecsAgainstRealRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skip in -short mode")
+	}
+	for id := range plotSpecs {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatalf("spec for unknown experiment %s", id)
+		}
+		res := e.Run(quickCfg())
+		out, ok := PlotFor(res)
+		if !ok {
+			t.Fatalf("%s: plot failed on real data", id)
+		}
+		if strings.Contains(out, "no data") {
+			t.Fatalf("%s: plot empty on real data:\n%s", id, out)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package geom implements dimension-generic Euclidean geometry for the
+// Mobile Server Problem: points in ℝ^d, distances, bounded movement,
+// segments, lines, collinearity tests, and bounding boxes.
+//
+// All positions in the repository are geom.Point values. A Point is a slice
+// of coordinates; operations never mutate their receivers unless the method
+// name says so, and mixed-dimension arguments panic, since a dimension
+// mismatch is always a programming error in this domain.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a point (or displacement vector) in d-dimensional Euclidean
+// space. The zero-length Point is invalid; constructors always produce at
+// least one coordinate.
+type Point []float64
+
+// NewPoint returns a point with the given coordinates. It panics if no
+// coordinates are given.
+func NewPoint(coords ...float64) Point {
+	if len(coords) == 0 {
+		panic("geom: NewPoint requires at least one coordinate")
+	}
+	p := make(Point, len(coords))
+	copy(p, coords)
+	return p
+}
+
+// Zero returns the origin of ℝ^d. It panics if d < 1.
+func Zero(d int) Point {
+	if d < 1 {
+		panic("geom: Zero requires dimension >= 1")
+	}
+	return make(Point, d)
+}
+
+// Dim returns the dimension of the point.
+func (p Point) Dim() int { return len(p) }
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// assertSameDim panics when p and q live in different spaces.
+func assertSameDim(p, q Point) {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(q)))
+	}
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point {
+	assertSameDim(p, q)
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = p[i] + q[i]
+	}
+	return out
+}
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point {
+	assertSameDim(p, q)
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = p[i] - q[i]
+	}
+	return out
+}
+
+// Scale returns s·p.
+func (p Point) Scale(s float64) Point {
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = s * p[i]
+	}
+	return out
+}
+
+// Dot returns the inner product ⟨p, q⟩.
+func (p Point) Dot(q Point) float64 {
+	assertSameDim(p, q)
+	s := 0.0
+	for i := range p {
+		s += p[i] * q[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Sqrt(p.NormSq()) }
+
+// NormSq returns the squared Euclidean length of p.
+func (p Point) NormSq() float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v * v
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 { return math.Sqrt(DistSq(p, q)) }
+
+// DistSq returns the squared Euclidean distance between p and q.
+func DistSq(p, q Point) float64 {
+	assertSameDim(p, q)
+	s := 0.0
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// Lerp returns the point (1-t)·p + t·q. t is not clamped.
+func Lerp(p, q Point, t float64) Point {
+	assertSameDim(p, q)
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = p[i] + t*(q[i]-p[i])
+	}
+	return out
+}
+
+// Midpoint returns the midpoint of p and q.
+func Midpoint(p, q Point) Point { return Lerp(p, q, 0.5) }
+
+// MoveToward returns the point reached by starting at p and moving straight
+// toward target by at most step. If step >= Dist(p, target) the result is
+// target itself (never overshooting), and a non-positive step returns p.
+func MoveToward(p, target Point, step float64) Point {
+	assertSameDim(p, target)
+	if step <= 0 {
+		return p.Clone()
+	}
+	d := Dist(p, target)
+	if d <= step || d == 0 {
+		return target.Clone()
+	}
+	return Lerp(p, target, step/d)
+}
+
+// Unit returns p normalized to length 1. It panics on the zero vector.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n == 0 {
+		panic("geom: Unit of zero vector")
+	}
+	return p.Scale(1 / n)
+}
+
+// Equal reports whether p and q agree exactly in every coordinate.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether p and q agree within absolute tolerance tol
+// in every coordinate.
+func (p Point) ApproxEqual(q Point, tol float64) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if math.Abs(p[i]-q[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether all coordinates are finite (no NaN or Inf).
+func (p Point) IsFinite() bool {
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the point as "(x1, x2, ...)" with compact formatting.
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Centroid returns the arithmetic mean of the given points. It panics on an
+// empty slice or mixed dimensions.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		panic("geom: Centroid of empty point set")
+	}
+	sum := Zero(pts[0].Dim())
+	for _, p := range pts {
+		assertSameDim(sum, p)
+		for i := range sum {
+			sum[i] += p[i]
+		}
+	}
+	return sum.Scale(1 / float64(len(pts)))
+}
+
+// SumDist returns Σ_i Dist(c, pts[i]), the objective minimized by the
+// geometric median.
+func SumDist(c Point, pts []Point) float64 {
+	s := 0.0
+	for _, p := range pts {
+		s += Dist(c, p)
+	}
+	return s
+}

@@ -1,0 +1,239 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewPointCopies(t *testing.T) {
+	coords := []float64{1, 2, 3}
+	p := NewPoint(coords...)
+	coords[0] = 99
+	if p[0] != 1 {
+		t.Fatal("NewPoint did not copy its input")
+	}
+}
+
+func TestNewPointPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPoint() did not panic")
+		}
+	}()
+	NewPoint()
+}
+
+func TestZero(t *testing.T) {
+	p := Zero(3)
+	if p.Dim() != 3 {
+		t.Fatalf("Zero(3).Dim() = %d", p.Dim())
+	}
+	for _, v := range p {
+		if v != 0 {
+			t.Fatalf("Zero(3) has nonzero coordinate: %v", p)
+		}
+	}
+}
+
+func TestZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zero(0) did not panic")
+		}
+	}()
+	Zero(0)
+}
+
+func TestAddSub(t *testing.T) {
+	p := NewPoint(1, 2)
+	q := NewPoint(3, -4)
+	sum := p.Add(q)
+	if !sum.Equal(NewPoint(4, -2)) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff := p.Sub(q)
+	if !diff.Equal(NewPoint(-2, 6)) {
+		t.Fatalf("Sub = %v", diff)
+	}
+	// Originals untouched.
+	if !p.Equal(NewPoint(1, 2)) || !q.Equal(NewPoint(3, -4)) {
+		t.Fatal("Add/Sub mutated operands")
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed-dimension Add did not panic")
+		}
+	}()
+	NewPoint(1).Add(NewPoint(1, 2))
+}
+
+func TestScaleDot(t *testing.T) {
+	p := NewPoint(1, -2, 3)
+	if !p.Scale(2).Equal(NewPoint(2, -4, 6)) {
+		t.Fatalf("Scale = %v", p.Scale(2))
+	}
+	if got := p.Dot(NewPoint(4, 5, 6)); got != 1*4-2*5+3*6 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	p := NewPoint(3, 4)
+	if p.Norm() != 5 {
+		t.Fatalf("Norm = %v", p.Norm())
+	}
+	if p.NormSq() != 25 {
+		t.Fatalf("NormSq = %v", p.NormSq())
+	}
+}
+
+func TestDist(t *testing.T) {
+	a := NewPoint(0, 0)
+	b := NewPoint(3, 4)
+	if Dist(a, b) != 5 {
+		t.Fatalf("Dist = %v", Dist(a, b))
+	}
+	if DistSq(a, b) != 25 {
+		t.Fatalf("DistSq = %v", DistSq(a, b))
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := NewPoint(0, 0)
+	b := NewPoint(10, 20)
+	mid := Lerp(a, b, 0.5)
+	if !mid.Equal(NewPoint(5, 10)) {
+		t.Fatalf("Lerp(0.5) = %v", mid)
+	}
+	if !Lerp(a, b, 0).Equal(a) || !Lerp(a, b, 1).Equal(b) {
+		t.Fatal("Lerp endpoints wrong")
+	}
+	if !Midpoint(a, b).Equal(mid) {
+		t.Fatal("Midpoint != Lerp 0.5")
+	}
+}
+
+func TestMoveTowardExact(t *testing.T) {
+	a := NewPoint(0, 0)
+	b := NewPoint(10, 0)
+	got := MoveToward(a, b, 4)
+	if !got.ApproxEqual(NewPoint(4, 0), 1e-12) {
+		t.Fatalf("MoveToward = %v", got)
+	}
+}
+
+func TestMoveTowardNoOvershoot(t *testing.T) {
+	a := NewPoint(0, 0)
+	b := NewPoint(1, 1)
+	got := MoveToward(a, b, 100)
+	if !got.Equal(b) {
+		t.Fatalf("MoveToward overshoot: %v", got)
+	}
+}
+
+func TestMoveTowardZeroStep(t *testing.T) {
+	a := NewPoint(2, 3)
+	b := NewPoint(9, 9)
+	if !MoveToward(a, b, 0).Equal(a) {
+		t.Fatal("MoveToward with step 0 moved")
+	}
+	if !MoveToward(a, b, -1).Equal(a) {
+		t.Fatal("MoveToward with negative step moved")
+	}
+}
+
+func TestMoveTowardSelf(t *testing.T) {
+	a := NewPoint(2, 3)
+	if !MoveToward(a, a, 5).Equal(a) {
+		t.Fatal("MoveToward(a,a) != a")
+	}
+}
+
+func TestUnit(t *testing.T) {
+	p := NewPoint(0, 5)
+	if !p.Unit().ApproxEqual(NewPoint(0, 1), 1e-15) {
+		t.Fatalf("Unit = %v", p.Unit())
+	}
+}
+
+func TestUnitPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unit of zero vector did not panic")
+		}
+	}()
+	Zero(2).Unit()
+}
+
+func TestEqualApproxEqual(t *testing.T) {
+	a := NewPoint(1, 2)
+	b := NewPoint(1, 2.0000001)
+	if a.Equal(b) {
+		t.Fatal("Equal false positive")
+	}
+	if !a.ApproxEqual(b, 1e-6) {
+		t.Fatal("ApproxEqual false negative")
+	}
+	if a.ApproxEqual(NewPoint(1, 2, 3), 1) {
+		t.Fatal("ApproxEqual across dimensions")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !NewPoint(1, 2).IsFinite() {
+		t.Fatal("finite point reported non-finite")
+	}
+	if NewPoint(math.NaN()).IsFinite() {
+		t.Fatal("NaN point reported finite")
+	}
+	if NewPoint(math.Inf(1), 0).IsFinite() {
+		t.Fatal("Inf point reported finite")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := NewPoint(1, -2.5).String(); s != "(1, -2.5)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{NewPoint(0, 0), NewPoint(2, 0), NewPoint(0, 2), NewPoint(2, 2)}
+	c := Centroid(pts)
+	if !c.ApproxEqual(NewPoint(1, 1), 1e-12) {
+		t.Fatalf("Centroid = %v", c)
+	}
+}
+
+func TestCentroidPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Centroid(nil) did not panic")
+		}
+	}()
+	Centroid(nil)
+}
+
+func TestSumDist(t *testing.T) {
+	pts := []Point{NewPoint(0.0), NewPoint(10.0)}
+	if got := SumDist(NewPoint(5.0), pts); got != 10 {
+		t.Fatalf("SumDist = %v", got)
+	}
+	if got := SumDist(NewPoint(0.0), nil); got != 0 {
+		t.Fatalf("SumDist empty = %v", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := NewPoint(1, 2)
+	q := p.Clone()
+	q[0] = 7
+	if p[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}

@@ -1,0 +1,101 @@
+package median
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// ThreePoints returns the exact geometric median (Fermat–Torricelli point)
+// of three points in any dimension using the classical construction:
+//
+//   - if the points are collinear, the middle point is the median;
+//   - if one vertex's angle is at least 120°, that vertex is the median;
+//   - otherwise the median is the first isogonic center, found by
+//     intersecting the lines from two vertices to the apexes of
+//     equilateral triangles erected externally on the opposite sides.
+//
+// For dimensions above 2 the computation happens in the triangle's own
+// plane via an orthonormal basis. The result is exact up to floating
+// point and serves both as a fast path and as an independent oracle for
+// the Weiszfeld iteration.
+func ThreePoints(a, b, c geom.Point) geom.Point {
+	if line, ok := geom.Collinear([]geom.Point{a, b, c}, 1e-12*(1+geom.Spread([]geom.Point{a, b, c}))); ok {
+		// Middle point along the line: project and take the median
+		// parameter.
+		if line.Dir.NormSq() == 0 {
+			return a.Clone()
+		}
+		_, ta := line.Project(a)
+		_, tb := line.Project(b)
+		_, tc := line.Project(c)
+		mid := ta + tb + tc - math.Min(ta, math.Min(tb, tc)) - math.Max(ta, math.Max(tb, tc))
+		return line.Origin.Add(line.Dir.Scale(mid))
+	}
+	// 120° rule: the dot product test (u·v ≤ −|u||v|/2) detects an angle
+	// of at least 120° at the shared vertex.
+	if wideAngle(a, b, c) {
+		return a.Clone()
+	}
+	if wideAngle(b, a, c) {
+		return b.Clone()
+	}
+	if wideAngle(c, a, b) {
+		return c.Clone()
+	}
+	// Work in the triangle's plane: orthonormal basis (e1, e2) at a.
+	ab := b.Sub(a)
+	ac := c.Sub(a)
+	e1 := ab.Unit()
+	acPerp := ac.Sub(e1.Scale(ac.Dot(e1)))
+	e2 := acPerp.Unit()
+	// 2-D coordinates.
+	ax, ay := 0.0, 0.0
+	bx, by := ab.Dot(e1), ab.Dot(e2) // by == 0 by construction
+	cx, cy := ac.Dot(e1), ac.Dot(e2)
+
+	apexBC := apex2D(bx, by, cx, cy, ax, ay)
+	apexAC := apex2D(ax, ay, cx, cy, bx, by)
+	// Intersect line a→apexBC with line b→apexAC.
+	px, py, ok := intersect2D(ax, ay, apexBC[0], apexBC[1], bx, by, apexAC[0], apexAC[1])
+	if !ok {
+		// Numerically degenerate; fall back to the robust iteration.
+		return Point([]geom.Point{a, b, c}, Options{})
+	}
+	return a.Add(e1.Scale(px)).Add(e2.Scale(py))
+}
+
+// wideAngle reports whether the angle at v (between u and w) is >= 120°.
+func wideAngle(v, u, w geom.Point) bool {
+	x := u.Sub(v)
+	y := w.Sub(v)
+	return x.Dot(y) <= -0.5*x.Norm()*y.Norm()+1e-15
+}
+
+// apex2D returns the apex of the equilateral triangle erected on segment
+// (x1,y1)-(x2,y2) on the side opposite to the reference point (rx,ry).
+func apex2D(x1, y1, x2, y2, rx, ry float64) [2]float64 {
+	mx, my := (x1+x2)/2, (y1+y2)/2
+	// Perpendicular to the segment.
+	px, py := -(y2 - y1), x2-x1
+	h := math.Sqrt(3) / 2
+	// Place the apex away from the reference point.
+	if (rx-mx)*px+(ry-my)*py > 0 {
+		px, py = -px, -py
+	}
+	return [2]float64{mx + h*px, my + h*py}
+}
+
+// intersect2D intersects lines p1→p2 and p3→p4, returning ok=false for
+// (near-)parallel lines.
+func intersect2D(x1, y1, x2, y2, x3, y3, x4, y4 float64) (float64, float64, bool) {
+	d1x, d1y := x2-x1, y2-y1
+	d2x, d2y := x4-x3, y4-y3
+	den := d1x*d2y - d1y*d2x
+	scale := math.Abs(d1x*d2y) + math.Abs(d1y*d2x)
+	if math.Abs(den) <= 1e-14*(1+scale) {
+		return 0, 0, false
+	}
+	t := ((x3-x1)*d2y - (y3-y1)*d2x) / den
+	return x1 + t*d1x, y1 + t*d1y, true
+}

@@ -1,0 +1,134 @@
+package median
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func TestThreePointsEquilateral(t *testing.T) {
+	a, b, c := pt(0, 0), pt(1, 0), pt(0.5, math.Sqrt(3)/2)
+	got := ThreePoints(a, b, c)
+	want := geom.Centroid([]geom.Point{a, b, c})
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("equilateral Fermat = %v, want %v", got, want)
+	}
+}
+
+func TestThreePointsWideAngleVertex(t *testing.T) {
+	// Angle at origin is ~176°: the origin is the median.
+	a, b, c := pt(0, 0), pt(10, 0.3), pt(-10, 0.3)
+	got := ThreePoints(a, b, c)
+	if !got.ApproxEqual(a, 1e-12) {
+		t.Fatalf("wide-angle Fermat = %v, want %v", got, a)
+	}
+}
+
+func TestThreePointsExactly120(t *testing.T) {
+	// Angle at a exactly 120°: vertex rule fires; Weiszfeld agrees.
+	a := pt(0, 0)
+	b := pt(1, 0)
+	c := pt(math.Cos(2*math.Pi/3), math.Sin(2*math.Pi/3))
+	got := ThreePoints(a, b, c)
+	if !got.ApproxEqual(a, 1e-9) {
+		t.Fatalf("120° Fermat = %v, want %v", got, a)
+	}
+}
+
+func TestThreePointsCollinear(t *testing.T) {
+	got := ThreePoints(pt(0, 0), pt(5, 5), pt(2, 2))
+	if !got.ApproxEqual(pt(2, 2), 1e-9) {
+		t.Fatalf("collinear Fermat = %v, want (2,2)", got)
+	}
+}
+
+func TestThreePointsCoincident(t *testing.T) {
+	got := ThreePoints(pt(1, 1), pt(1, 1), pt(1, 1))
+	if !got.ApproxEqual(pt(1, 1), 1e-12) {
+		t.Fatalf("coincident Fermat = %v", got)
+	}
+}
+
+// TestThreePointsMatchesWeiszfeld cross-validates the closed form against
+// the iterative solver on random triangles in 2-D and 3-D.
+func TestThreePointsMatchesWeiszfeld(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		dim := 2 + r.IntN(2)
+		mk := func() geom.Point {
+			p := make(geom.Point, dim)
+			for i := range p {
+				p[i] = r.Range(-10, 10)
+			}
+			return p
+		}
+		a, b, c := mk(), mk(), mk()
+		exact := ThreePoints(a, b, c)
+		iter := Point([]geom.Point{a, b, c}, Options{})
+		costE := Cost(exact, []geom.Point{a, b, c})
+		costI := Cost(iter, []geom.Point{a, b, c})
+		// The closed form must never be worse than the iteration (both
+		// should approximate the same optimum).
+		return costE <= costI*(1+1e-6)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThreePointsIsOptimal: perturbations never improve the closed form.
+func TestThreePointsIsOptimal(t *testing.T) {
+	r := xrand.New(71)
+	for trial := 0; trial < 300; trial++ {
+		a := pt(r.Range(-5, 5), r.Range(-5, 5))
+		b := pt(r.Range(-5, 5), r.Range(-5, 5))
+		c := pt(r.Range(-5, 5), r.Range(-5, 5))
+		pts := []geom.Point{a, b, c}
+		f := ThreePoints(a, b, c)
+		base := Cost(f, pts)
+		for k := 0; k < 10; k++ {
+			delta := pt(r.Range(-0.3, 0.3), r.Range(-0.3, 0.3))
+			if Cost(f.Add(delta), pts) < base-1e-7 {
+				t.Fatalf("trial %d: perturbation beats closed form (base %v)", trial, base)
+			}
+		}
+	}
+}
+
+// TestThreePoints3DPlane: the Fermat point of a 3-D triangle lies in the
+// triangle's plane and matches the 2-D solution of the embedded triangle.
+func TestThreePoints3DPlane(t *testing.T) {
+	a := pt(0, 0, 0)
+	b := pt(2, 0, 1)
+	c := pt(0, 2, 2)
+	got := ThreePoints(a, b, c)
+	// Residual against the plane through a, b, c.
+	ab, ac := b.Sub(a), c.Sub(a)
+	// Normal via Gram-Schmidt double projection.
+	v := got.Sub(a)
+	e1 := ab.Unit()
+	e2 := ac.Sub(e1.Scale(ac.Dot(e1))).Unit()
+	residual := v.Sub(e1.Scale(v.Dot(e1))).Sub(e2.Scale(v.Dot(e2)))
+	if residual.Norm() > 1e-9 {
+		t.Fatalf("Fermat point off-plane by %v", residual.Norm())
+	}
+}
+
+func BenchmarkThreePointsClosedForm(b *testing.B) {
+	p1, p2, p3 := pt(0, 0), pt(3, 1), pt(1, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ThreePoints(p1, p2, p3)
+	}
+}
+
+func BenchmarkThreePointsWeiszfeld(b *testing.B) {
+	pts := []geom.Point{pt(0, 0), pt(3, 1), pt(1, 4)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Point(pts, Options{})
+	}
+}

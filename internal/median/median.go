@@ -1,0 +1,195 @@
+// Package median computes the geometric median (1-median, Fermat–Weber
+// point) of a finite point set in ℝ^d — the point c minimizing
+// Σ_i d(c, v_i) — which is the target point of the paper's Move-to-Center
+// algorithm.
+//
+// For point sets that are not collinear the minimizer is unique and is
+// found by the Weiszfeld iteration with the Vardi–Zhang correction (which
+// handles iterates landing exactly on an input point). For collinear sets
+// (including all 1-D inputs) the minimizer set is computed exactly: it is a
+// single point for an odd number of points and a closed segment between the
+// two middle order statistics for an even number. The paper's tie-break —
+// "if c is not unique, pick the one minimizing d(P_Alg, c)" — is provided
+// by Closest.
+package median
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Options controls the iterative solver. The zero value selects defaults.
+type Options struct {
+	// Tol is the convergence tolerance on iterate movement, relative to the
+	// spread of the input. Default 1e-12.
+	Tol float64
+	// MaxIter bounds the Weiszfeld iterations. Default 10000.
+	MaxIter int
+	// CollinearTol is the absolute tolerance used to classify a point set
+	// as collinear, relative to its spread. Default 1e-10.
+	CollinearTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10000
+	}
+	if o.CollinearTol <= 0 {
+		o.CollinearTol = 1e-10
+	}
+	return o
+}
+
+// Set describes the full minimizer set of the 1-median objective. For
+// non-collinear inputs it is a single point (Unique == true and the
+// degenerate segment A == B). For collinear inputs with an even count it
+// may be a proper segment.
+type Set struct {
+	// Seg spans the minimizer set; for a unique minimizer Seg.A == Seg.B.
+	Seg geom.Segment
+	// Unique reports whether the minimizer is a single point.
+	Unique bool
+}
+
+// Solve returns the minimizer set of Σ d(c, v_i). It panics on an empty
+// input or mixed dimensions.
+func Solve(pts []geom.Point, opts Options) Set {
+	if len(pts) == 0 {
+		panic("median: Solve on empty point set")
+	}
+	o := opts.withDefaults()
+	if len(pts) == 1 {
+		p := pts[0].Clone()
+		return Set{Seg: geom.NewSegment(p, p), Unique: true}
+	}
+	spread := geom.Spread(pts)
+	if spread == 0 {
+		p := pts[0].Clone()
+		return Set{Seg: geom.NewSegment(p, p), Unique: true}
+	}
+	if line, ok := geom.Collinear(pts, o.CollinearTol*spread); ok {
+		return collinearMedian(pts, line)
+	}
+	if len(pts) == 3 {
+		// Fast path: the closed-form Fermat–Torricelli construction is
+		// exact for non-collinear triples (the common r=3 case).
+		c := ThreePoints(pts[0], pts[1], pts[2])
+		return Set{Seg: geom.NewSegment(c, c), Unique: true}
+	}
+	c := weiszfeld(pts, o, spread)
+	return Set{Seg: geom.NewSegment(c, c), Unique: true}
+}
+
+// Closest returns the point of the minimizer set closest to anchor — the
+// paper's tie-break rule for the Move-to-Center algorithm.
+func Closest(pts []geom.Point, anchor geom.Point, opts Options) geom.Point {
+	set := Solve(pts, opts)
+	if set.Unique {
+		return set.Seg.A
+	}
+	c, _ := set.Seg.ClosestTo(anchor)
+	return c
+}
+
+// Point returns an arbitrary minimizer (the midpoint of the minimizer set
+// when it is a segment).
+func Point(pts []geom.Point, opts Options) geom.Point {
+	set := Solve(pts, opts)
+	if set.Unique {
+		return set.Seg.A
+	}
+	return set.Seg.At(0.5)
+}
+
+// Cost returns Σ d(c, v_i) for the given center.
+func Cost(c geom.Point, pts []geom.Point) float64 { return geom.SumDist(c, pts) }
+
+// collinearMedian solves the problem exactly on a line: project all points
+// to scalar parameters, take the middle order statistic(s).
+func collinearMedian(pts []geom.Point, line geom.Line) Set {
+	n := len(pts)
+	ts := make([]float64, n)
+	for i, p := range pts {
+		_, t := line.Project(p)
+		ts[i] = t
+	}
+	sort.Float64s(ts)
+	at := func(t float64) geom.Point { return line.Origin.Add(line.Dir.Scale(t)) }
+	if n%2 == 1 {
+		c := at(ts[n/2])
+		return Set{Seg: geom.NewSegment(c, c), Unique: true}
+	}
+	lo, hi := ts[n/2-1], ts[n/2]
+	if lo == hi {
+		c := at(lo)
+		return Set{Seg: geom.NewSegment(c, c), Unique: true}
+	}
+	return Set{Seg: geom.NewSegment(at(lo), at(hi)), Unique: false}
+}
+
+// weiszfeld runs the Weiszfeld fixed-point iteration with the Vardi–Zhang
+// correction. pts are guaranteed non-collinear, so the minimizer is unique
+// and the objective is strictly convex on the affine hull.
+func weiszfeld(pts []geom.Point, o Options, spread float64) geom.Point {
+	y := geom.Centroid(pts)
+	tol := o.Tol * spread
+	snapTol := 1e-14 * spread
+
+	for iter := 0; iter < o.MaxIter; iter++ {
+		next, done := weiszfeldStep(pts, y, snapTol)
+		if done {
+			return next
+		}
+		if geom.Dist(y, next) <= tol {
+			return next
+		}
+		y = next
+	}
+	return y
+}
+
+// weiszfeldStep performs one iteration from y. done reports that y (or the
+// returned point) is optimal and iteration should stop.
+func weiszfeldStep(pts []geom.Point, y geom.Point, snapTol float64) (geom.Point, bool) {
+	d := y.Dim()
+	numer := geom.Zero(d)
+	denom := 0.0
+	// eta counts input points coinciding with y; r accumulates the
+	// direction Σ_{v_i != y} (v_i - y)/d_i.
+	eta := 0.0
+	r := geom.Zero(d)
+	for _, v := range pts {
+		di := geom.Dist(y, v)
+		if di <= snapTol {
+			eta++
+			continue
+		}
+		w := 1 / di
+		denom += w
+		for k := 0; k < d; k++ {
+			numer[k] += v[k] * w
+			r[k] += (v[k] - y[k]) * w
+		}
+	}
+	if denom == 0 {
+		// All points coincide with y; y is trivially optimal.
+		return y.Clone(), true
+	}
+	tPlain := numer.Scale(1 / denom)
+	if eta == 0 {
+		return tPlain, false
+	}
+	// Vardi–Zhang: y sits on an input point with multiplicity eta. y is
+	// optimal iff ||r|| <= eta; otherwise blend the plain step with y.
+	rNorm := r.Norm()
+	if rNorm <= eta {
+		return y.Clone(), true
+	}
+	beta := eta / rNorm
+	next := tPlain.Scale(1 - beta).Add(y.Scale(beta))
+	return next, false
+}

@@ -1,0 +1,252 @@
+package median
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func TestSinglePoint(t *testing.T) {
+	set := Solve([]geom.Point{pt(3, 4)}, Options{})
+	if !set.Unique || !set.Seg.A.Equal(pt(3, 4)) {
+		t.Fatalf("single point median = %+v", set)
+	}
+}
+
+func TestAllCoincident(t *testing.T) {
+	pts := []geom.Point{pt(1, 1), pt(1, 1), pt(1, 1)}
+	set := Solve(pts, Options{})
+	if !set.Unique || !set.Seg.A.ApproxEqual(pt(1, 1), 1e-12) {
+		t.Fatalf("coincident median = %+v", set)
+	}
+}
+
+func TestTwoPointsSegment(t *testing.T) {
+	pts := []geom.Point{pt(0, 0), pt(10, 0)}
+	set := Solve(pts, Options{})
+	if set.Unique {
+		t.Fatal("two distinct points should have a segment of minimizers")
+	}
+	if set.Seg.Length() < 10-1e-9 {
+		t.Fatalf("median segment too short: %v", set.Seg.Length())
+	}
+}
+
+func TestOdd1D(t *testing.T) {
+	pts := []geom.Point{pt(1.0), pt(5.0), pt(100.0)}
+	set := Solve(pts, Options{})
+	if !set.Unique {
+		t.Fatal("odd count should be unique")
+	}
+	if !set.Seg.A.ApproxEqual(pt(5.0), 1e-9) {
+		t.Fatalf("1-D odd median = %v, want (5)", set.Seg.A)
+	}
+}
+
+func TestEven1DInterval(t *testing.T) {
+	pts := []geom.Point{pt(0.0), pt(2.0), pt(7.0), pt(50.0)}
+	set := Solve(pts, Options{})
+	if set.Unique {
+		t.Fatal("even count with distinct middles should be non-unique")
+	}
+	// The minimizer set is [2, 7].
+	lo, hi := set.Seg.A[0], set.Seg.B[0]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo-2) > 1e-9 || math.Abs(hi-7) > 1e-9 {
+		t.Fatalf("median interval = [%v, %v], want [2, 7]", lo, hi)
+	}
+}
+
+func TestEven1DDegenerateMiddle(t *testing.T) {
+	pts := []geom.Point{pt(0.0), pt(3.0), pt(3.0), pt(9.0)}
+	set := Solve(pts, Options{})
+	if !set.Unique || !set.Seg.A.ApproxEqual(pt(3.0), 1e-9) {
+		t.Fatalf("expected unique median at 3, got %+v", set)
+	}
+}
+
+func TestClosestTieBreak(t *testing.T) {
+	pts := []geom.Point{pt(0.0), pt(10.0)}
+	// Anchor left of the interval: closest point of [0,10] is 0.
+	c := Closest(pts, pt(-5.0), Options{})
+	if !c.ApproxEqual(pt(0.0), 1e-9) {
+		t.Fatalf("Closest = %v, want 0", c)
+	}
+	// Anchor inside the interval: the anchor's projection itself.
+	c = Closest(pts, pt(4.0), Options{})
+	if !c.ApproxEqual(pt(4.0), 1e-9) {
+		t.Fatalf("Closest = %v, want 4", c)
+	}
+	// Anchor right: 10.
+	c = Closest(pts, pt(40.0), Options{})
+	if !c.ApproxEqual(pt(10.0), 1e-9) {
+		t.Fatalf("Closest = %v, want 10", c)
+	}
+}
+
+func TestClosestTieBreak2D(t *testing.T) {
+	// Two points on the x-axis; anchor off-axis: closest point of the
+	// median segment is the anchor's orthogonal projection.
+	pts := []geom.Point{pt(0, 0), pt(10, 0)}
+	c := Closest(pts, pt(3, 7), Options{})
+	if !c.ApproxEqual(pt(3, 0), 1e-9) {
+		t.Fatalf("Closest = %v, want (3,0)", c)
+	}
+}
+
+func TestEquilateralTriangle(t *testing.T) {
+	// The Fermat point of an equilateral triangle is its centroid.
+	pts := []geom.Point{
+		pt(0, 0),
+		pt(1, 0),
+		pt(0.5, math.Sqrt(3)/2),
+	}
+	set := Solve(pts, Options{})
+	want := geom.Centroid(pts)
+	if !set.Unique {
+		t.Fatal("triangle median should be unique")
+	}
+	if !set.Seg.A.ApproxEqual(want, 1e-8) {
+		t.Fatalf("equilateral Fermat point = %v, want %v", set.Seg.A, want)
+	}
+}
+
+func TestObtuseTriangleVertex(t *testing.T) {
+	// If one vertex has an angle >= 120°, the Fermat point is that vertex.
+	pts := []geom.Point{
+		pt(0, 0),
+		pt(10, 0.5),
+		pt(-10, 0.5),
+	}
+	set := Solve(pts, Options{})
+	if !set.Seg.A.ApproxEqual(pt(0, 0), 1e-6) {
+		t.Fatalf("obtuse Fermat point = %v, want (0,0)", set.Seg.A)
+	}
+}
+
+func TestMajorityPoint(t *testing.T) {
+	// With 3 of 5 points coincident, the median is the coincident point
+	// (majority weight dominates). Points are NOT collinear.
+	pts := []geom.Point{
+		pt(2, 2), pt(2, 2), pt(2, 2),
+		pt(100, 0), pt(0, 100),
+	}
+	set := Solve(pts, Options{})
+	if !set.Seg.A.ApproxEqual(pt(2, 2), 1e-6) {
+		t.Fatalf("majority median = %v, want (2,2)", set.Seg.A)
+	}
+}
+
+func TestSquareCenter(t *testing.T) {
+	pts := []geom.Point{pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2)}
+	set := Solve(pts, Options{})
+	if !set.Unique {
+		t.Fatal("square median should be unique")
+	}
+	if !set.Seg.A.ApproxEqual(pt(1, 1), 1e-8) {
+		t.Fatalf("square median = %v, want (1,1)", set.Seg.A)
+	}
+}
+
+func TestWeiszfeldVsGridSearch(t *testing.T) {
+	// Compare against brute-force grid refinement on random 2-D sets.
+	r := xrand.New(42)
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.IntN(8)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = pt(r.Range(-10, 10), r.Range(-10, 10))
+		}
+		set := Solve(pts, Options{})
+		var c geom.Point
+		if set.Unique {
+			c = set.Seg.A
+		} else {
+			c = set.Seg.At(0.5)
+		}
+		got := Cost(c, pts)
+		want := gridSearch(pts, 40)
+		if got > want*(1+1e-4)+1e-9 {
+			t.Fatalf("trial %d: weiszfeld cost %v > grid cost %v", trial, got, want)
+		}
+	}
+}
+
+// gridSearch refines a grid around the best cell a few times and returns
+// the best objective value found.
+func gridSearch(pts []geom.Point, res int) float64 {
+	b := geom.Bounds(pts)
+	lo, hi := b.Min.Clone(), b.Max.Clone()
+	best := math.Inf(1)
+	var bestPt geom.Point
+	for ref := 0; ref < 6; ref++ {
+		stepX := (hi[0] - lo[0]) / float64(res)
+		stepY := (hi[1] - lo[1]) / float64(res)
+		for i := 0; i <= res; i++ {
+			for j := 0; j <= res; j++ {
+				c := geom.NewPoint(lo[0]+float64(i)*stepX, lo[1]+float64(j)*stepY)
+				if v := Cost(c, pts); v < best {
+					best = v
+					bestPt = c
+				}
+			}
+		}
+		// Zoom into the winning cell.
+		lo = geom.NewPoint(bestPt[0]-2*stepX, bestPt[1]-2*stepY)
+		hi = geom.NewPoint(bestPt[0]+2*stepX, bestPt[1]+2*stepY)
+	}
+	return best
+}
+
+func TestSolvePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Solve(nil) did not panic")
+		}
+	}()
+	Solve(nil, Options{})
+}
+
+func TestPointReturnsMinimizer(t *testing.T) {
+	pts := []geom.Point{pt(0.0), pt(4.0)}
+	c := Point(pts, Options{})
+	// Any point of [0,4] is a minimizer; midpoint expected.
+	if c[0] < -1e-9 || c[0] > 4+1e-9 {
+		t.Fatalf("Point = %v outside minimizer set", c)
+	}
+	if Cost(c, pts) > 4+1e-9 {
+		t.Fatalf("Point cost %v > 4", Cost(c, pts))
+	}
+}
+
+func TestHighDimensional(t *testing.T) {
+	// 4-D cross polytope vertices: median is the origin.
+	pts := []geom.Point{
+		pt(1, 0, 0, 0), pt(-1, 0, 0, 0),
+		pt(0, 1, 0, 0), pt(0, -1, 0, 0),
+		pt(0, 0, 1, 0), pt(0, 0, -1, 0),
+		pt(0, 0, 0, 1), pt(0, 0, 0, -1),
+	}
+	set := Solve(pts, Options{})
+	if !set.Seg.A.ApproxEqual(geom.Zero(4), 1e-8) {
+		t.Fatalf("cross polytope median = %v, want origin", set.Seg.A)
+	}
+}
+
+func TestCollinearIn2D(t *testing.T) {
+	// Collinear points along a diagonal; odd count.
+	pts := []geom.Point{pt(0, 0), pt(1, 1), pt(2, 2), pt(3, 3), pt(10, 10)}
+	set := Solve(pts, Options{})
+	if !set.Unique {
+		t.Fatal("odd collinear should be unique")
+	}
+	if !set.Seg.A.ApproxEqual(pt(2, 2), 1e-8) {
+		t.Fatalf("collinear median = %v, want (2,2)", set.Seg.A)
+	}
+}

@@ -1,0 +1,129 @@
+package median
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// TestMedianBeatsPerturbations: the computed median's objective is no worse
+// than random perturbations of it (local optimality; by convexity this is
+// evidence of global optimality).
+func TestMedianBeatsPerturbations(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		dim := 1 + r.IntN(3)
+		n := 1 + r.IntN(12)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			p := make(geom.Point, dim)
+			for k := range p {
+				p[k] = r.Range(-20, 20)
+			}
+			pts[i] = p
+		}
+		c := Point(pts, Options{})
+		base := Cost(c, pts)
+		spread := geom.Spread(pts)
+		for trial := 0; trial < 12; trial++ {
+			delta := make(geom.Point, dim)
+			for k := range delta {
+				delta[k] = r.Range(-1, 1) * (0.2*spread + 0.1)
+			}
+			if Cost(c.Add(delta), pts) < base-1e-7*(1+base) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMedianInsideBounds: the geometric median always lies in the bounding
+// box (indeed the convex hull) of the inputs.
+func TestMedianInsideBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		dim := 1 + r.IntN(4)
+		n := 1 + r.IntN(15)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			p := make(geom.Point, dim)
+			for k := range p {
+				p[k] = r.Range(-50, 50)
+			}
+			pts[i] = p
+		}
+		c := Point(pts, Options{})
+		return geom.Bounds(pts).Contains(c, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosestIsInMinimizerSet: Closest returns a point with (near-)optimal
+// objective, and among sampled minimizers it is nearest to the anchor.
+func TestClosestIsInMinimizerSet(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		// Force the non-unique case: even number of collinear points.
+		n := 2 * (1 + r.IntN(4))
+		dir := geom.NewPoint(r.Range(-1, 1), r.Range(-1, 1))
+		if dir.Norm() < 1e-3 {
+			dir = geom.NewPoint(1, 0)
+		}
+		dir = dir.Unit()
+		origin := geom.NewPoint(r.Range(-5, 5), r.Range(-5, 5))
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = origin.Add(dir.Scale(r.Range(-10, 10)))
+		}
+		anchor := geom.NewPoint(r.Range(-15, 15), r.Range(-15, 15))
+		c := Closest(pts, anchor, Options{})
+		optCost := Cost(Point(pts, Options{}), pts)
+		if Cost(c, pts) > optCost*(1+1e-9)+1e-9 {
+			return false // not a minimizer
+		}
+		// No sampled minimizer may be closer to the anchor.
+		set := Solve(pts, Options{})
+		for k := 0; k < 10; k++ {
+			alt := set.Seg.At(r.Float64())
+			if geom.Dist(anchor, alt) < geom.Dist(anchor, c)-1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTranslationEquivariance: median(pts + v) == median(pts) + v.
+func TestTranslationEquivariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 3 + r.IntN(8)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.NewPoint(r.Range(-10, 10), r.Range(-10, 10))
+		}
+		v := geom.NewPoint(r.Range(-100, 100), r.Range(-100, 100))
+		shifted := make([]geom.Point, n)
+		for i := range pts {
+			shifted[i] = pts[i].Add(v)
+		}
+		anchor := geom.NewPoint(0, 0)
+		c1 := Closest(pts, anchor, Options{}).Add(v)
+		c2 := Closest(shifted, anchor.Add(v), Options{})
+		return c1.ApproxEqual(c2, 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package multi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func fleetCfg(k int) Config { return Config{Dim: 2, D: 2, M: 1, Delta: 0, K: k} }
+
+func fleetInstance(t *testing.T, k, T int, seed uint64) *Instance {
+	t.Helper()
+	cfg := fleetCfg(k)
+	src := workload.Clusters{K: k, Sigma: 0.5, SwitchProb: 0.05, Requests: 2}.
+		Generate(xrand.New(seed), core.Config{Dim: 2, D: cfg.D, M: cfg.M, Order: core.MoveFirst}, T)
+	in := &Instance{Config: cfg, Starts: SpreadStarts(cfg, 5), Steps: src.Steps}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := fleetCfg(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := fleetCfg(0)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	bad = fleetCfg(2)
+	bad.D = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad D accepted")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	in := fleetInstance(t, 2, 10, 1)
+	in.Starts = in.Starts[:1]
+	if err := in.Validate(); err == nil {
+		t.Fatal("start-count mismatch accepted")
+	}
+	in = fleetInstance(t, 2, 10, 1)
+	in.Steps = nil
+	if err := in.Validate(); err == nil {
+		t.Fatal("empty steps accepted")
+	}
+}
+
+func TestServeCostNearest(t *testing.T) {
+	positions := []geom.Point{pt(0, 0), pt(10, 0)}
+	reqs := []geom.Point{pt(1, 0), pt(9, 0)}
+	if got := ServeCost(positions, reqs); got != 2 {
+		t.Fatalf("ServeCost = %v, want 2", got)
+	}
+}
+
+func TestRunLazyCost(t *testing.T) {
+	cfg := fleetCfg(2)
+	in := &Instance{
+		Config: cfg,
+		Starts: []geom.Point{pt(0, 0), pt(10, 0)},
+		Steps: []core.Step{
+			{Requests: []geom.Point{pt(1, 0)}},
+			{Requests: []geom.Point{pt(9, 0)}},
+		},
+	}
+	res, err := Run(in, NewLazyK(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Move != 0 || res.Cost.Serve != 2 {
+		t.Fatalf("lazy cost = %+v", res.Cost)
+	}
+}
+
+func TestMtCKRespectsCap(t *testing.T) {
+	in := fleetInstance(t, 3, 100, 2)
+	res, err := Run(in, NewMtCK(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMove > in.Config.OnlineCap()*(1+1e-9) {
+		t.Fatalf("MaxMove = %v", res.MaxMove)
+	}
+}
+
+func TestMtCKBeatsLazyOnClusters(t *testing.T) {
+	in := fleetInstance(t, 2, 300, 3)
+	mtc, err := Run(in, NewMtCK(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := Run(in, NewLazyK(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtc.Cost.Total() >= lazy.Cost.Total() {
+		t.Fatalf("MtC-k (%v) did not beat Lazy-k (%v)", mtc.Cost.Total(), lazy.Cost.Total())
+	}
+}
+
+func TestMoreServersHelp(t *testing.T) {
+	// On a 3-cluster workload, K=3 should beat K=1 clearly.
+	costAt := func(k int) float64 {
+		sum := 0.0
+		for seed := uint64(0); seed < 3; seed++ {
+			cfg := fleetCfg(k)
+			src := workload.Clusters{K: 3, Sigma: 0.5, SwitchProb: 0, Requests: 2}.
+				Generate(xrand.New(seed), core.Config{Dim: 2, D: cfg.D, M: cfg.M, Order: core.MoveFirst}, 200)
+			in := &Instance{Config: cfg, Starts: SpreadStarts(cfg, 10), Steps: src.Steps}
+			res, err := Run(in, NewMtCK(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Cost.Total()
+		}
+		return sum
+	}
+	c1, c3 := costAt(1), costAt(3)
+	if c3 >= c1 {
+		t.Fatalf("K=3 (%v) not better than K=1 (%v)", c3, c1)
+	}
+}
+
+func TestRunRejectsWrongArity(t *testing.T) {
+	in := fleetInstance(t, 2, 5, 4)
+	if _, err := Run(in, &badArity{}, 0); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+type badArity struct{ pos []geom.Point }
+
+func (b *badArity) Name() string                        { return "bad" }
+func (b *badArity) Reset(_ Config, starts []geom.Point) { b.pos = starts }
+func (b *badArity) Move(_ []geom.Point) []geom.Point    { return b.pos[:1] }
+
+func TestRunRejectsOverspeed(t *testing.T) {
+	in := fleetInstance(t, 2, 5, 5)
+	if _, err := Run(in, &teleporter{}, 0); err == nil {
+		t.Fatal("teleporting fleet accepted")
+	}
+}
+
+type teleporter struct{ pos []geom.Point }
+
+func (b *teleporter) Name() string                        { return "teleport" }
+func (b *teleporter) Reset(_ Config, starts []geom.Point) { b.pos = starts }
+func (b *teleporter) Move(reqs []geom.Point) []geom.Point {
+	if len(reqs) > 0 {
+		out := make([]geom.Point, len(b.pos))
+		for i := range out {
+			out[i] = reqs[0].Clone()
+		}
+		b.pos = out
+	}
+	return b.pos
+}
+
+func TestSpreadStarts(t *testing.T) {
+	cfg := fleetCfg(4)
+	starts := SpreadStarts(cfg, 5)
+	if len(starts) != 4 {
+		t.Fatalf("got %d starts", len(starts))
+	}
+	for _, s := range starts {
+		if math.Abs(geom.Dist(pt(0, 0), s)-5) > 1e-9 {
+			t.Fatalf("start %v not on radius-5 circle", s)
+		}
+	}
+	// 1-D spread.
+	cfg1 := Config{Dim: 1, D: 1, M: 1, K: 3}
+	s1 := SpreadStarts(cfg1, 4)
+	if s1[0][0] != -4 || s1[2][0] != 4 {
+		t.Fatalf("1-D spread = %v", s1)
+	}
+	// K=1 sits at the origin.
+	single := SpreadStarts(Config{Dim: 2, D: 1, M: 1, K: 1}, 9)
+	if !single[0].Equal(pt(0, 0)) {
+		t.Fatalf("single start = %v", single[0])
+	}
+}

@@ -1,0 +1,172 @@
+package offline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// BruteForce1D enumerates every grid trajectory of a tiny 1-D instance and
+// returns the exact optimum over the grid (with the same relaxed movement
+// window as LineDP). It is exponential — O(cells^T) — and exists purely as
+// a test oracle for the dynamic programs.
+func BruteForce1D(in *core.Instance, cellsPerM, maxCells int) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if in.Config.Dim != 1 {
+		return 0, fmt.Errorf("offline: BruteForce1D requires dim 1")
+	}
+	b := in.Bounds()
+	gr, err := buildGrid1D(b.Min[0], b.Max[0], in.Config.M, cellsPerM, maxCells)
+	if err != nil {
+		return 0, err
+	}
+	if pow := math.Pow(float64(gr.n), float64(in.T())); pow > 5e7 {
+		return 0, fmt.Errorf("offline: brute force too large (%g states)", pow)
+	}
+	w := 1
+	if gr.g > 0 {
+		w = int((in.Config.M+gr.g)/gr.g + 1e-9)
+		if w < 1 {
+			w = 1
+		}
+	}
+	D := in.Config.D
+	answerFirst := in.Config.Order == core.AnswerFirst
+	reqs := stepRequests1D(in)
+
+	serveAt := func(t, i int) float64 {
+		s := 0.0
+		for _, v := range reqs[t] {
+			s += math.Abs(gr.x(i) - v)
+		}
+		return s
+	}
+
+	var rec func(t, pos int) float64
+	rec = func(t, pos int) float64 {
+		if t == in.T() {
+			return 0
+		}
+		best := math.Inf(1)
+		pre := 0.0
+		if answerFirst {
+			pre = serveAt(t, pos)
+		}
+		for next := pos - w; next <= pos+w; next++ {
+			if next < 0 || next >= gr.n {
+				continue
+			}
+			c := pre + D*math.Abs(gr.x(pos)-gr.x(next))
+			if !answerFirst {
+				c += serveAt(t, next)
+			}
+			if total := c + rec(t+1, next); total < best {
+				best = total
+			}
+		}
+		return best
+	}
+	return rec(0, gr.nearest(in.Start[0])), nil
+}
+
+// LineDPPath runs the same relaxed grid DP as LineDP but additionally
+// recovers an optimal grid trajectory by storing parent pointers. Memory
+// is O(T·cells), so it refuses instances where that would exceed
+// maxStates.
+func LineDPPath(in *core.Instance, cellsPerM, maxCells, maxStates int) ([]geom.Point, DPResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, DPResult{}, err
+	}
+	if in.Config.Dim != 1 {
+		return nil, DPResult{}, fmt.Errorf("offline: LineDPPath requires dim 1")
+	}
+	if maxStates <= 0 {
+		maxStates = 50_000_000
+	}
+	b := in.Bounds()
+	gr, err := buildGrid1D(b.Min[0], b.Max[0], in.Config.M, cellsPerM, maxCells)
+	if err != nil {
+		return nil, DPResult{}, err
+	}
+	if in.T()*gr.n > maxStates {
+		return nil, DPResult{}, fmt.Errorf("offline: LineDPPath needs %d states > cap %d", in.T()*gr.n, maxStates)
+	}
+	D := in.Config.D
+	w := 1
+	if gr.g > 0 {
+		w = int((in.Config.M+gr.g)/gr.g + 1e-9)
+		if w < 1 {
+			w = 1
+		}
+	}
+	n := gr.n
+	prev := make([]float64, n)
+	next := make([]float64, n)
+	serve := make([]float64, n)
+	for i := range prev {
+		prev[i] = math.Inf(1)
+	}
+	startIdx := gr.nearest(in.Start[0])
+	prev[startIdx] = 0
+	parents := make([][]int32, in.T())
+	reqs := stepRequests1D(in)
+	answerFirst := in.Config.Order == core.AnswerFirst
+	slack := 0.0
+
+	for t := 0; t < in.T(); t++ {
+		serveCosts(gr, reqs[t], serve)
+		slack += D*gr.g + float64(len(reqs[t]))*gr.g/2
+		if answerFirst {
+			for i := 0; i < n; i++ {
+				if !math.IsInf(prev[i], 1) {
+					prev[i] += serve[i]
+				}
+			}
+		}
+		par := make([]int32, n)
+		// O(n·w) transitions: path extraction is a debugging tool, so the
+		// simple loop is preferred over the deque trick here.
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			bestJ := int32(-1)
+			for j := i - w; j <= i+w; j++ {
+				if j < 0 || j >= n {
+					continue
+				}
+				if cand := prev[j] + D*gr.g*math.Abs(float64(i-j)); cand < best {
+					best = cand
+					bestJ = int32(j)
+				}
+			}
+			if !answerFirst {
+				best += serve[i]
+			}
+			next[i] = best
+			par[i] = bestJ
+		}
+		parents[t] = par
+		prev, next = next, prev
+	}
+	// Locate the optimum and backtrack.
+	bestI, bestV := 0, math.Inf(1)
+	for i, v := range prev {
+		if v < bestV {
+			bestI, bestV = i, v
+		}
+	}
+	idxPath := make([]int, in.T()+1)
+	idxPath[in.T()] = bestI
+	for t := in.T() - 1; t >= 0; t-- {
+		idxPath[t] = int(parents[t][idxPath[t+1]])
+	}
+	path := make([]geom.Point, in.T()+1)
+	path[0] = in.Start.Clone()
+	for t := 1; t <= in.T(); t++ {
+		path[t] = geom.NewPoint(gr.x(idxPath[t]))
+	}
+	return path, DPResult{Value: bestV, Slack: slack, Cells: n, Pitch: gr.g}, nil
+}

@@ -1,0 +1,125 @@
+package offline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func TestLineDPMatchesBruteForce(t *testing.T) {
+	r := xrand.New(51)
+	for trial := 0; trial < 25; trial++ {
+		T := 1 + r.IntN(5)
+		steps := make([][]float64, T)
+		for i := range steps {
+			nr := r.IntN(3)
+			for k := 0; k < nr; k++ {
+				steps[i] = append(steps[i], r.Range(-2, 2))
+			}
+		}
+		cfg := core.Config{Dim: 1, D: 1 + r.Range(0, 2), M: 1, Order: core.MoveFirst}
+		if r.Coin() {
+			cfg.Order = core.AnswerFirst
+		}
+		in := lineInstance(cfg, r.Range(-2, 2), steps...)
+		dp, err := LineDP(in, 2, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := BruteForce1D(in, 2, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dp.Value-bf) > 1e-9*(1+bf) {
+			t.Fatalf("trial %d: DP %v != brute force %v", trial, dp.Value, bf)
+		}
+	}
+}
+
+func TestBruteForceRejectsHuge(t *testing.T) {
+	steps := make([][]float64, 30)
+	for i := range steps {
+		steps[i] = []float64{float64(i)}
+	}
+	in := lineInstance(cfg1D(), 0, steps...)
+	if _, err := BruteForce1D(in, 4, 1000); err == nil {
+		t.Fatal("huge brute force accepted")
+	}
+}
+
+func TestBruteForceRejects2D(t *testing.T) {
+	in := &core.Instance{
+		Config: core.Config{Dim: 2, D: 1, M: 1},
+		Start:  pt(0, 0),
+		Steps:  []core.Step{{Requests: []geom.Point{pt(1, 1)}}},
+	}
+	if _, err := BruteForce1D(in, 2, 10); err == nil {
+		t.Fatal("2-D brute force accepted")
+	}
+}
+
+func TestLineDPPathMatchesValue(t *testing.T) {
+	r := xrand.New(52)
+	for trial := 0; trial < 15; trial++ {
+		T := 3 + r.IntN(20)
+		steps := make([][]float64, T)
+		for i := range steps {
+			steps[i] = []float64{r.Range(-6, 6)}
+		}
+		in := lineInstance(cfg1D(), 0, steps...)
+		path, res, err := LineDPPath(in, 4, 10000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := LineDP(in, 4, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Value-dp.Value) > 1e-9*(1+dp.Value) {
+			t.Fatalf("trial %d: path DP %v != deque DP %v", trial, res.Value, dp.Value)
+		}
+		// The recovered trajectory must realize (approximately) the DP
+		// value when costed, modulo the start-snap difference of one
+		// half-pitch on step 1.
+		got, err := core.TrajectoryCost(in, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Total()-res.Value) > in.Config.D*res.Pitch+1e-6 {
+			t.Fatalf("trial %d: trajectory cost %v vs DP value %v", trial, got.Total(), res.Value)
+		}
+	}
+}
+
+func TestLineDPPathRespectsRelaxedCap(t *testing.T) {
+	steps := make([][]float64, 40)
+	r := xrand.New(53)
+	for i := range steps {
+		steps[i] = []float64{r.Range(-8, 8)}
+	}
+	in := lineInstance(cfg1D(), 0, steps...)
+	path, res, err := LineDPPath(in, 4, 10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed := in.Config.M + res.Pitch + 1e-9
+	for i := 1; i < len(path); i++ {
+		if d := geom.Dist(path[i-1], path[i]); d > relaxed {
+			t.Fatalf("path step %d = %v > relaxed cap %v", i, d, relaxed)
+		}
+	}
+}
+
+func TestLineDPPathStateCap(t *testing.T) {
+	steps := make([][]float64, 100)
+	for i := range steps {
+		steps[i] = []float64{float64(i % 50)}
+	}
+	in := lineInstance(cfg1D(), 0, steps...)
+	if _, _, err := LineDPPath(in, 10, 100000, 100); err == nil {
+		t.Fatal("state cap ignored")
+	}
+}

@@ -1,0 +1,200 @@
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/median"
+)
+
+// Greedy returns a feasible offline trajectory that chases the per-step
+// geometric median of the requests at full offline speed m. It is a cheap
+// feasible solution used as a descent starting point and as a fallback
+// upper bound on OPT.
+func Greedy(in *core.Instance) []geom.Point {
+	positions := make([]geom.Point, in.T()+1)
+	positions[0] = in.Start.Clone()
+	cur := in.Start.Clone()
+	for t, s := range in.Steps {
+		if len(s.Requests) > 0 {
+			target := median.Closest(s.Requests, cur, median.Options{})
+			cur = geom.MoveToward(cur, target, in.Config.M)
+		}
+		positions[t+1] = cur.Clone()
+	}
+	return positions
+}
+
+// Descent improves a feasible trajectory by projected block-coordinate
+// descent and returns the refined trajectory with its cost. Each block
+// update solves a weighted Fermat–Weber problem (weights D on the two
+// temporal neighbors, 1 on the requests served at that position) and
+// projects the result into the intersection of the movement balls around
+// the neighbors; an update is kept only if it lowers the local objective,
+// so the total cost is non-increasing and the trajectory stays feasible.
+//
+// The result is an upper bound on OPT. sweeps ≤ 0 selects a default of 40.
+func Descent(in *core.Instance, init []geom.Point, sweeps int) ([]geom.Point, core.Cost, error) {
+	if len(init) != in.T()+1 {
+		return nil, core.Cost{}, fmt.Errorf("offline: init has %d positions, want %d", len(init), in.T()+1)
+	}
+	if sweeps <= 0 {
+		sweeps = 40
+	}
+	m := in.Config.M
+	D := in.Config.D
+	answerFirst := in.Config.Order == core.AnswerFirst
+
+	positions := make([]geom.Point, len(init))
+	for i, p := range init {
+		positions[i] = p.Clone()
+	}
+
+	// servedAt returns the requests charged against positions[k].
+	servedAt := func(k int) []geom.Point {
+		if answerFirst {
+			// positions[k] serves step k+1 (1-based step k+1 reads the
+			// pre-move position).
+			if k < in.T() {
+				return in.Steps[k].Requests
+			}
+			return nil
+		}
+		if k >= 1 {
+			return in.Steps[k-1].Requests
+		}
+		return nil
+	}
+
+	local := func(k int, p geom.Point) float64 {
+		cost := D * geom.Dist(positions[k-1], p)
+		if k < in.T() {
+			cost += D * geom.Dist(p, positions[k+1])
+		}
+		for _, v := range servedAt(k) {
+			cost += geom.Dist(p, v)
+		}
+		return cost
+	}
+
+	improvedTotal := true
+	for sweep := 0; sweep < sweeps && improvedTotal; sweep++ {
+		improvedTotal = false
+		for k := 1; k <= in.T(); k++ {
+			pts, weights := blockProblem(in, positions, k, servedAt(k), D)
+			cand := weightedMedian(pts, weights, positions[k])
+			cand = projectBalls(cand, positions[k-1], m, neighborOrNil(positions, k, in.T()), m)
+			if cand == nil {
+				continue
+			}
+			if local(k, cand) < local(k, positions[k])-1e-12 {
+				positions[k] = cand
+				improvedTotal = true
+			}
+		}
+	}
+	cost, err := core.TrajectoryCost(in, positions)
+	if err != nil {
+		return nil, core.Cost{}, err
+	}
+	return positions, cost, nil
+}
+
+// neighborOrNil returns positions[k+1] or nil at the trajectory end.
+func neighborOrNil(positions []geom.Point, k, T int) geom.Point {
+	if k < T {
+		return positions[k+1]
+	}
+	return nil
+}
+
+// blockProblem assembles the weighted point set of the block-k subproblem.
+func blockProblem(in *core.Instance, positions []geom.Point, k int, served []geom.Point, D float64) ([]geom.Point, []float64) {
+	pts := make([]geom.Point, 0, len(served)+2)
+	weights := make([]float64, 0, len(served)+2)
+	pts = append(pts, positions[k-1])
+	weights = append(weights, D)
+	if k < in.T() {
+		pts = append(pts, positions[k+1])
+		weights = append(weights, D)
+	}
+	for _, v := range served {
+		pts = append(pts, v)
+		weights = append(weights, 1)
+	}
+	return pts, weights
+}
+
+// weightedMedian runs a weighted Weiszfeld iteration from the given start.
+// It returns a (near-)minimizer of Σ w_i·d(p, v_i); exactness is not
+// required since callers accept updates only when they improve.
+func weightedMedian(pts []geom.Point, weights []float64, start geom.Point) geom.Point {
+	y := start.Clone()
+	dim := y.Dim()
+	for iter := 0; iter < 60; iter++ {
+		numer := geom.Zero(dim)
+		denom := 0.0
+		grad := geom.Zero(dim)
+		eta := 0.0
+		for i, v := range pts {
+			di := geom.Dist(y, v)
+			if di < 1e-12 {
+				eta += weights[i]
+				continue
+			}
+			w := weights[i] / di
+			denom += w
+			for c := 0; c < dim; c++ {
+				numer[c] += v[c] * w
+				grad[c] += (v[c] - y[c]) * w
+			}
+		}
+		if denom == 0 {
+			return y
+		}
+		next := numer.Scale(1 / denom)
+		if eta > 0 {
+			gn := grad.Norm()
+			if gn <= eta {
+				return y
+			}
+			beta := eta / gn
+			next = next.Scale(1 - beta).Add(y.Scale(beta))
+		}
+		if geom.Dist(y, next) < 1e-10 {
+			return next
+		}
+		y = next
+	}
+	return y
+}
+
+// projectBalls returns a point of B(c1, r1) ∩ B(c2, r2) near p via
+// alternating projection (c2 may be nil for a single ball). It returns nil
+// if the alternation fails to reach the intersection, which callers treat
+// as "keep the old position".
+func projectBalls(p, c1 geom.Point, r1 float64, c2 geom.Point, r2 float64) geom.Point {
+	q := p.Clone()
+	for iter := 0; iter < 64; iter++ {
+		moved := false
+		if d := geom.Dist(q, c1); d > r1 {
+			q = geom.Lerp(c1, q, r1/d)
+			moved = true
+		}
+		if c2 != nil {
+			if d := geom.Dist(q, c2); d > r2 {
+				q = geom.Lerp(c2, q, r2/d)
+				moved = true
+			}
+		}
+		if !moved {
+			return q
+		}
+	}
+	// Alternating projection did not converge; check final feasibility.
+	if geom.Dist(q, c1) <= r1*(1+1e-9) && (c2 == nil || geom.Dist(q, c2) <= r2*(1+1e-9)) {
+		return q
+	}
+	return nil
+}

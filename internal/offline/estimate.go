@@ -1,0 +1,155 @@
+package offline
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/median"
+	"repro/internal/sim"
+)
+
+// Options configures the combined OPT estimator.
+type Options struct {
+	// CellsPerM is the grid resolution (cells per movement radius m) for
+	// the DP lower bounds. Default 4 in 1-D, 3 in 2-D.
+	CellsPerM int
+	// MaxCells caps the grid size. Default 400000 (1-D) / 40000 (2-D).
+	MaxCells int
+	// Sweeps bounds the descent sweeps for upper bounds. Default 40.
+	Sweeps int
+	// Witness optionally provides a known feasible trajectory (e.g. an
+	// adversary's own solution) used as an additional upper bound and
+	// descent seed.
+	Witness []geom.Point
+	// SkipDP disables the grid DP (useful when only an upper bound is
+	// needed quickly).
+	SkipDP bool
+}
+
+func (o Options) withDefaults(dim int) Options {
+	if o.CellsPerM <= 0 {
+		if dim == 1 {
+			o.CellsPerM = 4
+		} else {
+			o.CellsPerM = 3
+		}
+	}
+	if o.MaxCells <= 0 {
+		if dim == 1 {
+			o.MaxCells = 400000
+		} else {
+			o.MaxCells = 40000
+		}
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = 40
+	}
+	return o
+}
+
+// Estimate brackets the offline optimum: Lower ≤ OPT ≤ Upper.
+type Estimate struct {
+	// Upper is the cost of the best feasible trajectory found.
+	Upper float64
+	// Lower is the best certified lower bound (0 if none applies).
+	Lower float64
+	// UpperMethod and LowerMethod name the winning estimators.
+	UpperMethod, LowerMethod string
+}
+
+// Mid returns the geometric mean of the bracket, a reasonable point
+// estimate when Lower > 0, else Upper.
+func (e Estimate) Mid() float64 {
+	if e.Lower > 0 {
+		return math.Sqrt(e.Lower * e.Upper)
+	}
+	return e.Upper
+}
+
+// Best computes the tightest OPT bracket available for the instance:
+//
+//	upper bounds: greedy chase, the provided witness, and descent
+//	refinements of both;
+//	lower bounds: the per-step serve-only bound Σ_t min_c Σ_i d(c, v_{t,i})
+//	and the relaxed grid DP (dim 1 and 2).
+func Best(in *core.Instance, opts Options) (Estimate, error) {
+	if err := in.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	o := opts.withDefaults(in.Config.Dim)
+	est := Estimate{Upper: math.Inf(1)}
+
+	consider := func(method string, cost float64) {
+		if cost < est.Upper {
+			est.Upper = cost
+			est.UpperMethod = method
+		}
+	}
+
+	// Greedy + descent.
+	greedy := Greedy(in)
+	if c, err := core.TrajectoryCost(in, greedy); err == nil {
+		consider("greedy", c.Total())
+	}
+	if refined, c, err := Descent(in, greedy, o.Sweeps); err == nil && refined != nil {
+		consider("descent(greedy)", c.Total())
+	}
+
+	// Witness + descent, when provided and feasible.
+	if opts.Witness != nil {
+		if c, err := sim.CheckFeasible(in, opts.Witness, in.Config.OfflineCap(), 0); err == nil {
+			consider("witness", c.Total())
+			if refined, rc, err := Descent(in, opts.Witness, o.Sweeps); err == nil && refined != nil {
+				consider("descent(witness)", rc.Total())
+			}
+		}
+	}
+
+	// Serve-only lower bound: every step independently pays at least the
+	// optimal 1-median cost of its batch; movement is nonnegative.
+	serveLB := 0.0
+	for _, s := range in.Steps {
+		if len(s.Requests) == 0 {
+			continue
+		}
+		c := median.Point(s.Requests, median.Options{})
+		serveLB += geom.SumDist(c, s.Requests)
+	}
+	est.Lower = serveLB
+	est.LowerMethod = "serve-only"
+
+	if !o.SkipDP {
+		var dp DPResult
+		var err error
+		switch in.Config.Dim {
+		case 1:
+			dp, err = LineDP(in, o.CellsPerM, o.MaxCells)
+		case 2:
+			dp, err = PlaneDP(in, o.CellsPerM, o.MaxCells)
+		default:
+			err = errUnsupportedDim
+		}
+		if err == nil {
+			if lb := dp.Lower(); lb > est.Lower {
+				est.Lower = lb
+				est.LowerMethod = "grid-dp"
+			}
+			// The DP value itself is a near-feasible cost; it is NOT an
+			// upper bound (relaxed cap), so it is not considered for
+			// est.Upper.
+		}
+	}
+	if est.Lower > est.Upper {
+		// Numerical slack can push the certified bound above a loose
+		// upper bound; the bracket must stay consistent.
+		est.Lower = est.Upper
+	}
+	return est, nil
+}
+
+var errUnsupportedDim = errorString("offline: grid DP supports dim 1 and 2 only")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,126 @@
+// Package offline computes (bounds on) the offline optimum OPT of Mobile
+// Server instances, which experiments divide by to measure competitive
+// ratios.
+//
+// Since OPT has no closed form, the package provides:
+//
+//   - LineDP: a relaxed grid dynamic program on the line whose value is at
+//     most OPT plus a certified discretization slack — yielding a certified
+//     lower bound on OPT (the conservative direction when validating the
+//     paper's upper-bound theorems).
+//   - PlaneDP: the analogous program on a 2-D grid for moderate instances.
+//   - Descent: projected block-coordinate descent over continuous
+//     trajectories, yielding feasible solutions (upper bounds on OPT).
+//   - Best: a combined estimator returning an [Lower, Upper] bracket.
+//
+// All solvers exploit that OPT never benefits from leaving the bounding box
+// of the start position and the requests (coordinate-wise clamping is
+// 1-Lipschitz and cannot increase any cost term), so grids cover exactly
+// that box.
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// grid1D is a uniform grid on an interval.
+type grid1D struct {
+	lo, g float64
+	n     int
+}
+
+func (gr grid1D) x(i int) float64 { return gr.lo + float64(i)*gr.g }
+
+// nearest returns the index of the grid point closest to x.
+func (gr grid1D) nearest(x float64) int {
+	i := int((x-gr.lo)/gr.g + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= gr.n {
+		i = gr.n - 1
+	}
+	return i
+}
+
+// buildGrid1D covers [lo, hi] with pitch ≈ m/cellsPerM, capped at maxCells
+// points (the pitch grows if the cap binds).
+func buildGrid1D(lo, hi, m float64, cellsPerM, maxCells int) (grid1D, error) {
+	if hi < lo {
+		return grid1D{}, fmt.Errorf("offline: empty interval [%g, %g]", lo, hi)
+	}
+	if cellsPerM < 1 {
+		cellsPerM = 1
+	}
+	if maxCells < 2 {
+		maxCells = 2
+	}
+	g := m / float64(cellsPerM)
+	span := hi - lo
+	if span == 0 {
+		return grid1D{lo: lo, g: g, n: 1}, nil
+	}
+	n := int(span/g) + 2
+	if n > maxCells {
+		n = maxCells
+		g = span / float64(n-1)
+	}
+	return grid1D{lo: lo, g: g, n: n}, nil
+}
+
+// stepRequests1D returns the sorted request coordinates of each step for a
+// 1-D instance.
+func stepRequests1D(in *core.Instance) [][]float64 {
+	out := make([][]float64, in.T())
+	for t, s := range in.Steps {
+		xs := make([]float64, len(s.Requests))
+		for i, v := range s.Requests {
+			xs[i] = v[0]
+		}
+		sortFloats(xs)
+		out[t] = xs
+	}
+	return out
+}
+
+// sortFloats is insertion sort for the typically tiny per-step request
+// slices (falls back to O(n²) which is fine for r ≤ a few hundred).
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// serveCosts fills serve[i] = Σ_k |x_i − v_k| for all grid points with one
+// linear sweep using prefix sums over the sorted request coordinates.
+func serveCosts(gr grid1D, sorted []float64, serve []float64) {
+	r := len(sorted)
+	if r == 0 {
+		for i := range serve {
+			serve[i] = 0
+		}
+		return
+	}
+	total := 0.0
+	for _, v := range sorted {
+		total += v
+	}
+	// ptr = number of requests ≤ current grid point; sumLeft their sum.
+	ptr := 0
+	sumLeft := 0.0
+	for i := 0; i < gr.n; i++ {
+		x := gr.x(i)
+		for ptr < r && sorted[ptr] <= x {
+			sumLeft += sorted[ptr]
+			ptr++
+		}
+		cntL := float64(ptr)
+		cntR := float64(r - ptr)
+		sumRight := total - sumLeft
+		serve[i] = (x*cntL - sumLeft) + (sumRight - x*cntR)
+	}
+}

@@ -1,0 +1,148 @@
+package offline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// DPResult reports the value of a relaxed grid dynamic program.
+type DPResult struct {
+	// Value is the optimal cost over grid trajectories whose per-step
+	// moves are allowed to exceed m by one grid cell (the relaxation that
+	// makes Value-Slack a certified lower bound on the continuous OPT).
+	Value float64
+	// Slack bounds the gap: Value ≤ OPT + Slack, i.e. OPT ≥ Value − Slack.
+	Slack float64
+	// Cells is the number of grid points used.
+	Cells int
+	// Pitch is the grid spacing.
+	Pitch float64
+}
+
+// Lower returns the certified lower bound max(Value−Slack, 0) on OPT.
+func (r DPResult) Lower() float64 { return math.Max(r.Value-r.Slack, 0) }
+
+// LineDP solves the relaxed grid DP for 1-D instances.
+//
+// The DP restricts positions to a uniform grid over the instance's bounding
+// interval and allows per-step moves up to m+pitch. Snapping any continuous
+// feasible trajectory to the grid stays feasible under the relaxed cap and
+// increases the cost by at most D·pitch + r_t·pitch/2 per step, so
+//
+//	Value ≤ OPT + Σ_t (D·pitch + r_t·pitch/2) = OPT + Slack.
+//
+// Each transition min_{|x_i−x_j| ≤ m+pitch} cost[j] + D·|x_i−x_j| is
+// evaluated in O(1) amortized with two monotone deques (one for j ≤ i, one
+// for j ≥ i), so a step costs O(cells) and the whole program
+// O(T·cells).
+func LineDP(in *core.Instance, cellsPerM, maxCells int) (DPResult, error) {
+	if err := in.Validate(); err != nil {
+		return DPResult{}, err
+	}
+	if in.Config.Dim != 1 {
+		return DPResult{}, fmt.Errorf("offline: LineDP requires dim 1, got %d", in.Config.Dim)
+	}
+	b := in.Bounds()
+	gr, err := buildGrid1D(b.Min[0], b.Max[0], in.Config.M, cellsPerM, maxCells)
+	if err != nil {
+		return DPResult{}, err
+	}
+	D := in.Config.D
+	m := in.Config.M
+	// Window in cells: moves up to m + pitch are admitted.
+	w := 1
+	if gr.g > 0 {
+		w = int((m+gr.g)/gr.g + 1e-9)
+		if w < 1 {
+			w = 1
+		}
+	}
+
+	n := gr.n
+	prev := make([]float64, n)
+	next := make([]float64, n)
+	serve := make([]float64, n)
+	for i := range prev {
+		prev[i] = math.Inf(1)
+	}
+	prev[gr.nearest(in.Start[0])] = 0
+
+	reqs := stepRequests1D(in)
+	answerFirst := in.Config.Order == core.AnswerFirst
+	slack := 0.0
+	dg := D * gr.g
+
+	// Deque buffers reused across steps.
+	idx := make([]int, 0, n)
+	for t := 0; t < in.T(); t++ {
+		serveCosts(gr, reqs[t], serve)
+		slack += dg + float64(len(reqs[t]))*gr.g/2
+
+		if answerFirst {
+			// Requests are served from the pre-move position: fold the
+			// serve cost into prev before the transition.
+			for i := 0; i < n; i++ {
+				if !math.IsInf(prev[i], 1) {
+					prev[i] += serve[i]
+				}
+			}
+		}
+
+		// Left pass: candidates j ≤ i, value prev[j] + D·g·(i−j).
+		idx = idx[:0]
+		for i := 0; i < n; i++ {
+			// Push j = i.
+			aj := prev[i] - dg*float64(i)
+			for len(idx) > 0 && prev[idx[len(idx)-1]]-dg*float64(idx[len(idx)-1]) >= aj {
+				idx = idx[:len(idx)-1]
+			}
+			idx = append(idx, i)
+			// Evict j < i−w.
+			for idx[0] < i-w {
+				idx = idx[1:]
+			}
+			j := idx[0]
+			next[i] = prev[j] + dg*float64(i-j)
+		}
+		// Right pass: candidates j ≥ i, value prev[j] + D·g·(j−i).
+		idx = idx[:0]
+		// Pre-fill window for i = 0: j in [0, w].
+		push := func(j int) {
+			bj := prev[j] + dg*float64(j)
+			for len(idx) > 0 && prev[idx[len(idx)-1]]+dg*float64(idx[len(idx)-1]) >= bj {
+				idx = idx[:len(idx)-1]
+			}
+			idx = append(idx, j)
+		}
+		for j := 0; j <= w && j < n; j++ {
+			push(j)
+		}
+		for i := 0; i < n; i++ {
+			for idx[0] < i {
+				idx = idx[1:]
+			}
+			j := idx[0]
+			if cand := prev[j] + dg*float64(j-i); cand < next[i] {
+				next[i] = cand
+			}
+			if i+w+1 < n {
+				push(i + w + 1)
+			}
+		}
+		if !answerFirst {
+			for i := 0; i < n; i++ {
+				next[i] += serve[i]
+			}
+		}
+		prev, next = next, prev
+	}
+	best := math.Inf(1)
+	for _, v := range prev {
+		if v < best {
+			best = v
+		}
+	}
+	return DPResult{Value: best, Slack: slack, Cells: n, Pitch: gr.g}, nil
+}

@@ -1,0 +1,487 @@
+package offline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func lineInstance(cfg core.Config, start float64, stepReqs ...[]float64) *core.Instance {
+	in := &core.Instance{Config: cfg, Start: pt(start)}
+	for _, reqs := range stepReqs {
+		var step core.Step
+		for _, v := range reqs {
+			step.Requests = append(step.Requests, pt(v))
+		}
+		in.Steps = append(in.Steps, step)
+	}
+	return in
+}
+
+func cfg1D() core.Config { return core.Config{Dim: 1, D: 2, M: 1, Delta: 0, Order: core.MoveFirst} }
+
+// lineDPNaive is an O(T·N²) reference implementation of the same relaxed
+// grid DP, used to validate the monotone-deque optimization.
+func lineDPNaive(in *core.Instance, cellsPerM, maxCells int) float64 {
+	b := in.Bounds()
+	gr, err := buildGrid1D(b.Min[0], b.Max[0], in.Config.M, cellsPerM, maxCells)
+	if err != nil {
+		panic(err)
+	}
+	D := in.Config.D
+	w := int((in.Config.M+gr.g)/gr.g + 1e-9)
+	if w < 1 {
+		w = 1
+	}
+	n := gr.n
+	prev := make([]float64, n)
+	for i := range prev {
+		prev[i] = math.Inf(1)
+	}
+	prev[gr.nearest(in.Start[0])] = 0
+	serve := make([]float64, n)
+	reqs := stepRequests1D(in)
+	answerFirst := in.Config.Order == core.AnswerFirst
+	for t := 0; t < in.T(); t++ {
+		serveCosts(gr, reqs[t], serve)
+		if answerFirst {
+			for i := range prev {
+				prev[i] += serve[i]
+			}
+		}
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			for j := i - w; j <= i+w; j++ {
+				if j < 0 || j >= n {
+					continue
+				}
+				cand := prev[j] + D*math.Abs(gr.x(i)-gr.x(j))
+				if cand < best {
+					best = cand
+				}
+			}
+			if !answerFirst {
+				best += serve[i]
+			}
+			next[i] = best
+		}
+		prev = next
+	}
+	best := math.Inf(1)
+	for _, v := range prev {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestLineDPMatchesNaive(t *testing.T) {
+	r := xrand.New(31)
+	for trial := 0; trial < 30; trial++ {
+		T := 1 + r.IntN(12)
+		steps := make([][]float64, T)
+		for i := range steps {
+			nr := r.IntN(4)
+			for k := 0; k < nr; k++ {
+				steps[i] = append(steps[i], r.Range(-5, 5))
+			}
+		}
+		cfg := cfg1D()
+		cfg.D = 1 + r.Range(0, 3)
+		if r.Coin() {
+			cfg.Order = core.AnswerFirst
+		}
+		in := lineInstance(cfg, r.Range(-5, 5), steps...)
+		got, err := LineDP(in, 3, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lineDPNaive(in, 3, 10000)
+		if math.Abs(got.Value-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: LineDP = %v, naive = %v", trial, got.Value, want)
+		}
+	}
+}
+
+func TestLineDPStaticOptimum(t *testing.T) {
+	// All requests at the start position: OPT = 0.
+	in := lineInstance(cfg1D(), 0, []float64{0}, []float64{0}, []float64{0})
+	res, err := LineDP(in, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value > 1e-9 {
+		t.Fatalf("static optimum = %v, want 0", res.Value)
+	}
+}
+
+func TestLineDPSingleFarRequest(t *testing.T) {
+	// One request at distance 10, D=2, m=1: either walk x steps toward it
+	// (but only one step available!) — T=1: move 1 (cost 2) serve 9 = 11,
+	// or stay and pay 10. OPT = 10? Moving 1 costs D·1 + 9 = 11 > 10, so
+	// OPT = 10 (stay). With D=1: move 1 + serve 9 = 10 = stay; OPT = 10.
+	in := lineInstance(cfg1D(), 0, []float64{10})
+	res, err := LineDP(in, 8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-10) > res.Slack+1e-9 {
+		t.Fatalf("OPT = %v (slack %v), want ≈ 10", res.Value, res.Slack)
+	}
+}
+
+func TestLineDPChaseIsOptimal(t *testing.T) {
+	// Requests march away at speed m: OPT follows at speed m paying only
+	// movement: T·D·m (serving at distance 0).
+	cfg := cfg1D() // D=2, m=1
+	var steps [][]float64
+	for t := 1; t <= 20; t++ {
+		steps = append(steps, []float64{float64(t)})
+	}
+	in := lineInstance(cfg, 0, steps...)
+	res, err := LineDP(in, 4, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20.0 * 2 * 1
+	if math.Abs(res.Value-want) > res.Slack+1e-9 {
+		t.Fatalf("OPT = %v, want ≈ %v (slack %v)", res.Value, want, res.Slack)
+	}
+}
+
+func TestLineDPLowerBelowFeasible(t *testing.T) {
+	// The certified lower bound must not exceed the cost of any feasible
+	// trajectory (here: greedy and descent).
+	r := xrand.New(32)
+	for trial := 0; trial < 20; trial++ {
+		T := 5 + r.IntN(30)
+		steps := make([][]float64, T)
+		for i := range steps {
+			nr := 1 + r.IntN(3)
+			for k := 0; k < nr; k++ {
+				steps[i] = append(steps[i], r.Range(-8, 8))
+			}
+		}
+		in := lineInstance(cfg1D(), 0, steps...)
+		res, err := LineDP(in, 4, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := Greedy(in)
+		gc, err := core.TrajectoryCost(in, greedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lower() > gc.Total()*(1+1e-9) {
+			t.Fatalf("trial %d: Lower %v > greedy %v", trial, res.Lower(), gc.Total())
+		}
+	}
+}
+
+func TestLineDPRejectsWrongDim(t *testing.T) {
+	in := &core.Instance{
+		Config: core.Config{Dim: 2, D: 1, M: 1},
+		Start:  pt(0, 0),
+		Steps:  []core.Step{{Requests: []geom.Point{pt(1, 1)}}},
+	}
+	if _, err := LineDP(in, 4, 1000); err == nil {
+		t.Fatal("LineDP accepted a 2-D instance")
+	}
+}
+
+func TestPlaneDPStaticOptimum(t *testing.T) {
+	in := &core.Instance{
+		Config: core.Config{Dim: 2, D: 2, M: 1},
+		Start:  pt(0, 0),
+		Steps: []core.Step{
+			{Requests: []geom.Point{pt(0, 0)}},
+			{Requests: []geom.Point{pt(0, 0)}},
+		},
+	}
+	res, err := PlaneDP(in, 3, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value > 1e-9 {
+		t.Fatalf("static 2-D optimum = %v", res.Value)
+	}
+}
+
+func TestPlaneDPChase(t *testing.T) {
+	// Requests march along x at speed m: OPT pays ≈ T·D·m.
+	in := &core.Instance{
+		Config: core.Config{Dim: 2, D: 2, M: 1},
+		Start:  pt(0, 0),
+	}
+	T := 10
+	for t := 1; t <= T; t++ {
+		in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{pt(float64(t), 0)}})
+	}
+	res, err := PlaneDP(in, 3, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(T) * 2
+	if math.Abs(res.Value-want) > res.Slack+1e-6 {
+		t.Fatalf("2-D chase OPT = %v, want ≈ %v (slack %v)", res.Value, want, res.Slack)
+	}
+}
+
+func TestPlaneDPMatchesLineDPOnAxis(t *testing.T) {
+	// A 2-D instance confined to the x-axis must agree with the 1-D DP up
+	// to the coarser slack.
+	mk2 := &core.Instance{Config: core.Config{Dim: 2, D: 1, M: 1}, Start: pt(0, 0)}
+	mk1 := lineInstance(core.Config{Dim: 1, D: 1, M: 1}, 0)
+	r := xrand.New(33)
+	for step := 0; step < 12; step++ {
+		x := r.Range(-4, 4)
+		mk2.Steps = append(mk2.Steps, core.Step{Requests: []geom.Point{pt(x, 0)}})
+		mk1.Steps = append(mk1.Steps, core.Step{Requests: []geom.Point{pt(x)}})
+	}
+	r2, err := PlaneDP(mk2, 4, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := LineDP(mk1, 8, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Value-r2.Value) > r1.Slack+r2.Slack+1e-6 {
+		t.Fatalf("axis instance: 1-D %v vs 2-D %v (slacks %v, %v)", r1.Value, r2.Value, r1.Slack, r2.Slack)
+	}
+}
+
+func TestPlaneDPRejectsWrongDim(t *testing.T) {
+	in := lineInstance(cfg1D(), 0, []float64{1})
+	if _, err := PlaneDP(in, 3, 1000); err == nil {
+		t.Fatal("PlaneDP accepted a 1-D instance")
+	}
+}
+
+func TestGreedyFeasible(t *testing.T) {
+	r := xrand.New(34)
+	for trial := 0; trial < 20; trial++ {
+		in := &core.Instance{Config: core.Config{Dim: 2, D: 1, M: 0.5}, Start: pt(0, 0)}
+		for t := 0; t < 30; t++ {
+			n := r.IntN(4)
+			var step core.Step
+			for k := 0; k < n; k++ {
+				step.Requests = append(step.Requests, pt(r.Range(-10, 10), r.Range(-10, 10)))
+			}
+			in.Steps = append(in.Steps, step)
+		}
+		traj := Greedy(in)
+		for i := 1; i < len(traj); i++ {
+			if d := geom.Dist(traj[i-1], traj[i]); d > 0.5*(1+1e-9) {
+				t.Fatalf("greedy overspeed %v at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestDescentImproves(t *testing.T) {
+	// Start from a deliberately bad feasible trajectory (stay forever) and
+	// verify descent lowers the cost without breaking feasibility. Each
+	// step has 3 requests, so the serve weight (3) exceeds the neighbor
+	// weight (2D = 2) and single-block moves are locally profitable.
+	cfg := core.Config{Dim: 2, D: 1, M: 1}
+	in := &core.Instance{Config: cfg, Start: pt(0, 0)}
+	r := xrand.New(35)
+	for t := 0; t < 25; t++ {
+		in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{
+			pt(5+r.Range(-1, 1), 5+r.Range(-1, 1)),
+			pt(5+r.Range(-1, 1), 5+r.Range(-1, 1)),
+			pt(5+r.Range(-1, 1), 5+r.Range(-1, 1)),
+		}})
+	}
+	stay := make([]geom.Point, in.T()+1)
+	for i := range stay {
+		stay[i] = pt(0, 0)
+	}
+	before, err := core.TrajectoryCost(in, stay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, after, err := Descent(in, stay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Total() >= before.Total() {
+		t.Fatalf("descent did not improve: %v -> %v", before.Total(), after.Total())
+	}
+	for k := 1; k < len(refined); k++ {
+		if d := geom.Dist(refined[k-1], refined[k]); d > cfg.M*(1+1e-6) {
+			t.Fatalf("descent broke feasibility at %d: %v", k, d)
+		}
+	}
+}
+
+func TestDescentNeverWorsens(t *testing.T) {
+	r := xrand.New(36)
+	for trial := 0; trial < 10; trial++ {
+		in := &core.Instance{Config: core.Config{Dim: 2, D: 2, M: 0.7}, Start: pt(0, 0)}
+		for t := 0; t < 20; t++ {
+			n := 1 + r.IntN(3)
+			var step core.Step
+			for k := 0; k < n; k++ {
+				step.Requests = append(step.Requests, pt(r.Range(-5, 5), r.Range(-5, 5)))
+			}
+			in.Steps = append(in.Steps, step)
+		}
+		init := Greedy(in)
+		before, _ := core.TrajectoryCost(in, init)
+		_, after, err := Descent(in, init, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Total() > before.Total()*(1+1e-9) {
+			t.Fatalf("descent worsened: %v -> %v", before.Total(), after.Total())
+		}
+	}
+}
+
+func TestDescentRejectsBadInit(t *testing.T) {
+	in := lineInstance(cfg1D(), 0, []float64{1})
+	if _, _, err := Descent(in, []geom.Point{pt(0.0)}, 5); err == nil {
+		t.Fatal("short init accepted")
+	}
+}
+
+func TestBestBracket1D(t *testing.T) {
+	r := xrand.New(37)
+	for trial := 0; trial < 10; trial++ {
+		T := 10 + r.IntN(20)
+		steps := make([][]float64, T)
+		for i := range steps {
+			steps[i] = []float64{r.Range(-6, 6)}
+		}
+		in := lineInstance(cfg1D(), 0, steps...)
+		est, err := Best(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Lower > est.Upper {
+			t.Fatalf("bracket inverted: [%v, %v]", est.Lower, est.Upper)
+		}
+		if est.Upper <= 0 || math.IsInf(est.Upper, 1) {
+			t.Fatalf("no usable upper bound: %v", est.Upper)
+		}
+		if est.Lower <= 0 {
+			t.Fatalf("1-D lower bound missing: %+v", est)
+		}
+	}
+}
+
+func TestBestUsesWitness(t *testing.T) {
+	// The witness is the exact optimum here: chase at speed m.
+	cfg := core.Config{Dim: 1, D: 4, M: 1}
+	var steps [][]float64
+	witness := []geom.Point{pt(0.0)}
+	for t := 1; t <= 15; t++ {
+		steps = append(steps, []float64{float64(t)})
+		witness = append(witness, pt(float64(t)))
+	}
+	in := lineInstance(cfg, 0, steps...)
+	est, err := Best(in, Options{Witness: witness})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, _ := core.TrajectoryCost(in, witness)
+	if est.Upper > wc.Total()*(1+1e-9) {
+		t.Fatalf("Best ignored witness: upper %v > witness %v", est.Upper, wc.Total())
+	}
+}
+
+func TestBestBracket2D(t *testing.T) {
+	in := &core.Instance{Config: core.Config{Dim: 2, D: 1, M: 1}, Start: pt(0, 0)}
+	r := xrand.New(38)
+	for t := 0; t < 15; t++ {
+		in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{pt(r.Range(-3, 3), r.Range(-3, 3))}})
+	}
+	est, err := Best(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Lower > est.Upper || est.Lower <= 0 {
+		t.Fatalf("2-D bracket bad: %+v", est)
+	}
+	if est.Mid() < est.Lower || est.Mid() > est.Upper {
+		t.Fatalf("Mid outside bracket: %+v", est)
+	}
+}
+
+func TestBestSkipDP(t *testing.T) {
+	in := lineInstance(cfg1D(), 0, []float64{3}, []float64{-2})
+	est, err := Best(in, Options{SkipDP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.LowerMethod != "serve-only" {
+		t.Fatalf("LowerMethod = %q, want serve-only", est.LowerMethod)
+	}
+}
+
+func TestServeCostsAgainstDirect(t *testing.T) {
+	r := xrand.New(39)
+	gr := grid1D{lo: -10, g: 0.5, n: 41}
+	for trial := 0; trial < 50; trial++ {
+		n := r.IntN(6)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(-10, 10)
+		}
+		sortFloats(xs)
+		serve := make([]float64, gr.n)
+		serveCosts(gr, xs, serve)
+		for i := 0; i < gr.n; i++ {
+			want := 0.0
+			for _, v := range xs {
+				want += math.Abs(gr.x(i) - v)
+			}
+			if math.Abs(serve[i]-want) > 1e-9*(1+want) {
+				t.Fatalf("serveCosts[%d] = %v, want %v", i, serve[i], want)
+			}
+		}
+	}
+}
+
+func TestSortFloats(t *testing.T) {
+	xs := []float64{3, -1, 2, 2, 0}
+	sortFloats(xs)
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+}
+
+func TestGridNearest(t *testing.T) {
+	gr := grid1D{lo: 0, g: 1, n: 11}
+	if gr.nearest(3.4) != 3 || gr.nearest(3.6) != 4 {
+		t.Fatal("nearest rounding wrong")
+	}
+	if gr.nearest(-100) != 0 || gr.nearest(100) != 10 {
+		t.Fatal("nearest clamp wrong")
+	}
+}
+
+func TestBuildGridCaps(t *testing.T) {
+	gr, err := buildGrid1D(0, 1000, 1, 10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.n > 500 {
+		t.Fatalf("grid exceeded cap: %d", gr.n)
+	}
+	// Coverage: last point reaches hi.
+	if gr.x(gr.n-1) < 1000-1e-6 {
+		t.Fatalf("grid does not cover interval: last = %v", gr.x(gr.n-1))
+	}
+}

@@ -1,0 +1,182 @@
+package offline
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// parallelFor splits [0, n) into one contiguous chunk per processor and
+// runs fn on each chunk concurrently. It is the work-sharing primitive of
+// the grid DP hot loops (gather form: chunks write disjoint ranges).
+func parallelFor(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4096 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// PlaneDP solves the relaxed grid DP for 2-D instances on a uniform grid
+// over the instance's bounding box.
+//
+// Positions snap to cell centers with error at most pitch·√2/2, so the
+// relaxed per-step cap is m + pitch·√2 and the certified slack per step is
+// D·pitch·√2 + r_t·pitch·√2/2. Transitions enumerate a precomputed list of
+// cell offsets within the relaxed radius; complexity is
+// O(T · cells · offsets).
+//
+// cellsPerM controls the pitch (≈ m/cellsPerM); maxCells caps the total
+// grid size, coarsening the pitch if the bounding box is large.
+func PlaneDP(in *core.Instance, cellsPerM, maxCells int) (DPResult, error) {
+	if err := in.Validate(); err != nil {
+		return DPResult{}, err
+	}
+	if in.Config.Dim != 2 {
+		return DPResult{}, fmt.Errorf("offline: PlaneDP requires dim 2, got %d", in.Config.Dim)
+	}
+	if cellsPerM < 1 {
+		cellsPerM = 1
+	}
+	if maxCells < 4 {
+		maxCells = 4
+	}
+	b := in.Bounds()
+	spanX := b.Max[0] - b.Min[0]
+	spanY := b.Max[1] - b.Min[1]
+	pitch := in.Config.M / float64(cellsPerM)
+	// Grow the pitch until the grid fits into maxCells.
+	for {
+		nx := int(spanX/pitch) + 2
+		ny := int(spanY/pitch) + 2
+		if nx*ny <= maxCells {
+			break
+		}
+		pitch *= 1.3
+	}
+	nx := int(spanX/pitch) + 2
+	ny := int(spanY/pitch) + 2
+	n := nx * ny
+	cellAt := func(i int) geom.Point {
+		return geom.NewPoint(b.Min[0]+float64(i%nx)*pitch, b.Min[1]+float64(i/nx)*pitch)
+	}
+	nearest := func(p geom.Point) int {
+		ix := int((p[0]-b.Min[0])/pitch + 0.5)
+		iy := int((p[1]-b.Min[1])/pitch + 0.5)
+		if ix < 0 {
+			ix = 0
+		}
+		if ix >= nx {
+			ix = nx - 1
+		}
+		if iy < 0 {
+			iy = 0
+		}
+		if iy >= ny {
+			iy = ny - 1
+		}
+		return iy*nx + ix
+	}
+
+	// Precompute transition offsets within the relaxed radius.
+	relaxed := in.Config.M + pitch*math.Sqrt2
+	maxOff := int(relaxed/pitch) + 1
+	type offset struct {
+		dx, dy int
+		cost   float64 // D · Euclidean length
+	}
+	D := in.Config.D
+	var offsets []offset
+	for dy := -maxOff; dy <= maxOff; dy++ {
+		for dx := -maxOff; dx <= maxOff; dx++ {
+			dist := pitch * math.Hypot(float64(dx), float64(dy))
+			if dist <= relaxed {
+				offsets = append(offsets, offset{dx: dx, dy: dy, cost: D * dist})
+			}
+		}
+	}
+
+	prev := make([]float64, n)
+	next := make([]float64, n)
+	serve := make([]float64, n)
+	for i := range prev {
+		prev[i] = math.Inf(1)
+	}
+	prev[nearest(in.Start)] = 0
+
+	answerFirst := in.Config.Order == core.AnswerFirst
+	slack := 0.0
+	for _, s := range in.Steps {
+		// Per-cell serve cost, computed in parallel across row chunks.
+		reqs := s.Requests
+		parallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c := cellAt(i)
+				sum := 0.0
+				for _, v := range reqs {
+					sum += geom.Dist(c, v)
+				}
+				serve[i] = sum
+			}
+		})
+		slack += D*pitch*math.Sqrt2 + float64(len(s.Requests))*pitch*math.Sqrt2/2
+
+		if answerFirst {
+			for i := 0; i < n; i++ {
+				if !math.IsInf(prev[i], 1) {
+					prev[i] += serve[i]
+				}
+			}
+		}
+		// Gather-form relaxation: each target cell reads its in-window
+		// sources, so chunks of targets parallelize without write races.
+		parallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ix, iy := i%nx, i/nx
+				best := math.Inf(1)
+				for _, o := range offsets {
+					jx, jy := ix-o.dx, iy-o.dy
+					if jx < 0 || jx >= nx || jy < 0 || jy >= ny {
+						continue
+					}
+					if cand := prev[jy*nx+jx] + o.cost; cand < best {
+						best = cand
+					}
+				}
+				if !answerFirst {
+					best += serve[i]
+				}
+				next[i] = best
+			}
+		})
+		prev, next = next, prev
+	}
+	best := math.Inf(1)
+	for _, v := range prev {
+		if v < best {
+			best = v
+		}
+	}
+	return DPResult{Value: best, Slack: slack, Cells: n, Pitch: pitch}, nil
+}

@@ -1,0 +1,141 @@
+package offline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// TestBracketSandwich: on random 1-D instances the estimator's bounds
+// always sandwich the cost of an independent feasible trajectory at most
+// from below (Lower ≤ any feasible cost) — the defining property of a
+// valid bracket.
+func TestBracketSandwich(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		cfg := core.Config{Dim: 1, D: 1 + r.Range(0, 3), M: r.Range(0.3, 1.5), Delta: 0, Order: core.MoveFirst}
+		T := 5 + r.IntN(25)
+		in := workload.Hotspot{Half: 10, Sigma: 1}.Generate(r, cfg, T)
+		est, err := Best(in, Options{})
+		if err != nil {
+			return false
+		}
+		if est.Lower > est.Upper {
+			return false
+		}
+		// Independent feasible trajectory: lazy (stay at start).
+		stay := make([]geom.Point, in.T()+1)
+		for i := range stay {
+			stay[i] = in.Start.Clone()
+		}
+		c, err := core.TrajectoryCost(in, stay)
+		if err != nil {
+			return false
+		}
+		// Lower must not exceed the lazy cost (which is feasible).
+		return est.Lower <= c.Total()*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDescentOutputAlwaysFeasible across random instances and serve
+// orders.
+func TestDescentOutputAlwaysFeasible(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		cfg := core.Config{Dim: 2, D: 1 + r.Range(0, 2), M: r.Range(0.3, 1), Delta: 0, Order: core.MoveFirst}
+		if r.Coin() {
+			cfg.Order = core.AnswerFirst
+		}
+		in := workload.Clusters{K: 2, Requests: 1 + r.IntN(3)}.Generate(r, cfg, 10+r.IntN(20))
+		refined, _, err := Descent(in, Greedy(in), 8)
+		if err != nil {
+			return false
+		}
+		_, err = sim.CheckFeasible(in, refined, cfg.M, 0)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLineDPMonotoneInM: a larger movement cap can only lower the optimum.
+func TestLineDPMonotoneInM(t *testing.T) {
+	r := xrand.New(61)
+	for trial := 0; trial < 15; trial++ {
+		T := 10 + r.IntN(20)
+		steps := make([][]float64, T)
+		for i := range steps {
+			steps[i] = []float64{r.Range(-8, 8)}
+		}
+		slow := lineInstance(core.Config{Dim: 1, D: 2, M: 0.5, Order: core.MoveFirst}, 0, steps...)
+		fast := lineInstance(core.Config{Dim: 1, D: 2, M: 2, Order: core.MoveFirst}, 0, steps...)
+		rs, err := LineDP(slow, 4, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := LineDP(fast, 4, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf.Value > rs.Value+rs.Slack+rf.Slack+1e-9 {
+			t.Fatalf("trial %d: faster cap worsened OPT: %v vs %v", trial, rf.Value, rs.Value)
+		}
+	}
+}
+
+// TestLineDPMonotoneInD: a heavier page can only raise the optimum.
+func TestLineDPMonotoneInD(t *testing.T) {
+	r := xrand.New(62)
+	for trial := 0; trial < 15; trial++ {
+		T := 10 + r.IntN(20)
+		steps := make([][]float64, T)
+		for i := range steps {
+			steps[i] = []float64{r.Range(-8, 8)}
+		}
+		light := lineInstance(core.Config{Dim: 1, D: 1, M: 1, Order: core.MoveFirst}, 0, steps...)
+		heavy := lineInstance(core.Config{Dim: 1, D: 8, M: 1, Order: core.MoveFirst}, 0, steps...)
+		rl, err := LineDP(light, 4, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := LineDP(heavy, 4, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rh.Value < rl.Value-rl.Slack-rh.Slack-1e-9 {
+			t.Fatalf("trial %d: heavier page lowered OPT: %v vs %v", trial, rh.Value, rl.Value)
+		}
+	}
+}
+
+// TestGreedyNeverBeatenByLazyOnChase: on a monotone chase the greedy
+// trajectory dominates staying put.
+func TestGreedyNeverBeatenByLazyOnChase(t *testing.T) {
+	cfg := core.Config{Dim: 1, D: 1, M: 1, Order: core.MoveFirst}
+	var steps [][]float64
+	for i := 1; i <= 25; i++ {
+		steps = append(steps, []float64{float64(i)})
+	}
+	in := lineInstance(cfg, 0, steps...)
+	gc, err := core.TrajectoryCost(in, Greedy(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stay := make([]geom.Point, in.T()+1)
+	for i := range stay {
+		stay[i] = pt(0.0)
+	}
+	lc, _ := core.TrajectoryCost(in, stay)
+	if gc.Total() >= lc.Total() {
+		t.Fatalf("greedy (%v) not better than lazy (%v) on a chase", gc.Total(), lc.Total())
+	}
+}

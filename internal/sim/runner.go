@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// Parallel runs fn for indices 0..n-1 on a fixed worker pool and returns
+// the results in index order. Each invocation receives its own
+// deterministic random stream derived from (seed, index), so the output is
+// identical regardless of GOMAXPROCS or scheduling.
+//
+// This is the concurrency backbone of the experiment harness: every
+// (parameter point × repetition) of a sweep is one job.
+func Parallel[T any](n int, seed uint64, fn func(i int, r *xrand.Rand) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = fn(i, xrand.NewStream(seed, uint64(i)))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// ParallelErr is Parallel for job functions that can fail. It runs all jobs
+// to completion and returns the first error by index order (deterministic),
+// alongside all successful results.
+func ParallelErr[T any](n int, seed uint64, fn func(i int, r *xrand.Rand) (T, error)) ([]T, error) {
+	type slot struct {
+		val T
+		err error
+	}
+	slots := Parallel(n, seed, func(i int, r *xrand.Rand) slot {
+		v, err := fn(i, r)
+		return slot{val: v, err: err}
+	})
+	out := make([]T, n)
+	var firstErr error
+	for i, s := range slots {
+		out[i] = s.val
+		if s.err != nil && firstErr == nil {
+			firstErr = s.err
+		}
+	}
+	return out, firstErr
+}

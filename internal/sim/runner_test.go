@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestParallelOrderAndCompleteness(t *testing.T) {
+	got := Parallel(100, 1, func(i int, _ *xrand.Rand) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestParallelDeterministicAcrossRuns(t *testing.T) {
+	f := func() []float64 {
+		return Parallel(64, 99, func(i int, r *xrand.Rand) float64 { return r.Float64() })
+	}
+	a, b := f(), f()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParallelStreamsDiffer(t *testing.T) {
+	vals := Parallel(32, 5, func(i int, r *xrand.Rand) uint64 { return r.Uint64() })
+	seen := map[uint64]bool{}
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("duplicate stream output %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestParallelZeroJobs(t *testing.T) {
+	got := Parallel(0, 1, func(i int, _ *xrand.Rand) int { return i })
+	if len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestParallelSingleJob(t *testing.T) {
+	got := Parallel(1, 1, func(i int, _ *xrand.Rand) string { return "x" })
+	if len(got) != 1 || got[0] != "x" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParallelErrCollects(t *testing.T) {
+	sentinel := errors.New("boom")
+	vals, err := ParallelErr(10, 1, func(i int, _ *xrand.Rand) (int, error) {
+		if i == 7 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if vals[3] != 3 {
+		t.Fatal("successful results lost")
+	}
+}
+
+func TestParallelErrFirstByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := ParallelErr(10, 1, func(i int, _ *xrand.Rand) (int, error) {
+		switch i {
+		case 2:
+			return 0, errA
+		case 8:
+			return 0, errB
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("expected first error by index, got %v", err)
+	}
+}
+
+func TestParallelErrNilOnSuccess(t *testing.T) {
+	vals, err := ParallelErr(5, 1, func(i int, _ *xrand.Rand) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 5 {
+		t.Fatalf("len = %d", len(vals))
+	}
+}

@@ -1,0 +1,155 @@
+// Package sim executes online algorithms on Mobile Server instances,
+// enforcing the per-step movement cap and accounting costs, and provides a
+// deterministic parallel batch runner for experiments.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Mode selects how cap violations by an algorithm are handled.
+type Mode int
+
+const (
+	// Strict aborts the run with an error when the algorithm attempts to
+	// move farther than its cap (plus tolerance). This is the default: a
+	// violation is a bug in the algorithm.
+	Strict Mode = iota
+	// Clamp projects an over-long move back onto the cap sphere around
+	// the previous position and continues.
+	Clamp
+)
+
+// RunOptions configures a single simulation run. The zero value gives
+// strict cap checking with the default tolerance and no trace.
+type RunOptions struct {
+	Mode Mode
+	// Tol is the relative tolerance for cap checks. Default 1e-9.
+	Tol float64
+	// RecordTrace stores the per-step positions and costs in the result.
+	RecordTrace bool
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// StepRecord is one entry of an optional run trace.
+type StepRecord struct {
+	// Pos is the server position after the move of this step.
+	Pos geom.Point
+	// Cost is the cost charged in this step.
+	Cost core.Cost
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Algorithm is the algorithm's reported name.
+	Algorithm string
+	// Cost is the accumulated total cost.
+	Cost core.Cost
+	// Final is the server's final position.
+	Final geom.Point
+	// MaxMove is the largest single-step movement observed.
+	MaxMove float64
+	// Clamped counts steps on which the cap had to be enforced (Clamp
+	// mode only).
+	Clamped int
+	// Trace holds per-step records when RunOptions.RecordTrace is set.
+	Trace []StepRecord
+}
+
+// Run executes the algorithm on the instance under the instance's
+// configuration. The movement cap applied is cfg.OnlineCap() = (1+δ)m.
+func Run(in *core.Instance, alg core.Algorithm, opts RunOptions) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	cfg := in.Config
+	cap := cfg.OnlineCap()
+	alg.Reset(cfg, in.Start)
+
+	res := &Result{Algorithm: alg.Name(), Final: in.Start.Clone()}
+	if o.RecordTrace {
+		res.Trace = make([]StepRecord, 0, in.T())
+	}
+	pos := in.Start.Clone()
+	for t, step := range in.Steps {
+		next := alg.Move(step.Requests)
+		if next.Dim() != cfg.Dim {
+			return nil, fmt.Errorf("sim: %s returned dim-%d point in dim-%d space at step %d", alg.Name(), next.Dim(), cfg.Dim, t)
+		}
+		if !next.IsFinite() {
+			return nil, fmt.Errorf("sim: %s returned non-finite position %v at step %d", alg.Name(), next, t)
+		}
+		moved := geom.Dist(pos, next)
+		if moved > cap*(1+o.Tol) {
+			switch o.Mode {
+			case Strict:
+				return nil, fmt.Errorf("sim: %s moved %.12g > cap %.12g at step %d", alg.Name(), moved, cap, t)
+			case Clamp:
+				next = geom.MoveToward(pos, next, cap)
+				moved = geom.Dist(pos, next)
+				res.Clamped++
+			}
+		}
+		if moved > res.MaxMove {
+			res.MaxMove = moved
+		}
+		sc := core.StepCost(cfg, pos, next, step.Requests)
+		res.Cost = res.Cost.Add(sc)
+		pos = next.Clone()
+		if o.RecordTrace {
+			res.Trace = append(res.Trace, StepRecord{Pos: pos.Clone(), Cost: sc})
+		}
+	}
+	res.Final = pos
+	return res, nil
+}
+
+// MustRun is Run for tests and examples where an error is fatal by design.
+// It panics on error.
+func MustRun(in *core.Instance, alg core.Algorithm, opts RunOptions) *Result {
+	res, err := Run(in, alg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// CheckFeasible verifies that a full trajectory (positions[0..T], with
+// positions[0] == in.Start) respects the given per-step movement cap within
+// relative tolerance tol. It returns the trajectory cost on success.
+func CheckFeasible(in *core.Instance, positions []geom.Point, cap, tol float64) (core.Cost, error) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if len(positions) != in.T()+1 {
+		return core.Cost{}, fmt.Errorf("sim: trajectory has %d positions, want %d", len(positions), in.T()+1)
+	}
+	for t := 1; t < len(positions); t++ {
+		moved := geom.Dist(positions[t-1], positions[t])
+		if moved > cap*(1+tol) {
+			return core.Cost{}, fmt.Errorf("sim: trajectory moves %.12g > cap %.12g at step %d", moved, cap, t-1)
+		}
+	}
+	return core.TrajectoryCost(in, positions)
+}
+
+// Ratio returns alg/opt with guards: it returns NaN when opt is not
+// positive (a zero-cost optimum makes the competitive ratio meaningless for
+// a single instance).
+func Ratio(alg, opt float64) float64 {
+	if !(opt > 0) {
+		return math.NaN()
+	}
+	return alg / opt
+}

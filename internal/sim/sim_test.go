@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func lineInstance(start float64, reqs ...float64) *core.Instance {
+	in := &core.Instance{
+		Config: core.Config{Dim: 1, D: 1, M: 1, Delta: 0, Order: core.MoveFirst},
+		Start:  pt(start),
+	}
+	for _, v := range reqs {
+		in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{pt(v)}})
+	}
+	return in
+}
+
+// stayAlg never moves.
+type stayAlg struct{ core.PositionTracker }
+
+func (s *stayAlg) Name() string                   { return "stay" }
+func (s *stayAlg) Move(_ []geom.Point) geom.Point { return s.Pos }
+
+// jumpAlg ignores the cap and jumps straight to the first request.
+type jumpAlg struct{ core.PositionTracker }
+
+func (j *jumpAlg) Name() string { return "jump" }
+func (j *jumpAlg) Move(reqs []geom.Point) geom.Point {
+	if len(reqs) > 0 {
+		j.Pos = reqs[0].Clone()
+	}
+	return j.Pos
+}
+
+func TestRunStayCosts(t *testing.T) {
+	in := lineInstance(0, 1, 2, 3)
+	res, err := Run(in, &stayAlg{}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Move != 0 {
+		t.Fatalf("stay paid movement: %v", res.Cost.Move)
+	}
+	if res.Cost.Serve != 1+2+3 {
+		t.Fatalf("Serve = %v, want 6", res.Cost.Serve)
+	}
+	if !res.Final.Equal(pt(0.0)) {
+		t.Fatalf("Final = %v", res.Final)
+	}
+	if res.MaxMove != 0 {
+		t.Fatalf("MaxMove = %v", res.MaxMove)
+	}
+}
+
+func TestRunMtCOnLine(t *testing.T) {
+	in := lineInstance(0, 5, 5, 5, 5, 5, 5)
+	res, err := Run(in, core.NewMtC(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MtC with r=1, D=1 moves full speed but capped at m=1 per step:
+	// positions 1,2,3,4,5,5. Serve: 4+3+2+1+0+0 = 10. Move: 5 steps of 1.
+	if math.Abs(res.Cost.Move-5) > 1e-9 {
+		t.Fatalf("Move = %v, want 5", res.Cost.Move)
+	}
+	if math.Abs(res.Cost.Serve-10) > 1e-9 {
+		t.Fatalf("Serve = %v, want 10", res.Cost.Serve)
+	}
+	if !res.Final.ApproxEqual(pt(5.0), 1e-9) {
+		t.Fatalf("Final = %v", res.Final)
+	}
+}
+
+func TestRunStrictRejectsCapViolation(t *testing.T) {
+	in := lineInstance(0, 100)
+	_, err := Run(in, &jumpAlg{}, RunOptions{Mode: Strict})
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("expected cap violation error, got %v", err)
+	}
+}
+
+func TestRunClampEnforcesCap(t *testing.T) {
+	in := lineInstance(0, 100, 100)
+	res, err := Run(in, &jumpAlg{}, RunOptions{Mode: Clamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clamped == 0 {
+		t.Fatal("Clamped not counted")
+	}
+	if res.MaxMove > in.Config.OnlineCap()*(1+1e-9) {
+		t.Fatalf("clamped run still moved %v", res.MaxMove)
+	}
+}
+
+func TestRunClampKeepsDirection(t *testing.T) {
+	in := lineInstance(0, 100)
+	res, err := Run(in, &jumpAlg{}, RunOptions{Mode: Clamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final.ApproxEqual(pt(1.0), 1e-9) {
+		t.Fatalf("clamped final = %v, want 1", res.Final)
+	}
+}
+
+func TestRunAnswerFirstCosts(t *testing.T) {
+	in := lineInstance(0, 5)
+	in.Config.Order = core.AnswerFirst
+	res, err := Run(in, core.NewMtC(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve from start (0): cost 5. Then move 1 (cap).
+	if math.Abs(res.Cost.Serve-5) > 1e-9 || math.Abs(res.Cost.Move-1) > 1e-9 {
+		t.Fatalf("answer-first cost = %+v", res.Cost)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	in := lineInstance(0, 1, 2)
+	res, err := Run(in, core.NewMtC(), RunOptions{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 2 {
+		t.Fatalf("trace length = %d", len(res.Trace))
+	}
+	var sum core.Cost
+	for _, rec := range res.Trace {
+		sum = sum.Add(rec.Cost)
+	}
+	if math.Abs(sum.Total()-res.Cost.Total()) > 1e-9 {
+		t.Fatalf("trace costs %v != total %v", sum.Total(), res.Cost.Total())
+	}
+	if !res.Trace[len(res.Trace)-1].Pos.Equal(res.Final) {
+		t.Fatal("last trace position != final")
+	}
+}
+
+func TestRunRejectsInvalidInstance(t *testing.T) {
+	in := lineInstance(0)
+	if _, err := Run(in, core.NewMtC(), RunOptions{}); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+}
+
+// badDimAlg returns a point of the wrong dimension.
+type badDimAlg struct{ core.PositionTracker }
+
+func (b *badDimAlg) Name() string                   { return "baddim" }
+func (b *badDimAlg) Move(_ []geom.Point) geom.Point { return geom.NewPoint(1, 2, 3) }
+
+func TestRunRejectsWrongDim(t *testing.T) {
+	in := lineInstance(0, 1)
+	if _, err := Run(in, &badDimAlg{}, RunOptions{}); err == nil {
+		t.Fatal("wrong-dimension move accepted")
+	}
+}
+
+// nanAlg returns a non-finite position.
+type nanAlg struct{ core.PositionTracker }
+
+func (b *nanAlg) Name() string                   { return "nan" }
+func (b *nanAlg) Move(_ []geom.Point) geom.Point { return geom.NewPoint(math.NaN()) }
+
+func TestRunRejectsNaN(t *testing.T) {
+	in := lineInstance(0, 1)
+	if _, err := Run(in, &nanAlg{}, RunOptions{}); err == nil {
+		t.Fatal("NaN move accepted")
+	}
+}
+
+func TestMustRunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRun did not panic on error")
+		}
+	}()
+	MustRun(lineInstance(0), core.NewMtC(), RunOptions{})
+}
+
+func TestCheckFeasible(t *testing.T) {
+	in := lineInstance(0, 1, 2)
+	good := []geom.Point{pt(0.0), pt(1.0), pt(2.0)}
+	c, err := CheckFeasible(in, good, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Total()-2) > 1e-9 { // moves 1+1, serves 0+0
+		t.Fatalf("feasible cost = %v", c.Total())
+	}
+	bad := []geom.Point{pt(0.0), pt(5.0), pt(2.0)}
+	if _, err := CheckFeasible(in, bad, 1, 0); err == nil {
+		t.Fatal("infeasible trajectory accepted")
+	}
+	short := []geom.Point{pt(0.0)}
+	if _, err := CheckFeasible(in, short, 1, 0); err == nil {
+		t.Fatal("short trajectory accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 2) != 3 {
+		t.Fatalf("Ratio = %v", Ratio(6, 2))
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("Ratio with zero OPT should be NaN")
+	}
+	if !math.IsNaN(Ratio(1, -2)) {
+		t.Fatal("Ratio with negative OPT should be NaN")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	in := lineInstance(0, 3, -4, 7, 2, 2, 9)
+	a := MustRun(in, core.NewMtC(), RunOptions{})
+	b := MustRun(in, core.NewMtC(), RunOptions{})
+	if a.Cost != b.Cost || !a.Final.Equal(b.Final) {
+		t.Fatal("identical runs differ")
+	}
+}

@@ -1,0 +1,258 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: moments, quantiles, histograms, ordinary least squares (for
+// fitting growth exponents on log–log axes), and bootstrap confidence
+// intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Summary holds the standard descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1)
+	StdErr float64 // Std/√N
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary, ignoring NaN and ±Inf entries. An empty
+// (or all-non-finite) input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	clean := FilterFinite(xs)
+	n := len(clean)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range clean {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(n)
+	if n > 1 {
+		ss := 0.0
+		for _, v := range clean {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(n-1))
+		s.StdErr = s.Std / math.Sqrt(float64(n))
+	}
+	sorted := append([]float64(nil), clean...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	return s
+}
+
+// FilterFinite returns the finite entries of xs (a new slice).
+func FilterFinite(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Fit is an ordinary-least-squares line fit y ≈ Slope·x + Intercept.
+type Fit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	N  int
+}
+
+// OLS fits a line through the finite (x, y) pairs. Fewer than two usable
+// points yield a zero Fit.
+func OLS(x, y []float64) Fit {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: OLS length mismatch %d vs %d", len(x), len(y)))
+	}
+	var xs, ys []float64
+	for i := range x {
+		if isFinite(x[i]) && isFinite(y[i]) {
+			xs = append(xs, x[i])
+			ys = append(ys, y[i])
+		}
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return Fit{N: len(xs)}
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{N: len(xs)}
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx, N: len(xs)}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	return fit
+}
+
+// LogLogSlope fits log(y) ≈ slope·log(x) + c and returns the fit — the
+// standard way to read off a polynomial growth exponent. Non-positive
+// pairs are dropped.
+func LogLogSlope(x, y []float64) Fit {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: LogLogSlope length mismatch %d vs %d", len(x), len(y)))
+	}
+	lx := make([]float64, 0, len(x))
+	ly := make([]float64, 0, len(y))
+	for i := range x {
+		if x[i] > 0 && y[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			ly = append(ly, math.Log(y[i]))
+		}
+	}
+	return OLS(lx, ly)
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// statistic at the given confidence level (e.g. 0.95), using resamples
+// drawn from r. It panics on an empty sample.
+func BootstrapCI(r *xrand.Rand, xs []float64, stat func([]float64) float64, resamples int, conf float64) (lo, hi float64) {
+	clean := FilterFinite(xs)
+	if len(clean) == 0 {
+		panic("stats: BootstrapCI of empty sample")
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(clean))
+	for b := 0; b < resamples; b++ {
+		for i := range buf {
+			buf[i] = clean[r.IntN(len(clean))]
+		}
+		vals[b] = stat(buf)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - conf) / 2
+	return Quantile(vals, alpha), Quantile(vals, 1-alpha)
+}
+
+// Mean is a convenience statistic for BootstrapCI.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive entries (NaN if none).
+func GeoMean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, v := range xs {
+		if v > 0 {
+			s += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Histogram is a fixed-width binned count over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // samples below Lo
+	Over     int // samples at or above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if !(hi > lo) || bins < 1 {
+		panic("stats: NewHistogram requires hi > lo and bins >= 1")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins), binWidth: (hi - lo) / float64(bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	switch {
+	case math.IsNaN(v):
+		return
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		h.Counts[int((v-h.Lo)/h.binWidth)]++
+	}
+}
+
+// Total returns the number of recorded in-range samples.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if math.Abs(s.StdErr-s.Std/math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("StdErr = %v", s.StdErr)
+	}
+}
+
+func TestSummarizeFiltersNonFinite(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3, math.Inf(1)})
+	if s.N != 2 || s.Mean != 2 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty Summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("single Summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 1, 2, 3, 4}
+	if Quantile(sorted, 0) != 0 || Quantile(sorted, 1) != 4 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Quantile(sorted, 0.5) != 2 {
+		t.Fatalf("median = %v", Quantile(sorted, 0.5))
+	}
+	if got := Quantile(sorted, 0.25); got != 1 {
+		t.Fatalf("q25 = %v", got)
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+}
+
+func TestQuantilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestOLSExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit := OLS(x, y)
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestOLSNoisy(t *testing.T) {
+	r := xrand.New(1)
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xi := r.Range(0, 10)
+		x = append(x, xi)
+		y = append(y, 4*xi-2+r.NormMS(0, 0.5))
+	}
+	fit := OLS(x, y)
+	if math.Abs(fit.Slope-4) > 0.1 || math.Abs(fit.Intercept+2) > 0.3 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.95 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestOLSDegenerate(t *testing.T) {
+	fit := OLS([]float64{1}, []float64{2})
+	if fit.Slope != 0 || fit.N != 1 {
+		t.Fatalf("degenerate fit = %+v", fit)
+	}
+	fit = OLS([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if fit.Slope != 0 {
+		t.Fatalf("vertical fit = %+v", fit)
+	}
+}
+
+func TestOLSPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	OLS([]float64{1}, []float64{1, 2})
+}
+
+func TestLogLogSlopeRecoverExponent(t *testing.T) {
+	// y = 3·x^1.5.
+	var x, y []float64
+	for _, xi := range []float64{1, 2, 4, 8, 16, 32} {
+		x = append(x, xi)
+		y = append(y, 3*math.Pow(xi, 1.5))
+	}
+	fit := LogLogSlope(x, y)
+	if math.Abs(fit.Slope-1.5) > 1e-9 {
+		t.Fatalf("slope = %v, want 1.5", fit.Slope)
+	}
+}
+
+func TestLogLogSlopeDropsNonPositive(t *testing.T) {
+	fit := LogLogSlope([]float64{-1, 1, 2, 4}, []float64{5, 1, 2, 4})
+	if math.Abs(fit.Slope-1) > 1e-9 {
+		t.Fatalf("slope = %v, want 1 after dropping bad pair", fit.Slope)
+	}
+}
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	r := xrand.New(5)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.NormMS(10, 2)
+	}
+	lo, hi := BootstrapCI(xrand.New(6), xs, Mean, 500, 0.95)
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v, %v] misses true mean 10", lo, hi)
+	}
+	if hi-lo > 2 {
+		t.Fatalf("CI too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCIPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BootstrapCI(xrand.New(1), nil, Mean, 10, 0.9)
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if math.Abs(GeoMean([]float64{1, 4})-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", GeoMean([]float64{1, 4}))
+	}
+	if !math.IsNaN(GeoMean([]float64{-1, 0})) {
+		t.Fatal("GeoMean of non-positive should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42, math.NaN()} {
+		h.Add(v)
+	}
+	if h.Under != 1 {
+		t.Fatalf("Under = %d", h.Under)
+	}
+	if h.Over != 2 {
+		t.Fatalf("Over = %d", h.Over)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramPanicsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestFilterFinite(t *testing.T) {
+	out := FilterFinite([]float64{1, math.NaN(), math.Inf(-1), 2})
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("FilterFinite = %v", out)
+	}
+}

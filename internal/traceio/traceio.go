@@ -1,0 +1,147 @@
+// Package traceio serializes Mobile Server instances and experiment tables
+// so workloads can be recorded, replayed, and inspected, and results can be
+// consumed by external tooling. Instances use a compact JSON schema; tables
+// export as CSV.
+package traceio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// instanceJSON is the stable on-disk schema for core.Instance.
+type instanceJSON struct {
+	Dim   int           `json:"dim"`
+	D     float64       `json:"d"`
+	M     float64       `json:"m"`
+	Delta float64       `json:"delta"`
+	Order string        `json:"order"`
+	Start []float64     `json:"start"`
+	Steps [][][]float64 `json:"steps"`
+}
+
+// WriteInstance encodes the instance as JSON.
+func WriteInstance(w io.Writer, in *core.Instance) error {
+	if err := in.Validate(); err != nil {
+		return fmt.Errorf("traceio: refusing to write invalid instance: %w", err)
+	}
+	enc := instanceJSON{
+		Dim:   in.Config.Dim,
+		D:     in.Config.D,
+		M:     in.Config.M,
+		Delta: in.Config.Delta,
+		Order: in.Config.Order.String(),
+		Start: in.Start,
+		Steps: make([][][]float64, in.T()),
+	}
+	for t, s := range in.Steps {
+		reqs := make([][]float64, len(s.Requests))
+		for i, v := range s.Requests {
+			reqs[i] = v
+		}
+		enc.Steps[t] = reqs
+	}
+	e := json.NewEncoder(w)
+	return e.Encode(enc)
+}
+
+// ReadInstance decodes an instance written by WriteInstance and validates
+// it.
+func ReadInstance(r io.Reader) (*core.Instance, error) {
+	var dec instanceJSON
+	if err := json.NewDecoder(r).Decode(&dec); err != nil {
+		return nil, fmt.Errorf("traceio: decode: %w", err)
+	}
+	var order core.ServeOrder
+	switch dec.Order {
+	case "move-first", "":
+		order = core.MoveFirst
+	case "answer-first":
+		order = core.AnswerFirst
+	default:
+		return nil, fmt.Errorf("traceio: unknown serve order %q", dec.Order)
+	}
+	in := &core.Instance{
+		Config: core.Config{Dim: dec.Dim, D: dec.D, M: dec.M, Delta: dec.Delta, Order: order},
+		Start:  geom.Point(dec.Start),
+		Steps:  make([]core.Step, len(dec.Steps)),
+	}
+	for t, reqs := range dec.Steps {
+		step := core.Step{Requests: make([]geom.Point, len(reqs))}
+		for i, v := range reqs {
+			step.Requests[i] = geom.Point(v)
+		}
+		in.Steps[t] = step
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("traceio: decoded instance invalid: %w", err)
+	}
+	return in, nil
+}
+
+// Table is a simple rectangular result set with named columns.
+type Table struct {
+	Columns []string
+	Rows    [][]float64
+}
+
+// Add appends a row; its length must match the column count.
+func (t *Table) Add(row ...float64) {
+	if len(row) != len(t.Columns) {
+		panic(fmt.Sprintf("traceio: row has %d cells, table has %d columns", len(row), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteCSV emits the table with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Columns))
+	for _, row := range t.Rows {
+		for i, v := range row {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table written by WriteCSV.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traceio: csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("traceio: empty csv")
+	}
+	t := &Table{Columns: records[0]}
+	for _, rec := range records[1:] {
+		row := make([]float64, len(rec))
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("traceio: cell %q: %w", cell, err)
+			}
+			row[i] = v
+		}
+		if len(row) != len(t.Columns) {
+			return nil, fmt.Errorf("traceio: ragged csv row")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	cfg := core.Config{Dim: 2, D: 3, M: 0.5, Delta: 0.25, Order: core.AnswerFirst}
+	in := workload.Hotspot{}.Generate(xrand.New(1), cfg, 25)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != in.Config {
+		t.Fatalf("config %+v != %+v", got.Config, in.Config)
+	}
+	if !got.Start.Equal(in.Start) || got.T() != in.T() {
+		t.Fatal("shape mismatch")
+	}
+	for i := range in.Steps {
+		if len(got.Steps[i].Requests) != len(in.Steps[i].Requests) {
+			t.Fatalf("step %d count mismatch", i)
+		}
+		for j := range in.Steps[i].Requests {
+			if !got.Steps[i].Requests[j].Equal(in.Steps[i].Requests[j]) {
+				t.Fatalf("step %d request %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteInstanceRejectsInvalid(t *testing.T) {
+	in := &core.Instance{Config: core.Config{Dim: 1, D: 1, M: 1}, Start: geom.NewPoint(0)}
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err == nil {
+		t.Fatal("empty instance written")
+	}
+}
+
+func TestReadInstanceRejectsGarbage(t *testing.T) {
+	if _, err := ReadInstance(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadInstance(strings.NewReader(`{"dim":1,"d":1,"m":1,"order":"sideways","start":[0],"steps":[[[1]]]}`)); err == nil {
+		t.Fatal("bad order accepted")
+	}
+	if _, err := ReadInstance(strings.NewReader(`{"dim":0,"d":1,"m":1,"start":[],"steps":[]}`)); err == nil {
+		t.Fatal("invalid decoded instance accepted")
+	}
+}
+
+func TestMoveFirstDefaultOrder(t *testing.T) {
+	in, err := ReadInstance(strings.NewReader(`{"dim":1,"d":1,"m":1,"delta":0,"order":"","start":[0],"steps":[[[1]]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Config.Order != core.MoveFirst {
+		t.Fatal("empty order should default to move-first")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tbl := &Table{Columns: []string{"x", "y"}}
+	tbl.Add(1, 2)
+	tbl.Add(3.5, -4)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Columns) != 2 || got.Columns[0] != "x" {
+		t.Fatalf("columns = %v", got.Columns)
+	}
+	if len(got.Rows) != 2 || got.Rows[1][0] != 3.5 || got.Rows[1][1] != -4 {
+		t.Fatalf("rows = %v", got.Rows)
+	}
+}
+
+func TestTableAddPanicsOnBadArity(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tbl.Add(1)
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty csv accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,notanumber\n")); err == nil {
+		t.Fatal("non-numeric cell accepted")
+	}
+}

@@ -1,0 +1,333 @@
+// Package workload generates synthetic request sequences for the Mobile
+// Server Problem, modeling the scenarios that motivate the paper: users of
+// an edge service concentrated around a drifting hotspot, load that bursts
+// between sites, uniform background traffic, and clustered demand.
+//
+// Every generator is deterministic given its random stream, so experiments
+// are reproducible, and every generator emits instances that pass
+// core.Instance.Validate.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Generator produces instances of a given length under a configuration.
+type Generator interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Generate builds a T-step instance using randomness from r only.
+	Generate(r *xrand.Rand, cfg core.Config, T int) *core.Instance
+}
+
+// arena returns a centered axis-aligned box of the given half-width.
+func arena(dim int, half float64) geom.Box {
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for i := range lo {
+		lo[i] = -half
+		hi[i] = half
+	}
+	return geom.Box{Min: lo, Max: hi}
+}
+
+// uniformIn draws a point uniformly from the box.
+func uniformIn(r *xrand.Rand, b geom.Box) geom.Point {
+	p := make(geom.Point, b.Min.Dim())
+	for i := range p {
+		p[i] = r.Range(b.Min[i], b.Max[i])
+	}
+	return p
+}
+
+// gaussianAround draws a point from an isotropic normal clipped to the box.
+func gaussianAround(r *xrand.Rand, center geom.Point, sigma float64, b geom.Box) geom.Point {
+	p := center.Clone()
+	for i := range p {
+		p[i] += r.NormMS(0, sigma)
+	}
+	return b.Clamp(p)
+}
+
+// drawCount returns the number of requests for one step: Fixed if
+// PoissonMean == 0, else 1 + Poisson(PoissonMean−1) (so steps are never
+// empty unless Fixed == 0 and PoissonMean == 0).
+func drawCount(r *xrand.Rand, fixed int, poissonMean float64) int {
+	if poissonMean > 0 {
+		n := 1 + r.Poisson(poissonMean-1)
+		return n
+	}
+	return fixed
+}
+
+// Uniform scatters requests uniformly over a square arena: the
+// "background traffic" workload on which no algorithm can exploit
+// locality.
+type Uniform struct {
+	// Half is the arena half-width. Default 20·m at generation time.
+	Half float64
+	// Requests is the fixed per-step request count. Default 1.
+	Requests int
+	// PoissonMean, when positive, draws per-step counts from
+	// 1+Poisson(PoissonMean−1) instead of the fixed count.
+	PoissonMean float64
+}
+
+// Name implements Generator.
+func (u Uniform) Name() string { return "uniform" }
+
+// Generate implements Generator.
+func (u Uniform) Generate(r *xrand.Rand, cfg core.Config, T int) *core.Instance {
+	half := u.Half
+	if half <= 0 {
+		half = 20 * cfg.M
+	}
+	reqs := u.Requests
+	if reqs <= 0 {
+		reqs = 1
+	}
+	box := arena(cfg.Dim, half)
+	in := &core.Instance{Config: cfg, Start: geom.Zero(cfg.Dim), Steps: make([]core.Step, T)}
+	for t := 0; t < T; t++ {
+		n := drawCount(r, reqs, u.PoissonMean)
+		step := core.Step{Requests: make([]geom.Point, n)}
+		for i := 0; i < n; i++ {
+			step.Requests[i] = uniformIn(r, box)
+		}
+		in.Steps[t] = step
+	}
+	return in
+}
+
+// Hotspot concentrates requests around a center that random-walks at
+// bounded speed — the paper's edge-computing picture of users drifting
+// through a city. Speed defaults to the offline cap m, making the hotspot
+// exactly followable by OPT.
+type Hotspot struct {
+	// Half is the arena half-width (the hotspot reflects at the border).
+	// Default 30·m.
+	Half float64
+	// Sigma is the request scatter around the hotspot. Default 2·m.
+	Sigma float64
+	// Speed is the hotspot's per-step drift. Default m.
+	Speed float64
+	// Requests is the fixed per-step count. Default 1.
+	Requests int
+	// PoissonMean, when positive, randomizes per-step counts.
+	PoissonMean float64
+}
+
+// Name implements Generator.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Generate implements Generator.
+func (h Hotspot) Generate(r *xrand.Rand, cfg core.Config, T int) *core.Instance {
+	half := h.Half
+	if half <= 0 {
+		half = 30 * cfg.M
+	}
+	sigma := h.Sigma
+	if sigma <= 0 {
+		sigma = 2 * cfg.M
+	}
+	speed := h.Speed
+	if speed <= 0 {
+		speed = cfg.M
+	}
+	reqs := h.Requests
+	if reqs <= 0 {
+		reqs = 1
+	}
+	box := arena(cfg.Dim, half)
+	in := &core.Instance{Config: cfg, Start: geom.Zero(cfg.Dim), Steps: make([]core.Step, T)}
+	center := geom.Zero(cfg.Dim)
+	heading := randUnit(r, cfg.Dim)
+	for t := 0; t < T; t++ {
+		// Drift with occasional direction changes; reflect at the border.
+		if r.Bernoulli(0.05) {
+			heading = randUnit(r, cfg.Dim)
+		}
+		center = center.Add(heading.Scale(speed))
+		for i := range center {
+			if center[i] < box.Min[i] {
+				center[i] = 2*box.Min[i] - center[i]
+				heading[i] = -heading[i]
+			}
+			if center[i] > box.Max[i] {
+				center[i] = 2*box.Max[i] - center[i]
+				heading[i] = -heading[i]
+			}
+		}
+		center = box.Clamp(center)
+		n := drawCount(r, reqs, h.PoissonMean)
+		step := core.Step{Requests: make([]geom.Point, n)}
+		for i := 0; i < n; i++ {
+			step.Requests[i] = gaussianAround(r, center, sigma, box)
+		}
+		in.Steps[t] = step
+	}
+	return in
+}
+
+// Clusters draws each step's requests from one of K fixed Gaussian
+// clusters, switching clusters with a small probability per step — load
+// concentrated at a few sites (data centers, road junctions).
+type Clusters struct {
+	// K is the number of clusters. Default 3.
+	K int
+	// Half is the arena half-width over which cluster centers are placed.
+	// Default 25·m.
+	Half float64
+	// Sigma is the scatter within a cluster. Default m.
+	Sigma float64
+	// SwitchProb is the per-step probability of jumping to another
+	// cluster. Default 0.02.
+	SwitchProb float64
+	// Requests is the fixed per-step count. Default 1.
+	Requests int
+	// PoissonMean, when positive, randomizes per-step counts.
+	PoissonMean float64
+}
+
+// Name implements Generator.
+func (c Clusters) Name() string { return "clusters" }
+
+// Generate implements Generator.
+func (c Clusters) Generate(r *xrand.Rand, cfg core.Config, T int) *core.Instance {
+	k := c.K
+	if k <= 0 {
+		k = 3
+	}
+	half := c.Half
+	if half <= 0 {
+		half = 25 * cfg.M
+	}
+	sigma := c.Sigma
+	if sigma <= 0 {
+		sigma = cfg.M
+	}
+	switchProb := c.SwitchProb
+	if switchProb <= 0 {
+		switchProb = 0.02
+	}
+	reqs := c.Requests
+	if reqs <= 0 {
+		reqs = 1
+	}
+	box := arena(cfg.Dim, half)
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = uniformIn(r, box)
+	}
+	cur := r.IntN(k)
+	in := &core.Instance{Config: cfg, Start: geom.Zero(cfg.Dim), Steps: make([]core.Step, T)}
+	for t := 0; t < T; t++ {
+		if r.Bernoulli(switchProb) {
+			cur = r.IntN(k)
+		}
+		n := drawCount(r, reqs, c.PoissonMean)
+		step := core.Step{Requests: make([]geom.Point, n)}
+		for i := 0; i < n; i++ {
+			step.Requests[i] = gaussianAround(r, centers[cur], sigma, box)
+		}
+		in.Steps[t] = step
+	}
+	return in
+}
+
+// Burst alternates a quiet phase (Rmin requests near one site) with a
+// burst phase (Rmax requests near another site), stressing exactly the
+// Rmax/Rmin imbalance of Theorem 2.
+type Burst struct {
+	// QuietLen and BurstLen are the phase lengths. Defaults 20 and 5.
+	QuietLen, BurstLen int
+	// Rmin and Rmax are the per-step counts in each phase. Defaults 1, 8.
+	Rmin, Rmax int
+	// Spread is the distance between the two sites. Default 15·m.
+	Spread float64
+	// Sigma is the scatter around each site. Default m/2.
+	Sigma float64
+}
+
+// Name implements Generator.
+func (b Burst) Name() string { return "burst" }
+
+// Generate implements Generator.
+func (b Burst) Generate(r *xrand.Rand, cfg core.Config, T int) *core.Instance {
+	quiet, burst := b.QuietLen, b.BurstLen
+	if quiet <= 0 {
+		quiet = 20
+	}
+	if burst <= 0 {
+		burst = 5
+	}
+	rmin, rmax := b.Rmin, b.Rmax
+	if rmin <= 0 {
+		rmin = 1
+	}
+	if rmax <= 0 {
+		rmax = 8
+	}
+	spread := b.Spread
+	if spread <= 0 {
+		spread = 15 * cfg.M
+	}
+	sigma := b.Sigma
+	if sigma <= 0 {
+		sigma = cfg.M / 2
+	}
+	box := arena(cfg.Dim, spread*2)
+	siteA := geom.Zero(cfg.Dim)
+	siteB := geom.Zero(cfg.Dim)
+	siteB[0] = spread
+	in := &core.Instance{Config: cfg, Start: geom.Zero(cfg.Dim), Steps: make([]core.Step, T)}
+	for t := 0; t < T; t++ {
+		phasePos := t % (quiet + burst)
+		site, n := siteA, rmin
+		if phasePos >= quiet {
+			site, n = siteB, rmax
+		}
+		step := core.Step{Requests: make([]geom.Point, n)}
+		for i := 0; i < n; i++ {
+			step.Requests[i] = gaussianAround(r, site, sigma, box)
+		}
+		in.Steps[t] = step
+	}
+	return in
+}
+
+// randUnit returns a uniformly random unit vector (±1 in 1-D).
+func randUnit(r *xrand.Rand, dim int) geom.Point {
+	if dim == 1 {
+		return geom.NewPoint(r.Sign())
+	}
+	for {
+		v := make(geom.Point, dim)
+		for i := range v {
+			v[i] = r.Norm()
+		}
+		if n := v.Norm(); n > 1e-9 {
+			return v.Scale(1 / n)
+		}
+	}
+}
+
+// Registry returns the standard named workloads used by the comparison
+// experiments.
+func Registry() []Generator {
+	return []Generator{Uniform{}, Hotspot{}, Clusters{}, Burst{}}
+}
+
+// ByName returns the registry generator with the given name.
+func ByName(name string) (Generator, error) {
+	for _, g := range Registry() {
+		if g.Name() == name {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown generator %q", name)
+}

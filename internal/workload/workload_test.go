@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func cfg2D() core.Config { return core.Config{Dim: 2, D: 2, M: 1, Delta: 0.5, Order: core.MoveFirst} }
+func cfg1D() core.Config { return core.Config{Dim: 1, D: 2, M: 1, Delta: 0.5, Order: core.MoveFirst} }
+
+func TestAllGeneratorsProduceValidInstances(t *testing.T) {
+	for _, g := range Registry() {
+		for _, cfg := range []core.Config{cfg1D(), cfg2D()} {
+			in := g.Generate(xrand.New(1), cfg, 50)
+			if err := in.Validate(); err != nil {
+				t.Errorf("%s dim=%d: %v", g.Name(), cfg.Dim, err)
+			}
+			if in.T() != 50 {
+				t.Errorf("%s: T = %d", g.Name(), in.T())
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range Registry() {
+		a := g.Generate(xrand.New(7), cfg2D(), 30)
+		b := g.Generate(xrand.New(7), cfg2D(), 30)
+		if a.T() != b.T() {
+			t.Fatalf("%s: lengths differ", g.Name())
+		}
+		for i := range a.Steps {
+			if len(a.Steps[i].Requests) != len(b.Steps[i].Requests) {
+				t.Fatalf("%s: step %d counts differ", g.Name(), i)
+			}
+			for j := range a.Steps[i].Requests {
+				if !a.Steps[i].Requests[j].Equal(b.Steps[i].Requests[j]) {
+					t.Fatalf("%s: step %d request %d differs", g.Name(), i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsSeedsDiffer(t *testing.T) {
+	g := Uniform{}
+	a := g.Generate(xrand.New(1), cfg2D(), 10)
+	b := g.Generate(xrand.New(2), cfg2D(), 10)
+	same := true
+	for i := range a.Steps {
+		if !a.Steps[i].Requests[0].Equal(b.Steps[i].Requests[0]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestUniformRequestCount(t *testing.T) {
+	in := Uniform{Requests: 3}.Generate(xrand.New(1), cfg2D(), 20)
+	rmin, rmax := in.RequestRange()
+	if rmin != 3 || rmax != 3 {
+		t.Fatalf("request range = %d..%d, want 3..3", rmin, rmax)
+	}
+}
+
+func TestUniformPoissonCounts(t *testing.T) {
+	in := Uniform{PoissonMean: 4}.Generate(xrand.New(1), cfg2D(), 300)
+	rmin, rmax := in.RequestRange()
+	if rmin < 1 {
+		t.Fatalf("Poisson counts produced empty step (rmin=%d)", rmin)
+	}
+	if rmax <= 1 {
+		t.Fatalf("Poisson counts never varied (rmax=%d)", rmax)
+	}
+	total := in.TotalRequests()
+	mean := float64(total) / 300
+	if mean < 2.5 || mean > 5.5 {
+		t.Fatalf("Poisson mean ≈ %v, want ≈ 4", mean)
+	}
+}
+
+func TestUniformStaysInArena(t *testing.T) {
+	half := 5.0
+	in := Uniform{Half: half}.Generate(xrand.New(2), cfg2D(), 100)
+	for _, s := range in.Steps {
+		for _, v := range s.Requests {
+			for _, x := range v {
+				if x < -half || x > half {
+					t.Fatalf("request %v outside arena", v)
+				}
+			}
+		}
+	}
+}
+
+func TestHotspotLocality(t *testing.T) {
+	// Consecutive request centroids should be close: the hotspot moves at
+	// bounded speed and scatter is bounded.
+	in := Hotspot{Sigma: 0.5, Speed: 1, Requests: 4}.Generate(xrand.New(3), cfg2D(), 200)
+	prev := geom.Centroid(in.Steps[0].Requests)
+	big := 0
+	for _, s := range in.Steps[1:] {
+		c := geom.Centroid(s.Requests)
+		if geom.Dist(prev, c) > 4 {
+			big++
+		}
+		prev = c
+	}
+	if big > 10 {
+		t.Fatalf("hotspot jumped too often: %d/200", big)
+	}
+}
+
+func TestHotspotStaysInArena(t *testing.T) {
+	half := 8.0
+	in := Hotspot{Half: half, Sigma: 1}.Generate(xrand.New(4), cfg2D(), 500)
+	b := in.Bounds()
+	for i := 0; i < 2; i++ {
+		if b.Min[i] < -half-1e-9 || b.Max[i] > half+1e-9 {
+			t.Fatalf("hotspot left arena: %v..%v", b.Min, b.Max)
+		}
+	}
+}
+
+func TestClustersConcentration(t *testing.T) {
+	in := Clusters{K: 3, Sigma: 0.3, SwitchProb: 0.01, Requests: 2}.Generate(xrand.New(5), cfg2D(), 400)
+	// Measure: most consecutive steps should have nearby centroids
+	// (same cluster); occasional big jumps are the switches.
+	prev := geom.Centroid(in.Steps[0].Requests)
+	jumps := 0
+	for _, s := range in.Steps[1:] {
+		c := geom.Centroid(s.Requests)
+		if geom.Dist(prev, c) > 5 {
+			jumps++
+		}
+		prev = c
+	}
+	if jumps == 0 {
+		t.Fatal("clusters never switched")
+	}
+	if jumps > 40 {
+		t.Fatalf("clusters switched too often: %d/400", jumps)
+	}
+}
+
+func TestBurstPattern(t *testing.T) {
+	in := Burst{QuietLen: 10, BurstLen: 4, Rmin: 1, Rmax: 6}.Generate(xrand.New(6), cfg2D(), 56)
+	for t2 := 0; t2 < in.T(); t2++ {
+		want := 1
+		if t2%14 >= 10 {
+			want = 6
+		}
+		if len(in.Steps[t2].Requests) != want {
+			t.Fatalf("step %d: %d requests, want %d", t2, len(in.Steps[t2].Requests), want)
+		}
+	}
+	rmin, rmax := in.RequestRange()
+	if rmin != 1 || rmax != 6 {
+		t.Fatalf("request range %d..%d", rmin, rmax)
+	}
+}
+
+func TestBurstSitesSeparated(t *testing.T) {
+	in := Burst{QuietLen: 5, BurstLen: 5, Spread: 20, Sigma: 0.1}.Generate(xrand.New(7), cfg1D(), 20)
+	quiet := in.Steps[0].Requests[0][0]
+	burst := in.Steps[7].Requests[0][0]
+	if burst-quiet < 15 {
+		t.Fatalf("sites not separated: quiet %v burst %v", quiet, burst)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"uniform", "hotspot", "clusters", "burst"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, g.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestRegistryNonEmptyAndDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range Registry() {
+		if seen[g.Name()] {
+			t.Fatalf("duplicate workload %q", g.Name())
+		}
+		seen[g.Name()] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("registry too small: %d", len(seen))
+	}
+}

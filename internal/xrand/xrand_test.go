@@ -1,0 +1,294 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/64 identical draws", same)
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent streams produced %d/64 identical draws", same)
+	}
+}
+
+func TestNewStreamReproducible(t *testing.T) {
+	a := NewStream(99, 13)
+	b := NewStream(99, 13)
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("stream (99,13) not reproducible at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependentOfParent(t *testing.T) {
+	parent := New(5)
+	child := parent.Split()
+	// Re-derive: a fresh parent advanced the same way yields the same child.
+	parent2 := New(5)
+	child2 := parent2.Split()
+	for i := 0; i < 20; i++ {
+		if child.Uint64() != child2.Uint64() {
+			t.Fatalf("split child not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		v := r.Range(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Range(-3,7) out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRangeMean(t *testing.T) {
+	r := New(8)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Range(0, 10)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("Range(0,10) mean = %v, want ~5", mean)
+	}
+}
+
+func TestCoinFair(t *testing.T) {
+	r := New(11)
+	heads := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r.Coin() {
+			heads++
+		}
+	}
+	frac := float64(heads) / float64(n)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Coin heads fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(13)
+	hit := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hit++
+		}
+	}
+	frac := float64(hit) / float64(n)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", frac)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(14)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormMS(t *testing.T) {
+	r := New(15)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.NormMS(10, 2)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("NormMS(10,2) mean = %v", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(16)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(4)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Fatalf("Exp(4) mean = %v, want ~0.25", mean)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	r := New(17)
+	n := 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(3)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Poisson(3) mean = %v", mean)
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	r := New(18)
+	n := 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(200)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-200) > 1 {
+		t.Fatalf("Poisson(200) mean = %v", mean)
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		if v := r.Poisson(100); v < 0 {
+			t.Fatalf("Poisson returned negative %d", v)
+		}
+	}
+	if New(1).Poisson(0) != 0 {
+		t.Fatal("Poisson(0) != 0")
+	}
+	if New(1).Poisson(-1) != 0 {
+		t.Fatal("Poisson(-1) != 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(20)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm(50) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSignBalanced(t *testing.T) {
+	r := New(21)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		s := r.Sign()
+		if s != 1 && s != -1 {
+			t.Fatalf("Sign returned %v", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum/float64(n)) > 0.02 {
+		t.Fatalf("Sign imbalanced: mean %v", sum/float64(n))
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := New(22)
+	for i := 0; i < 10000; i++ {
+		v := r.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) out of range: %d", v)
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("Shuffle lost elements: %v", xs)
+	}
+}

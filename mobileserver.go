@@ -1,0 +1,147 @@
+// Package mobileserver is a Go implementation and empirical reproduction
+// of “The Mobile Server Problem” (Feldkord & Meyer auf der Heide,
+// SPAA 2017): a single mobile server holding a data page moves through
+// Euclidean space under a per-step movement cap m, paying D·distance for
+// movement and distance for every request it serves.
+//
+// The package re-exports the library's stable surface:
+//
+//   - the problem model (Config, Instance, Step, Cost) and the online
+//     Algorithm interface,
+//   - the paper's Move-to-Center algorithm (NewMtC) and its Moving Client
+//     specialization (NewFollowAgent),
+//   - the simulator (Run) and offline-optimum estimation (EstimateOPT),
+//   - a one-call competitive-ratio measurement (MeasureRatio).
+//
+// Implementation packages live under internal/; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the reproduction results.
+package mobileserver
+
+import (
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/offline"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Core model types.
+type (
+	// Point is a position in ℝ^d.
+	Point = geom.Point
+	// Config holds the instance parameters (dimension, D, m, δ, order).
+	Config = core.Config
+	// Instance is a start position plus a request sequence.
+	Instance = core.Instance
+	// Step is one time step's request batch.
+	Step = core.Step
+	// Cost splits the objective into movement and serving.
+	Cost = core.Cost
+	// Algorithm is the online algorithm interface driven by Run.
+	Algorithm = core.Algorithm
+	// Result summarizes a simulation run.
+	Result = sim.Result
+	// RunOptions configures cap enforcement and tracing.
+	RunOptions = sim.RunOptions
+	// OPTEstimate brackets the offline optimum: Lower ≤ OPT ≤ Upper.
+	OPTEstimate = offline.Estimate
+	// AgentConfig and AgentInstance describe the Moving Client variant.
+	AgentConfig = agent.Config
+	// AgentInstance is a Moving Client input (agent path + config).
+	AgentInstance = agent.Instance
+)
+
+// Serve orders (see Config.Order).
+const (
+	// MoveFirst moves the server before serving (the paper's default).
+	MoveFirst = core.MoveFirst
+	// AnswerFirst serves before moving (Theorems 3 and 7).
+	AnswerFirst = core.AnswerFirst
+)
+
+// NewPoint returns a point with the given coordinates.
+func NewPoint(coords ...float64) Point { return geom.NewPoint(coords...) }
+
+// NewMtC returns the paper's deterministic Move-to-Center algorithm.
+func NewMtC() Algorithm { return core.NewMtC() }
+
+// NewFollowAgent returns the Moving Client specialization of MtC
+// (Theorem 10): move min(cap, d(P, A)/D) toward the agent. Use it with
+// RunAgent.
+func NewFollowAgent() *agent.Follow { return agent.NewFollow() }
+
+// Run executes an online algorithm on an instance, enforcing the movement
+// cap (1+δ)m, and returns the accumulated cost.
+func Run(in *Instance, alg Algorithm, opts RunOptions) (*Result, error) {
+	return sim.Run(in, alg, opts)
+}
+
+// RunAgent executes a Moving Client algorithm on an agent instance by
+// reducing it to the core model (one request per step at the agent's
+// position).
+func RunAgent(in *AgentInstance, alg *agent.Follow, opts RunOptions) (*Result, error) {
+	return sim.Run(in.ToCore(), agent.Adapt(in, alg), opts)
+}
+
+// EstimateOPT brackets the offline optimum of the instance using the grid
+// dynamic programs (certified lower bound, dimensions 1 and 2) and
+// greedy/descent feasible solutions (upper bound).
+func EstimateOPT(in *Instance) (OPTEstimate, error) {
+	return offline.Best(in, offline.Options{})
+}
+
+// RatioReport is the outcome of MeasureRatio.
+type RatioReport struct {
+	// AlgorithmCost is the online algorithm's total cost.
+	AlgorithmCost float64
+	// Opt brackets the offline optimum.
+	Opt OPTEstimate
+	// RatioLow = cost/Opt.Upper underestimates the competitive ratio;
+	// RatioHigh = cost/Opt.Lower overestimates it (NaN if no lower bound).
+	RatioLow, RatioHigh float64
+}
+
+// MeasureRatio runs the algorithm and reports its cost relative to the
+// offline-optimum bracket — the one-call entry point for "how competitive
+// is this algorithm on this workload".
+func MeasureRatio(in *Instance, alg Algorithm) (RatioReport, error) {
+	res, err := sim.Run(in, alg, sim.RunOptions{})
+	if err != nil {
+		return RatioReport{}, err
+	}
+	est, err := offline.Best(in, offline.Options{})
+	if err != nil {
+		return RatioReport{}, err
+	}
+	return RatioReport{
+		AlgorithmCost: res.Cost.Total(),
+		Opt:           est,
+		RatioLow:      sim.Ratio(res.Cost.Total(), est.Upper),
+		RatioHigh:     sim.Ratio(res.Cost.Total(), est.Lower),
+	}, nil
+}
+
+// RandomWalkPath returns a T-step agent path that takes a random direction
+// each step at up to the given speed, for Moving Client scenarios.
+func RandomWalkPath(seed uint64, origin Point, T int, speed float64) []Point {
+	return agent.RandomWalk(xrand.New(seed), origin, T, speed)
+}
+
+// DriftPath returns a T-step agent path heading in one random direction at
+// full speed with the given relative jitter — a convoy on a road.
+func DriftPath(seed uint64, origin Point, T int, speed, jitter float64) []Point {
+	return agent.Drift(xrand.New(seed), origin, T, speed, jitter)
+}
+
+// CommuterPath returns a T-step agent path shuttling between origin and
+// target at full speed.
+func CommuterPath(origin, target Point, T int, speed float64) []Point {
+	return agent.Commuter(origin, target, T, speed)
+}
+
+// PatrolPath returns a T-step agent path circling center with the given
+// radius (dimension >= 2), entering the circle from origin first.
+func PatrolPath(origin, center Point, radius float64, T int, speed float64) []Point {
+	return agent.Patrol(origin, center, radius, T, speed)
+}

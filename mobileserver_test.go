@@ -1,0 +1,95 @@
+package mobileserver
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func demoInstance(T int) *Instance {
+	cfg := Config{Dim: 1, D: 2, M: 1, Delta: 0.5, Order: MoveFirst}
+	return workload.Hotspot{Half: 15, Sigma: 1}.Generate(xrand.New(1), cfg, T)
+}
+
+func TestRunFacade(t *testing.T) {
+	res, err := Run(demoInstance(100), NewMtC(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Cost.Total() > 0) {
+		t.Fatalf("cost = %v", res.Cost)
+	}
+}
+
+func TestMeasureRatioBracket(t *testing.T) {
+	rep, err := MeasureRatio(demoInstance(150), NewMtC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rep.AlgorithmCost > 0) {
+		t.Fatal("no cost measured")
+	}
+	if rep.Opt.Lower <= 0 || rep.Opt.Upper < rep.Opt.Lower {
+		t.Fatalf("bad OPT bracket: %+v", rep.Opt)
+	}
+	if rep.RatioLow > rep.RatioHigh {
+		t.Fatalf("ratio bracket inverted: [%v, %v]", rep.RatioLow, rep.RatioHigh)
+	}
+	// With (1+δ)m augmentation the online algorithm may legitimately beat
+	// the m-capped optimum, so RatioLow can dip below 1 — but not by much
+	// on a followable hotspot.
+	if rep.RatioLow < 0.5 {
+		t.Fatalf("implausibly low ratio %v — OPT upper bound broken?", rep.RatioLow)
+	}
+}
+
+func TestEstimateOPT(t *testing.T) {
+	est, err := EstimateOPT(demoInstance(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Lower <= 0 || math.IsInf(est.Upper, 1) {
+		t.Fatalf("estimate = %+v", est)
+	}
+}
+
+func TestRunAgentFacade(t *testing.T) {
+	cfg := AgentConfig{Dim: 2, D: 2, MS: 1, MA: 1, Delta: 0}
+	r := xrand.New(3)
+	in := &AgentInstance{
+		Config: cfg,
+		Start:  NewPoint(0, 0),
+		Path:   agent.RandomWalk(r, NewPoint(0, 0), 120, cfg.MA),
+	}
+	res, err := RunAgent(in, NewFollowAgent(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Cost.Total() > 0) {
+		t.Fatal("agent run produced no cost")
+	}
+}
+
+// Example demonstrates the quickstart flow: build an instance, run MtC,
+// and measure its competitive ratio.
+func Example() {
+	in := &Instance{
+		Config: Config{Dim: 1, D: 2, M: 1, Delta: 0.5, Order: MoveFirst},
+		Start:  NewPoint(0),
+		Steps: []Step{
+			{Requests: []Point{NewPoint(3)}},
+			{Requests: []Point{NewPoint(4)}},
+			{Requests: []Point{NewPoint(5)}},
+		},
+	}
+	res, err := Run(in, NewMtC(), RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("served %d steps, cost > 0: %v\n", in.T(), res.Cost.Total() > 0)
+	// Output: served 3 steps, cost > 0: true
+}
