@@ -1,9 +1,9 @@
 package mobileserver
 
 // The benchmark harness regenerates every experiment of the reproduction
-// (one benchmark per table in EXPERIMENTS.md, E1–E12) and additionally
-// micro-benchmarks the computational kernels (geometric median, the
-// simulator step loop, the offline DPs).
+// (one benchmark per experiment, E1–E14) and additionally micro-benchmarks
+// the computational kernels (geometric median, the simulator step loop,
+// the streaming session, the offline DPs).
 //
 // Experiment benchmarks report the headline quantities via b.ReportMetric
 // (e.g. the fitted log–log slope or the key ratio), so `go test -bench=.`
@@ -236,6 +236,30 @@ func BenchmarkSimulateMtCHotspot(b *testing.B) {
 		if _, err := sim.Run(in, core.NewMtC(), sim.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkStreamingSessionStep(b *testing.B) {
+	// The streaming hot path: one request per Step into a live session,
+	// reusing the batch buffer — the constant-memory ingestion loop.
+	cfg := Config{Dim: 2, D: 2, M: 1, Delta: 0.5, Order: MoveFirst}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(cfg, NewPoint(0, 0), NewMtC(), RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := NewPoint(0, 0)
+		batch := []Point{req}
+		for t := 0; t < 1000; t++ {
+			req[0] = float64(t % 50)
+			req[1] = 1
+			if err := s.Step(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Finish()
 	}
 }
 

@@ -1,5 +1,6 @@
 // Command mobbench regenerates the reproduction tables (experiments
-// E1–E12, one per theorem/lemma of the paper — see EXPERIMENTS.md).
+// E1–E14, one per theorem/lemma of the paper — see DESIGN.md for the
+// inventory).
 //
 // Usage:
 //

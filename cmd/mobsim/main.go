@@ -1,13 +1,15 @@
 // Command mobsim runs one Mobile Server simulation and reports the costs,
 // the offline-optimum bracket, and the resulting competitive-ratio
-// estimate, optionally with an ASCII plot of the per-step costs.
+// estimate, optionally with an ASCII plot of the per-step costs. With -k it
+// runs the multi-server fleet extension on the same workload.
 //
 // Usage:
 //
 //	mobsim -workload hotspot -T 500 -dim 2 -D 4 -delta 0.5 -alg mtc
 //	mobsim -workload burst -alg lazy -plot
-//	mobsim -trace instance.json -alg mtc     # replay a recorded instance
-//	mobsim -list                             # show workloads and algorithms
+//	mobsim -workload clusters -k 4                # fleet of 4 servers
+//	mobsim -trace instance.json -alg mtc          # replay a recorded instance
+//	mobsim -list                                  # show workloads and algorithms
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"repro/internal/asciiplot"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/multi"
 	"repro/internal/offline"
 	"repro/internal/sim"
 	"repro/internal/traceio"
@@ -37,6 +41,7 @@ func main() {
 		delta     = flag.Float64("delta", 0.5, "augmentation delta in [0,1]")
 		answer    = flag.Bool("answer-first", false, "serve requests before moving")
 		requests  = flag.Int("r", 1, "requests per step")
+		k         = flag.Int("k", 1, "number of servers (k>1 runs the fleet extension: alg mtc|lazy)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		plot      = flag.Bool("plot", false, "ASCII plot of cumulative costs")
 		tracePath = flag.String("trace", "", "replay an instance from JSON instead of generating")
@@ -51,6 +56,7 @@ func main() {
 			fmt.Printf("  %s\n", g.Name())
 		}
 		fmt.Println("algorithms: mtc lazy follow greedy movetomin coinflip")
+		fmt.Println("fleet (-k > 1): mtc lazy")
 		return
 	}
 
@@ -70,11 +76,21 @@ func main() {
 		fmt.Printf("saved instance to %s\n", *saveTrace)
 	}
 
+	if *k > 1 {
+		runFleet(in, *algName, *k, *plot)
+		return
+	}
+
 	alg, err := algorithmByName(*algName, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(in, alg, sim.RunOptions{RecordTrace: *plot})
+	curve := &costCurve{}
+	opts := sim.RunOptions{}
+	if *plot {
+		opts.Observers = []sim.Observer{curve}
+	}
+	res, err := sim.Run(in, alg, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,20 +107,62 @@ func main() {
 	fmt.Printf("ratio:       [%.4g, %.4g]\n", sim.Ratio(res.Cost.Total(), est.Upper), sim.Ratio(res.Cost.Total(), est.Lower))
 
 	if *plot {
-		var xs, serve, move []float64
-		cumS, cumM := 0.0, 0.0
-		for t, rec := range res.Trace {
-			cumS += rec.Cost.Serve
-			cumM += rec.Cost.Move
-			xs = append(xs, float64(t+1))
-			serve = append(serve, cumS)
-			move = append(move, cumM)
-		}
-		fmt.Print(asciiplot.Plot{Title: "cumulative cost", Width: 70, Height: 16}.Render([]asciiplot.Series{
-			{Name: "serve", X: xs, Y: serve},
-			{Name: "move (D-weighted)", X: xs, Y: move},
-		}))
+		fmt.Print(curve.render())
 	}
+}
+
+// runFleet replays the generated request sequence against a fleet of k
+// servers through the shared engine.
+func runFleet(in *core.Instance, algName string, k int, plot bool) {
+	cfg := in.Config
+	cfg.K = k
+	fin := &core.FleetInstance{Config: cfg, Starts: multi.SpreadStarts(cfg, 2*cfg.M*float64(k)), Steps: in.Steps}
+	var alg core.FleetAlgorithm
+	switch algName {
+	case "mtc":
+		alg = multi.NewMtCK()
+	case "lazy":
+		alg = multi.NewLazyK()
+	default:
+		fatal(fmt.Errorf("fleet mode supports alg mtc|lazy, got %q", algName))
+	}
+	curve := &costCurve{}
+	opts := engine.Options{}
+	if plot {
+		opts.Observers = []engine.Observer{curve}
+	}
+	res, err := engine.Run(fin, alg, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: T=%d dim=%d D=%g m=%g delta=%g K=%d\n",
+		fin.T(), cfg.Dim, cfg.D, cfg.M, cfg.Delta, cfg.Servers())
+	fmt.Printf("%-12s %s  (max step %.4g, cap %.4g)\n", res.Algorithm+":", res.Cost, res.MaxMove, cfg.OnlineCap())
+	if plot {
+		fmt.Print(curve.render())
+	}
+}
+
+// costCurve is an engine observer accumulating the cumulative serve and
+// move cost series for the ASCII plot.
+type costCurve struct {
+	xs, serve, move []float64
+	cumS, cumM      float64
+}
+
+func (c *costCurve) Observe(info engine.StepInfo) {
+	c.cumS += info.Cost.Serve
+	c.cumM += info.Cost.Move
+	c.xs = append(c.xs, float64(info.T+1))
+	c.serve = append(c.serve, c.cumS)
+	c.move = append(c.move, c.cumM)
+}
+
+func (c *costCurve) render() string {
+	return asciiplot.Plot{Title: "cumulative cost", Width: 70, Height: 16}.Render([]asciiplot.Series{
+		{Name: "serve", X: c.xs, Y: c.serve},
+		{Name: "move (D-weighted)", X: c.xs, Y: c.move},
+	})
 }
 
 func buildInstance(tracePath, wlName string, T, dim int, D, m, delta float64, answer bool, requests int, seed uint64) (*core.Instance, error) {

@@ -39,7 +39,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  mobtrace gen       -workload <name> [-T n] [-dim d] [-D w] [-m cap] [-delta x] [-r k] [-seed s] -o file.json
+  mobtrace gen       -workload <name> [-T n] [-dim d] [-D w] [-m cap] [-delta x] [-r k] [-answer-first] [-seed s] -o file.json
   mobtrace info      <file.json>
   mobtrace adversary -theorem <1|2|3> [-T n] [-D w] [-delta x] [-r k] [-seed s] -o file.json`)
 	os.Exit(2)
@@ -54,6 +54,7 @@ func cmdGen(args []string) {
 	m := fs.Float64("m", 1, "movement cap")
 	delta := fs.Float64("delta", 0.5, "augmentation")
 	r := fs.Int("r", 1, "requests per step")
+	answer := fs.Bool("answer-first", false, "serve requests before moving")
 	seed := fs.Uint64("seed", 1, "seed")
 	out := fs.String("o", "", "output file (required)")
 	fs.Parse(args)
@@ -75,7 +76,11 @@ func cmdGen(args []string) {
 		g.Requests = *r
 		gen = g
 	}
-	cfg := core.Config{Dim: *dim, D: *D, M: *m, Delta: *delta, Order: core.MoveFirst}
+	order := core.MoveFirst
+	if *answer {
+		order = core.AnswerFirst
+	}
+	cfg := core.Config{Dim: *dim, D: *D, M: *m, Delta: *delta, Order: order}
 	in := gen.Generate(xrand.New(*seed), cfg, *T)
 	writeInstance(*out, in)
 }

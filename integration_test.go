@@ -15,7 +15,6 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/multi"
 	"repro/internal/offline"
 	"repro/internal/sim"
 	"repro/internal/traceio"
@@ -128,18 +127,25 @@ func TestIntegrationMovingClientMatchesCoreReduction(t *testing.T) {
 
 func TestIntegrationFleetReducesToSingleServer(t *testing.T) {
 	// A K=1 fleet must exactly match the single-server simulator on the
-	// same instance.
-	cfg := Config{Dim: 2, D: 2, M: 1, Delta: 0, Order: MoveFirst}
+	// same instance — both now run on the same engine and shared types.
+	cfg := Config{Dim: 2, D: 2, M: 1, Delta: 0, Order: MoveFirst, K: 1}
 	src := workload.Hotspot{}.Generate(xrand.New(17), cfg, 150)
-	fleetCfg := multi.Config{Dim: 2, D: 2, M: 1, Delta: 0, K: 1}
-	fin := &multi.Instance{Config: fleetCfg, Starts: []Point{src.Start.Clone()}, Steps: src.Steps}
-	fleetRes, err := multi.Run(fin, multi.NewMtCK(), 0)
+	fin := &FleetInstance{Config: cfg, Starts: []Point{src.Start.Clone()}, Steps: src.Steps}
+	fleetRes, err := RunFleet(fin, NewMtCK(), FleetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	singleRes := sim.MustRun(src, core.NewMtC(), sim.RunOptions{})
 	if math.Abs(fleetRes.Cost.Total()-singleRes.Cost.Total()) > 1e-6*(1+singleRes.Cost.Total()) {
 		t.Fatalf("K=1 fleet %v != single server %v", fleetRes.Cost.Total(), singleRes.Cost.Total())
+	}
+	// A single-server algorithm lifted with Fleet must match bitwise.
+	lifted, err := RunFleet(fin, Fleet(core.NewMtC()), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lifted.Cost != singleRes.Cost || !lifted.Final[0].Equal(singleRes.Final) {
+		t.Fatalf("lifted MtC %+v != single server %+v", lifted.Cost, singleRes.Cost)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/offline"
 	"repro/internal/sim"
@@ -75,11 +76,87 @@ type Options struct {
 	CellsPerM, MaxCells int
 }
 
+// PhiAudit is an engine.Observer that tracks the potential φ live along a
+// run, checking the amortized inequality of Theorem 4 against a reference
+// (offline) trajectory step by step. Attach it to any session whose
+// algorithm should satisfy the paper's potential argument; AuditMtC wires
+// it up against the grid-DP optimum.
+type PhiAudit struct {
+	// K is the bound constant: Amortized ≤ K·COpt (+ slack) is checked.
+	K float64
+	// RefPath is the reference trajectory: RefPath[t+1] is the reference
+	// position after the move of step t (RefPath[0] is the start).
+	RefPath []geom.Point
+	// SlackPerStep is the per-step allowance covering the discretization
+	// of the reference path.
+	SlackPerStep float64
+
+	// Result fields, updated on every observed step.
+	Steps                []StepRecord
+	PerStepViolations    int
+	PrefixHolds          bool
+	MaxEmpiricalConstant float64
+	// Truncated reports that the session ran more steps than RefPath
+	// covers; auditing stopped at the end of the reference trajectory.
+	Truncated bool
+
+	cfg     core.Config
+	phiPrev float64
+	sumAlg  float64
+	sumOpt  float64
+}
+
+// NewPhiAudit returns an audit observer for the given bound constant,
+// reference trajectory, and discretization slack.
+func NewPhiAudit(k float64, refPath []geom.Point, slackPerStep float64) *PhiAudit {
+	return &PhiAudit{K: k, RefPath: refPath, SlackPerStep: slackPerStep, PrefixHolds: true}
+}
+
+// Begin implements engine.BeginObserver.
+func (a *PhiAudit) Begin(cfg core.Config, _ []geom.Point, _ string) { a.cfg = cfg }
+
+// Observe implements engine.Observer.
+func (a *PhiAudit) Observe(info engine.StepInfo) {
+	t := info.T
+	if t+1 >= len(a.RefPath) {
+		a.Truncated = true
+		return
+	}
+	r := len(info.Requests)
+	algNext := info.Pos[0]
+	optPos, optNext := a.RefPath[t], a.RefPath[t+1]
+	cAlg := info.Cost.Total()
+	cOpt := core.StepCost(a.cfg, optPos, optNext, info.Requests).Total()
+	phiNext := Phi(a.cfg, r, geom.Dist(optNext, algNext))
+	rec := StepRecord{
+		CAlg:      cAlg,
+		COpt:      cOpt,
+		DeltaPhi:  phiNext - a.phiPrev,
+		Amortized: cAlg + phiNext - a.phiPrev,
+	}
+	a.Steps = append(a.Steps, rec)
+	if rec.Amortized > a.K*cOpt+a.K*a.SlackPerStep {
+		a.PerStepViolations++
+	}
+	if cOpt > a.SlackPerStep {
+		if c := rec.Amortized / cOpt; c > a.MaxEmpiricalConstant {
+			a.MaxEmpiricalConstant = c
+		}
+	}
+	a.sumAlg += cAlg
+	a.sumOpt += a.K * (cOpt + a.SlackPerStep)
+	if a.sumAlg+phiNext > a.sumOpt+1e-6 {
+		a.PrefixHolds = false
+	}
+	a.phiPrev = phiNext
+}
+
 // AuditMtC runs the paper's MtC on a 1-D instance whose steps each have
 // all requests on a single point (the setting of the potential argument —
 // Lemma 5 reduces general instances to it), recovers a near-optimal
 // offline trajectory by dynamic programming, and checks the amortized
-// inequality per step and in prefix form.
+// inequality per step and in prefix form by attaching a PhiAudit observer
+// to the simulation session.
 func AuditMtC(in *core.Instance, opts Options) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -112,56 +189,24 @@ func AuditMtC(in *core.Instance, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	algRun, err := sim.Run(in, core.NewMtC(), sim.RunOptions{RecordTrace: true})
-	if err != nil {
-		return nil, err
-	}
-
 	k := opts.K
 	if k == 0 {
 		k = 300 / in.Config.Delta
 	}
-	res := &Result{K: k, PrefixHolds: true}
 	// The snapped OPT path misstates each step's true offline cost by at
 	// most D·pitch + r·pitch/2 (movement + serving at snapped positions).
 	_, rmax := in.RequestRange()
-	res.OptSlackPerStep = (in.Config.D + float64(rmax)/2) * dpRes.Pitch
-
-	algPos := in.Start
-	optPos := in.Start
-	phiPrev := 0.0
-	sumAlg, sumOptBound := 0.0, 0.0
-	for t, s := range in.Steps {
-		r := len(s.Requests)
-		algNext := algRun.Trace[t].Pos
-		optNext := optPath[t+1]
-		cAlg := algRun.Trace[t].Cost.Total()
-		cOpt := core.StepCost(in.Config, optPos, optNext, s.Requests).Total()
-		phiNext := Phi(in.Config, r, geom.Dist(optNext, algNext))
-		rec := StepRecord{
-			CAlg:      cAlg,
-			COpt:      cOpt,
-			DeltaPhi:  phiNext - phiPrev,
-			Amortized: cAlg + phiNext - phiPrev,
-		}
-		res.Steps = append(res.Steps, rec)
-		if rec.Amortized > k*cOpt+k*res.OptSlackPerStep {
-			res.PerStepViolations++
-		}
-		if cOpt > res.OptSlackPerStep {
-			if c := rec.Amortized / cOpt; c > res.MaxEmpiricalConstant {
-				res.MaxEmpiricalConstant = c
-			}
-		}
-		sumAlg += cAlg
-		sumOptBound += k * (cOpt + res.OptSlackPerStep)
-		if sumAlg+phiNext > sumOptBound+1e-6 {
-			res.PrefixHolds = false
-		}
-		algPos = algNext
-		optPos = optNext
-		phiPrev = phiNext
+	slack := (in.Config.D + float64(rmax)/2) * dpRes.Pitch
+	audit := NewPhiAudit(k, optPath, slack)
+	if _, err := sim.Run(in, core.NewMtC(), sim.RunOptions{Observers: []sim.Observer{audit}}); err != nil {
+		return nil, err
 	}
-	_ = algPos
-	return res, nil
+	return &Result{
+		Steps:                audit.Steps,
+		K:                    k,
+		PerStepViolations:    audit.PerStepViolations,
+		PrefixHolds:          audit.PrefixHolds,
+		MaxEmpiricalConstant: audit.MaxEmpiricalConstant,
+		OptSlackPerStep:      slack,
+	}, nil
 }

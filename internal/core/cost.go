@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 )
@@ -39,6 +40,42 @@ func StepCost(cfg Config, from, to geom.Point, requests []geom.Point) Cost {
 	for _, v := range requests {
 		c.Serve += geom.Dist(servePos, v)
 	}
+	return c
+}
+
+// NearestServeCost returns Σ_v min_j d(positions[j], v): every request is
+// served by its nearest server. With a single position it reduces to the
+// paper's serve cost.
+func NearestServeCost(positions, requests []geom.Point) float64 {
+	total := 0.0
+	for _, v := range requests {
+		best := math.Inf(1)
+		for _, p := range positions {
+			if d := geom.Dist(p, v); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// FleetStepCost returns the cost of one step in which the fleet moves from
+// prev to next (one entry per server) while the given requests are
+// outstanding, under the serve order of cfg. For MoveFirst the requests are
+// charged against the next positions; for AnswerFirst against prev. Each
+// server's movement costs D times its distance. For a single server it
+// coincides exactly with StepCost.
+func FleetStepCost(cfg Config, prev, next []geom.Point, requests []geom.Point) Cost {
+	var c Cost
+	for j := range next {
+		c.Move += cfg.D * geom.Dist(prev[j], next[j])
+	}
+	servePos := next
+	if cfg.Order == AnswerFirst {
+		servePos = prev
+	}
+	c.Serve = NearestServeCost(servePos, requests)
 	return c
 }
 

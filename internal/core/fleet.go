@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// FleetAlgorithm is the general online interface of the model: K servers
+// move under a shared per-step cap, and every request is served by its
+// nearest server. K = 1 recovers the paper's single-server model, so
+// FleetAlgorithm is the generalization of Algorithm that the simulation
+// engine drives; single-server algorithms are lifted with Fleet.
+//
+// Implementations must be deterministic given their construction inputs,
+// so simulations are reproducible.
+type FleetAlgorithm interface {
+	// Name identifies the algorithm in reports and tables.
+	Name() string
+	// Reset prepares the algorithm for a fresh run with the given
+	// configuration and one start position per server
+	// (len(starts) == cfg.Servers()).
+	Reset(cfg Config, starts []geom.Point)
+	// Move observes the requests of the current step and returns the new
+	// position of every server; the engine enforces the per-server cap
+	// (1+δ)·m. The returned slice must have one entry per server.
+	Move(requests []geom.Point) []geom.Point
+}
+
+// FleetInstance is a complete multi-server input: configuration, one start
+// position per server, and the shared request sequence. With
+// Config.Servers() == 1 it is equivalent to an Instance.
+type FleetInstance struct {
+	Config Config
+	Starts []geom.Point
+	Steps  []Step
+}
+
+// T returns the number of time steps.
+func (in *FleetInstance) T() int { return len(in.Steps) }
+
+// TotalRequests returns Σ_t r_t.
+func (in *FleetInstance) TotalRequests() int {
+	n := 0
+	for _, s := range in.Steps {
+		n += len(s.Requests)
+	}
+	return n
+}
+
+// Validate checks the configuration, the start positions, and every request
+// for dimension and finiteness.
+func (in *FleetInstance) Validate() error {
+	if err := in.Config.Validate(); err != nil {
+		return err
+	}
+	if len(in.Starts) != in.Config.Servers() {
+		return fmt.Errorf("core: %d start positions for K=%d servers", len(in.Starts), in.Config.Servers())
+	}
+	for j, s := range in.Starts {
+		if s.Dim() != in.Config.Dim {
+			return fmt.Errorf("core: start %d has dim %d, want %d", j, s.Dim(), in.Config.Dim)
+		}
+		if !s.IsFinite() {
+			return fmt.Errorf("core: start %d is not finite: %v", j, s)
+		}
+	}
+	if len(in.Steps) == 0 {
+		return ErrEmptyInstance
+	}
+	for t, s := range in.Steps {
+		for i, v := range s.Requests {
+			if v.Dim() != in.Config.Dim {
+				return fmt.Errorf("core: request %d in step %d has dim %d, want %d", i, t, v.Dim(), in.Config.Dim)
+			}
+			if !v.IsFinite() {
+				return fmt.Errorf("core: request %d in step %d is not finite: %v", i, t, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Fleet converts the single-server instance to the equivalent K=1 fleet
+// instance. The steps are shared, not copied.
+func (in *Instance) Fleet() *FleetInstance {
+	return &FleetInstance{Config: in.Config, Starts: []geom.Point{in.Start.Clone()}, Steps: in.Steps}
+}
+
+// FleetSizer is implemented by fleet algorithms that only support a fixed
+// fleet size; the engine rejects a configuration whose Servers() count
+// disagrees before the algorithm is ever reset.
+type FleetSizer interface {
+	FleetSize() int
+}
+
+// fleetOfOne lifts a single-server Algorithm to the fleet interface.
+type fleetOfOne struct {
+	inner Algorithm
+	pos   [1]geom.Point
+}
+
+// Fleet lifts a single-server Algorithm to a FleetAlgorithm controlling a
+// fleet of size 1. Resetting the result with more than one start panics;
+// the engine reports the mismatch as an error first via FleetSizer.
+func Fleet(alg Algorithm) FleetAlgorithm { return &fleetOfOne{inner: alg} }
+
+// FleetSize implements FleetSizer: a lifted algorithm controls one server.
+func (f *fleetOfOne) FleetSize() int { return 1 }
+
+func (f *fleetOfOne) Name() string { return f.inner.Name() }
+
+func (f *fleetOfOne) Reset(cfg Config, starts []geom.Point) {
+	if len(starts) != 1 {
+		panic(fmt.Sprintf("core: single-server algorithm %s reset with %d starts", f.inner.Name(), len(starts)))
+	}
+	f.inner.Reset(cfg, starts[0])
+}
+
+func (f *fleetOfOne) Move(requests []geom.Point) []geom.Point {
+	f.pos[0] = f.inner.Move(requests)
+	return f.pos[:]
+}

@@ -58,6 +58,20 @@ type Config struct {
 	Delta float64
 	// Order selects Move-First (default) or Answer-First serving.
 	Order ServeOrder
+	// K is the number of mobile servers. 0 and 1 both select the paper's
+	// single-server model; K > 1 selects the fleet extension sketched in
+	// the paper's conclusion (Section 6), where each request is served by
+	// its nearest server and every server obeys the per-step cap.
+	K int
+}
+
+// Servers returns the fleet size, treating the zero value as the paper's
+// single server.
+func (c Config) Servers() int {
+	if c.K < 1 {
+		return 1
+	}
+	return c.K
 }
 
 // OnlineCap returns the per-step movement bound (1+δ)·m available to the
@@ -80,6 +94,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Delta = %v, need 0 <= delta <= 1", c.Delta)
 	case c.Order != MoveFirst && c.Order != AnswerFirst:
 		return fmt.Errorf("core: unknown serve order %d", int(c.Order))
+	case c.K < 0:
+		return fmt.Errorf("core: K = %d, need >= 0 (0 means 1)", c.K)
 	}
 	return nil
 }

@@ -1,0 +1,313 @@
+// Package engine is the streaming simulation core of the repository: a
+// Session accepts request batches one step at a time, enforces the per-step
+// movement cap for every server of the fleet, accounts costs, and notifies
+// pluggable Observers after each step. Requests never need to be
+// materialized up front, so a session can serve an unbounded live stream in
+// constant memory.
+//
+// The engine drives the general fleet interface core.FleetAlgorithm; the
+// paper's single-server model is the K = 1 case (lift a core.Algorithm with
+// core.Fleet). The single-server package sim and the fleet package multi
+// are thin wrappers over sessions.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Mode selects how cap violations by an algorithm are handled.
+type Mode int
+
+const (
+	// Strict aborts the run with an error when the algorithm attempts to
+	// move a server farther than its cap (plus tolerance). This is the
+	// default: a violation is a bug in the algorithm.
+	Strict Mode = iota
+	// Clamp projects an over-long move back onto the cap sphere around
+	// the server's previous position and continues.
+	Clamp
+)
+
+// Options configures a session. The zero value gives strict cap checking
+// with the default tolerance and no observers.
+type Options struct {
+	Mode Mode
+	// Tol is the relative tolerance for cap checks. Default 1e-9.
+	Tol float64
+	// Observers are notified after every step, in order.
+	Observers []Observer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// Result summarizes a finished session.
+type Result struct {
+	// Algorithm is the algorithm's reported name.
+	Algorithm string
+	// Cost is the accumulated total cost.
+	Cost core.Cost
+	// Final holds the final position of every server.
+	Final []geom.Point
+	// MaxMove is the largest single-server single-step movement observed.
+	MaxMove float64
+	// Clamped counts server-moves on which the cap had to be enforced
+	// (Clamp mode only).
+	Clamped int
+	// Steps is the number of steps fed to the session.
+	Steps int
+}
+
+// ErrFinished is returned by Step after Finish has been called.
+var ErrFinished = errors.New("engine: session already finished")
+
+// Session is an in-progress simulation. Feed it one request batch per time
+// step with Step, then call Finish for the accumulated Result.
+type Session struct {
+	cfg      core.Config
+	alg      core.FleetAlgorithm
+	opts     Options
+	cap      float64
+	pos      []geom.Point
+	scratch  []geom.Point
+	prevBuf  []geom.Point
+	obs      []Observer
+	res      Result
+	err      error
+	finished bool
+}
+
+// NewSession validates the configuration and start positions
+// (len(starts) == cfg.Servers()), resets the algorithm, and announces the
+// run to the observers.
+func NewSession(cfg core.Config, starts []geom.Point, alg core.FleetAlgorithm, opts Options) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(starts) != cfg.Servers() {
+		return nil, fmt.Errorf("engine: %d start positions for K=%d servers", len(starts), cfg.Servers())
+	}
+	if fs, ok := alg.(core.FleetSizer); ok && fs.FleetSize() != cfg.Servers() {
+		return nil, fmt.Errorf("engine: %s controls %d servers, config has K=%d", alg.Name(), fs.FleetSize(), cfg.Servers())
+	}
+	for j, p := range starts {
+		if p.Dim() != cfg.Dim {
+			return nil, fmt.Errorf("engine: start %d has dim %d, want %d", j, p.Dim(), cfg.Dim)
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("engine: start %d is not finite: %v", j, p)
+		}
+	}
+	s := &Session{
+		cfg:  cfg,
+		alg:  alg,
+		opts: opts.withDefaults(),
+		cap:  cfg.OnlineCap(),
+		pos:  clonePoints(starts),
+		obs:  opts.Observers,
+	}
+	alg.Reset(cfg, clonePoints(starts))
+	s.res = Result{Algorithm: alg.Name()}
+	if len(s.obs) > 0 {
+		announced := clonePoints(s.pos)
+		for _, o := range s.obs {
+			if b, ok := o.(BeginObserver); ok {
+				b.Begin(cfg, announced, s.res.Algorithm)
+			}
+		}
+	}
+	return s, nil
+}
+
+// NewSingleSession is NewSession for the paper's single-server model: it
+// lifts the algorithm and start position to a fleet of size 1.
+func NewSingleSession(cfg core.Config, start geom.Point, alg core.Algorithm, opts Options) (*Session, error) {
+	if cfg.Servers() != 1 {
+		return nil, fmt.Errorf("engine: single-server session with K=%d", cfg.Servers())
+	}
+	return NewSession(cfg, []geom.Point{start}, core.Fleet(alg), opts)
+}
+
+// T returns the number of steps fed so far.
+func (s *Session) T() int { return s.res.Steps }
+
+// Positions returns a copy of the current server positions.
+func (s *Session) Positions() []geom.Point { return clonePoints(s.pos) }
+
+// Position returns a copy of server j's current position.
+func (s *Session) Position(j int) geom.Point { return s.pos[j].Clone() }
+
+// Step feeds one time step's request batch (which may be empty) to the
+// algorithm, enforces the cap on the returned move, accounts the step cost,
+// and notifies the observers.
+//
+// A malformed batch (wrong dimension, non-finite point) is rejected before
+// the algorithm sees it; such errors are recoverable and the next Step may
+// proceed. Errors raised after the algorithm has moved (arity, bad
+// position, strict cap violation) are sticky: the algorithm may have
+// advanced its internal state past the engine's, so every later Step
+// returns the same error instead of computing from inconsistent state.
+func (s *Session) Step(requests []geom.Point) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.finished {
+		return ErrFinished
+	}
+	t := s.res.Steps
+	for i, v := range requests {
+		if v.Dim() != s.cfg.Dim {
+			return fmt.Errorf("engine: request %d in step %d has dim %d, want %d", i, t, v.Dim(), s.cfg.Dim)
+		}
+		if !v.IsFinite() {
+			return fmt.Errorf("engine: request %d in step %d is not finite: %v", i, t, v)
+		}
+	}
+	if err := s.step(requests); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// step runs one pre-validated batch through the algorithm. Callers own the
+// guard and error-stickiness logic.
+func (s *Session) step(requests []geom.Point) error {
+	t := s.res.Steps
+	var prev []geom.Point
+	if len(s.obs) > 0 {
+		prev = copyInto(s.prevBuf, s.pos)
+		s.prevBuf = prev
+	}
+	proposed := s.alg.Move(requests)
+	if len(proposed) != len(s.pos) {
+		return fmt.Errorf("engine: %s returned %d positions for K=%d at step %d", s.res.Algorithm, len(proposed), len(s.pos), t)
+	}
+	stepMax := 0.0
+	stepClamped := 0
+	// Double-buffer the position slice: the outgoing one becomes next
+	// step's scratch and its point buffers are overwritten in place, so
+	// the steady-state hot loop allocates nothing per step.
+	next := s.scratch
+	if next == nil {
+		next = make([]geom.Point, len(s.pos))
+	}
+	for j, p := range proposed {
+		if p.Dim() != s.cfg.Dim {
+			return fmt.Errorf("engine: %s returned dim-%d point in dim-%d space at step %d", s.res.Algorithm, p.Dim(), s.cfg.Dim, t)
+		}
+		if !p.IsFinite() {
+			return fmt.Errorf("engine: %s returned non-finite position %v at step %d", s.res.Algorithm, p, t)
+		}
+		moved := geom.Dist(s.pos[j], p)
+		if moved > s.cap*(1+s.opts.Tol) {
+			switch s.opts.Mode {
+			case Strict:
+				return fmt.Errorf("engine: %s moved server %d by %.12g > cap %.12g at step %d", s.res.Algorithm, j, moved, s.cap, t)
+			case Clamp:
+				p = geom.MoveToward(s.pos[j], p, s.cap)
+				moved = geom.Dist(s.pos[j], p)
+				stepClamped++
+			}
+		}
+		if moved > stepMax {
+			stepMax = moved
+		}
+		if buf := next[j]; buf != nil {
+			copy(buf, p)
+		} else {
+			next[j] = p.Clone()
+		}
+	}
+	sc := core.FleetStepCost(s.cfg, s.pos, next, requests)
+	s.res.Cost = s.res.Cost.Add(sc)
+	if stepMax > s.res.MaxMove {
+		s.res.MaxMove = stepMax
+	}
+	s.res.Clamped += stepClamped
+	s.scratch = s.pos
+	s.pos = next
+	s.res.Steps++
+	if len(s.obs) > 0 {
+		info := StepInfo{
+			T:        t,
+			Requests: requests,
+			Prev:     prev,
+			Pos:      s.pos,
+			Moved:    stepMax,
+			Clamped:  stepClamped,
+			Cost:     sc,
+		}
+		for _, o := range s.obs {
+			o.Observe(info)
+		}
+	}
+	return nil
+}
+
+// Finish closes the session, notifies the observers, and returns the
+// accumulated result. The session accepts no further steps.
+func (s *Session) Finish() *Result {
+	if s.finished {
+		res := s.res
+		return &res
+	}
+	s.finished = true
+	s.res.Final = clonePoints(s.pos)
+	res := s.res
+	for _, o := range s.obs {
+		if e, ok := o.(EndObserver); ok {
+			e.End(&res)
+		}
+	}
+	return &res
+}
+
+// Run executes the fleet algorithm on a complete instance through a
+// session — the batch entry point for inputs that are already materialized.
+func Run(in *core.FleetInstance, alg core.FleetAlgorithm, opts Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewSession(in.Config, in.Starts, alg, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, step := range in.Steps {
+		// in.Validate already checked every request, so drive the session
+		// without the per-step revalidation Step would repeat.
+		if err := s.step(step.Requests); err != nil {
+			s.err = err
+			return nil, err
+		}
+	}
+	return s.Finish(), nil
+}
+
+func clonePoints(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// copyInto copies the point values of src into dst's buffers, allocating
+// only what dst is missing, and returns the filled buffer.
+func copyInto(dst, src []geom.Point) []geom.Point {
+	if dst == nil {
+		return clonePoints(src)
+	}
+	for i, p := range src {
+		copy(dst[i], p)
+	}
+	return dst
+}

@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func cfg2(k int) core.Config {
+	return core.Config{Dim: 2, D: 2, M: 1, Delta: 0, Order: core.MoveFirst, K: k}
+}
+
+// chase moves every server full speed toward the first request.
+type chase struct {
+	cfg core.Config
+	pos []geom.Point
+}
+
+func (c *chase) Name() string { return "chase" }
+func (c *chase) Reset(cfg core.Config, starts []geom.Point) {
+	c.cfg = cfg
+	c.pos = starts
+}
+func (c *chase) Move(reqs []geom.Point) []geom.Point {
+	if len(reqs) == 0 {
+		return c.pos
+	}
+	for j := range c.pos {
+		c.pos[j] = geom.MoveToward(c.pos[j], reqs[0], c.cfg.OnlineCap())
+	}
+	return c.pos
+}
+
+// teleport jumps every server onto the first request, ignoring the cap.
+type teleport struct{ pos []geom.Point }
+
+func (b *teleport) Name() string { return "teleport" }
+func (b *teleport) Reset(_ core.Config, starts []geom.Point) {
+	b.pos = starts
+}
+func (b *teleport) Move(reqs []geom.Point) []geom.Point {
+	if len(reqs) > 0 {
+		for j := range b.pos {
+			b.pos[j] = reqs[0].Clone()
+		}
+	}
+	return b.pos
+}
+
+func TestNewSessionValidates(t *testing.T) {
+	if _, err := NewSession(core.Config{}, nil, &chase{}, Options{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewSession(cfg2(2), []geom.Point{pt(0, 0)}, &chase{}, Options{}); err == nil {
+		t.Fatal("start-count mismatch accepted")
+	}
+	if _, err := NewSession(cfg2(1), []geom.Point{pt(0)}, &chase{}, Options{}); err == nil {
+		t.Fatal("wrong-dimension start accepted")
+	}
+	if _, err := NewSession(cfg2(1), []geom.Point{pt(math.NaN(), 0)}, &chase{}, Options{}); err == nil {
+		t.Fatal("non-finite start accepted")
+	}
+}
+
+func TestSessionFleetCostAccounting(t *testing.T) {
+	// Two servers 10 apart, one request next to each: the nearest server
+	// serves, and only movement toward the first request is charged.
+	s, err := NewSession(cfg2(2), []geom.Point{pt(0, 0), pt(10, 0)}, &chase{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step([]geom.Point{pt(1, 0), pt(9, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Finish()
+	// Both servers move cap=1 toward (1,0): positions (1,0) and (9,0).
+	// Move cost: D·(1+1) = 4. Serve: 0 for (1,0), 0 for (9,0).
+	if math.Abs(res.Cost.Move-4) > 1e-9 || math.Abs(res.Cost.Serve-0) > 1e-9 {
+		t.Fatalf("cost = %+v", res.Cost)
+	}
+	if res.Steps != 1 {
+		t.Fatalf("Steps = %d", res.Steps)
+	}
+}
+
+func TestSessionStrictRejectsOverspeed(t *testing.T) {
+	in := &core.FleetInstance{
+		Config: cfg2(2),
+		Starts: []geom.Point{pt(0, 0), pt(10, 0)},
+		Steps:  []core.Step{{Requests: []geom.Point{pt(5, 5)}}},
+	}
+	if _, err := Run(in, &teleport{}, Options{}); err == nil {
+		t.Fatal("teleporting fleet accepted in strict mode")
+	}
+}
+
+func TestSessionClampPerServer(t *testing.T) {
+	// Clamp mode clamps each over-cap server independently and counts
+	// every clamped server-move.
+	in := &core.FleetInstance{
+		Config: cfg2(2),
+		Starts: []geom.Point{pt(0, 0), pt(10, 0)},
+		Steps: []core.Step{
+			{Requests: []geom.Point{pt(5, 0)}},
+			{Requests: []geom.Point{pt(5, 0)}},
+		},
+	}
+	res, err := Run(in, &teleport{}, Options{Mode: Clamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clamped != 4 {
+		t.Fatalf("Clamped = %d, want 4 (2 servers × 2 steps)", res.Clamped)
+	}
+	if res.MaxMove > in.Config.OnlineCap()*(1+1e-9) {
+		t.Fatalf("MaxMove = %v", res.MaxMove)
+	}
+	// Clamped positions walk toward the request one cap per step.
+	if !res.Final[0].ApproxEqual(pt(2, 0), 1e-9) || !res.Final[1].ApproxEqual(pt(8, 0), 1e-9) {
+		t.Fatalf("Final = %v", res.Final)
+	}
+}
+
+func TestSessionRejectsArityAndBadPoints(t *testing.T) {
+	short := &arity{n: 1}
+	in := &core.FleetInstance{
+		Config: cfg2(2),
+		Starts: []geom.Point{pt(0, 0), pt(10, 0)},
+		Steps:  []core.Step{{Requests: []geom.Point{pt(1, 1)}}},
+	}
+	if _, err := Run(in, short, Options{}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	nan := &arity{n: 2, bad: true}
+	if _, err := Run(in, nan, Options{}); err == nil {
+		t.Fatal("NaN position accepted")
+	}
+}
+
+type arity struct {
+	n   int
+	bad bool
+	pos []geom.Point
+}
+
+func (a *arity) Name() string { return "arity" }
+func (a *arity) Reset(_ core.Config, starts []geom.Point) {
+	a.pos = starts
+}
+func (a *arity) Move(_ []geom.Point) []geom.Point {
+	out := make([]geom.Point, a.n)
+	for i := range out {
+		out[i] = a.pos[0].Clone()
+		if a.bad {
+			out[i][0] = math.NaN()
+		}
+	}
+	return out
+}
+
+func TestTraceObserverRecords(t *testing.T) {
+	in := &core.FleetInstance{
+		Config: cfg2(1),
+		Starts: []geom.Point{pt(0, 0)},
+		Steps: []core.Step{
+			{Requests: []geom.Point{pt(5, 0)}},
+			{Requests: []geom.Point{pt(5, 0)}},
+		},
+	}
+	tr := &TraceObserver{}
+	res, err := Run(in, &chase{}, Options{Observers: []Observer{tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("recorded %d steps", len(tr.Records))
+	}
+	var sum core.Cost
+	for _, rec := range tr.Records {
+		sum = sum.Add(rec.Cost)
+	}
+	if sum != res.Cost {
+		t.Fatalf("trace cost %v != result cost %v", sum, res.Cost)
+	}
+	if !tr.Records[1].Pos[0].Equal(res.Final[0]) {
+		t.Fatal("last trace position != final")
+	}
+}
+
+func TestBeginEndHooksFire(t *testing.T) {
+	h := &hooks{}
+	in := &core.FleetInstance{
+		Config: cfg2(1),
+		Starts: []geom.Point{pt(3, 4)},
+		Steps:  []core.Step{{Requests: []geom.Point{pt(3, 4)}}},
+	}
+	if _, err := Run(in, &chase{}, Options{Observers: []Observer{h}}); err != nil {
+		t.Fatal(err)
+	}
+	if h.begins != 1 || h.steps != 1 || h.ends != 1 {
+		t.Fatalf("hooks = %+v", h)
+	}
+	if !h.start.Equal(pt(3, 4)) {
+		t.Fatalf("Begin saw start %v", h.start)
+	}
+	if h.endResult == nil || h.endResult.Steps != 1 {
+		t.Fatalf("End saw %+v", h.endResult)
+	}
+}
+
+type hooks struct {
+	begins, steps, ends int
+	start               geom.Point
+	endResult           *Result
+}
+
+func (h *hooks) Begin(_ core.Config, starts []geom.Point, _ string) {
+	h.begins++
+	h.start = starts[0].Clone()
+}
+func (h *hooks) Observe(_ StepInfo) { h.steps++ }
+func (h *hooks) End(res *Result)    { h.ends++; h.endResult = res }
+
+func TestMoveStatsObserver(t *testing.T) {
+	in := &core.FleetInstance{
+		Config: cfg2(1),
+		Starts: []geom.Point{pt(0, 0)},
+		Steps: []core.Step{
+			{Requests: []geom.Point{pt(10, 0)}}, // full cap move
+			{Requests: []geom.Point{pt(1, 0)}},  // tiny move back
+		},
+	}
+	ms := &MoveStats{}
+	res, err := Run(in, &chase{}, Options{Observers: []Observer{ms}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Steps != 2 {
+		t.Fatalf("Steps = %d", ms.Steps)
+	}
+	if math.Abs(ms.MaxMove-res.MaxMove) > 1e-12 {
+		t.Fatalf("MaxMove %v != result %v", ms.MaxMove, res.MaxMove)
+	}
+	if ms.CapHits != 1 {
+		t.Fatalf("CapHits = %d, want 1", ms.CapHits)
+	}
+}
+
+func TestMetricsObserver(t *testing.T) {
+	in := &core.FleetInstance{
+		Config: cfg2(1),
+		Starts: []geom.Point{pt(0, 0)},
+		Steps: []core.Step{
+			{Requests: []geom.Point{pt(2, 0), pt(3, 0)}},
+			{},
+		},
+	}
+	m := &Metrics{}
+	res, err := Run(in, &chase{}, Options{Observers: []Observer{m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps != 2 || m.Requests != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Cost != res.Cost {
+		t.Fatalf("metrics cost %v != result %v", m.Cost, res.Cost)
+	}
+	if !(m.AvgStepCost > 0) {
+		t.Fatalf("AvgStepCost = %v", m.AvgStepCost)
+	}
+}
+
+func TestRunMatchesManualSession(t *testing.T) {
+	in := &core.FleetInstance{
+		Config: cfg2(2),
+		Starts: []geom.Point{pt(0, 0), pt(10, 0)},
+		Steps: []core.Step{
+			{Requests: []geom.Point{pt(1, 0), pt(9, 0)}},
+			{Requests: []geom.Point{pt(2, 2)}},
+			{},
+		},
+	}
+	a, err := Run(in, &chase{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(in.Config, in.Starts, &chase{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range in.Steps {
+		if err := s.Step(st.Requests); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := s.Finish()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Run differs from manual session:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestStepAfterFinish(t *testing.T) {
+	s, err := NewSession(cfg2(1), []geom.Point{pt(0, 0)}, &chase{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Finish()
+	if err := s.Step(nil); err != ErrFinished {
+		t.Fatalf("Step after Finish = %v, want ErrFinished", err)
+	}
+}
+
+func TestStepErrorIsSticky(t *testing.T) {
+	// After a strict cap violation the algorithm's internal state may be
+	// ahead of the engine's; the session must refuse further steps with
+	// the same error instead of computing from inconsistent state.
+	s, err := NewSession(cfg2(1), []geom.Point{pt(0, 0)}, &teleport{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Step([]geom.Point{pt(50, 0)})
+	if first == nil {
+		t.Fatal("cap violation accepted")
+	}
+	if again := s.Step([]geom.Point{pt(0.1, 0)}); again != first {
+		t.Fatalf("retry after error = %v, want sticky %v", again, first)
+	}
+}
+
+func TestLiftedAlgorithmRejectsLargerFleet(t *testing.T) {
+	// A core.Fleet-lifted single-server algorithm on a K=2 config must be
+	// rejected with an error, not a panic at Reset time.
+	starts := []geom.Point{pt(0, 0), pt(10, 0)}
+	if _, err := NewSession(cfg2(2), starts, core.Fleet(core.NewMtC()), Options{}); err == nil {
+		t.Fatal("size-1 lift accepted for K=2")
+	}
+}
+
+func TestBadBatchIsRecoverable(t *testing.T) {
+	// A malformed request batch is rejected before the algorithm sees it,
+	// so a live stream survives it: the next valid batch proceeds.
+	s, err := NewSession(cfg2(1), []geom.Point{pt(0, 0)}, &chase{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step([]geom.Point{pt(math.NaN(), 0)}); err == nil {
+		t.Fatal("NaN request accepted")
+	}
+	if err := s.Step([]geom.Point{pt(1, 0)}); err != nil {
+		t.Fatalf("valid batch after bad batch rejected: %v", err)
+	}
+	res := s.Finish()
+	if res.Steps != 1 {
+		t.Fatalf("Steps = %d, want 1 (bad batch must not count)", res.Steps)
+	}
+}
+
+func TestEmptyBatchOnlyMoves(t *testing.T) {
+	// An empty batch is legal in a stream: no serve cost, server may still
+	// reposition (chase stays put without requests).
+	s, err := NewSession(cfg2(1), []geom.Point{pt(0, 0)}, &chase{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Finish()
+	if res.Cost.Total() != 0 {
+		t.Fatalf("empty-batch step cost %v", res.Cost)
+	}
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// StepInfo is the per-step snapshot handed to observers. The slices are
+// owned by the session and are only valid during the Observe call: an
+// observer that retains positions or requests must clone them.
+type StepInfo struct {
+	// T is the 0-based index of the step just executed.
+	T int
+	// Requests is the step's request batch as passed to Step.
+	Requests []geom.Point
+	// Prev and Pos are the server positions before and after the move
+	// (one entry per server; Pos reflects any clamping).
+	Prev, Pos []geom.Point
+	// Moved is the largest single-server movement of this step.
+	Moved float64
+	// Clamped counts servers whose move was clamped this step.
+	Clamped int
+	// Cost is the cost charged in this step.
+	Cost core.Cost
+}
+
+// Observer is notified after every step of a session. Observers replace the
+// old hard-coded trace recording: tracing, live metrics, max-move stats,
+// and potential-function audits are all observers.
+//
+// An observer may additionally implement BeginObserver and/or EndObserver
+// to be notified when the session starts and finishes.
+type Observer interface {
+	Observe(info StepInfo)
+}
+
+// BeginObserver is an optional extension of Observer: Begin is called once
+// by NewSession with the configuration, the start positions, and the
+// algorithm name.
+type BeginObserver interface {
+	Begin(cfg core.Config, starts []geom.Point, algorithm string)
+}
+
+// EndObserver is an optional extension of Observer: End is called once by
+// Finish with the session result.
+type EndObserver interface {
+	End(res *Result)
+}
+
+// Func adapts a closure to an Observer.
+type Func func(info StepInfo)
+
+// Observe implements Observer.
+func (f Func) Observe(info StepInfo) { f(info) }

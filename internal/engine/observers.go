@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// TraceRecord is one entry of a recorded fleet trace.
+type TraceRecord struct {
+	// Pos holds every server's position after the move of this step.
+	Pos []geom.Point
+	// Cost is the cost charged in this step.
+	Cost core.Cost
+}
+
+// TraceObserver records the full per-step trace of a run. The recorded
+// positions are clones and stay valid after the session ends.
+type TraceObserver struct {
+	Records []TraceRecord
+}
+
+// Observe implements Observer.
+func (tr *TraceObserver) Observe(info StepInfo) {
+	pos := make([]geom.Point, len(info.Pos))
+	for j, p := range info.Pos {
+		pos[j] = p.Clone()
+	}
+	tr.Records = append(tr.Records, TraceRecord{Pos: pos, Cost: info.Cost})
+}
+
+// MoveStats aggregates movement behavior over a run: how far servers move
+// and how often they run against the cap — the live counterpart of
+// Result.MaxMove for dashboards and experiments.
+type MoveStats struct {
+	// Tol is the relative tolerance for counting a move as a cap hit.
+	// Default 1e-9.
+	Tol float64
+
+	// Steps is the number of observed steps.
+	Steps int
+	// MaxMove is the largest single-server movement seen.
+	MaxMove float64
+	// TotalMove is the sum of all server movements (unweighted by D).
+	TotalMove float64
+	// CapHits counts server-moves within tolerance of the cap: steps on
+	// which the movement limit was binding.
+	CapHits int
+
+	cap float64
+}
+
+// Begin implements BeginObserver.
+func (m *MoveStats) Begin(cfg core.Config, _ []geom.Point, _ string) {
+	m.cap = cfg.OnlineCap()
+}
+
+// Observe implements Observer.
+func (m *MoveStats) Observe(info StepInfo) {
+	tol := m.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	m.Steps++
+	if info.Moved > m.MaxMove {
+		m.MaxMove = info.Moved
+	}
+	for j := range info.Pos {
+		d := geom.Dist(info.Prev[j], info.Pos[j])
+		m.TotalMove += d
+		if d >= m.cap*(1-tol) {
+			m.CapHits++
+		}
+	}
+}
+
+// Metrics is a constant-size live-metrics observer for streaming sessions:
+// running totals plus a decaying per-step cost average, cheap enough to
+// leave attached to a session serving live traffic.
+type Metrics struct {
+	// Halflife is the number of steps over which the moving average
+	// forgets half its weight. Default 1000.
+	Halflife float64
+
+	// Steps and Requests are running totals.
+	Steps, Requests int
+	// Cost is the running total cost.
+	Cost core.Cost
+	// AvgStepCost is the exponentially decayed average cost per step.
+	AvgStepCost float64
+}
+
+// Observe implements Observer.
+func (m *Metrics) Observe(info StepInfo) {
+	m.Steps++
+	m.Requests += len(info.Requests)
+	m.Cost = m.Cost.Add(info.Cost)
+	hl := m.Halflife
+	if hl <= 0 {
+		hl = 1000
+	}
+	// retention^halflife = 1/2, so one step keeps 2^(-1/halflife).
+	alpha := 1 - math.Exp2(-1/hl)
+	m.AvgStepCost += alpha * (info.Cost.Total() - m.AvgStepCost)
+}

@@ -43,12 +43,12 @@ func runE12(cfg RunConfig) Result {
 	table := traceio.Table{Columns: []string{"k", "alg", "cost_mean", "cost_stderr"}}
 	results := sim.Parallel(len(points)*cfg.Seeds, cfg.Seed, func(i int, r *xrand.Rand) float64 {
 		p := points[i/cfg.Seeds]
-		fleetCfg := multi.Config{Dim: 2, D: 2, M: 1, Delta: 0, K: p.k}
+		fleetCfg := core.Config{Dim: 2, D: 2, M: 1, Delta: 0, Order: core.MoveFirst, K: p.k}
 		wlStream := xrand.NewStream(cfg.Seed^0xfeed, uint64(i%cfg.Seeds))
 		src := workload.Clusters{K: clusters, Sigma: 0.8, SwitchProb: 0.03, Requests: 2}.
-			Generate(wlStream, core.Config{Dim: 2, D: fleetCfg.D, M: fleetCfg.M, Order: core.MoveFirst}, T)
-		in := &multi.Instance{Config: fleetCfg, Starts: multi.SpreadStarts(fleetCfg, 8), Steps: src.Steps}
-		var alg multi.Algorithm
+			Generate(wlStream, fleetCfg, T)
+		in := &core.FleetInstance{Config: fleetCfg, Starts: multi.SpreadStarts(fleetCfg, 8), Steps: src.Steps}
+		var alg core.FleetAlgorithm
 		if p.lazy {
 			alg = multi.NewLazyK()
 		} else {

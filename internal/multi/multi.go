@@ -4,183 +4,53 @@
 // configuration changes per round. Requests are served by the nearest
 // server after the servers move.
 //
-// No competitive analysis exists for this model in the paper; the package
-// provides the model, a natural generalization of Move-to-Center
-// (cluster-and-chase), and reference baselines, so experiment E12 can
-// explore how fleet size trades off against cost.
+// The model itself lives in the shared core types: core.Config carries the
+// fleet size K, core.FleetInstance holds the start positions, and the
+// controllers implement core.FleetAlgorithm, so they run on the same
+// streaming engine as the single-server paper model. This package provides
+// the natural generalization of Move-to-Center (cluster-and-chase) and
+// reference baselines, so experiment E12 can explore how fleet size trades
+// off against cost.
 package multi
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/median"
 )
 
-// Config extends the core parameters with a fleet size.
-type Config struct {
-	// Dim, D, M, Delta as in the single-server model.
-	Dim   int
-	D     float64
-	M     float64
-	Delta float64
-	// K is the number of servers, >= 1.
-	K int
-}
-
-// OnlineCap returns the per-server per-step movement bound (1+δ)m.
-func (c Config) OnlineCap() float64 { return (1 + c.Delta) * c.M }
-
-// Validate reports whether the configuration is usable.
-func (c Config) Validate() error {
-	single := core.Config{Dim: c.Dim, D: c.D, M: c.M, Delta: c.Delta, Order: core.MoveFirst}
-	if err := single.Validate(); err != nil {
-		return err
-	}
-	if c.K < 1 {
-		return fmt.Errorf("multi: K = %d, need >= 1", c.K)
-	}
-	return nil
-}
-
-// Instance is a multi-server input: start positions for all K servers and
-// the shared request sequence.
-type Instance struct {
-	Config Config
-	Starts []geom.Point
-	Steps  []core.Step
-}
-
-// T returns the number of steps.
-func (in *Instance) T() int { return len(in.Steps) }
-
-// Validate checks shapes, finiteness, and the configuration.
-func (in *Instance) Validate() error {
-	if err := in.Config.Validate(); err != nil {
-		return err
-	}
-	if len(in.Starts) != in.Config.K {
-		return fmt.Errorf("multi: %d start positions for K=%d", len(in.Starts), in.Config.K)
-	}
-	for i, s := range in.Starts {
-		if s.Dim() != in.Config.Dim || !s.IsFinite() {
-			return fmt.Errorf("multi: bad start %d: %v", i, s)
-		}
-	}
-	if len(in.Steps) == 0 {
-		return fmt.Errorf("multi: no steps")
-	}
-	for t, s := range in.Steps {
-		for i, v := range s.Requests {
-			if v.Dim() != in.Config.Dim || !v.IsFinite() {
-				return fmt.Errorf("multi: bad request %d in step %d: %v", i, t, v)
-			}
-		}
-	}
-	return nil
-}
-
-// Algorithm is an online fleet controller.
-type Algorithm interface {
-	// Name identifies the algorithm.
-	Name() string
-	// Reset prepares for a fresh instance.
-	Reset(cfg Config, starts []geom.Point)
-	// Move observes the requests and returns the new position of every
-	// server; the simulator enforces the per-server cap.
-	Move(requests []geom.Point) []geom.Point
-}
-
 // ServeCost returns Σ_v min_j d(positions[j], v): every request is served
 // by its nearest server.
-func ServeCost(positions []geom.Point, requests []geom.Point) float64 {
-	total := 0.0
-	for _, v := range requests {
-		best := math.Inf(1)
-		for _, p := range positions {
-			if d := geom.Dist(p, v); d < best {
-				best = d
-			}
-		}
-		total += best
-	}
-	return total
-}
-
-// Result summarizes a fleet run.
-type Result struct {
-	Algorithm string
-	Cost      core.Cost
-	Final     []geom.Point
-	MaxMove   float64
+func ServeCost(positions, requests []geom.Point) float64 {
+	return core.NearestServeCost(positions, requests)
 }
 
 // Run executes the fleet controller on the instance with strict cap
-// enforcement.
-func Run(in *Instance, alg Algorithm, tol float64) (*Result, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	if tol <= 0 {
-		tol = 1e-9
-	}
-	cfg := in.Config
-	cap := cfg.OnlineCap()
-	starts := make([]geom.Point, len(in.Starts))
-	for i, s := range in.Starts {
-		starts[i] = s.Clone()
-	}
-	alg.Reset(cfg, starts)
-	cur := starts
-	res := &Result{Algorithm: alg.Name()}
-	for t, step := range in.Steps {
-		next := alg.Move(step.Requests)
-		if len(next) != cfg.K {
-			return nil, fmt.Errorf("multi: %s returned %d positions for K=%d at step %d", alg.Name(), len(next), cfg.K, t)
-		}
-		for j := range next {
-			if next[j].Dim() != cfg.Dim || !next[j].IsFinite() {
-				return nil, fmt.Errorf("multi: %s returned bad position %v at step %d", alg.Name(), next[j], t)
-			}
-			moved := geom.Dist(cur[j], next[j])
-			if moved > cap*(1+tol) {
-				return nil, fmt.Errorf("multi: %s moved server %d by %.12g > cap %.12g at step %d", alg.Name(), j, moved, cap, t)
-			}
-			if moved > res.MaxMove {
-				res.MaxMove = moved
-			}
-			res.Cost.Move += cfg.D * moved
-		}
-		res.Cost.Serve += ServeCost(next, step.Requests)
-		cloned := make([]geom.Point, len(next))
-		for j := range next {
-			cloned[j] = next[j].Clone()
-		}
-		cur = cloned
-	}
-	res.Final = cur
-	return res, nil
+// enforcement. It is a thin wrapper over an engine session.
+func Run(in *core.FleetInstance, alg core.FleetAlgorithm, tol float64) (*engine.Result, error) {
+	return engine.Run(in, alg, engine.Options{Mode: engine.Strict, Tol: tol})
 }
 
-// MtCK generalizes Move-to-Center to a fleet: requests are assigned to
-// their nearest server, and each server runs the single-server MtC rule on
-// its assigned batch (center = 1-median of the batch, speed
-// min(1, r_j/D)·distance, capped).
+// MtCK generalizes Move-to-Center to a fleet (cluster-and-chase): requests
+// are assigned to their nearest server, and each server runs the
+// single-server MtC rule on its assigned batch (center = 1-median of the
+// batch, speed min(1, r_j/D)·distance, capped).
 type MtCK struct {
-	cfg Config
+	cfg core.Config
 	pos []geom.Point
 }
 
 // NewMtCK returns the fleet Move-to-Center controller.
 func NewMtCK() *MtCK { return &MtCK{} }
 
-// Name implements Algorithm.
+// Name implements core.FleetAlgorithm.
 func (a *MtCK) Name() string { return "MtC-k" }
 
-// Reset implements Algorithm.
-func (a *MtCK) Reset(cfg Config, starts []geom.Point) {
+// Reset implements core.FleetAlgorithm.
+func (a *MtCK) Reset(cfg core.Config, starts []geom.Point) {
 	a.cfg = cfg
 	a.pos = make([]geom.Point, len(starts))
 	for i, s := range starts {
@@ -188,7 +58,7 @@ func (a *MtCK) Reset(cfg Config, starts []geom.Point) {
 	}
 }
 
-// Move implements Algorithm.
+// Move implements core.FleetAlgorithm.
 func (a *MtCK) Move(requests []geom.Point) []geom.Point {
 	if len(requests) == 0 {
 		return a.pos
@@ -224,28 +94,29 @@ type LazyK struct{ pos []geom.Point }
 // NewLazyK returns the never-moving fleet baseline.
 func NewLazyK() *LazyK { return &LazyK{} }
 
-// Name implements Algorithm.
+// Name implements core.FleetAlgorithm.
 func (a *LazyK) Name() string { return "Lazy-k" }
 
-// Reset implements Algorithm.
-func (a *LazyK) Reset(_ Config, starts []geom.Point) { a.pos = starts }
+// Reset implements core.FleetAlgorithm.
+func (a *LazyK) Reset(_ core.Config, starts []geom.Point) { a.pos = starts }
 
-// Move implements Algorithm.
+// Move implements core.FleetAlgorithm.
 func (a *LazyK) Move(_ []geom.Point) []geom.Point { return a.pos }
 
-// SpreadStarts places K servers evenly on a circle of the given radius
-// around the origin (on a segment in 1-D), a reasonable neutral initial
-// fleet layout.
-func SpreadStarts(cfg Config, radius float64) []geom.Point {
-	starts := make([]geom.Point, cfg.K)
-	for j := 0; j < cfg.K; j++ {
+// SpreadStarts places cfg.Servers() servers evenly on a circle of the given
+// radius around the origin (on a segment in 1-D), a reasonable neutral
+// initial fleet layout.
+func SpreadStarts(cfg core.Config, radius float64) []geom.Point {
+	k := cfg.Servers()
+	starts := make([]geom.Point, k)
+	for j := 0; j < k; j++ {
 		p := geom.Zero(cfg.Dim)
-		if cfg.K > 1 {
+		if k > 1 {
 			switch cfg.Dim {
 			case 1:
-				p[0] = -radius + 2*radius*float64(j)/float64(cfg.K-1)
+				p[0] = -radius + 2*radius*float64(j)/float64(k-1)
 			default:
-				angle := 2 * math.Pi * float64(j) / float64(cfg.K)
+				angle := 2 * math.Pi * float64(j) / float64(k)
 				p[0] = radius * math.Cos(angle)
 				p[1] = radius * math.Sin(angle)
 			}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -12,14 +13,16 @@ import (
 
 func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
 
-func fleetCfg(k int) Config { return Config{Dim: 2, D: 2, M: 1, Delta: 0, K: k} }
+func fleetCfg(k int) core.Config {
+	return core.Config{Dim: 2, D: 2, M: 1, Delta: 0, Order: core.MoveFirst, K: k}
+}
 
-func fleetInstance(t *testing.T, k, T int, seed uint64) *Instance {
+func fleetInstance(t *testing.T, k, T int, seed uint64) *core.FleetInstance {
 	t.Helper()
 	cfg := fleetCfg(k)
 	src := workload.Clusters{K: k, Sigma: 0.5, SwitchProb: 0.05, Requests: 2}.
-		Generate(xrand.New(seed), core.Config{Dim: 2, D: cfg.D, M: cfg.M, Order: core.MoveFirst}, T)
-	in := &Instance{Config: cfg, Starts: SpreadStarts(cfg, 5), Steps: src.Steps}
+		Generate(xrand.New(seed), cfg, T)
+	in := &core.FleetInstance{Config: cfg, Starts: SpreadStarts(cfg, 5), Steps: src.Steps}
 	if err := in.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -30,9 +33,16 @@ func TestConfigValidate(t *testing.T) {
 	if err := fleetCfg(3).Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := fleetCfg(0)
+	// K=0 means a single server and stays valid; negative fleets do not.
+	if err := fleetCfg(0).Validate(); err != nil {
+		t.Fatalf("K=0 rejected: %v", err)
+	}
+	if fleetCfg(0).Servers() != 1 {
+		t.Fatal("K=0 should mean one server")
+	}
+	bad := fleetCfg(-1)
 	if err := bad.Validate(); err == nil {
-		t.Fatal("K=0 accepted")
+		t.Fatal("K=-1 accepted")
 	}
 	bad = fleetCfg(2)
 	bad.D = 0
@@ -64,7 +74,7 @@ func TestServeCostNearest(t *testing.T) {
 
 func TestRunLazyCost(t *testing.T) {
 	cfg := fleetCfg(2)
-	in := &Instance{
+	in := &core.FleetInstance{
 		Config: cfg,
 		Starts: []geom.Point{pt(0, 0), pt(10, 0)},
 		Steps: []core.Step{
@@ -114,8 +124,8 @@ func TestMoreServersHelp(t *testing.T) {
 		for seed := uint64(0); seed < 3; seed++ {
 			cfg := fleetCfg(k)
 			src := workload.Clusters{K: 3, Sigma: 0.5, SwitchProb: 0, Requests: 2}.
-				Generate(xrand.New(seed), core.Config{Dim: 2, D: cfg.D, M: cfg.M, Order: core.MoveFirst}, 200)
-			in := &Instance{Config: cfg, Starts: SpreadStarts(cfg, 10), Steps: src.Steps}
+				Generate(xrand.New(seed), cfg, 200)
+			in := &core.FleetInstance{Config: cfg, Starts: SpreadStarts(cfg, 10), Steps: src.Steps}
 			res, err := Run(in, NewMtCK(), 0)
 			if err != nil {
 				t.Fatal(err)
@@ -139,9 +149,9 @@ func TestRunRejectsWrongArity(t *testing.T) {
 
 type badArity struct{ pos []geom.Point }
 
-func (b *badArity) Name() string                        { return "bad" }
-func (b *badArity) Reset(_ Config, starts []geom.Point) { b.pos = starts }
-func (b *badArity) Move(_ []geom.Point) []geom.Point    { return b.pos[:1] }
+func (b *badArity) Name() string                             { return "bad" }
+func (b *badArity) Reset(_ core.Config, starts []geom.Point) { b.pos = starts }
+func (b *badArity) Move(_ []geom.Point) []geom.Point         { return b.pos[:1] }
 
 func TestRunRejectsOverspeed(t *testing.T) {
 	in := fleetInstance(t, 2, 5, 5)
@@ -150,10 +160,26 @@ func TestRunRejectsOverspeed(t *testing.T) {
 	}
 }
 
+func TestClampModeTamesTeleporter(t *testing.T) {
+	// The same fleet that strict mode rejects finishes under Clamp, with
+	// every server held to the cap and the clamps counted.
+	in := fleetInstance(t, 2, 5, 5)
+	res, err := engine.Run(in, &teleporter{}, engine.Options{Mode: engine.Clamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clamped == 0 {
+		t.Fatal("no clamped moves counted")
+	}
+	if res.MaxMove > in.Config.OnlineCap()*(1+1e-9) {
+		t.Fatalf("clamped fleet still moved %v", res.MaxMove)
+	}
+}
+
 type teleporter struct{ pos []geom.Point }
 
-func (b *teleporter) Name() string                        { return "teleport" }
-func (b *teleporter) Reset(_ Config, starts []geom.Point) { b.pos = starts }
+func (b *teleporter) Name() string                             { return "teleport" }
+func (b *teleporter) Reset(_ core.Config, starts []geom.Point) { b.pos = starts }
 func (b *teleporter) Move(reqs []geom.Point) []geom.Point {
 	if len(reqs) > 0 {
 		out := make([]geom.Point, len(b.pos))
@@ -177,13 +203,13 @@ func TestSpreadStarts(t *testing.T) {
 		}
 	}
 	// 1-D spread.
-	cfg1 := Config{Dim: 1, D: 1, M: 1, K: 3}
+	cfg1 := core.Config{Dim: 1, D: 1, M: 1, K: 3}
 	s1 := SpreadStarts(cfg1, 4)
 	if s1[0][0] != -4 || s1[2][0] != 4 {
 		t.Fatalf("1-D spread = %v", s1)
 	}
 	// K=1 sits at the origin.
-	single := SpreadStarts(Config{Dim: 2, D: 1, M: 1, K: 1}, 9)
+	single := SpreadStarts(core.Config{Dim: 2, D: 1, M: 1, K: 1}, 9)
 	if !single[0].Equal(pt(0, 0)) {
 		t.Fatalf("single start = %v", single[0])
 	}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// stepLoop replays the instance through the streaming Session API.
+func stepLoop(t *testing.T, in *core.Instance, alg core.Algorithm, opts RunOptions) *Result {
+	t.Helper()
+	s, err := NewSession(in.Config, in.Start, alg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range in.Steps {
+		if err := s.Step(step.Requests); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s.Finish()
+}
+
+func TestRunEqualsStepLoop(t *testing.T) {
+	// Acceptance: Run must produce byte-identical Results to an
+	// incremental Step loop on the same instance, with and without trace.
+	cfg := core.Config{Dim: 2, D: 3, M: 1, Delta: 0.5, Order: core.MoveFirst}
+	in := workload.Hotspot{Half: 10, Sigma: 1}.Generate(xrand.New(7), cfg, 300)
+	for _, trace := range []bool{false, true} {
+		opts := RunOptions{RecordTrace: trace}
+		a, err := Run(in, core.NewMtC(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := stepLoop(t, in, core.NewMtC(), opts)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trace=%v: Run result differs from Step loop:\n%+v\nvs\n%+v", trace, a, b)
+		}
+	}
+}
+
+func TestRunEqualsStepLoopAnswerFirst(t *testing.T) {
+	cfg := core.Config{Dim: 1, D: 2, M: 1, Delta: 0.25, Order: core.AnswerFirst}
+	in := workload.Hotspot{Half: 8, Sigma: 1}.Generate(xrand.New(9), cfg, 200)
+	a := MustRun(in, core.NewMtC(), RunOptions{})
+	b := stepLoop(t, in, core.NewMtC(), RunOptions{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Run result differs from Step loop:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestSessionClampCountsSteps(t *testing.T) {
+	// Clamp semantics through the session API: every over-cap step is
+	// clamped onto the cap sphere and counted, and the equivalent Run
+	// agrees exactly.
+	in := lineInstance(0, 100, 100, 0.5, 100)
+	opts := RunOptions{Mode: Clamp}
+	s, err := NewSession(in.Config, in.Start, &jumpAlg{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range in.Steps {
+		before := s.T()
+		if err := s.Step(step.Requests); err != nil {
+			t.Fatal(err)
+		}
+		if s.T() != before+1 {
+			t.Fatalf("T did not advance: %d -> %d", before, s.T())
+		}
+	}
+	res := s.Finish()
+	// Steps 1 and 2 jump by ~100 and ~99 (clamped); step 3 targets 0.5
+	// from position 2 (distance 1.5 > cap 1, clamped); step 4 jumps far
+	// again. All four clamp except none are within cap.
+	if res.Clamped != 4 {
+		t.Fatalf("Clamped = %d, want 4", res.Clamped)
+	}
+	if res.MaxMove > in.Config.OnlineCap()*(1+1e-9) {
+		t.Fatalf("clamped session still moved %v", res.MaxMove)
+	}
+	runRes := MustRun(in, &jumpAlg{}, opts)
+	if !reflect.DeepEqual(res, runRes) {
+		t.Fatalf("session clamp result differs from Run:\n%+v\nvs\n%+v", res, runRes)
+	}
+}
+
+func TestSessionObserverOrdering(t *testing.T) {
+	// Observers fire in registration order on every step, and the
+	// RecordTrace recorder runs after user observers.
+	var log []string
+	obsA := engine.Func(func(info engine.StepInfo) {
+		log = append(log, fmt.Sprintf("a%d", info.T))
+	})
+	obsB := engine.Func(func(info engine.StepInfo) {
+		log = append(log, fmt.Sprintf("b%d", info.T))
+	})
+	in := lineInstance(0, 1, 2, 3)
+	res, err := Run(in, core.NewMtC(), RunOptions{Observers: []Observer{obsA, obsB}, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "b0", "a1", "b1", "a2", "b2"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("observer order = %v, want %v", log, want)
+	}
+	if len(res.Trace) != 3 {
+		t.Fatalf("trace length = %d alongside observers", len(res.Trace))
+	}
+}
+
+func TestSessionObserverSeesCostsAndPositions(t *testing.T) {
+	in := lineInstance(0, 5, 5, 5)
+	var sum core.Cost
+	var lastPos geom.Point
+	obs := engine.Func(func(info engine.StepInfo) {
+		sum = sum.Add(info.Cost)
+		lastPos = info.Pos[0].Clone()
+	})
+	res, err := Run(in, core.NewMtC(), RunOptions{Observers: []Observer{obs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != res.Cost {
+		t.Fatalf("observed cost %v != result cost %v", sum, res.Cost)
+	}
+	if !lastPos.Equal(res.Final) {
+		t.Fatalf("observed final %v != result final %v", lastPos, res.Final)
+	}
+}
+
+func TestSessionStepAfterFinish(t *testing.T) {
+	s, err := NewSession(core.Config{Dim: 1, D: 1, M: 1}, pt(0), core.NewMtC(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step([]geom.Point{pt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Finish()
+	if err := s.Step([]geom.Point{pt(2)}); err == nil {
+		t.Fatal("Step accepted after Finish")
+	}
+}
+
+func TestSessionRejectsBadRequests(t *testing.T) {
+	s, err := NewSession(core.Config{Dim: 2, D: 1, M: 1}, pt(0, 0), core.NewMtC(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step([]geom.Point{pt(1)}); err == nil {
+		t.Fatal("wrong-dimension request accepted")
+	}
+}
+
+func TestSessionStreamingWithoutInstance(t *testing.T) {
+	// Drive a session from a generator loop: no Instance is ever built,
+	// the per-step batch buffer is reused, and the result matches the
+	// materialized run of the same stream.
+	cfg := core.Config{Dim: 1, D: 2, M: 1, Delta: 0.5, Order: core.MoveFirst}
+	gen := func(t int) float64 { return float64(t % 40) }
+	const T = 500
+
+	s, err := NewSession(cfg, pt(0), core.NewMtC(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]geom.Point, 1)
+	req := geom.NewPoint(0)
+	for i := 0; i < T; i++ {
+		req[0] = gen(i)
+		batch[0] = req
+		if err := s.Step(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamed := s.Finish()
+
+	in := &core.Instance{Config: cfg, Start: pt(0)}
+	for i := 0; i < T; i++ {
+		in.Steps = append(in.Steps, core.Step{Requests: []geom.Point{pt(gen(i))}})
+	}
+	batched := MustRun(in, core.NewMtC(), RunOptions{})
+	if !reflect.DeepEqual(streamed, batched) {
+		t.Fatalf("streamed result differs from batched:\n%+v\nvs\n%+v", streamed, batched)
+	}
+}

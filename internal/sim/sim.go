@@ -1,6 +1,8 @@
-// Package sim executes online algorithms on Mobile Server instances,
-// enforcing the per-step movement cap and accounting costs, and provides a
-// deterministic parallel batch runner for experiments.
+// Package sim executes online algorithms on single-server Mobile Server
+// instances and provides a deterministic parallel batch runner for
+// experiments. It is a thin single-server facade over the streaming
+// engine: Run drives a Session over a materialized Instance, and Session
+// exposes the same step-by-step API for live request streams.
 package sim
 
 import (
@@ -8,37 +10,39 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
 )
 
 // Mode selects how cap violations by an algorithm are handled.
-type Mode int
+type Mode = engine.Mode
 
 const (
 	// Strict aborts the run with an error when the algorithm attempts to
 	// move farther than its cap (plus tolerance). This is the default: a
 	// violation is a bug in the algorithm.
-	Strict Mode = iota
+	Strict = engine.Strict
 	// Clamp projects an over-long move back onto the cap sphere around
 	// the previous position and continues.
-	Clamp
+	Clamp = engine.Clamp
 )
 
+// Observer is re-exported from the engine for convenience: per-step hooks
+// that replace hard-coded instrumentation.
+type Observer = engine.Observer
+
 // RunOptions configures a single simulation run. The zero value gives
-// strict cap checking with the default tolerance and no trace.
+// strict cap checking with the default tolerance, no trace, and no
+// observers.
 type RunOptions struct {
 	Mode Mode
 	// Tol is the relative tolerance for cap checks. Default 1e-9.
 	Tol float64
 	// RecordTrace stores the per-step positions and costs in the result.
+	// It is implemented as an internal observer appended after Observers.
 	RecordTrace bool
-}
-
-func (o RunOptions) withDefaults() RunOptions {
-	if o.Tol <= 0 {
-		o.Tol = 1e-9
-	}
-	return o
+	// Observers are notified after every step, in order.
+	Observers []Observer
 }
 
 // StepRecord is one entry of an optional run trace.
@@ -66,53 +70,86 @@ type Result struct {
 	Trace []StepRecord
 }
 
-// Run executes the algorithm on the instance under the instance's
-// configuration. The movement cap applied is cfg.OnlineCap() = (1+δ)m.
-func Run(in *core.Instance, alg core.Algorithm, opts RunOptions) (*Result, error) {
-	if err := in.Validate(); err != nil {
+// traceRecorder is the observer behind RunOptions.RecordTrace.
+type traceRecorder struct {
+	records []StepRecord
+}
+
+func (tr *traceRecorder) Observe(info engine.StepInfo) {
+	tr.records = append(tr.records, StepRecord{Pos: info.Pos[0].Clone(), Cost: info.Cost})
+}
+
+// Session is an in-progress single-server simulation: feed it one request
+// batch per time step with Step, then call Finish for the Result. Run is
+// equivalent to a Session stepped over an instance.
+type Session struct {
+	inner *engine.Session
+	trace *traceRecorder
+}
+
+// engineOptions assembles the engine options, appending the internal trace
+// recorder after any user observers when RecordTrace is set.
+func (o RunOptions) engineOptions() (engine.Options, *traceRecorder) {
+	obs := o.Observers
+	var tr *traceRecorder
+	if o.RecordTrace {
+		tr = &traceRecorder{}
+		obs = append(append([]Observer{}, o.Observers...), tr)
+	}
+	return engine.Options{Mode: o.Mode, Tol: o.Tol, Observers: obs}, tr
+}
+
+// resultFromEngine converts a K=1 engine result to the single-server form.
+func resultFromEngine(er *engine.Result, tr *traceRecorder) *Result {
+	res := &Result{
+		Algorithm: er.Algorithm,
+		Cost:      er.Cost,
+		Final:     er.Final[0],
+		MaxMove:   er.MaxMove,
+		Clamped:   er.Clamped,
+	}
+	if tr != nil {
+		res.Trace = tr.records
+	}
+	return res
+}
+
+// NewSession starts a streaming run of the algorithm from the given start
+// position. The movement cap applied is cfg.OnlineCap() = (1+δ)m.
+func NewSession(cfg core.Config, start geom.Point, alg core.Algorithm, opts RunOptions) (*Session, error) {
+	eopts, tr := opts.engineOptions()
+	inner, err := engine.NewSingleSession(cfg, start, alg, eopts)
+	if err != nil {
 		return nil, err
 	}
-	o := opts.withDefaults()
-	cfg := in.Config
-	cap := cfg.OnlineCap()
-	alg.Reset(cfg, in.Start)
+	return &Session{inner: inner, trace: tr}, nil
+}
 
-	res := &Result{Algorithm: alg.Name(), Final: in.Start.Clone()}
-	if o.RecordTrace {
-		res.Trace = make([]StepRecord, 0, in.T())
+// T returns the number of steps fed so far.
+func (s *Session) T() int { return s.inner.T() }
+
+// Position returns a copy of the server's current position.
+func (s *Session) Position() geom.Point { return s.inner.Position(0) }
+
+// Step feeds one time step's request batch (which may be empty).
+func (s *Session) Step(requests []geom.Point) error { return s.inner.Step(requests) }
+
+// Finish closes the session and returns the accumulated result.
+func (s *Session) Finish() *Result {
+	return resultFromEngine(s.inner.Finish(), s.trace)
+}
+
+// Run executes the algorithm on the instance under the instance's
+// configuration by driving an engine session over its steps (the instance
+// is validated once up front, not per step). The movement cap applied is
+// cfg.OnlineCap() = (1+δ)m.
+func Run(in *core.Instance, alg core.Algorithm, opts RunOptions) (*Result, error) {
+	eopts, tr := opts.engineOptions()
+	er, err := engine.Run(in.Fleet(), core.Fleet(alg), eopts)
+	if err != nil {
+		return nil, err
 	}
-	pos := in.Start.Clone()
-	for t, step := range in.Steps {
-		next := alg.Move(step.Requests)
-		if next.Dim() != cfg.Dim {
-			return nil, fmt.Errorf("sim: %s returned dim-%d point in dim-%d space at step %d", alg.Name(), next.Dim(), cfg.Dim, t)
-		}
-		if !next.IsFinite() {
-			return nil, fmt.Errorf("sim: %s returned non-finite position %v at step %d", alg.Name(), next, t)
-		}
-		moved := geom.Dist(pos, next)
-		if moved > cap*(1+o.Tol) {
-			switch o.Mode {
-			case Strict:
-				return nil, fmt.Errorf("sim: %s moved %.12g > cap %.12g at step %d", alg.Name(), moved, cap, t)
-			case Clamp:
-				next = geom.MoveToward(pos, next, cap)
-				moved = geom.Dist(pos, next)
-				res.Clamped++
-			}
-		}
-		if moved > res.MaxMove {
-			res.MaxMove = moved
-		}
-		sc := core.StepCost(cfg, pos, next, step.Requests)
-		res.Cost = res.Cost.Add(sc)
-		pos = next.Clone()
-		if o.RecordTrace {
-			res.Trace = append(res.Trace, StepRecord{Pos: pos.Clone(), Cost: sc})
-		}
-	}
-	res.Final = pos
-	return res, nil
+	return resultFromEngine(er, tr), nil
 }
 
 // MustRun is Run for tests and examples where an error is fatal by design.

@@ -7,20 +7,27 @@
 // The package re-exports the library's stable surface:
 //
 //   - the problem model (Config, Instance, Step, Cost) and the online
-//     Algorithm interface,
-//   - the paper's Move-to-Center algorithm (NewMtC) and its Moving Client
-//     specialization (NewFollowAgent),
-//   - the simulator (Run) and offline-optimum estimation (EstimateOPT),
-//   - a one-call competitive-ratio measurement (MeasureRatio).
+//     Algorithm interface, plus the fleet generalization (FleetInstance,
+//     FleetAlgorithm) where K servers share the request stream,
+//   - the paper's Move-to-Center algorithm (NewMtC), its Moving Client
+//     specialization (NewFollowAgent), and the fleet cluster-and-chase
+//     controller (NewMtCK),
+//   - the simulator, both batch (Run, RunFleet) and streaming
+//     (NewSession/Session.Step for request batches that arrive one step
+//     at a time, with pluggable per-step Observers),
+//   - offline-optimum estimation (EstimateOPT) and a one-call
+//     competitive-ratio measurement (MeasureRatio).
 //
 // Implementation packages live under internal/; see DESIGN.md for the
-// system inventory and EXPERIMENTS.md for the reproduction results.
+// system inventory and the Engine/Session architecture.
 package mobileserver
 
 import (
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/multi"
 	"repro/internal/offline"
 	"repro/internal/sim"
 	"repro/internal/xrand"
@@ -50,6 +57,28 @@ type (
 	AgentConfig = agent.Config
 	// AgentInstance is a Moving Client input (agent path + config).
 	AgentInstance = agent.Instance
+
+	// Session is a streaming single-server simulation: feed request
+	// batches with Step, close with Finish.
+	Session = sim.Session
+	// Observer is a pluggable per-step hook notified by sessions.
+	Observer = engine.Observer
+	// ObserverFunc adapts a closure to an Observer.
+	ObserverFunc = engine.Func
+	// StepInfo is the per-step snapshot handed to observers.
+	StepInfo = engine.StepInfo
+
+	// FleetInstance is a multi-server input (Config.K servers).
+	FleetInstance = core.FleetInstance
+	// FleetAlgorithm is the fleet-aware online interface; K = 1 is the
+	// paper's single-server model.
+	FleetAlgorithm = core.FleetAlgorithm
+	// FleetOptions configures a fleet session or run.
+	FleetOptions = engine.Options
+	// FleetResult summarizes a fleet run.
+	FleetResult = engine.Result
+	// FleetSession is a streaming multi-server simulation.
+	FleetSession = engine.Session
 )
 
 // Serve orders (see Config.Order).
@@ -72,9 +101,45 @@ func NewMtC() Algorithm { return core.NewMtC() }
 func NewFollowAgent() *agent.Follow { return agent.NewFollow() }
 
 // Run executes an online algorithm on an instance, enforcing the movement
-// cap (1+δ)m, and returns the accumulated cost.
+// cap (1+δ)m, and returns the accumulated cost. It is equivalent to a
+// NewSession followed by one Step per instance step and Finish.
 func Run(in *Instance, alg Algorithm, opts RunOptions) (*Result, error) {
 	return sim.Run(in, alg, opts)
+}
+
+// NewSession starts a streaming run of the algorithm: request batches are
+// fed one step at a time with Session.Step, so the sequence never needs to
+// be materialized as an Instance and memory stays constant regardless of
+// stream length.
+func NewSession(cfg Config, start Point, alg Algorithm, opts RunOptions) (*Session, error) {
+	return sim.NewSession(cfg, start, alg, opts)
+}
+
+// Fleet lifts a single-server Algorithm to a FleetAlgorithm of size 1.
+func Fleet(alg Algorithm) FleetAlgorithm { return core.Fleet(alg) }
+
+// NewMtCK returns the fleet generalization of Move-to-Center
+// (cluster-and-chase): requests are assigned to their nearest server and
+// each server runs the MtC rule on its share.
+func NewMtCK() FleetAlgorithm { return multi.NewMtCK() }
+
+// NewLazyK returns the never-moving fleet baseline.
+func NewLazyK() FleetAlgorithm { return multi.NewLazyK() }
+
+// SpreadStarts places cfg.Servers() servers evenly on a circle (a segment
+// in 1-D) of the given radius around the origin.
+func SpreadStarts(cfg Config, radius float64) []Point { return multi.SpreadStarts(cfg, radius) }
+
+// RunFleet executes a fleet algorithm on a multi-server instance,
+// enforcing the per-server movement cap.
+func RunFleet(in *FleetInstance, alg FleetAlgorithm, opts FleetOptions) (*FleetResult, error) {
+	return engine.Run(in, alg, opts)
+}
+
+// NewFleetSession starts a streaming fleet run with one start position per
+// server (len(starts) == cfg.Servers()).
+func NewFleetSession(cfg Config, starts []Point, alg FleetAlgorithm, opts FleetOptions) (*FleetSession, error) {
+	return engine.NewSession(cfg, starts, alg, opts)
 }
 
 // RunAgent executes a Moving Client algorithm on an agent instance by

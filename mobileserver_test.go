@@ -74,6 +74,63 @@ func TestRunAgentFacade(t *testing.T) {
 	}
 }
 
+func TestSessionFacadeStreamsWithoutInstance(t *testing.T) {
+	// The streaming entry point: feed batches step by step and get the
+	// same Result as the batch Run on the equivalent instance.
+	in := demoInstance(120)
+	s, err := NewSession(in.Config, in.Start, NewMtC(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed int
+	obs, err := NewSession(in.Config, in.Start, NewMtC(), RunOptions{
+		Observers: []Observer{ObserverFunc(func(StepInfo) { observed++ })},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range in.Steps {
+		if err := s.Step(step.Requests); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.Step(step.Requests); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamed := s.Finish()
+	batched, err := Run(in, NewMtC(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Cost != batched.Cost || !streamed.Final.Equal(batched.Final) {
+		t.Fatalf("streamed %+v != batched %+v", streamed.Cost, batched.Cost)
+	}
+	_ = obs.Finish()
+	if observed != in.T() {
+		t.Fatalf("observer saw %d steps, want %d", observed, in.T())
+	}
+}
+
+func TestFleetSessionFacade(t *testing.T) {
+	cfg := Config{Dim: 2, D: 2, M: 1, Delta: 0, Order: MoveFirst, K: 3}
+	s, err := NewFleetSession(cfg, SpreadStarts(cfg, 5), NewMtCK(), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Step([]Point{NewPoint(float64(i%7), 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.Finish()
+	if len(res.Final) != 3 {
+		t.Fatalf("final fleet size %d", len(res.Final))
+	}
+	if !(res.Cost.Total() > 0) || res.MaxMove > cfg.OnlineCap()*(1+1e-9) {
+		t.Fatalf("fleet result %+v", res)
+	}
+}
+
 // Example demonstrates the quickstart flow: build an instance, run MtC,
 // and measure its competitive ratio.
 func Example() {
