@@ -1,0 +1,167 @@
+// Command mobserve serves a live Mobile Server session over HTTP: clients
+// POST request batches to /step, batches arriving within the coalescing
+// window are merged into one engine step, a bounded queue answers 429 when
+// overloaded, and /metrics and /state stream live counters. With
+// -checkpoint the session state is written atomically after every step, and
+// a restarted mobserve resumes from that file exactly where the killed
+// process stood. Raising -every trades that durability for fewer writes: a
+// crash can then lose up to every-1 acknowledged steps.
+//
+// Usage:
+//
+//	mobserve -addr :8080 -dim 2 -D 4 -delta 0.5           # single server
+//	mobserve -k 4 -alg mtck -window 2ms -queue 128        # fleet of 4
+//	mobserve -checkpoint mobserve.ckpt                    # crash-safe
+//
+//	curl -X POST localhost:8080/step -d '{"requests":[[3,4]]}'
+//	curl localhost:8080/metrics
+//	curl localhost:8080/state
+//	curl localhost:8080/snapshot > manual.ckpt
+//
+// See examples/client for a load generator that drives this server and
+// reconciles its own counters against /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/multi"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dim     = flag.Int("dim", 2, "dimension of the space")
+		D       = flag.Float64("D", 2, "page weight D >= 1")
+		m       = flag.Float64("m", 1, "offline movement cap m")
+		delta   = flag.Float64("delta", 0.5, "augmentation delta in [0,1]")
+		answer  = flag.Bool("answer-first", false, "serve requests before moving")
+		k       = flag.Int("k", 1, "number of servers")
+		algName = flag.String("alg", "", "algorithm: mtc|mtck|lazy (default mtc, mtck when -k > 1)")
+		radius  = flag.Float64("radius", 5, "initial fleet spread radius around the origin")
+		window  = flag.Duration("window", 2*time.Millisecond, "batch coalescing window (0 = no wait)")
+		queue   = flag.Int("queue", server.DefaultQueueLimit, "bounded queue size before 429")
+		ckpt    = flag.String("checkpoint", "", "checkpoint file; resumes from it when present")
+		every   = flag.Int("every", 1, "steps between checkpoints")
+		clamp   = flag.Bool("clamp", false, "clamp over-cap moves instead of failing the step")
+	)
+	flag.Parse()
+
+	cfg := core.Config{Dim: *dim, D: *D, M: *m, Delta: *delta, K: *k}
+	if *answer {
+		cfg.Order = core.AnswerFirst
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	alg, err := pickAlgorithm(*algName, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	opts := server.Options{
+		CoalesceWindow:  *window,
+		QueueLimit:      *queue,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *every,
+	}
+	if *clamp {
+		opts.Mode = engine.Clamp
+	}
+
+	srv, resumed, err := open(cfg, alg, opts, *radius)
+	if err != nil {
+		fatal(err)
+	}
+	if resumed {
+		fmt.Printf("resumed %s from %s at step %d\n", alg.Name(), *ckpt, srv.T())
+	} else {
+		fmt.Printf("serving %s (K=%d, dim %d) fresh\n", alg.Name(), cfg.Servers(), cfg.Dim)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		fmt.Printf("listening on %s (coalescing window %v, queue %d)\n", *addr, *window, *queue)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+
+	<-done
+	fmt.Println("\nshutting down: draining queue and writing final checkpoint")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "final checkpoint: %v\n", err)
+	}
+	res := srv.Finish()
+	fmt.Printf("served %d steps, %s, final positions %v\n", res.Steps, res.Cost, res.Final)
+}
+
+// open resumes from the checkpoint file when it exists, otherwise starts a
+// fresh session with the fleet spread on a circle of the given radius.
+func open(cfg core.Config, alg core.FleetAlgorithm, opts server.Options, radius float64) (*server.Server, bool, error) {
+	if opts.CheckpointPath != "" {
+		if snap, err := os.ReadFile(opts.CheckpointPath); err == nil {
+			srv, err := server.Resume(cfg, alg, snap, opts)
+			if err != nil {
+				return nil, false, fmt.Errorf("resume from %s: %w", opts.CheckpointPath, err)
+			}
+			return srv, true, nil
+		} else if !os.IsNotExist(err) {
+			return nil, false, err
+		}
+	}
+	var starts []geom.Point
+	if cfg.Servers() == 1 {
+		starts = []geom.Point{geom.Zero(cfg.Dim)}
+	} else {
+		starts = multi.SpreadStarts(cfg, radius)
+	}
+	srv, err := server.New(cfg, starts, alg, opts)
+	return srv, false, err
+}
+
+// pickAlgorithm maps the -alg flag to a fleet controller, defaulting to the
+// paper's MtC for a single server and cluster-and-chase for a fleet.
+func pickAlgorithm(name string, cfg core.Config) (core.FleetAlgorithm, error) {
+	if name == "" {
+		if cfg.Servers() > 1 {
+			name = "mtck"
+		} else {
+			name = "mtc"
+		}
+	}
+	switch name {
+	case "mtc":
+		if cfg.Servers() != 1 {
+			return nil, fmt.Errorf("mobserve: -alg mtc is single-server; use -alg mtck for K=%d", cfg.Servers())
+		}
+		return core.Fleet(core.NewMtC()), nil
+	case "mtck":
+		return multi.NewMtCK(), nil
+	case "lazy":
+		return multi.NewLazyK(), nil
+	default:
+		return nil, fmt.Errorf("mobserve: unknown algorithm %q (mtc|mtck|lazy)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mobserve:", err)
+	os.Exit(1)
+}

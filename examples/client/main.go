@@ -1,0 +1,212 @@
+// Client is a load generator for cmd/mobserve: concurrent workers POST
+// request batches from a moving-hotspot workload, honor 429 backpressure by
+// backing off and retrying, and finally reconcile their own counters
+// against the server's GET /metrics — every accepted request must be
+// counted exactly once server-side, and the per-step costs the workers saw
+// (summed once per step) must equal the server's running cost totals.
+//
+// The reconciliation assumes this client is the server's only traffic
+// source since it started: steps fed by other clients (or served before a
+// checkpoint/restore) are in the server's totals but not in ours.
+//
+//	mobserve -addr :8080 &
+//	go run ./examples/client -n 10000 -workers 8
+//	go run ./examples/client -n 2000 -workers 16 -batch 1   # more contention
+//
+// Point it at a server started with a tiny -queue to watch backpressure:
+//
+//	mobserve -addr :8080 -queue 1 -window 10ms &
+//	go run ./examples/client -workers 16
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "mobserve base URL")
+		n       = flag.Int("n", 10_000, "total number of requests to send")
+		batch   = flag.Int("batch", 5, "requests per POST /step call")
+		workers = flag.Int("workers", 8, "concurrent client workers")
+		dim     = flag.Int("dim", 2, "request dimension (must match the server)")
+	)
+	flag.Parse()
+
+	batches := (*n + *batch - 1) / *batch
+	fmt.Printf("driving %d requests (%d batches of %d) with %d workers against %s\n",
+		*n, batches, *batch, *workers, *addr)
+
+	type tally struct {
+		accepted int
+		retries  int
+		costs    map[int]wire.Cost
+	}
+	tallies := make([]tally, *workers)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tallies[w].costs = map[int]wire.Cost{}
+			for b := range work {
+				size := *batch
+				if rest := *n - b**batch; rest < size {
+					size = rest
+				}
+				resp, retries, err := post(*addr, hotspotBatch(b, size, *dim))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "client: batch %d: %v\n", b, err)
+					os.Exit(1)
+				}
+				tallies[w].accepted += resp.Accepted
+				tallies[w].retries += retries
+				tallies[w].costs[resp.T] = resp.Cost
+			}
+		}(w)
+	}
+	for b := 0; b < batches; b++ {
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	accepted, retries := 0, 0
+	costs := map[int]wire.Cost{}
+	for _, t := range tallies {
+		accepted += t.accepted
+		retries += t.retries
+		for step, c := range t.costs {
+			costs[step] = c
+		}
+	}
+	fmt.Printf("sent %d requests in %v (%.0f req/s), %d batches coalesced into %d steps, %d 429-retries\n",
+		accepted, elapsed.Round(time.Millisecond), float64(accepted)/elapsed.Seconds(),
+		batches, len(costs), retries)
+
+	// Reconcile with the server: sum the shared per-step costs once per
+	// step, in step order, and compare against /metrics.
+	var m wire.MetricsResponse
+	if err := get(*addr+"/metrics", &m); err != nil {
+		fmt.Fprintf(os.Stderr, "client: metrics: %v\n", err)
+		os.Exit(1)
+	}
+	steps := make([]int, 0, len(costs))
+	for s := range costs {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	var total float64
+	for _, s := range steps {
+		total += costs[s].Total
+	}
+	fmt.Printf("server metrics: %d steps, %d requests, cost %.6g (avg/step %.4g), %d rejected\n",
+		m.Steps, m.Requests, m.Cost.Total, m.AvgStepCost, m.Rejected)
+
+	ok := true
+	if m.Requests != accepted {
+		ok = false
+		fmt.Printf("MISMATCH: server counted %d requests, client sent %d\n", m.Requests, accepted)
+	}
+	if rel := math.Abs(total-m.Cost.Total) / (1 + math.Abs(total)); rel > 1e-9 {
+		ok = false
+		fmt.Printf("MISMATCH: client-side cost sum %.9g vs server %.9g (was other traffic served?)\n", total, m.Cost.Total)
+	}
+	if ok {
+		fmt.Println("reconciled: client-side sums equal server /metrics")
+	} else {
+		os.Exit(1)
+	}
+}
+
+// hotspotBatch generates batch b of the deterministic workload: requests
+// clustered on a hotspot that orbits the origin.
+func hotspotBatch(b, size, dim int) wire.StepRequest {
+	reqs := make([]wire.Point, size)
+	for i := range reqs {
+		angle := 2 * math.Pi * float64(b) / 500
+		jitter := 0.5 * math.Sin(float64(b*7+i*13))
+		p := make(wire.Point, dim)
+		p[0] = (20 + jitter) * math.Cos(angle)
+		if dim > 1 {
+			p[1] = (20 + jitter) * math.Sin(angle)
+		}
+		reqs[i] = p
+	}
+	return wire.StepRequest{Requests: reqs}
+}
+
+// post sends one batch, retrying on 429 after the server's backoff hint:
+// the JSON body's retry_after_ms when present (millisecond resolution),
+// falling back to the whole-second Retry-After header, capped so a coarse
+// header cannot stall the generator. It returns the step outcome and how
+// many times it was told to back off.
+func post(addr string, body wire.StepRequest) (wire.StepResponse, int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return wire.StepResponse{}, 0, err
+	}
+	retries := 0
+	for {
+		resp, err := http.Post(addr+"/step", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return wire.StepResponse{}, retries, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return wire.StepResponse{}, retries, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var sr wire.StepResponse
+			if err := json.Unmarshal(data, &sr); err != nil {
+				return wire.StepResponse{}, retries, err
+			}
+			return sr, retries, nil
+		case http.StatusTooManyRequests:
+			retries++
+			wait := 5 * time.Millisecond
+			var e wire.ErrorResponse
+			if err := json.Unmarshal(data, &e); err == nil && e.RetryAfterMs > 0 {
+				wait = time.Duration(e.RetryAfterMs) * time.Millisecond
+			} else if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				wait = time.Duration(sec) * time.Second
+			}
+			if wait > 100*time.Millisecond {
+				wait = 100 * time.Millisecond
+			}
+			time.Sleep(wait)
+		default:
+			return wire.StepResponse{}, retries, fmt.Errorf("POST /step: %s: %s", resp.Status, data)
+		}
+	}
+}
+
+func get(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

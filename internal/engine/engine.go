@@ -139,6 +139,16 @@ func NewSingleSession(cfg core.Config, start geom.Point, alg core.Algorithm, opt
 // T returns the number of steps fed so far.
 func (s *Session) T() int { return s.res.Steps }
 
+// Algorithm returns the driven algorithm's reported name.
+func (s *Session) Algorithm() string { return s.res.Algorithm }
+
+// Cost returns the cost accumulated so far.
+func (s *Session) Cost() core.Cost { return s.res.Cost }
+
+// Clamped returns the number of cap-enforced server-moves so far (Clamp
+// mode only; includes steps restored from a snapshot).
+func (s *Session) Clamped() int { return s.res.Clamped }
+
 // Positions returns a copy of the current server positions.
 func (s *Session) Positions() []geom.Point { return clonePoints(s.pos) }
 

@@ -1,0 +1,246 @@
+package engine_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/multi"
+)
+
+// workloadStep is a deterministic request generator: a hotspot orbiting the
+// origin with 1–3 requests per step, so runs are reproducible without
+// materializing an instance.
+func workloadStep(t, dim int) []geom.Point {
+	n := 1 + t%3
+	reqs := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		p := geom.Zero(dim)
+		angle := 2*math.Pi*float64(t)/37 + float64(i)
+		r := 5 + 3*math.Sin(float64(t)/11)
+		p[0] = r * math.Cos(angle)
+		if dim > 1 {
+			p[1] = r * math.Sin(angle)
+		}
+		reqs[i] = p
+	}
+	return reqs
+}
+
+// overMover proposes the first request position directly, ignoring the cap,
+// so Clamp mode has to intervene on nearly every step.
+type overMover struct{ pos []geom.Point }
+
+func (o *overMover) Name() string { return "over-mover" }
+func (o *overMover) Reset(_ core.Config, starts []geom.Point) {
+	o.pos = starts
+}
+func (o *overMover) Move(reqs []geom.Point) []geom.Point {
+	if len(reqs) > 0 {
+		for j := range o.pos {
+			o.pos[j] = reqs[0].Clone()
+		}
+	}
+	return o.pos
+}
+
+func snapshotCases() []struct {
+	name string
+	cfg  core.Config
+	alg  func() core.FleetAlgorithm
+	mode engine.Mode
+} {
+	single := core.Config{Dim: 2, D: 3, M: 0.5, Delta: 0.25, Order: core.MoveFirst, K: 1}
+	fleet := core.Config{Dim: 2, D: 3, M: 0.5, Delta: 0.25, Order: core.MoveFirst, K: 3}
+	return []struct {
+		name string
+		cfg  core.Config
+		alg  func() core.FleetAlgorithm
+		mode engine.Mode
+	}{
+		{"MtC/strict", single, func() core.FleetAlgorithm { return core.Fleet(core.NewMtC()) }, engine.Strict},
+		{"MtC/clamp", single, func() core.FleetAlgorithm { return core.Fleet(core.NewMtC()) }, engine.Clamp},
+		{"MtCK/strict", fleet, func() core.FleetAlgorithm { return multi.NewMtCK() }, engine.Strict},
+		{"MtCK/clamp", fleet, func() core.FleetAlgorithm { return multi.NewMtCK() }, engine.Clamp},
+		{"LazyK/strict", fleet, func() core.FleetAlgorithm { return multi.NewLazyK() }, engine.Strict},
+		{"over-mover/clamp", fleet, func() core.FleetAlgorithm { return &overMover{} }, engine.Clamp},
+	}
+}
+
+func starts(cfg core.Config) []geom.Point {
+	return multi.SpreadStarts(cfg, 4)
+}
+
+// runUninterrupted streams T workload steps through one session.
+func runUninterrupted(t *testing.T, cfg core.Config, alg core.FleetAlgorithm, mode engine.Mode, T int) *engine.Result {
+	t.Helper()
+	s, err := engine.NewSession(cfg, starts(cfg), alg, engine.Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < T; i++ {
+		if err := s.Step(workloadStep(i, cfg.Dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s.Finish()
+}
+
+// runResumed streams j steps, snapshots, restores into a fresh session with
+// a fresh algorithm (simulating a new process), and finishes the stream.
+func runResumed(t *testing.T, cfg core.Config, algA, algB core.FleetAlgorithm, mode engine.Mode, j, T int) *engine.Result {
+	t.Helper()
+	s, err := engine.NewSession(cfg, starts(cfg), algA, engine.Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < j; i++ {
+		if err := s.Step(workloadStep(i, cfg.Dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := engine.Restore(cfg, algB, snap, engine.Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != j {
+		t.Fatalf("restored T = %d, want %d", r.T(), j)
+	}
+	for i := j; i < T; i++ {
+		if err := r.Step(workloadStep(i, cfg.Dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r.Finish()
+}
+
+// TestSnapshotRestoreEquivalence is the kill-and-restore correctness proof:
+// a run snapshotted at step j and resumed in a fresh session must finish
+// with a Result byte-identical to the uninterrupted run — for the paper's
+// single server (K=1), the fleet generalization (K>1), and both cap modes.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	const T = 60
+	for _, tc := range snapshotCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			want := runUninterrupted(t, tc.cfg, tc.alg(), tc.mode, T)
+			for _, j := range []int{1, T / 3, T - 1} {
+				got := runResumed(t, tc.cfg, tc.alg(), tc.alg(), tc.mode, j, T)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("resume at %d diverged:\nwant %+v\ngot  %+v", j, want, got)
+				}
+				wb, err := json.Marshal(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gb, err := json.Marshal(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(wb, gb) {
+					t.Fatalf("resume at %d not byte-identical:\nwant %s\ngot  %s", j, wb, gb)
+				}
+			}
+		})
+	}
+}
+
+// TestClampCountersSurviveRestore pins the clamp-mode invariant: a
+// checkpoint taken immediately after a clamped step restores with the
+// clamped-move counters (and MaxMove) intact, and the resumed run keeps
+// counting from there exactly as the uninterrupted run does.
+func TestClampCountersSurviveRestore(t *testing.T) {
+	cfg := core.Config{Dim: 2, D: 2, M: 1, Order: core.MoveFirst, K: 2}
+	far := []geom.Point{geom.NewPoint(40, 0)}
+
+	s, err := engine.NewSession(cfg, starts(cfg), &overMover{}, engine.Options{Mode: engine.Clamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(far); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := engine.Restore(cfg, &overMover{}, snap, engine.Options{Mode: engine.Clamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both sessions take one more clamped step; every counter must agree.
+	for _, sess := range []*engine.Session{s, r} {
+		if err := sess.Step(far); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, got := s.Finish(), r.Finish()
+	if want.Clamped != 4 {
+		t.Fatalf("Clamped = %d, want 4 (2 servers × 2 steps)", want.Clamped)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("clamp counters diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// renamed masquerades as another algorithm by name without snapshot
+// support, to exercise Restore's safety checks.
+type renamed struct {
+	overMover
+	name string
+}
+
+func (r *renamed) Name() string { return r.name }
+
+func TestRestoreRejectsMismatches(t *testing.T) {
+	cfg := core.Config{Dim: 2, D: 2, M: 1, Order: core.MoveFirst, K: 1}
+	s, err := engine.NewSession(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step([]geom.Point{geom.NewPoint(1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := engine.Restore(cfg, multi.NewLazyK(), snap, engine.Options{}); err == nil {
+		t.Fatal("algorithm-name mismatch accepted")
+	}
+	other := cfg
+	other.D = 7
+	if _, err := engine.Restore(other, core.Fleet(core.NewMtC()), snap, engine.Options{}); err == nil {
+		t.Fatal("config mismatch accepted")
+	}
+	if _, err := engine.Restore(cfg, core.Fleet(core.NewMtC()), snap, engine.Options{Mode: engine.Clamp}); err == nil {
+		t.Fatal("cap-mode mismatch accepted: resuming a Strict run under Clamp forks the trajectory")
+	}
+	// K=0 and K=1 are the same single-server model; restore must accept it.
+	sameK := cfg
+	sameK.K = 0
+	if _, err := engine.Restore(sameK, core.Fleet(core.NewMtC()), snap, engine.Options{}); err != nil {
+		t.Fatalf("K=0 vs K=1 rejected: %v", err)
+	}
+	if _, err := engine.Restore(cfg, &renamed{name: "MtC"}, snap, engine.Options{}); err == nil {
+		t.Fatal("state restored onto an algorithm without Snapshotter")
+	}
+	if _, err := engine.Restore(cfg, core.Fleet(core.NewMtC()), snap[:len(snap)/2], engine.Options{}); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+
+	_ = s.Finish()
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot of a finished session accepted")
+	}
+}

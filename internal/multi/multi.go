@@ -14,6 +14,8 @@
 package multi
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -88,6 +90,47 @@ func (a *MtCK) Move(requests []geom.Point) []geom.Point {
 	return a.pos
 }
 
+// fleetState is the serialized internal state of the fleet controllers:
+// every server position as tracked by the algorithm itself (the
+// configuration is reinstalled by Reset).
+type fleetState struct {
+	Pos [][]float64 `json:"pos"`
+}
+
+func snapshotFleetState(pos []geom.Point) ([]byte, error) {
+	st := fleetState{Pos: make([][]float64, len(pos))}
+	for j, p := range pos {
+		st.Pos[j] = p
+	}
+	return json.Marshal(st)
+}
+
+func restoreFleetState(data []byte, pos []geom.Point) error {
+	var st fleetState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Pos) != len(pos) {
+		return fmt.Errorf("multi: state has %d servers, want %d", len(st.Pos), len(pos))
+	}
+	for j, c := range st.Pos {
+		if len(c) != pos[j].Dim() {
+			return fmt.Errorf("multi: state server %d has dim %d, want %d", j, len(c), pos[j].Dim())
+		}
+		pos[j] = geom.Point(c).Clone()
+	}
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: MtCK's only run state is its
+// position view, serialized explicitly so a checkpoint stays exact even if
+// the engine's and the controller's views ever diverge.
+func (a *MtCK) SnapshotState() ([]byte, error) { return snapshotFleetState(a.pos) }
+
+// RestoreState implements core.Snapshotter; the controller must already
+// have been Reset with the checkpointed fleet layout.
+func (a *MtCK) RestoreState(data []byte) error { return restoreFleetState(data, a.pos) }
+
 // LazyK keeps all servers at their start positions.
 type LazyK struct{ pos []geom.Point }
 
@@ -102,6 +145,12 @@ func (a *LazyK) Reset(_ core.Config, starts []geom.Point) { a.pos = starts }
 
 // Move implements core.FleetAlgorithm.
 func (a *LazyK) Move(_ []geom.Point) []geom.Point { return a.pos }
+
+// SnapshotState implements core.Snapshotter.
+func (a *LazyK) SnapshotState() ([]byte, error) { return snapshotFleetState(a.pos) }
+
+// RestoreState implements core.Snapshotter.
+func (a *LazyK) RestoreState(data []byte) error { return restoreFleetState(data, a.pos) }
 
 // SpreadStarts places cfg.Servers() servers evenly on a circle of the given
 // radius around the origin (on a segment in 1-D), a reasonable neutral

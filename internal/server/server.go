@@ -1,0 +1,489 @@
+// Package server is the live-serving HTTP front-end of the streaming
+// engine: it owns one engine.Session and exposes it to the network with
+// the JSON wire format of package wire.
+//
+//   - POST /step feeds a request batch. Batches arriving within the
+//     coalescing window are merged into a single engine step; every merged
+//     caller gets the step's shared outcome plus its own accepted count.
+//   - A bounded queue applies backpressure: when it is full, POST /step is
+//     refused with 429 and a Retry-After header instead of buffering
+//     without limit.
+//   - GET /metrics and GET /state serve live engine.Metrics and
+//     engine.MoveStats snapshots via the engine's Observer plumbing.
+//   - GET /snapshot returns the session checkpoint document, and when a
+//     checkpoint path is configured the server writes it atomically after
+//     every CheckpointEvery-th step, before acknowledging that step's
+//     callers. With CheckpointEvery == 1 (the default) a killed process
+//     resumes from the file (Resume) losing at most one coalescing window
+//     of unacknowledged traffic; a larger cadence trades that durability
+//     for fewer writes and can lose up to CheckpointEvery-1 acknowledged
+//     steps on a crash.
+//
+// One goroutine (the step loop) drives the session; HTTP handlers only
+// enqueue batches and read state under the session mutex, so the engine
+// itself stays single-threaded.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/wire"
+)
+
+// Options configures the front-end. The zero value serves with strict cap
+// checking, no coalescing wait, a queue of DefaultQueueLimit batches, and
+// no checkpointing.
+type Options struct {
+	// CoalesceWindow is how long the step loop waits after the first
+	// queued batch for more batches to merge into the same engine step.
+	// Zero merges only batches that are already queued, without waiting.
+	CoalesceWindow time.Duration
+	// QueueLimit bounds the number of batches waiting for the step loop;
+	// a full queue refuses POST /step with 429. Default DefaultQueueLimit.
+	QueueLimit int
+	// CheckpointPath, when non-empty, enables checkpointing: the session
+	// snapshot is written there atomically (tmp file + rename) after every
+	// CheckpointEvery-th step, before the step's callers are acknowledged.
+	CheckpointPath string
+	// CheckpointEvery is the number of steps between checkpoints.
+	// Default 1 (checkpoint after every step).
+	CheckpointEvery int
+	// Mode and Tol configure the engine's cap enforcement.
+	Mode engine.Mode
+	Tol  float64
+	// Observers are extra engine observers appended after the server's own
+	// metrics and movement-stats observers. They are notified from the
+	// step loop; implementations must not call back into the server.
+	Observers []engine.Observer
+}
+
+// DefaultQueueLimit is the queue bound used when Options.QueueLimit is 0.
+const DefaultQueueLimit = 64
+
+func (o Options) withDefaults() Options {
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = DefaultQueueLimit
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+	return o
+}
+
+// batch is one enqueued POST /step body with its reply channel.
+type batch struct {
+	reqs  []geom.Point
+	reply chan outcome
+}
+
+// outcome is what the step loop hands back to a waiting handler. executed
+// distinguishes "the step failed" (err, resp empty) from "the step ran but
+// its checkpoint did not land" (err and resp both set): in the latter case
+// the session has advanced and the caller must not resend the batch.
+type outcome struct {
+	resp     wire.StepResponse
+	err      error
+	executed bool
+}
+
+// Server owns an engine session and serves it over HTTP. Create one with
+// New or Resume, mount Handler on an http.Server, and Close it to drain
+// the queue and write the final checkpoint.
+type Server struct {
+	cfg  core.Config
+	opts Options
+
+	// mu guards the session and the observers attached to it. Step runs
+	// only in the step loop; handlers take mu for consistent reads.
+	mu       sync.Mutex
+	sess     *engine.Session
+	metrics  *engine.Metrics
+	moves    *engine.MoveStats
+	lastCost core.Cost
+
+	queue    chan batch
+	rejected atomic.Int64
+	closing  atomic.Bool
+	closed   chan struct{}
+	loopDone chan struct{}
+	closeErr error
+	once     sync.Once
+}
+
+// New starts a server around a fresh session.
+func New(cfg core.Config, starts []geom.Point, alg core.FleetAlgorithm, opts Options) (*Server, error) {
+	return start(cfg, opts, func(eopts engine.Options) (*engine.Session, error) {
+		return engine.NewSession(cfg, starts, alg, eopts)
+	})
+}
+
+// Resume starts a server around a session restored from checkpoint bytes
+// (see engine.Restore): the step counter, costs, positions, and algorithm
+// state continue exactly where the snapshot was taken. The metrics and
+// movement observers start fresh and cover only the resumed part.
+func Resume(cfg core.Config, alg core.FleetAlgorithm, snapshot []byte, opts Options) (*Server, error) {
+	return start(cfg, opts, func(eopts engine.Options) (*engine.Session, error) {
+		return engine.Restore(cfg, alg, snapshot, eopts)
+	})
+}
+
+func start(cfg core.Config, opts Options, open func(engine.Options) (*engine.Session, error)) (*Server, error) {
+	opts = opts.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		opts:     opts,
+		metrics:  &engine.Metrics{},
+		moves:    &engine.MoveStats{},
+		queue:    make(chan batch, opts.QueueLimit),
+		closed:   make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	obs := []engine.Observer{
+		engine.Func(func(info engine.StepInfo) { s.lastCost = info.Cost }),
+		s.metrics,
+		s.moves,
+	}
+	obs = append(obs, opts.Observers...)
+	sess, err := open(engine.Options{Mode: opts.Mode, Tol: opts.Tol, Observers: obs})
+	if err != nil {
+		return nil, err
+	}
+	s.sess = sess
+	go s.loop()
+	return s, nil
+}
+
+// T returns the session's current step count.
+func (s *Server) T() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.T()
+}
+
+// Close stops accepting traffic, drains the already-queued batches through
+// the session, writes a final checkpoint (when configured), and waits for
+// the step loop to exit. It returns the final checkpoint error, if any.
+func (s *Server) Close() error {
+	s.once.Do(func() {
+		s.closing.Store(true)
+		close(s.closed)
+		<-s.loopDone
+	})
+	return s.closeErr
+}
+
+// Finish closes the underlying session and returns its accumulated result.
+// Call it after Close; a finished session cannot be snapshotted or resumed.
+func (s *Server) Finish() *engine.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.Finish()
+}
+
+// loop is the single goroutine that steps the session: it pulls the first
+// queued batch, coalesces what arrives within the window, executes one
+// engine step, checkpoints, and acknowledges the merged callers.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		select {
+		case <-s.closed:
+			s.drain()
+			return
+		case first := <-s.queue:
+			s.execute(s.coalesce(first))
+		}
+	}
+}
+
+// coalesce gathers the batches that share first's engine step.
+func (s *Server) coalesce(first batch) []batch {
+	items := []batch{first}
+	if w := s.opts.CoalesceWindow; w > 0 {
+		timer := time.NewTimer(w)
+		defer timer.Stop()
+		for {
+			select {
+			case b := <-s.queue:
+				items = append(items, b)
+			case <-timer.C:
+				return items
+			case <-s.closed:
+				return items
+			}
+		}
+	}
+	for {
+		select {
+		case b := <-s.queue:
+			items = append(items, b)
+		default:
+			return items
+		}
+	}
+}
+
+// drain executes every batch still queued at shutdown (one step each, no
+// coalescing wait) and writes the final checkpoint.
+func (s *Server) drain() {
+	for {
+		select {
+		case b := <-s.queue:
+			s.execute([]batch{b})
+		default:
+			s.closeErr = s.checkpointNow()
+			return
+		}
+	}
+}
+
+// execute merges the items into one request batch, runs one engine step,
+// checkpoints if due, and replies to every merged caller. A due checkpoint
+// is written before the acknowledgements, so with CheckpointEvery == 1 an
+// acknowledged step is never lost to a crash (larger cadences acknowledge
+// the steps between checkpoints before they are durable).
+func (s *Server) execute(items []batch) {
+	total := 0
+	for _, b := range items {
+		total += len(b.reqs)
+	}
+	merged := make([]geom.Point, 0, total)
+	for _, b := range items {
+		merged = append(merged, b.reqs...)
+	}
+
+	s.mu.Lock()
+	err := s.sess.Step(merged)
+	var resp wire.StepResponse
+	var snap []byte
+	var snapErr error
+	if err == nil {
+		resp = wire.StepResponse{
+			T:         s.sess.T() - 1,
+			Batched:   total,
+			Cost:      wire.FromCost(s.lastCost),
+			Positions: wire.FromPoints(s.sess.Positions()),
+		}
+		if s.opts.CheckpointPath != "" && s.sess.T()%s.opts.CheckpointEvery == 0 {
+			snap, snapErr = s.sess.Snapshot()
+		}
+	}
+	s.mu.Unlock()
+
+	if snap != nil {
+		snapErr = writeAtomic(s.opts.CheckpointPath, snap)
+	}
+	executed := err == nil
+	if executed && snapErr != nil {
+		// The step ran but is not durable; surface that to the callers
+		// (as 507 with the executed step index) rather than acknowledging
+		// a step a crash could silently lose.
+		err = fmt.Errorf("server: step %d executed but checkpoint failed: %w", resp.T, snapErr)
+	}
+	for _, b := range items {
+		r := resp
+		r.Accepted = len(b.reqs)
+		b.reply <- outcome{resp: r, err: err, executed: executed}
+	}
+}
+
+// checkpointNow snapshots and writes the checkpoint file unconditionally
+// (used at shutdown). A server without a checkpoint path or with no steps
+// yet does nothing.
+func (s *Server) checkpointNow() error {
+	if s.opts.CheckpointPath == "" {
+		return nil
+	}
+	s.mu.Lock()
+	snap, err := s.sess.Snapshot()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return writeAtomic(s.opts.CheckpointPath, snap)
+}
+
+// writeAtomic writes data to path via a temp file in the same directory,
+// fsync, and an atomic rename, so neither a process kill mid-write nor a
+// system crash shortly after leaves a torn or empty checkpoint.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// some platforms/filesystems refuse it, and the rename is already
+	// atomic for process-level crashes.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// retryAfter returns the backoff hints sent with 429: the precise hint is
+// one coalescing window in milliseconds (at least 1ms), and the Retry-After
+// header is that value rounded up to the header's whole-second resolution.
+func (s *Server) retryAfter() (sec, ms int) {
+	ms = int(s.opts.CoalesceWindow.Milliseconds())
+	if ms < 1 {
+		ms = 1
+	}
+	sec = (ms + 999) / 1000
+	return sec, ms
+}
+
+// Handler returns the HTTP API: POST /step, GET /metrics, GET /state,
+// GET /snapshot.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /step", s.handleStep)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /state", s.handleState)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	return mux
+}
+
+// maxBodyBytes bounds a POST /step body; a batch larger than this is a
+// client error, not a reason to exhaust server memory.
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req wire.StepRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad step body: "+err.Error())
+		return
+	}
+	// Validate before enqueueing: a malformed batch must not poison the
+	// valid batches it would be coalesced with.
+	reqs, err := wire.ToPoints(req.Requests, s.cfg.Dim)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	b := batch{reqs: reqs, reply: make(chan outcome, 1)}
+	select {
+	case s.queue <- b:
+	default:
+		s.rejected.Add(1)
+		sec, ms := s.retryAfter()
+		w.Header().Set("Retry-After", fmt.Sprint(sec))
+		writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{
+			Error:         "step queue is full",
+			RetryAfterSec: sec,
+			RetryAfterMs:  ms,
+		})
+		return
+	}
+	select {
+	case out := <-b.reply:
+		s.writeStepOutcome(w, out)
+	case <-s.loopDone:
+		// The loop exited; the drain may still have served us.
+		select {
+		case out := <-b.reply:
+			s.writeStepOutcome(w, out)
+		default:
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		}
+	}
+}
+
+func (s *Server) writeStepOutcome(w http.ResponseWriter, out outcome) {
+	if out.err != nil {
+		if out.executed {
+			// The step ran (it is in /metrics and the session advanced)
+			// but its checkpoint did not land: answer 507 carrying the
+			// executed step index so clients know not to resend.
+			t := out.resp.T
+			writeJSON(w, http.StatusInsufficientStorage, wire.ErrorResponse{Error: out.err.Error(), ExecutedT: &t})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, out.err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, out.resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := wire.MetricsResponse{
+		Steps:       s.metrics.Steps,
+		Requests:    s.metrics.Requests,
+		Cost:        wire.FromCost(s.metrics.Cost),
+		AvgStepCost: s.metrics.AvgStepCost,
+	}
+	s.mu.Unlock()
+	resp.Rejected = s.rejected.Load()
+	resp.QueueDepth = len(s.queue)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := wire.StateResponse{
+		Algorithm: s.sess.Algorithm(),
+		T:         s.sess.T(),
+		Positions: wire.FromPoints(s.sess.Positions()),
+		MaxMove:   s.moves.MaxMove,
+		TotalMove: s.moves.TotalMove,
+		CapHits:   s.moves.CapHits,
+		Clamped:   s.sess.Clamped(),
+		Cost:      wire.FromCost(s.sess.Cost()),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	snap, err := s.sess.Snapshot()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(snap)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, wire.ErrorResponse{Error: msg})
+}

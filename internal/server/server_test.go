@@ -1,0 +1,535 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/multi"
+	"repro/internal/wire"
+)
+
+func testConfig(k int) core.Config {
+	return core.Config{Dim: 2, D: 2, M: 1, Delta: 0.5, Order: core.MoveFirst, K: k}
+}
+
+// reqsFor is the deterministic workload shared by the tests: nReq requests
+// per step, circling the origin.
+func reqsFor(t, nReq int) []wire.Point {
+	out := make([]wire.Point, nReq)
+	for i := range out {
+		angle := 2*math.Pi*float64(t)/41 + float64(i)
+		out[i] = wire.Point{8 * math.Cos(angle), 8 * math.Sin(angle)}
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/step", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeE2E drives ≥10k requests from concurrent clients through the
+// coalescing front-end and reconciles the client-side sums against
+// GET /metrics: every accepted request is counted exactly once, and the
+// cost totals agree with the per-step costs the clients saw.
+func TestServeE2E(t *testing.T) {
+	cfg := testConfig(2)
+	s, err := New(cfg, multi.SpreadStarts(cfg, 5), multi.NewMtCK(), Options{
+		CoalesceWindow: 200 * time.Microsecond,
+		QueueLimit:     256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const (
+		workers          = 8
+		batchesPerWorker = 250
+		perBatch         = 5 // 8 × 250 × 5 = 10_000 requests
+	)
+	type seen struct {
+		accepted int
+		costs    map[int]wire.Cost // step T → shared step cost
+		retried  int
+	}
+	results := make([]seen, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w].costs = map[int]wire.Cost{}
+			for b := 0; b < batchesPerWorker; b++ {
+				body := wire.StepRequest{Requests: reqsFor(w*batchesPerWorker+b, perBatch)}
+				for {
+					resp, data := postJSON(t, ts.URL, body)
+					if resp.StatusCode == http.StatusTooManyRequests {
+						results[w].retried++
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("POST /step = %d: %s", resp.StatusCode, data)
+						return
+					}
+					var sr wire.StepResponse
+					if err := json.Unmarshal(data, &sr); err != nil {
+						t.Error(err)
+						return
+					}
+					if sr.Accepted != perBatch {
+						t.Errorf("Accepted = %d, want %d", sr.Accepted, perBatch)
+					}
+					results[w].accepted += sr.Accepted
+					results[w].costs[sr.T] = sr.Cost
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	accepted, retried := 0, 0
+	costs := map[int]wire.Cost{}
+	for _, r := range results {
+		accepted += r.accepted
+		retried += r.retried
+		for tt, c := range r.costs {
+			costs[tt] = c
+		}
+	}
+	if accepted != workers*batchesPerWorker*perBatch {
+		t.Fatalf("accepted %d requests, want %d", accepted, workers*batchesPerWorker*perBatch)
+	}
+
+	var m wire.MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Requests != accepted {
+		t.Fatalf("metrics.Requests = %d, client-side sum = %d", m.Requests, accepted)
+	}
+	if m.Steps != len(costs) {
+		t.Fatalf("metrics.Steps = %d, clients saw %d distinct steps", m.Steps, len(costs))
+	}
+	if m.Rejected != int64(retried) {
+		t.Fatalf("metrics.Rejected = %d, clients counted %d 429s", m.Rejected, retried)
+	}
+
+	// Per-step costs, summed once per step in step order, must equal the
+	// server's running totals.
+	ts2 := make([]int, 0, len(costs))
+	for tt := range costs {
+		ts2 = append(ts2, tt)
+	}
+	sort.Ints(ts2)
+	var move, serve float64
+	for _, tt := range ts2 {
+		move += costs[tt].Move
+		serve += costs[tt].Serve
+	}
+	if math.Abs(move-m.Cost.Move) > 1e-9*(1+math.Abs(move)) ||
+		math.Abs(serve-m.Cost.Serve) > 1e-9*(1+math.Abs(serve)) {
+		t.Fatalf("client cost sum (%g, %g) != metrics cost (%g, %g)", move, serve, m.Cost.Move, m.Cost.Serve)
+	}
+
+	var st wire.StateResponse
+	getJSON(t, ts.URL+"/state", &st)
+	if st.T != m.Steps {
+		t.Fatalf("state.T = %d, metrics.Steps = %d", st.T, m.Steps)
+	}
+	if st.Algorithm != "MtC-k" {
+		t.Fatalf("state.Algorithm = %q", st.Algorithm)
+	}
+	if len(st.Positions) != 2 {
+		t.Fatalf("state has %d positions", len(st.Positions))
+	}
+	t.Logf("e2e: %d requests over %d steps (coalescing ratio %.1f), %d rejections retried",
+		accepted, m.Steps, float64(workers*batchesPerWorker)/float64(m.Steps), retried)
+}
+
+// blockingObserver parks the step loop inside a step so tests can hold the
+// queue full deterministically.
+type blockingObserver struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingObserver) Observe(engine.StepInfo) {
+	b.entered <- struct{}{}
+	<-b.release
+}
+
+// TestBackpressure429 pins the backpressure contract: with the step loop
+// busy and the queue full, POST /step is refused with 429, a Retry-After
+// header, and a JSON error body — it does not buffer without bound.
+func TestBackpressure429(t *testing.T) {
+	cfg := testConfig(1)
+	obs := &blockingObserver{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		QueueLimit: 1,
+		Observers:  []engine.Observer{obs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First batch: picked up by the loop, which blocks mid-step.
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL, wire.StepRequest{Requests: reqsFor(0, 1)})
+		firstDone <- resp.StatusCode
+	}()
+	<-obs.entered
+
+	// Second batch: fills the queue directly (the loop is parked).
+	s.queue <- batch{reqs: nil, reply: make(chan outcome, 1)}
+
+	// Third batch over HTTP must be turned away.
+	resp, data := postJSON(t, ts.URL, wire.StepRequest{Requests: reqsFor(1, 1)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("POST with full queue = %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var e wire.ErrorResponse
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Fatalf("429 body = %s (err %v)", data, err)
+	}
+	if e.RetryAfterMs < 1 || e.RetryAfterSec < 1 {
+		t.Fatalf("429 backoff hints = %dms/%ds, want both >= 1", e.RetryAfterMs, e.RetryAfterSec)
+	}
+
+	// Unblock both queued steps and confirm the first call completed.
+	obs.release <- struct{}{}
+	<-obs.entered
+	obs.release <- struct{}{}
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("first POST = %d", code)
+	}
+	if got := s.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+}
+
+// driveSequential posts one batch per engine step (no concurrency, zero
+// coalescing window) and fails the test on any non-200.
+func driveSequential(t *testing.T, url string, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		resp, data := postJSON(t, url, wire.StepRequest{Requests: reqsFor(i, 2)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST step %d = %d: %s", i, resp.StatusCode, data)
+		}
+	}
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestKillAndRestore is the server-level crash drill: a server checkpoints
+// after every step, is killed without any shutdown courtesy, and a fresh
+// server resumed from the checkpoint file finishes the stream with session
+// state byte-identical to a server that was never interrupted.
+func TestKillAndRestore(t *testing.T) {
+	const kill, total = 30, 60
+	cfg := testConfig(2)
+	ckpt := filepath.Join(t.TempDir(), "mobserve.ckpt")
+	opts := Options{CheckpointPath: ckpt, CheckpointEvery: 1}
+
+	// Phase 1: serve half the stream, then kill (no Close, no final
+	// checkpoint — the per-step checkpoint is all that survives).
+	a, err := New(cfg, multi.SpreadStarts(cfg, 5), multi.NewMtCK(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(a.Handler())
+	driveSequential(t, tsA.URL, 0, kill)
+	tsA.Close() // the process dies here; a's session is never touched again
+
+	snap, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// Phase 2: resume from the checkpoint file and finish the stream.
+	b, err := Resume(cfg, multi.NewMtCK(), snap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+	if got := b.T(); got != kill {
+		t.Fatalf("resumed at T=%d, want %d", got, kill)
+	}
+	driveSequential(t, tsB.URL, kill, total)
+
+	// Control: the same stream served by one uninterrupted server.
+	c, err := New(cfg, multi.SpreadStarts(cfg, 5), multi.NewMtCK(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsC := httptest.NewServer(c.Handler())
+	defer tsC.Close()
+	driveSequential(t, tsC.URL, 0, total)
+
+	// The full serialized session state must match byte for byte.
+	snapB := getBody(t, tsB.URL+"/snapshot")
+	snapC := getBody(t, tsC.URL+"/snapshot")
+	if !bytes.Equal(snapB, snapC) {
+		t.Fatalf("resumed snapshot differs from uninterrupted run:\n%s\nvs\n%s", snapB, snapC)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resB, resC := b.Finish(), c.Finish()
+	if !reflect.DeepEqual(resB, resC) {
+		t.Fatalf("results diverged:\nresumed       %+v\nuninterrupted %+v", resB, resC)
+	}
+	t.Logf("kill-and-restore: killed at step %d/%d, resumed result identical: %s", kill, total, resB.Cost)
+}
+
+// TestCheckpointEvery confirms checkpoints land only on the configured
+// cadence but the shutdown checkpoint always captures the final step.
+func TestCheckpointEvery(t *testing.T) {
+	cfg := testConfig(1)
+	ckpt := filepath.Join(t.TempDir(), "every.ckpt")
+	s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	driveSequential(t, ts.URL, 0, 13)
+	snap, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := engine.Restore(cfg, core.Fleet(core.NewMtC()), snap, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != 10 {
+		t.Fatalf("periodic checkpoint at T=%d, want 10", r.T())
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = engine.Restore(cfg, core.Fleet(core.NewMtC()), snap, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != 13 {
+		t.Fatalf("shutdown checkpoint at T=%d, want 13", r.T())
+	}
+}
+
+// TestBadBatchRejectedEarly: a malformed batch is refused with 400 before
+// it reaches the queue, so it cannot poison batches it would be coalesced
+// with, and the session keeps serving.
+func TestBadBatchRejectedEarly(t *testing.T) {
+	cfg := testConfig(1)
+	s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postJSON(t, ts.URL, wire.StepRequest{Requests: []wire.Point{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dim-3 batch = %d, want 400", resp.StatusCode)
+	}
+	// NaN has no JSON literal; a client smuggling one in produces a decode
+	// error, which must surface as 400.
+	raw := bytes.NewReader([]byte(`{"requests":[[NaN,0]]}`))
+	nresp, err := http.Post(ts.URL+"/step", "application/json", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("NaN batch = %d, want 400", nresp.StatusCode)
+	}
+
+	resp, data := postJSON(t, ts.URL, wire.StepRequest{Requests: reqsFor(0, 1)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid batch after bad ones = %d: %s", resp.StatusCode, data)
+	}
+	var sr wire.StepResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.T != 0 {
+		t.Fatalf("T = %d, want 0 (bad batches must not consume steps)", sr.T)
+	}
+}
+
+// TestCheckpointFailureIs507: when the step executes but its checkpoint
+// cannot be written, the caller gets 507 with the executed step index —
+// distinguishable from a failed step, because resending the batch would
+// double-feed the session.
+func TestCheckpointFailureIs507(t *testing.T) {
+	cfg := testConfig(1)
+	s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		CheckpointPath: filepath.Join(t.TempDir(), "no-such-dir", "x.ckpt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.URL, wire.StepRequest{Requests: reqsFor(0, 1)})
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("POST with unwritable checkpoint = %d: %s", resp.StatusCode, data)
+	}
+	var e wire.ErrorResponse
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.ExecutedT == nil || *e.ExecutedT != 0 {
+		t.Fatalf("executed_t = %v, want 0", e.ExecutedT)
+	}
+	// The step really did run: it is visible in /metrics.
+	var m wire.MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Steps != 1 || m.Requests != 1 {
+		t.Fatalf("metrics after 507 = %+v, want the step counted", m)
+	}
+}
+
+// TestShutdownRefusesTraffic: after Close begins, POST /step answers 503.
+func TestShutdownRefusesTraffic(t *testing.T) {
+	cfg := testConfig(1)
+	s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	driveSequential(t, ts.URL, 0, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postJSON(t, ts.URL, wire.StepRequest{Requests: reqsFor(3, 1)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST after Close = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestSnapshotEndpointRoundTrips: GET /snapshot bytes restore into a
+// session at the same step — the ops path for manual checkpoints.
+func TestSnapshotEndpointRoundTrips(t *testing.T) {
+	cfg := testConfig(1)
+	s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	driveSequential(t, ts.URL, 0, 5)
+
+	snap := getBody(t, ts.URL+"/snapshot")
+	r, err := engine.Restore(cfg, core.Fleet(core.NewMtC()), snap, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != 5 {
+		t.Fatalf("restored T = %d, want 5", r.T())
+	}
+}
+
+func ExampleServer() {
+	cfg := core.Config{Dim: 1, D: 2, M: 1, K: 1}
+	s, _ := New(cfg, []geom.Point{geom.NewPoint(0)}, core.Fleet(core.NewMtC()), Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(wire.StepRequest{Requests: []wire.Point{{3}}})
+	resp, _ := http.Post(ts.URL+"/step", "application/json", bytes.NewReader(body))
+	var sr wire.StepResponse
+	_ = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	fmt.Printf("step %d served %d request(s), server at %v\n", sr.T, sr.Batched, sr.Positions[0])
+	// Output: step 0 served 1 request(s), server at [1]
+}

@@ -139,6 +139,24 @@ func (s *Session) Finish() *Result {
 	return resultFromEngine(s.inner.Finish(), s.trace)
 }
 
+// Snapshot serializes the in-progress session (position, accumulated cost,
+// step counter, algorithm state) for checkpoint/resume; see
+// engine.Session.Snapshot. The trace, if any, is not part of the snapshot.
+func (s *Session) Snapshot() ([]byte, error) { return s.inner.Snapshot() }
+
+// RestoreSession reopens a single-server session from bytes produced by
+// Session.Snapshot, continuing the run exactly where the snapshot was
+// taken. Pass a fresh algorithm instance of the same kind and the original
+// configuration; see engine.Restore for the contract.
+func RestoreSession(cfg core.Config, alg core.Algorithm, data []byte, opts RunOptions) (*Session, error) {
+	eopts, tr := opts.engineOptions()
+	inner, err := engine.Restore(cfg, core.Fleet(alg), data, eopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: inner, trace: tr}, nil
+}
+
 // Run executes the algorithm on the instance under the instance's
 // configuration by driving an engine session over its steps (the instance
 // is validated once up front, not per step). The movement cap applied is

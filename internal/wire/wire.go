@@ -1,0 +1,134 @@
+// Package wire defines the JSON wire format of the live-serving HTTP API
+// (internal/server, cmd/mobserve): request/response bodies for POST /step
+// and the snapshot documents returned by GET /metrics and GET /state.
+//
+// Points travel as plain JSON arrays of coordinates. Go marshals float64
+// values in the shortest form that round-trips to identical bits, so
+// positions and costs reported over the wire are exact, matching the
+// engine's checkpoint guarantees.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Point is a position on the wire: a JSON array of d coordinates.
+type Point []float64
+
+// StepRequest is the body of POST /step: one batch of requests to feed to
+// the session. Batches that arrive within the server's coalescing window
+// are merged into a single engine step.
+type StepRequest struct {
+	Requests []Point `json:"requests"`
+}
+
+// Cost mirrors core.Cost with the redundant total included, so clients need
+// no arithmetic to read it.
+type Cost struct {
+	Move  float64 `json:"move"`
+	Serve float64 `json:"serve"`
+	Total float64 `json:"total"`
+}
+
+// FromCost converts an engine cost to its wire form.
+func FromCost(c core.Cost) Cost {
+	return Cost{Move: c.Move, Serve: c.Serve, Total: c.Total()}
+}
+
+// StepResponse is the body of a successful POST /step. When batches from
+// several calls were coalesced into one engine step, each caller receives
+// the same T, Batched, Cost, and Positions; Accepted is per-call.
+type StepResponse struct {
+	// T is the index of the engine step that served this batch.
+	T int `json:"t"`
+	// Accepted is the number of requests from this call.
+	Accepted int `json:"accepted"`
+	// Batched is the total number of requests coalesced into step T,
+	// across all merged calls.
+	Batched int `json:"batched"`
+	// Cost is the cost of step T (shared by all merged calls; sum costs
+	// per unique T to reconcile with GET /metrics).
+	Cost Cost `json:"cost"`
+	// Positions holds every server position after the step.
+	Positions []Point `json:"positions"`
+}
+
+// MetricsResponse is the body of GET /metrics: the engine.Metrics snapshot
+// plus the front-end's own counters.
+type MetricsResponse struct {
+	Steps       int     `json:"steps"`
+	Requests    int     `json:"requests"`
+	Cost        Cost    `json:"cost"`
+	AvgStepCost float64 `json:"avg_step_cost"`
+	// Rejected counts POST /step calls turned away with 429 since start.
+	Rejected int64 `json:"rejected"`
+	// QueueDepth is the number of batches waiting to be coalesced.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// StateResponse is the body of GET /state: the session's current positions
+// and the engine.MoveStats snapshot.
+type StateResponse struct {
+	Algorithm string  `json:"algorithm"`
+	T         int     `json:"t"`
+	Positions []Point `json:"positions"`
+	// MaxMove, TotalMove, and CapHits come from the MoveStats observer.
+	MaxMove   float64 `json:"max_move"`
+	TotalMove float64 `json:"total_move"`
+	CapHits   int     `json:"cap_hits"`
+	// Clamped counts cap-enforced server-moves over the whole run
+	// (including any steps before a checkpoint/restore).
+	Clamped int `json:"clamped"`
+	// Cost is the run's accumulated cost so far.
+	Cost Cost `json:"cost"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSec accompanies 429: how long to back off before retrying
+	// (also sent as the Retry-After header, whose resolution is whole
+	// seconds — a coarse ceiling for millisecond coalescing windows).
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+	// RetryAfterMs accompanies 429 with the precise backoff hint: one
+	// coalescing window in milliseconds. Clients that can sleep
+	// sub-second should prefer it over the header.
+	RetryAfterMs int `json:"retry_after_ms,omitempty"`
+	// ExecutedT accompanies 507 (checkpoint write failure): the engine
+	// step that DID execute despite the error. The batch was served and
+	// is in /metrics — resending it would double-feed the session; only
+	// its durability is in doubt.
+	ExecutedT *int `json:"executed_t,omitempty"`
+}
+
+// ToPoints validates and converts wire points into geometry points for a
+// dim-dimensional session. It rejects dimension mismatches and non-finite
+// coordinates so a malformed batch can be refused before it reaches the
+// engine (and before it can poison batches it would be coalesced with).
+func ToPoints(pts []Point, dim int) ([]geom.Point, error) {
+	out := make([]geom.Point, len(pts))
+	for i, c := range pts {
+		p := geom.Point(c)
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("wire: request %d has dim %d, want %d", i, p.Dim(), dim)
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("wire: request %d is not finite", i)
+		}
+		out[i] = p.Clone()
+	}
+	return out, nil
+}
+
+// FromPoints converts geometry points to their wire form (sharing the
+// coordinate storage; callers own any copying).
+func FromPoints(pts []geom.Point) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = Point(p)
+	}
+	return out
+}

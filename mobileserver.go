@@ -115,6 +115,22 @@ func NewSession(cfg Config, start Point, alg Algorithm, opts RunOptions) (*Sessi
 	return sim.NewSession(cfg, start, alg, opts)
 }
 
+// RestoreSession reopens a single-server streaming session from bytes
+// produced by Session.Snapshot, continuing the run exactly where the
+// snapshot was taken (position, accumulated cost, step counter, algorithm
+// state). Pass a fresh algorithm instance of the same kind and the original
+// configuration.
+func RestoreSession(cfg Config, alg Algorithm, snapshot []byte, opts RunOptions) (*Session, error) {
+	return sim.RestoreSession(cfg, alg, snapshot, opts)
+}
+
+// RestoreFleetSession is RestoreSession for fleet sessions: it resumes a
+// run from FleetSession.Snapshot bytes, restoring every server position and
+// the accumulated counters bit-exactly.
+func RestoreFleetSession(cfg Config, alg FleetAlgorithm, snapshot []byte, opts FleetOptions) (*FleetSession, error) {
+	return engine.Restore(cfg, alg, snapshot, opts)
+}
+
 // Fleet lifts a single-server Algorithm to a FleetAlgorithm of size 1.
 func Fleet(alg Algorithm) FleetAlgorithm { return core.Fleet(alg) }
 

@@ -1,0 +1,44 @@
+#!/bin/sh
+# doclint: fail unless every package carries a doc comment, so `go doc`
+# stays useful across the tree.
+#
+#   - library packages need the canonical `// Package <name> ...` comment;
+#   - main packages (commands, examples) need any comment block directly
+#     above the `package main` clause.
+#
+# Run from the repository root: ./scripts/doclint.sh
+set -eu
+
+fail=0
+# Capture go list up front: piping it straight into the loop would mask a
+# go list failure (the pipeline's status is the while's, not go list's).
+pkgs=$(go list -f '{{.Dir}}|{{.Name}}|{{.ImportPath}}' ./...)
+printf '%s\n' "$pkgs" | while IFS='|' read -r dir name path; do
+	found=0
+	for f in "$dir"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		[ -e "$f" ] || continue
+		if [ "$name" = main ]; then
+			# A comment line immediately preceding the package clause.
+			if awk '/^package[ \t]/ { ok = (prev ~ /^\/\//); exit } { prev = $0 } END { exit !ok }' "$f"; then
+				found=1
+				break
+			fi
+		elif grep -q "^// Package $name" "$f"; then
+			found=1
+			break
+		fi
+	done
+	if [ "$found" -eq 0 ]; then
+		echo "doclint: $path (package $name) has no package doc comment" >&2
+		fail=1
+	fi
+	# Propagate failures out of the while-subshell via a marker file.
+	[ "$fail" -eq 0 ] || touch "${TMPDIR:-/tmp}/doclint.failed.$$"
+done
+
+if [ -e "${TMPDIR:-/tmp}/doclint.failed.$$" ]; then
+	rm -f "${TMPDIR:-/tmp}/doclint.failed.$$"
+	exit 1
+fi
+echo "doclint: every package documented"
