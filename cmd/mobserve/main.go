@@ -1,16 +1,21 @@
 // Command mobserve serves a live Mobile Server session over HTTP: clients
 // POST request batches to /step, batches arriving within the coalescing
 // window are merged into one engine step, a bounded queue answers 429 when
-// overloaded, and /metrics and /state stream live counters. With
-// -checkpoint the session state is written atomically after every step, and
-// a restarted mobserve resumes from that file exactly where the killed
-// process stood. Raising -every trades that durability for fewer writes: a
-// crash can then lose up to every-1 acknowledged steps.
+// overloaded, and /metrics and /state stream live counters. With -shards N
+// the space is partitioned into N regions along axis 0 and each region is
+// served by its own fleet of -k servers — requests route to their region's
+// session and the shards step concurrently. With -checkpoint the full
+// state (all shards plus the live observers) is written atomically after
+// every step, and a restarted mobserve resumes from that file exactly
+// where the killed process stood — including /metrics, which continues the
+// pre-crash totals. Raising -every trades that durability for fewer
+// writes: a crash can then lose up to every-1 acknowledged steps.
 //
 // Usage:
 //
 //	mobserve -addr :8080 -dim 2 -D 4 -delta 0.5           # single server
 //	mobserve -k 4 -alg mtck -window 2ms -queue 128        # fleet of 4
+//	mobserve -shards 4 -k 2 -span 25                      # 4 regions × 2 servers
 //	mobserve -checkpoint mobserve.ckpt                    # crash-safe
 //
 //	curl -X POST localhost:8080/step -d '{"requests":[[3,4]]}'
@@ -19,7 +24,8 @@
 //	curl localhost:8080/snapshot > manual.ckpt
 //
 // See examples/client for a load generator that drives this server and
-// reconciles its own counters against /metrics.
+// reconciles its own counters against /metrics (use its -regions flag to
+// spread load across the shards).
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/multi"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -48,9 +55,11 @@ func main() {
 		m       = flag.Float64("m", 1, "offline movement cap m")
 		delta   = flag.Float64("delta", 0.5, "augmentation delta in [0,1]")
 		answer  = flag.Bool("answer-first", false, "serve requests before moving")
-		k       = flag.Int("k", 1, "number of servers")
-		algName = flag.String("alg", "", "algorithm: mtc|mtck|lazy (default mtc, mtck when -k > 1)")
-		radius  = flag.Float64("radius", 5, "initial fleet spread radius around the origin")
+		k       = flag.Int("k", 1, "number of servers (per shard when -shards > 1)")
+		shards  = flag.Int("shards", 1, "spatial shards along axis 0, each with its own fleet of k servers")
+		span    = flag.Float64("span", 25, "half-width of the sharded interval: -shards regions split [-span, span]")
+		algName = flag.String("alg", "", "algorithm: mtc|mtck|lazy (default mtc, mtck when -k > 1 or -shards > 1)")
+		radius  = flag.Float64("radius", 5, "initial fleet spread radius; when sharded, how far the unbounded outer regions' fleets extend past their boundary (interior fleets spread across their full region)")
 		window  = flag.Duration("window", 2*time.Millisecond, "batch coalescing window (0 = no wait)")
 		queue   = flag.Int("queue", server.DefaultQueueLimit, "bounded queue size before 429")
 		ckpt    = flag.String("checkpoint", "", "checkpoint file; resumes from it when present")
@@ -59,14 +68,15 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := core.Config{Dim: *dim, D: *D, M: *m, Delta: *delta, K: *k}
+	cfg := core.Config{Dim: *dim, D: *D, M: *m, Delta: *delta, K: *k,
+		Partition: core.UniformPartition(*shards, *span)}
 	if *answer {
 		cfg.Order = core.AnswerFirst
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
-	alg, err := pickAlgorithm(*algName, cfg)
+	newAlg, err := pickAlgorithm(*algName, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,14 +90,18 @@ func main() {
 		opts.Mode = engine.Clamp
 	}
 
-	srv, resumed, err := open(cfg, alg, opts, *radius)
+	srv, resumed, err := open(cfg, newAlg, opts, *radius)
 	if err != nil {
 		fatal(err)
 	}
+	layout := fmt.Sprintf("K=%d, dim %d", cfg.Servers(), cfg.Dim)
+	if n := cfg.Partition.Shards(); n > 1 {
+		layout = fmt.Sprintf("%d shards × K=%d, dim %d", n, cfg.Servers(), cfg.Dim)
+	}
 	if resumed {
-		fmt.Printf("resumed %s from %s at step %d\n", alg.Name(), *ckpt, srv.T())
+		fmt.Printf("resumed %s (%s) from %s at step %d\n", srv.Algorithm(), layout, *ckpt, srv.T())
 	} else {
-		fmt.Printf("serving %s (K=%d, dim %d) fresh\n", alg.Name(), cfg.Servers(), cfg.Dim)
+		fmt.Printf("serving %s (%s) fresh\n", srv.Algorithm(), layout)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -112,12 +126,19 @@ func main() {
 	fmt.Printf("served %d steps, %s, final positions %v\n", res.Steps, res.Cost, res.Final)
 }
 
-// open resumes from the checkpoint file when it exists, otherwise starts a
-// fresh session with the fleet spread on a circle of the given radius.
-func open(cfg core.Config, alg core.FleetAlgorithm, opts server.Options, radius float64) (*server.Server, bool, error) {
+// open resumes from the checkpoint file when it exists, otherwise starts
+// fresh — in router mode when the configuration is sharded, with each
+// region's fleet spread inside its own boundaries.
+func open(cfg core.Config, newAlg func() core.FleetAlgorithm, opts server.Options, radius float64) (*server.Server, bool, error) {
+	sharded := cfg.Partition.Shards() > 1
 	if opts.CheckpointPath != "" {
 		if snap, err := os.ReadFile(opts.CheckpointPath); err == nil {
-			srv, err := server.Resume(cfg, alg, snap, opts)
+			var srv *server.Server
+			if sharded {
+				srv, err = server.ResumeSharded(cfg, newAlg, snap, opts)
+			} else {
+				srv, err = server.Resume(cfg, newAlg(), snap, opts)
+			}
 			if err != nil {
 				return nil, false, fmt.Errorf("resume from %s: %w", opts.CheckpointPath, err)
 			}
@@ -126,21 +147,27 @@ func open(cfg core.Config, alg core.FleetAlgorithm, opts server.Options, radius 
 			return nil, false, err
 		}
 	}
+	if sharded {
+		srv, err := server.NewSharded(cfg, shard.Starts(cfg, radius), newAlg, opts)
+		return srv, false, err
+	}
 	var starts []geom.Point
 	if cfg.Servers() == 1 {
 		starts = []geom.Point{geom.Zero(cfg.Dim)}
 	} else {
 		starts = multi.SpreadStarts(cfg, radius)
 	}
-	srv, err := server.New(cfg, starts, alg, opts)
+	srv, err := server.New(cfg, starts, newAlg(), opts)
 	return srv, false, err
 }
 
-// pickAlgorithm maps the -alg flag to a fleet controller, defaulting to the
-// paper's MtC for a single server and cluster-and-chase for a fleet.
-func pickAlgorithm(name string, cfg core.Config) (core.FleetAlgorithm, error) {
+// pickAlgorithm maps the -alg flag to a factory for fleet controllers
+// (sharded servers need one independent instance per shard), defaulting to
+// the paper's MtC for a single unsharded server and cluster-and-chase
+// otherwise.
+func pickAlgorithm(name string, cfg core.Config) (func() core.FleetAlgorithm, error) {
 	if name == "" {
-		if cfg.Servers() > 1 {
+		if cfg.Servers() > 1 || cfg.Partition.Shards() > 1 {
 			name = "mtck"
 		} else {
 			name = "mtc"
@@ -151,11 +178,11 @@ func pickAlgorithm(name string, cfg core.Config) (core.FleetAlgorithm, error) {
 		if cfg.Servers() != 1 {
 			return nil, fmt.Errorf("mobserve: -alg mtc is single-server; use -alg mtck for K=%d", cfg.Servers())
 		}
-		return core.Fleet(core.NewMtC()), nil
+		return func() core.FleetAlgorithm { return core.Fleet(core.NewMtC()) }, nil
 	case "mtck":
-		return multi.NewMtCK(), nil
+		return func() core.FleetAlgorithm { return multi.NewMtCK() }, nil
 	case "lazy":
-		return multi.NewLazyK(), nil
+		return func() core.FleetAlgorithm { return multi.NewLazyK() }, nil
 	default:
 		return nil, fmt.Errorf("mobserve: unknown algorithm %q (mtc|mtck|lazy)", name)
 	}

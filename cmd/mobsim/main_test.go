@@ -78,7 +78,7 @@ func TestBuildInstanceFromTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.T() != in.T() || got.Config != in.Config {
+	if got.T() != in.T() || !got.Config.Equal(in.Config) {
 		t.Fatal("trace round trip mismatch")
 	}
 }

@@ -13,6 +13,13 @@
 //	go run ./examples/client -n 10000 -workers 8
 //	go run ./examples/client -n 2000 -workers 16 -batch 1   # more contention
 //
+// Against a sharded server, -regions spreads the load over that many
+// distinct hotspots across [-span, span] on axis 0 (one per region,
+// round-robin), so every shard of `mobserve -shards N` sees traffic:
+//
+//	mobserve -addr :8080 -shards 4 -k 2 &
+//	go run ./examples/client -n 10000 -regions 4
+//
 // Point it at a server started with a tiny -queue to watch backpressure:
 //
 //	mobserve -addr :8080 -queue 1 -window 10ms &
@@ -43,8 +50,11 @@ func main() {
 		batch   = flag.Int("batch", 5, "requests per POST /step call")
 		workers = flag.Int("workers", 8, "concurrent client workers")
 		dim     = flag.Int("dim", 2, "request dimension (must match the server)")
+		regions = flag.Int("regions", 1, "distinct hotspot regions across [-span, span] (match the server's -shards)")
+		span    = flag.Float64("span", 25, "half-width of the region interval (match the server's -span)")
 	)
 	flag.Parse()
+	gen := workload{regions: *regions, span: *span, dim: *dim}
 
 	batches := (*n + *batch - 1) / *batch
 	fmt.Printf("driving %d requests (%d batches of %d) with %d workers against %s\n",
@@ -69,7 +79,7 @@ func main() {
 				if rest := *n - b**batch; rest < size {
 					size = rest
 				}
-				resp, retries, err := post(*addr, hotspotBatch(b, size, *dim))
+				resp, retries, err := post(*addr, gen.batch(b, size))
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "client: batch %d: %v\n", b, err)
 					os.Exit(1)
@@ -118,6 +128,9 @@ func main() {
 	}
 	fmt.Printf("server metrics: %d steps, %d requests, cost %.6g (avg/step %.4g), %d rejected\n",
 		m.Steps, m.Requests, m.Cost.Total, m.AvgStepCost, m.Rejected)
+	for _, sh := range m.Shards {
+		fmt.Printf("  shard %d: %d requests, cost %.6g\n", sh.Shard, sh.Requests, sh.Cost.Total)
+	}
 
 	ok := true
 	if m.Requests != accepted {
@@ -135,17 +148,32 @@ func main() {
 	}
 }
 
-// hotspotBatch generates batch b of the deterministic workload: requests
-// clustered on a hotspot that orbits the origin.
-func hotspotBatch(b, size, dim int) wire.StepRequest {
+// workload generates the deterministic load: with one region, requests
+// cluster on a hotspot orbiting the origin at radius 20 (the original
+// workload); with R > 1 regions, batch b's hotspot orbits the center of
+// region b%R across [-span, span] on axis 0, so a sharded server sees
+// round-robin traffic in every shard.
+type workload struct {
+	regions int
+	span    float64
+	dim     int
+}
+
+func (g workload) batch(b, size int) wire.StepRequest {
+	cx, radius := 0.0, 20.0
+	if g.regions > 1 {
+		width := 2 * g.span / float64(g.regions)
+		cx = -g.span + width*(float64(b%g.regions)+0.5)
+		radius = 0.35 * width
+	}
 	reqs := make([]wire.Point, size)
 	for i := range reqs {
 		angle := 2 * math.Pi * float64(b) / 500
 		jitter := 0.5 * math.Sin(float64(b*7+i*13))
-		p := make(wire.Point, dim)
-		p[0] = (20 + jitter) * math.Cos(angle)
-		if dim > 1 {
-			p[1] = (20 + jitter) * math.Sin(angle)
+		p := make(wire.Point, g.dim)
+		p[0] = cx + (radius+jitter)*math.Cos(angle)
+		if g.dim > 1 {
+			p[1] = (radius + jitter) * math.Sin(angle)
 		}
 		reqs[i] = p
 	}

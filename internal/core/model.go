@@ -63,6 +63,12 @@ type Config struct {
 	// the paper's conclusion (Section 6), where each request is served by
 	// its nearest server and every server obeys the per-step cap.
 	K int
+	// Partition, when non-empty, describes the spatial sharding of the
+	// serving layer: boundaries on axis 0 splitting the space into
+	// contiguous regions, each served by its own fleet of K servers (see
+	// internal/shard). The engine ignores it; it travels in Config so
+	// checkpoints record the shard layout they were taken under.
+	Partition Partition
 }
 
 // Servers returns the fleet size, treating the zero value as the paper's
@@ -97,7 +103,15 @@ func (c Config) Validate() error {
 	case c.K < 0:
 		return fmt.Errorf("core: K = %d, need >= 0 (0 means 1)", c.K)
 	}
-	return nil
+	return c.Partition.Validate()
+}
+
+// Equal reports whether two configurations are identical, comparing the
+// partitions by value. (Config carries a slice field, so == does not
+// compile on it; this is the comparison the engine and tests use.)
+func (c Config) Equal(o Config) bool {
+	return c.Dim == o.Dim && c.D == o.D && c.M == o.M && c.Delta == o.Delta &&
+		c.Order == o.Order && c.K == o.K && c.Partition.Equal(o.Partition)
 }
 
 // Step is one time step: the batch of requests revealed at that step. A

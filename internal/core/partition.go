@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+)
+
+// Partition describes the spatial sharding of the serving layer: a strictly
+// increasing list of boundaries on coordinate axis 0 that splits the space
+// into len(p)+1 contiguous regions, one shard per region. Shard i covers
+// [p[i-1], p[i]) — boundary points belong to the region above them — with
+// the outer regions unbounded. An empty (nil) partition means the space is
+// unsharded: everything routes to shard 0.
+//
+// The partition is part of Config so a checkpointed sharded run records the
+// layout it was taken under; the engine itself is partition-agnostic and
+// routing lives in internal/shard.
+type Partition []float64
+
+// Shards returns the number of regions: len(p)+1.
+func (p Partition) Shards() int { return len(p) + 1 }
+
+// Validate reports whether the boundaries are finite and strictly
+// increasing.
+func (p Partition) Validate() error {
+	for i, b := range p {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("core: partition boundary %d is not finite: %v", i, b)
+		}
+		if i > 0 && p[i-1] >= b {
+			return fmt.Errorf("core: partition boundaries must be strictly increasing: [%d]=%v >= [%d]=%v", i-1, p[i-1], i, b)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two partitions describe the same shard layout. A
+// nil and an empty non-nil partition are equal (both mean unsharded).
+func (p Partition) Equal(q Partition) bool {
+	return slices.Equal(p, q)
+}
+
+// ShardOf returns the shard index of coordinate x on axis 0: the number of
+// boundaries at or below x, so region i is [p[i-1], p[i]).
+func (p Partition) ShardOf(x float64) int {
+	lo, hi := 0, len(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ShardOfPoint routes a point by its axis-0 coordinate.
+func (p Partition) ShardOfPoint(v geom.Point) int { return p.ShardOf(v[0]) }
+
+// Region returns shard i's extent [lo, hi) on axis 0; the outer regions
+// return ±Inf on their open side.
+func (p Partition) Region(i int) (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if i > 0 {
+		lo = p[i-1]
+	}
+	if i < len(p) {
+		hi = p[i]
+	}
+	return lo, hi
+}
+
+// UniformPartition splits [-halfWidth, halfWidth] on axis 0 into n regions
+// of equal width: n-1 boundaries strictly inside the interval (the outer
+// regions extend to ±Inf beyond it). n <= 1 returns the unsharded nil
+// partition.
+func UniformPartition(n int, halfWidth float64) Partition {
+	if n <= 1 {
+		return nil
+	}
+	p := make(Partition, n-1)
+	for i := range p {
+		p[i] = -halfWidth + 2*halfWidth*float64(i+1)/float64(n)
+	}
+	return p
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPartitionValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Partition
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"single", Partition{0}, true},
+		{"increasing", Partition{-2, 0, 3.5}, true},
+		{"duplicate", Partition{0, 0}, false},
+		{"decreasing", Partition{1, 0}, false},
+		{"nan", Partition{math.NaN()}, false},
+		{"inf", Partition{math.Inf(1)}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestPartitionShardOf(t *testing.T) {
+	p := Partition{-1, 2}
+	if got := p.Shards(); got != 3 {
+		t.Fatalf("Shards() = %d, want 3", got)
+	}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{math.Inf(-1), 0}, {-5, 0}, {-1.0000001, 0},
+		// Boundary points belong to the region above them.
+		{-1, 1}, {0, 1}, {1.999, 1},
+		{2, 2}, {100, 2}, {math.Inf(1), 2},
+	}
+	for _, c := range cases {
+		if got := p.ShardOf(c.x); got != c.want {
+			t.Errorf("ShardOf(%v) = %d, want %d", c.x, got, c.want)
+		}
+		if got := p.ShardOfPoint(geom.NewPoint(c.x, 99)); got != c.want {
+			t.Errorf("ShardOfPoint(%v, ·) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if lo, hi := p.Region(0); !math.IsInf(lo, -1) || hi != -1 {
+		t.Errorf("Region(0) = [%v, %v)", lo, hi)
+	}
+	if lo, hi := p.Region(1); lo != -1 || hi != 2 {
+		t.Errorf("Region(1) = [%v, %v)", lo, hi)
+	}
+	if lo, hi := p.Region(2); lo != 2 || !math.IsInf(hi, 1) {
+		t.Errorf("Region(2) = [%v, %v)", lo, hi)
+	}
+}
+
+func TestUniformPartition(t *testing.T) {
+	if p := UniformPartition(1, 10); p != nil {
+		t.Fatalf("UniformPartition(1) = %v, want nil", p)
+	}
+	p := UniformPartition(4, 10)
+	want := Partition{-5, 0, 5}
+	if !p.Equal(want) {
+		t.Fatalf("UniformPartition(4, 10) = %v, want %v", p, want)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every region of the covered interval gets equal width.
+	for i := 0; i < 4; i++ {
+		lo, hi := p.Region(i)
+		if i > 0 && i < 3 && hi-lo != 5 {
+			t.Errorf("region %d width %v, want 5", i, hi-lo)
+		}
+	}
+}
+
+func TestConfigEqualAndValidateWithPartition(t *testing.T) {
+	base := Config{Dim: 2, D: 2, M: 1, Delta: 0.5, K: 3, Partition: Partition{-1, 1}}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	same := base
+	same.Partition = Partition{-1, 1} // distinct backing array, same layout
+	if !base.Equal(same) {
+		t.Fatal("configs with equal partitions must be Equal")
+	}
+	diff := base
+	diff.Partition = Partition{-1, 2}
+	if base.Equal(diff) {
+		t.Fatal("configs with different partitions must not be Equal")
+	}
+	bad := base
+	bad.Partition = Partition{1, -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate must reject a decreasing partition")
+	}
+}

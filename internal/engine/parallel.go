@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// StepAll feeds one batch to every session concurrently — one goroutine per
+// session per call. Sessions are independent state machines (each owns its
+// algorithm, positions, and observers), so stepping them in parallel is
+// safe as long as no session appears twice in the slice; this is the
+// within-step parallelism the shard router uses for per-region fleets.
+//
+// Every session is stepped even if another one fails, so the slice stays
+// in a consistent "everyone saw batch t" state; the returned error wraps
+// the first failure by session index. A single session is stepped inline
+// without spawning a goroutine.
+func StepAll(sessions []*Session, batches [][]geom.Point) error {
+	if len(sessions) != len(batches) {
+		return fmt.Errorf("engine: StepAll got %d sessions and %d batches", len(sessions), len(batches))
+	}
+	switch len(sessions) {
+	case 0:
+		return nil
+	case 1:
+		return sessions[0].Step(batches[0])
+	}
+	errs := make([]error, len(sessions))
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = sessions[i].Step(batches[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: session %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func parallelConfig() core.Config {
+	return core.Config{Dim: 2, D: 2, M: 1, Delta: 0.5}
+}
+
+func batchAt(t, shard int) []geom.Point {
+	angle := 2*math.Pi*float64(t)/31 + float64(shard)
+	return []geom.Point{
+		geom.NewPoint(6*math.Cos(angle), 6*math.Sin(angle)),
+		geom.NewPoint(4*math.Cos(angle+1), 4*math.Sin(angle+1)),
+	}
+}
+
+// TestStepAllMatchesSequential: concurrent stepping of independent sessions
+// is byte-identical to stepping them one after another.
+func TestStepAllMatchesSequential(t *testing.T) {
+	const n, steps = 4, 50
+	cfg := parallelConfig()
+	mkSessions := func() []*Session {
+		out := make([]*Session, n)
+		for i := range out {
+			s, err := NewSingleSession(cfg, geom.NewPoint(float64(i), 0), core.NewMtC(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = s
+		}
+		return out
+	}
+	par, seq := mkSessions(), mkSessions()
+	for step := 0; step < steps; step++ {
+		batches := make([][]geom.Point, n)
+		for i := range batches {
+			batches[i] = batchAt(step, i)
+		}
+		if err := StepAll(par, batches); err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if err := seq[i].Step(batches[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range par {
+		rp, rs := par[i].Finish(), seq[i].Finish()
+		if !reflect.DeepEqual(rp, rs) {
+			t.Fatalf("session %d diverged:\nparallel   %+v\nsequential %+v", i, rp, rs)
+		}
+	}
+}
+
+// TestStepAllErrors: a failing session does not stop the others from
+// stepping, and the error names the failing session.
+func TestStepAllErrors(t *testing.T) {
+	cfg := parallelConfig()
+	ok, err := NewSingleSession(cfg, geom.NewPoint(0, 0), core.NewMtC(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewSingleSession(cfg, geom.NewPoint(1, 0), core.NewMtC(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Finish() // stepping it now fails with ErrFinished
+
+	batches := [][]geom.Point{batchAt(0, 0), batchAt(0, 1)}
+	got := StepAll([]*Session{ok, bad}, batches)
+	if got == nil || !strings.Contains(got.Error(), "session 1") {
+		t.Fatalf("StepAll error = %v, want session-1 failure", got)
+	}
+	if ok.T() != 1 {
+		t.Fatalf("healthy session stepped %d times, want 1", ok.T())
+	}
+	if err := StepAll([]*Session{ok}, batches); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+}

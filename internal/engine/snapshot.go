@@ -107,7 +107,7 @@ func Restore(cfg core.Config, alg core.FleetAlgorithm, data []byte, opts Options
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if canonicalConfig(cfg) != canonicalConfig(snap.Config) {
+	if !canonicalConfig(cfg).Equal(canonicalConfig(snap.Config)) {
 		return nil, fmt.Errorf("engine: snapshot was taken under config %+v, restore requested %+v", snap.Config, cfg)
 	}
 	normalized := opts.withDefaults()

@@ -1,5 +1,7 @@
 // Package server is the live-serving HTTP front-end of the streaming
-// engine: it owns one engine.Session and exposes it to the network with
+// engine: it owns one session-shaped Backend — a single engine.Session
+// (New/Resume) or a shard.Router fanning each step out to per-region
+// sessions (NewSharded/ResumeSharded) — and exposes it to the network with
 // the JSON wire format of package wire.
 //
 //   - POST /step feeds a request batch. Batches arriving within the
@@ -37,8 +39,33 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
+
+// Backend is the session the front-end drives: one batch per step, with
+// the engine.Session accessor surface. engine.Session implements it
+// directly; shard.Router implements it by routing each step across its
+// per-region sessions and aggregating the results.
+type Backend interface {
+	Step(requests []geom.Point) error
+	T() int
+	Algorithm() string
+	Cost() core.Cost
+	Clamped() int
+	Positions() []geom.Point
+	Snapshot() ([]byte, error)
+	Finish() *engine.Result
+}
+
+// shardedBackend is the extra surface a router-mode backend exposes; the
+// handlers use it to tag responses with per-shard payloads.
+type shardedBackend interface {
+	Backend
+	Partition() core.Partition
+	LastSteps() []shard.StepStat
+	States() []shard.State
+}
 
 // Options configures the front-end. The zero value serves with strict cap
 // checking, no coalescing wait, a queue of DefaultQueueLimit batches, and
@@ -106,7 +133,7 @@ type Server struct {
 	// mu guards the session and the observers attached to it. Step runs
 	// only in the step loop; handlers take mu for consistent reads.
 	mu       sync.Mutex
-	sess     *engine.Session
+	sess     Backend
 	metrics  *engine.Metrics
 	moves    *engine.MoveStats
 	lastCost core.Cost
@@ -122,22 +149,56 @@ type Server struct {
 
 // New starts a server around a fresh session.
 func New(cfg core.Config, starts []geom.Point, alg core.FleetAlgorithm, opts Options) (*Server, error) {
-	return start(cfg, opts, func(eopts engine.Options) (*engine.Session, error) {
+	return start(cfg, opts, nil, func(eopts engine.Options) (Backend, error) {
 		return engine.NewSession(cfg, starts, alg, eopts)
 	})
 }
 
-// Resume starts a server around a session restored from checkpoint bytes
-// (see engine.Restore): the step counter, costs, positions, and algorithm
-// state continue exactly where the snapshot was taken. The metrics and
-// movement observers start fresh and cover only the resumed part.
+// Resume starts a server around a session restored from checkpoint bytes:
+// the step counter, costs, positions, and algorithm state continue exactly
+// where the snapshot was taken. The bytes may be a checkpoint document
+// written by this server (whose observer state reseeds /metrics and
+// /state, so dashboards survive the restart) or a bare engine snapshot
+// (observers start fresh and cover only the resumed part).
 func Resume(cfg core.Config, alg core.FleetAlgorithm, snapshot []byte, opts Options) (*Server, error) {
-	return start(cfg, opts, func(eopts engine.Options) (*engine.Session, error) {
-		return engine.Restore(cfg, alg, snapshot, eopts)
+	ck, err := wire.ParseCheckpoint(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return start(cfg, opts, &ck, func(eopts engine.Options) (Backend, error) {
+		return engine.Restore(cfg, alg, ck.Session, eopts)
 	})
 }
 
-func start(cfg core.Config, opts Options, open func(engine.Options) (*engine.Session, error)) (*Server, error) {
+// NewSharded starts a server in router mode: one fleet of cfg.Servers()
+// servers per shard of cfg.Partition, each request routed to its region's
+// session and all shards stepped concurrently (see shard.New). starts
+// holds one fleet layout per shard and newAlg constructs one independent
+// controller per shard.
+func NewSharded(cfg core.Config, starts [][]geom.Point, newAlg func() core.FleetAlgorithm, opts Options) (*Server, error) {
+	return start(cfg, opts, nil, func(eopts engine.Options) (Backend, error) {
+		return shard.New(cfg, starts, newAlg, eopts)
+	})
+}
+
+// ResumeSharded starts a router-mode server from a checkpoint written by a
+// sharded server: every shard session resumes exactly where the combined
+// snapshot was taken (shard.Restore rejects a mismatched shard layout),
+// and persisted observer state reseeds /metrics and /state. From a bare
+// combined snapshot (GET /snapshot), step/request/cost totals are instead
+// reconstructed from the router's own counters; the decayed average and
+// movement stats restart.
+func ResumeSharded(cfg core.Config, newAlg func() core.FleetAlgorithm, snapshot []byte, opts Options) (*Server, error) {
+	ck, err := wire.ParseCheckpoint(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return start(cfg, opts, &ck, func(eopts engine.Options) (Backend, error) {
+		return shard.Restore(cfg, newAlg, ck.Session, eopts)
+	})
+}
+
+func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.Options) (Backend, error)) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -159,8 +220,52 @@ func start(cfg core.Config, opts Options, open func(engine.Options) (*engine.Ses
 		return nil, err
 	}
 	s.sess = sess
+	if ck != nil {
+		s.seedObservers(*ck)
+		if ck.Metrics == nil {
+			s.reconcileShardedMetrics()
+		}
+	}
 	go s.loop()
 	return s, nil
+}
+
+// reconcileShardedMetrics covers a resume from a bare router snapshot (no
+// persisted observer state): the router restores its per-shard request
+// counters, so the fleet-level Metrics observer must agree with their sum
+// or /metrics would report shards that do not add up to the totals. Steps,
+// requests, and cost are reconstructed from the backend; the decayed
+// average (and the movement stats, which no snapshot carries) restart.
+func (s *Server) reconcileShardedMetrics() {
+	sb, ok := s.sess.(shardedBackend)
+	if !ok {
+		return
+	}
+	s.metrics.Steps = s.sess.T()
+	s.metrics.Cost = s.sess.Cost()
+	s.metrics.Requests = 0
+	for _, st := range sb.States() {
+		s.metrics.Requests += st.Requests
+	}
+}
+
+// seedObservers reinstates the observer state persisted in a checkpoint
+// document, so a resumed server's /metrics and /state continue the
+// pre-crash totals instead of starting from zero. Runs before the step
+// loop starts, so no lock is needed.
+func (s *Server) seedObservers(ck wire.Checkpoint) {
+	if m := ck.Metrics; m != nil {
+		s.metrics.Steps = m.Steps
+		s.metrics.Requests = m.Requests
+		s.metrics.Cost = core.Cost{Move: m.MoveCost, Serve: m.ServeCost}
+		s.metrics.AvgStepCost = m.AvgStepCost
+	}
+	if mv := ck.Moves; mv != nil {
+		s.moves.Steps = mv.Steps
+		s.moves.MaxMove = mv.MaxMove
+		s.moves.TotalMove = mv.TotalMove
+		s.moves.CapHits = mv.CapHits
+	}
 }
 
 // T returns the session's current step count.
@@ -168,6 +273,14 @@ func (s *Server) T() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sess.T()
+}
+
+// Algorithm returns the backend's reported name (in router mode the
+// per-shard algorithm tagged with the shard count, e.g. "MtC-k×4").
+func (s *Server) Algorithm() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.Algorithm()
 }
 
 // Close stops accepting traffic, drains the already-queued batches through
@@ -274,8 +387,11 @@ func (s *Server) execute(items []batch) {
 			Cost:      wire.FromCost(s.lastCost),
 			Positions: wire.FromPoints(s.sess.Positions()),
 		}
+		if sb, ok := s.sess.(shardedBackend); ok {
+			resp.Shards = shardSteps(sb.LastSteps())
+		}
 		if s.opts.CheckpointPath != "" && s.sess.T()%s.opts.CheckpointEvery == 0 {
-			snap, snapErr = s.sess.Snapshot()
+			snap, snapErr = s.checkpointDoc()
 		}
 	}
 	s.mu.Unlock()
@@ -298,19 +414,54 @@ func (s *Server) execute(items []batch) {
 }
 
 // checkpointNow snapshots and writes the checkpoint file unconditionally
-// (used at shutdown). A server without a checkpoint path or with no steps
-// yet does nothing.
+// (used at shutdown). A server without a checkpoint path does nothing.
 func (s *Server) checkpointNow() error {
 	if s.opts.CheckpointPath == "" {
 		return nil
 	}
 	s.mu.Lock()
-	snap, err := s.sess.Snapshot()
+	snap, err := s.checkpointDoc()
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	return writeAtomic(s.opts.CheckpointPath, snap)
+}
+
+// checkpointDoc marshals the checkpoint document: the backend snapshot
+// plus the current observer state, captured together so the file is one
+// consistent cut of the run. The caller must hold mu.
+func (s *Server) checkpointDoc() ([]byte, error) {
+	sess, err := s.sess.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(wire.Checkpoint{
+		Version: wire.CheckpointVersion,
+		Session: sess,
+		Metrics: &wire.MetricsState{
+			Steps:       s.metrics.Steps,
+			Requests:    s.metrics.Requests,
+			MoveCost:    s.metrics.Cost.Move,
+			ServeCost:   s.metrics.Cost.Serve,
+			AvgStepCost: s.metrics.AvgStepCost,
+		},
+		Moves: &wire.MoveState{
+			Steps:     s.moves.Steps,
+			MaxMove:   s.moves.MaxMove,
+			TotalMove: s.moves.TotalMove,
+			CapHits:   s.moves.CapHits,
+		},
+	})
+}
+
+// shardSteps converts the router's per-shard step stats to their wire form.
+func shardSteps(stats []shard.StepStat) []wire.ShardStep {
+	out := make([]wire.ShardStep, len(stats))
+	for i, st := range stats {
+		out[i] = wire.ShardStep{Shard: i, Routed: st.Routed, Cost: wire.FromCost(st.Cost)}
+	}
+	return out
 }
 
 // writeAtomic writes data to path via a temp file in the same directory,
@@ -443,6 +594,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Cost:        wire.FromCost(s.metrics.Cost),
 		AvgStepCost: s.metrics.AvgStepCost,
 	}
+	if sb, ok := s.sess.(shardedBackend); ok {
+		states := sb.States()
+		resp.Shards = make([]wire.ShardMetrics, len(states))
+		for i, st := range states {
+			resp.Shards[i] = wire.ShardMetrics{Shard: st.Shard, Requests: st.Requests, Cost: wire.FromCost(st.Cost)}
+		}
+	}
 	s.mu.Unlock()
 	resp.Rejected = s.rejected.Load()
 	resp.QueueDepth = len(s.queue)
@@ -460,6 +618,20 @@ func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
 		CapHits:   s.moves.CapHits,
 		Clamped:   s.sess.Clamped(),
 		Cost:      wire.FromCost(s.sess.Cost()),
+	}
+	if sb, ok := s.sess.(shardedBackend); ok {
+		resp.Partition = append([]float64(nil), sb.Partition()...)
+		states := sb.States()
+		resp.Shards = make([]wire.ShardState, len(states))
+		for i, st := range states {
+			resp.Shards[i] = wire.ShardState{
+				Shard:     st.Shard,
+				Requests:  st.Requests,
+				Clamped:   st.Clamped,
+				Positions: wire.FromPoints(st.Positions),
+				Cost:      wire.FromCost(st.Cost),
+			}
+		}
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)

@@ -371,32 +371,35 @@ func TestCheckpointEvery(t *testing.T) {
 	defer ts.Close()
 
 	driveSequential(t, ts.URL, 0, 13)
-	snap, err := os.ReadFile(ckpt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := engine.Restore(cfg, core.Fleet(core.NewMtC()), snap, engine.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r.T() != 10 {
+	if r := restoreCheckpointFile(t, cfg, ckpt); r.T() != 10 {
 		t.Fatalf("periodic checkpoint at T=%d, want 10", r.T())
 	}
 
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	snap, err = os.ReadFile(ckpt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err = engine.Restore(cfg, core.Fleet(core.NewMtC()), snap, engine.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r.T() != 13 {
+	if r := restoreCheckpointFile(t, cfg, ckpt); r.T() != 13 {
 		t.Fatalf("shutdown checkpoint at T=%d, want 13", r.T())
 	}
+}
+
+// restoreCheckpointFile unwraps a server checkpoint file and restores the
+// embedded session snapshot into a fresh engine session.
+func restoreCheckpointFile(t *testing.T, cfg core.Config, path string) *engine.Session {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := wire.ParseCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := engine.Restore(cfg, core.Fleet(core.NewMtC()), ck.Session, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 // TestBadBatchRejectedEarly: a malformed batch is refused with 400 before

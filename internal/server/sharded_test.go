@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/multi"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+func shardedTestConfig(n, k int) core.Config {
+	cfg := testConfig(k)
+	cfg.Partition = core.UniformPartition(n, 20)
+	return cfg
+}
+
+func newMtCK() core.FleetAlgorithm { return multi.NewMtCK() }
+
+// spreadReqs is the sharded test workload: nReq requests per step whose
+// axis-0 coordinates sweep the whole partitioned interval, so every shard
+// sees traffic.
+func spreadReqs(t, nReq int) []wire.Point {
+	out := make([]wire.Point, nReq)
+	for i := range out {
+		x := -19 + 38*math.Mod(0.37*float64(t*nReq+i)+0.11, 1.0)
+		y := 5 * math.Sin(float64(t)+float64(i)*1.7)
+		out[i] = wire.Point{x, y}
+	}
+	return out
+}
+
+// driveSpread posts one spread batch per engine step and fails on any
+// non-200.
+func driveSpread(t *testing.T, url string, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		resp, data := postJSON(t, url, wire.StepRequest{Requests: spreadReqs(i, 4)})
+		if resp.StatusCode != 200 {
+			t.Fatalf("POST step %d = %d: %s", i, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestShardedServeRoutes: a router-mode server tags every layer of the API
+// with per-shard payloads, and the shard totals reconcile with the fleet
+// totals.
+func TestShardedServeRoutes(t *testing.T) {
+	const n, steps, perStep = 3, 40, 4
+	cfg := shardedTestConfig(n, 2)
+	s, err := NewSharded(cfg, shard.Starts(cfg, 5), newMtCK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	routedTotal := 0
+	for i := 0; i < steps; i++ {
+		resp, data := postJSON(t, ts.URL, wire.StepRequest{Requests: spreadReqs(i, perStep)})
+		if resp.StatusCode != 200 {
+			t.Fatalf("POST step %d = %d: %s", i, resp.StatusCode, data)
+		}
+		var sr wire.StepResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Shards) != n {
+			t.Fatalf("step response has %d shard tags, want %d", len(sr.Shards), n)
+		}
+		stepRouted := 0
+		var stepCost float64
+		for _, st := range sr.Shards {
+			stepRouted += st.Routed
+			stepCost += st.Cost.Total
+		}
+		if stepRouted != sr.Batched {
+			t.Fatalf("step %d routed %d of %d batched requests", sr.T, stepRouted, sr.Batched)
+		}
+		if math.Abs(stepCost-sr.Cost.Total) > 1e-9*(1+stepCost) {
+			t.Fatalf("step %d shard costs sum to %g, step cost %g", sr.T, stepCost, sr.Cost.Total)
+		}
+		routedTotal += stepRouted
+	}
+
+	var m wire.MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Requests != routedTotal {
+		t.Fatalf("metrics.Requests = %d, routed %d", m.Requests, routedTotal)
+	}
+	if len(m.Shards) != n {
+		t.Fatalf("metrics has %d shard entries, want %d", len(m.Shards), n)
+	}
+	sum := 0
+	for _, sm := range m.Shards {
+		sum += sm.Requests
+	}
+	if sum != m.Requests {
+		t.Fatalf("per-shard request counters sum to %d, fleet total %d", sum, m.Requests)
+	}
+
+	var st wire.StateResponse
+	getJSON(t, ts.URL+"/state", &st)
+	if len(st.Partition) != n-1 {
+		t.Fatalf("state partition has %d boundaries, want %d", len(st.Partition), n-1)
+	}
+	if len(st.Shards) != n || len(st.Positions) != n*2 {
+		t.Fatalf("state: %d shards, %d positions", len(st.Shards), len(st.Positions))
+	}
+	// Every shard's servers must sit inside the shard's own region.
+	for _, sh := range st.Shards {
+		for _, p := range sh.Positions {
+			if got := cfg.Partition.ShardOf(p[0]); got != sh.Shard {
+				t.Errorf("shard %d server at x=%v routes to shard %d", sh.Shard, p[0], got)
+			}
+		}
+	}
+}
+
+// TestShardedKillAndRestore is the sharded crash drill: a router-mode
+// server checkpointing after every step is killed without shutdown
+// courtesy, a fresh server resumes from the combined checkpoint, and the
+// run finishes byte-identical — per shard and in every observable payload
+// (/snapshot, /metrics, /state) — to a server that was never interrupted.
+func TestShardedKillAndRestore(t *testing.T) {
+	const kill, total = 30, 60
+	cfg := shardedTestConfig(3, 2)
+	ckpt := filepath.Join(t.TempDir(), "sharded.ckpt")
+	opts := Options{CheckpointPath: ckpt, CheckpointEvery: 1}
+
+	a, err := NewSharded(cfg, shard.Starts(cfg, 5), newMtCK, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(a.Handler())
+	driveSpread(t, tsA.URL, 0, kill)
+	tsA.Close() // the process dies here
+
+	snap, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	b, err := ResumeSharded(cfg, newMtCK, snap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+	if got := b.T(); got != kill {
+		t.Fatalf("resumed at T=%d, want %d", got, kill)
+	}
+	driveSpread(t, tsB.URL, kill, total)
+
+	c, err := NewSharded(cfg, shard.Starts(cfg, 5), newMtCK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsC := httptest.NewServer(c.Handler())
+	defer tsC.Close()
+	driveSpread(t, tsC.URL, 0, total)
+
+	// The combined snapshot must match as a whole and shard by shard.
+	snapB := getBody(t, tsB.URL+"/snapshot")
+	snapC := getBody(t, tsC.URL+"/snapshot")
+	if !bytes.Equal(snapB, snapC) {
+		t.Fatalf("resumed combined snapshot differs from uninterrupted run:\n%s\nvs\n%s", snapB, snapC)
+	}
+	var sb, sc struct {
+		Shards []json.RawMessage `json:"shards"`
+	}
+	if err := json.Unmarshal(snapB, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(snapC, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.Shards) != 3 {
+		t.Fatalf("combined snapshot has %d shards, want 3", len(sb.Shards))
+	}
+	for i := range sb.Shards {
+		if !bytes.Equal(sb.Shards[i], sc.Shards[i]) {
+			t.Fatalf("shard %d snapshot differs after resume:\n%s\nvs\n%s", i, sb.Shards[i], sc.Shards[i])
+		}
+	}
+
+	// Resume-aware observers: the restarted server's /metrics and /state
+	// equal the uninterrupted server's, byte for byte.
+	if mB, mC := getBody(t, tsB.URL+"/metrics"), getBody(t, tsC.URL+"/metrics"); !bytes.Equal(mB, mC) {
+		t.Fatalf("resumed /metrics differs:\n%s\nvs\n%s", mB, mC)
+	}
+	if stB, stC := getBody(t, tsB.URL+"/state"), getBody(t, tsC.URL+"/state"); !bytes.Equal(stB, stC) {
+		t.Fatalf("resumed /state differs:\n%s\nvs\n%s", stB, stC)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sharded kill-and-restore: killed at step %d/%d, per-shard snapshots and observer payloads identical", kill, total)
+}
+
+// TestShardedResumeFromBareSnapshot: resuming from a saved GET /snapshot
+// body (a bare router snapshot with no observer state) reconstructs the
+// fleet-level metrics from the router's restored counters, so the
+// per-shard breakdown still sums to the totals.
+func TestShardedResumeFromBareSnapshot(t *testing.T) {
+	const n, steps, perStep = 3, 20, 4
+	cfg := shardedTestConfig(n, 1)
+	s, err := NewSharded(cfg, shard.Starts(cfg, 5), newMtCK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	driveSpread(t, ts.URL, 0, steps)
+	bare := getBody(t, ts.URL+"/snapshot")
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := ResumeSharded(cfg, newMtCK, bare, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	tsR := httptest.NewServer(r.Handler())
+	defer tsR.Close()
+	var m wire.MetricsResponse
+	getJSON(t, tsR.URL+"/metrics", &m)
+	if m.Steps != steps || m.Requests != steps*perStep {
+		t.Fatalf("reconstructed metrics = %d steps / %d requests, want %d / %d", m.Steps, m.Requests, steps, steps*perStep)
+	}
+	sum := 0
+	for _, sh := range m.Shards {
+		sum += sh.Requests
+	}
+	if sum != m.Requests {
+		t.Fatalf("per-shard counters sum to %d, fleet total %d", sum, m.Requests)
+	}
+}
+
+// TestShardedResumeRejectsLayoutChange: a combined checkpoint does not
+// resume under a different shard layout.
+func TestShardedResumeRejectsLayoutChange(t *testing.T) {
+	cfg := shardedTestConfig(3, 1)
+	ckpt := filepath.Join(t.TempDir(), "layout.ckpt")
+	s, err := NewSharded(cfg, shard.Starts(cfg, 5), newMtCK, Options{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	driveSpread(t, ts.URL, 0, 3)
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := cfg
+	moved.Partition = core.UniformPartition(4, 20)
+	if _, err := ResumeSharded(moved, newMtCK, snap, Options{}); err == nil {
+		t.Fatal("resume under a different partition must fail")
+	}
+}

@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/geom"
+)
+
+// BenchmarkRouterStep measures one global serving step of the same fleet —
+// 64 servers, 2048 requests spread over the whole space — sharded n ways:
+// shards=1 is the unsharded baseline (one session owning all 64 servers),
+// shards=8 is eight sessions of 8 servers stepping on separate goroutines.
+// Spatial sharding cuts the nearest-server assignment from
+// O(requests × fleet) to O(requests × fleet / n²) per shard and runs the
+// shards concurrently; this is the scaling curve scripts/bench.sh reports.
+func BenchmarkRouterStep(b *testing.B) {
+	const totalServers, perStep = 64, 2048
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			cfg := shardedConfig(n, totalServers/n)
+			r, err := New(cfg, Starts(cfg, 5), newMtCK, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-generate a cycle of batches so workload synthesis stays
+			// out of the measured loop.
+			batches := make([][]geom.Point, 64)
+			for i := range batches {
+				batches[i] = spreadBatch(i, perStep)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Step(batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

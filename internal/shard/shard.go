@@ -1,0 +1,389 @@
+// Package shard is the multi-region fleet layer: it partitions the metric
+// space into contiguous regions along axis 0 (core.Partition) and serves
+// each region with its own independent engine.Session — one fleet of
+// Config.K servers per shard. A Router routes every incoming request to
+// its region's session, steps all shards concurrently (the per-shard work
+// is independent, so this is real within-step parallelism via
+// engine.StepAll), and aggregates the per-shard costs, counters, and
+// positions into fleet-wide totals.
+//
+// Every global step steps every shard — possibly with an empty batch — so
+// all shard sessions share the same step counter and a combined snapshot is
+// coherent: Router.Snapshot packs the per-shard engine snapshots plus the
+// router's own counters into one document, and Restore rejects a layout
+// (partition, shard count, per-shard config) that differs from the one the
+// snapshot was taken under. Per shard, a killed-and-resumed run finishes
+// byte-identical to the uninterrupted run, inheriting the engine's
+// checkpoint guarantees.
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+)
+
+// Router owns one engine session per shard and routes request batches to
+// them by position. It intentionally mirrors the engine.Session surface
+// (Step, T, Cost, Positions, Snapshot, Finish), so the HTTP front-end can
+// drive either interchangeably.
+//
+// Router methods are not safe for concurrent use; like a Session it is
+// driven by one goroutine (the concurrency is inside Step, across shards).
+type Router struct {
+	cfg  core.Config
+	part core.Partition
+	k    int // servers per shard
+	name string
+	opts engine.Options
+	sess []*engine.Session
+	obs  []engine.Observer
+
+	// Merged per-step views, concatenated across shards: shard i owns the
+	// server slots [i*k, (i+1)*k). The per-shard capture observers write
+	// disjoint ranges, so the concurrent step goroutines never collide.
+	prev, pos []geom.Point
+	last      []StepStat
+	routed    [][]geom.Point
+	requests  []int // cumulative requests routed per shard
+
+	steps    int
+	err      error
+	finished bool
+	res      *engine.Result
+	shardRes []*engine.Result
+}
+
+// StepStat is one shard's share of a single global step.
+type StepStat struct {
+	// Routed is how many of the step's requests fell into the shard.
+	Routed int
+	// Cost is the cost the shard's session charged for the step.
+	Cost core.Cost
+	// Moved is the shard's largest single-server movement of the step.
+	Moved float64
+	// Clamped counts the shard's cap-clamped server moves of the step.
+	Clamped int
+}
+
+// State is one shard's live cumulative counters, served by GET /state.
+type State struct {
+	// Shard is the region index.
+	Shard int
+	// Requests is the cumulative number of requests routed to the shard.
+	Requests int
+	// Cost is the shard session's accumulated cost.
+	Cost core.Cost
+	// Clamped is the shard's cumulative cap-enforced server-moves.
+	Clamped int
+	// Positions holds the shard's current server positions (clones).
+	Positions []geom.Point
+}
+
+// New builds a router over cfg.Partition.Shards() fresh sessions. starts
+// holds one fleet layout per shard (cfg.Servers() positions each), and
+// newAlg constructs one independent algorithm instance per shard — shards
+// must not share mutable controller state. Observers in opts are attached
+// at the router level: they see one merged StepInfo per global step
+// (concatenated positions, summed cost, max movement), not per-shard
+// events.
+func New(cfg core.Config, starts [][]geom.Point, newAlg func() core.FleetAlgorithm, opts engine.Options) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Partition.Shards()
+	if len(starts) != n {
+		return nil, fmt.Errorf("shard: %d start fleets for %d shards", len(starts), n)
+	}
+	r, err := newRouter(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range r.sess {
+		s, err := engine.NewSession(cfg, starts[i], newAlg(), r.shardOptions(i))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		r.sess[i] = s
+	}
+	r.begin()
+	return r, nil
+}
+
+// newRouter allocates the router shell shared by New and Restore: buffers
+// sized for n shards of k servers, with the sessions still unset.
+func newRouter(cfg core.Config, opts engine.Options) (*Router, error) {
+	n, k := cfg.Partition.Shards(), cfg.Servers()
+	r := &Router{
+		cfg:      cfg,
+		part:     cfg.Partition,
+		k:        k,
+		opts:     opts,
+		obs:      opts.Observers,
+		sess:     make([]*engine.Session, n),
+		prev:     make([]geom.Point, n*k),
+		pos:      make([]geom.Point, n*k),
+		last:     make([]StepStat, n),
+		routed:   make([][]geom.Point, n),
+		requests: make([]int, n),
+	}
+	return r, nil
+}
+
+// shardOptions is the per-shard engine options: the router's cap mode and
+// tolerance, plus the capture observer that copies the shard's step outcome
+// into the router's merged buffers.
+func (r *Router) shardOptions(i int) engine.Options {
+	return engine.Options{
+		Mode:      r.opts.Mode,
+		Tol:       r.opts.Tol,
+		Observers: []engine.Observer{r.capture(i)},
+	}
+}
+
+// capture returns shard i's internal observer: it records the shard's step
+// stats and copies the pre/post positions into the router's concatenated
+// buffers. It runs inside the shard's step goroutine but touches only
+// shard-i-owned state.
+func (r *Router) capture(i int) engine.Observer {
+	return engine.Func(func(info engine.StepInfo) {
+		r.last[i] = StepStat{
+			Routed:  len(info.Requests),
+			Cost:    info.Cost,
+			Moved:   info.Moved,
+			Clamped: info.Clamped,
+		}
+		lo := i * r.k
+		for j := range info.Pos {
+			r.prev[lo+j] = copyPoint(r.prev[lo+j], info.Prev[j])
+			r.pos[lo+j] = copyPoint(r.pos[lo+j], info.Pos[j])
+		}
+	})
+}
+
+// begin announces the run to the router-level observers with the merged
+// start layout.
+func (r *Router) begin() {
+	r.name = fmt.Sprintf("%s×%d", r.sess[0].Algorithm(), len(r.sess))
+	if len(r.obs) == 0 {
+		return
+	}
+	starts := r.Positions()
+	for _, o := range r.obs {
+		if b, ok := o.(engine.BeginObserver); ok {
+			b.Begin(r.cfg, starts, r.name)
+		}
+	}
+}
+
+// Shards returns the number of shards.
+func (r *Router) Shards() int { return len(r.sess) }
+
+// Partition returns the shard layout the router routes with.
+func (r *Router) Partition() core.Partition { return r.part }
+
+// T returns the number of global steps fed so far (every shard session is
+// at the same step).
+func (r *Router) T() int { return r.steps }
+
+// Algorithm returns the router's reported name: the per-shard algorithm
+// name tagged with the shard count.
+func (r *Router) Algorithm() string { return r.name }
+
+// Cost returns the fleet-wide accumulated cost: the sum over shards.
+func (r *Router) Cost() core.Cost {
+	var c core.Cost
+	for _, s := range r.sess {
+		c = c.Add(s.Cost())
+	}
+	return c
+}
+
+// Clamped returns the fleet-wide count of cap-enforced server-moves.
+func (r *Router) Clamped() int {
+	n := 0
+	for _, s := range r.sess {
+		n += s.Clamped()
+	}
+	return n
+}
+
+// Positions returns a copy of every server position, concatenated in shard
+// order (shard i's servers occupy [i*K, (i+1)*K)).
+func (r *Router) Positions() []geom.Point {
+	out := make([]geom.Point, 0, len(r.sess)*r.k)
+	for _, s := range r.sess {
+		out = append(out, s.Positions()...)
+	}
+	return out
+}
+
+// LastSteps returns each shard's share of the most recent global step. The
+// returned slice is valid until the next Step.
+func (r *Router) LastSteps() []StepStat { return r.last }
+
+// States returns every shard's live cumulative counters.
+func (r *Router) States() []State {
+	out := make([]State, len(r.sess))
+	for i, s := range r.sess {
+		out[i] = State{
+			Shard:     i,
+			Requests:  r.requests[i],
+			Cost:      s.Cost(),
+			Clamped:   s.Clamped(),
+			Positions: s.Positions(),
+		}
+	}
+	return out
+}
+
+// Route splits a batch by region, reusing the router's internal buckets.
+// The returned slices alias the buckets and are valid until the next call.
+func (r *Router) Route(requests []geom.Point) [][]geom.Point {
+	for i := range r.routed {
+		r.routed[i] = r.routed[i][:0]
+	}
+	for _, v := range requests {
+		i := r.part.ShardOfPoint(v)
+		r.routed[i] = append(r.routed[i], v)
+	}
+	return r.routed
+}
+
+// Step routes one global step's batch to the shards and steps every shard
+// concurrently (one goroutine per shard, engine.StepAll); a shard that
+// receives no requests steps with an empty batch so all sessions stay on
+// the same step counter. After the barrier the router merges the per-shard
+// outcomes into one StepInfo and notifies its observers.
+//
+// Errors raised by any shard are sticky, exactly like a session's
+// post-move errors: the other shards have already advanced, so the router
+// refuses to compute from inconsistent state.
+func (r *Router) Step(requests []geom.Point) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.finished {
+		return engine.ErrFinished
+	}
+	for i, v := range requests {
+		if v.Dim() != r.cfg.Dim {
+			return fmt.Errorf("shard: request %d in step %d has dim %d, want %d", i, r.steps, v.Dim(), r.cfg.Dim)
+		}
+		if !v.IsFinite() {
+			return fmt.Errorf("shard: request %d in step %d is not finite: %v", i, r.steps, v)
+		}
+	}
+	routed := r.Route(requests)
+	if err := engine.StepAll(r.sess, routed); err != nil {
+		r.err = fmt.Errorf("shard: %w", err)
+		return r.err
+	}
+	t := r.steps
+	r.steps++
+	info := engine.StepInfo{
+		T:        t,
+		Requests: requests,
+		Prev:     r.prev,
+		Pos:      r.pos,
+	}
+	for i, st := range r.last {
+		r.requests[i] += st.Routed
+		info.Cost = info.Cost.Add(st.Cost)
+		info.Clamped += st.Clamped
+		if st.Moved > info.Moved {
+			info.Moved = st.Moved
+		}
+	}
+	for _, o := range r.obs {
+		o.Observe(info)
+	}
+	return nil
+}
+
+// ErrFinished mirrors engine.ErrFinished for router callers.
+var ErrFinished = engine.ErrFinished
+
+// Finish closes every shard session and returns the aggregated fleet
+// result: summed costs and clamp counters, the max movement, and the final
+// positions concatenated in shard order. Per-shard results stay available
+// via ShardResults.
+func (r *Router) Finish() *engine.Result {
+	if r.finished {
+		res := *r.res
+		return &res
+	}
+	r.finished = true
+	r.shardRes = make([]*engine.Result, len(r.sess))
+	agg := &engine.Result{Algorithm: r.name, Steps: r.steps}
+	for i, s := range r.sess {
+		sr := s.Finish()
+		r.shardRes[i] = sr
+		agg.Cost = agg.Cost.Add(sr.Cost)
+		agg.Clamped += sr.Clamped
+		if sr.MaxMove > agg.MaxMove {
+			agg.MaxMove = sr.MaxMove
+		}
+		agg.Final = append(agg.Final, sr.Final...)
+	}
+	r.res = agg
+	for _, o := range r.obs {
+		if e, ok := o.(engine.EndObserver); ok {
+			res := *agg
+			e.End(&res)
+		}
+	}
+	res := *agg
+	return &res
+}
+
+// ShardResults returns the per-shard session results. It is only available
+// after Finish.
+func (r *Router) ShardResults() ([]*engine.Result, error) {
+	if !r.finished {
+		return nil, errors.New("shard: ShardResults before Finish")
+	}
+	return r.shardRes, nil
+}
+
+// Starts builds a default fleet layout for a sharded run: each shard's K
+// servers are spread evenly across its region's extent on axis 0 (strictly
+// inside it, so no server sits on a routing boundary), with the unbounded
+// outer regions truncated at span beyond their finite edge. All other
+// coordinates are zero. For the unsharded single-region layout the extent
+// is [-span, span].
+func Starts(cfg core.Config, span float64) [][]geom.Point {
+	n, k := cfg.Partition.Shards(), cfg.Servers()
+	out := make([][]geom.Point, n)
+	for i := range out {
+		lo, hi := cfg.Partition.Region(i)
+		if n == 1 {
+			lo, hi = -span, span
+		} else if i == 0 {
+			lo = hi - span
+		} else if i == n-1 {
+			hi = lo + span
+		}
+		fleet := make([]geom.Point, k)
+		for j := range fleet {
+			p := geom.Zero(cfg.Dim)
+			p[0] = lo + (hi-lo)*float64(j+1)/float64(k+1)
+			fleet[j] = p
+		}
+		out[i] = fleet
+	}
+	return out
+}
+
+// copyPoint copies src into dst's buffer, allocating only when dst cannot
+// hold it.
+func copyPoint(dst, src geom.Point) geom.Point {
+	if len(dst) != len(src) {
+		return src.Clone()
+	}
+	copy(dst, src)
+	return dst
+}

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// SnapshotVersion is the combined-snapshot format version written by
+// Router.Snapshot.
+const SnapshotVersion = 1
+
+// snapshot is the serialized form of a mid-stream sharded run: the global
+// configuration (including the partition — the shard layout is part of the
+// document, so Restore can reject a mismatched layout before touching any
+// shard), the router's own counters, and one engine snapshot per shard.
+// The per-shard documents are embedded verbatim, so per shard the combined
+// checkpoint inherits the engine's byte-exactness guarantee.
+type snapshot struct {
+	Version  int               `json:"version"`
+	Config   core.Config       `json:"config"`
+	Steps    int               `json:"steps"`
+	Requests []int             `json:"requests"`
+	Shards   []json.RawMessage `json:"shards"`
+}
+
+// ErrSnapshotFinished mirrors engine.ErrSnapshotFinished for router
+// callers.
+var ErrSnapshotFinished = engine.ErrSnapshotFinished
+
+// Snapshot serializes the sharded run mid-stream as one atomic document:
+// the router counters plus every shard session's own snapshot, taken at
+// the same global step (Step keeps all shards in lockstep). Feed the bytes
+// to Restore to continue the run in another process.
+func (r *Router) Snapshot() ([]byte, error) {
+	if r.finished {
+		return nil, ErrSnapshotFinished
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("shard: cannot snapshot a failed router: %w", r.err)
+	}
+	snap := snapshot{
+		Version:  SnapshotVersion,
+		Config:   r.cfg,
+		Steps:    r.steps,
+		Requests: append([]int(nil), r.requests...),
+		Shards:   make([]json.RawMessage, len(r.sess)),
+	}
+	for i, s := range r.sess {
+		b, err := s.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		snap.Shards[i] = b
+	}
+	return json.Marshal(&snap)
+}
+
+// Restore reopens a sharded run from bytes produced by Router.Snapshot.
+// The caller passes the same configuration the run was taken under —
+// including the partition — and a factory for fresh per-shard algorithm
+// instances; a snapshot whose shard layout (partition boundaries, shard
+// count, or per-shard configuration) disagrees is rejected as a whole
+// rather than restoring a subset of shards against the wrong regions.
+// Each shard session is restored through engine.Restore, so positions,
+// costs, step counters, and algorithm state continue exactly; observers in
+// opts see only the steps fed after the restore.
+func Restore(cfg core.Config, newAlg func() core.FleetAlgorithm, data []byte, opts engine.Options) (*Router, error) {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("shard: bad snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("shard: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Partition.Equal(snap.Config.Partition) {
+		return nil, fmt.Errorf("shard: snapshot was taken under partition %v, restore requested %v", snap.Config.Partition, cfg.Partition)
+	}
+	n := cfg.Partition.Shards()
+	if len(snap.Shards) != n {
+		return nil, fmt.Errorf("shard: snapshot has %d shards for a %d-shard partition", len(snap.Shards), n)
+	}
+	if len(snap.Requests) != n {
+		return nil, fmt.Errorf("shard: snapshot has %d request counters for %d shards", len(snap.Requests), n)
+	}
+	if snap.Steps < 0 {
+		return nil, errors.New("shard: snapshot has a negative step counter")
+	}
+	r, err := newRouter(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, sb := range snap.Shards {
+		s, err := engine.Restore(cfg, newAlg(), sb, r.shardOptions(i))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if s.T() != snap.Steps {
+			return nil, fmt.Errorf("shard %d: snapshot at step %d, router at step %d", i, s.T(), snap.Steps)
+		}
+		r.sess[i] = s
+	}
+	r.steps = snap.Steps
+	copy(r.requests, snap.Requests)
+	r.begin()
+	return r, nil
+}

@@ -22,7 +22,7 @@ func TestInstanceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Config != in.Config {
+	if !got.Config.Equal(in.Config) {
 		t.Fatalf("config %+v != %+v", got.Config, in.Config)
 	}
 	if !got.Start.Equal(in.Start) || got.T() != in.T() {

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CheckpointVersion is the format version of the server checkpoint
+// document.
+const CheckpointVersion = 1
+
+// Checkpoint is the document the HTTP front-end writes to its checkpoint
+// file: the resumable session snapshot (an engine.Session snapshot, or a
+// shard.Router combined snapshot in router mode) plus the state of the
+// server's own observers, so /metrics and /state survive a restart
+// instead of starting from zero. The session document is embedded
+// verbatim — its byte-exactness guarantees are untouched by the wrapper.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Session is the engine or router snapshot to resume from.
+	Session json.RawMessage `json:"session"`
+	// Metrics carries the engine.Metrics observer state at checkpoint
+	// time; nil in checkpoints written before observers were persisted.
+	Metrics *MetricsState `json:"metrics,omitempty"`
+	// Moves carries the engine.MoveStats observer state.
+	Moves *MoveState `json:"moves,omitempty"`
+}
+
+// MetricsState is the serialized engine.Metrics observer: running totals
+// and the decayed per-step cost average. Move and serve costs are kept
+// separately (not as the redundant-total Cost) so the restored observer
+// continues from the identical float64 bits.
+type MetricsState struct {
+	Steps       int     `json:"steps"`
+	Requests    int     `json:"requests"`
+	MoveCost    float64 `json:"move_cost"`
+	ServeCost   float64 `json:"serve_cost"`
+	AvgStepCost float64 `json:"avg_step_cost"`
+}
+
+// MoveState is the serialized engine.MoveStats observer.
+type MoveState struct {
+	Steps     int     `json:"steps"`
+	MaxMove   float64 `json:"max_move"`
+	TotalMove float64 `json:"total_move"`
+	CapHits   int     `json:"cap_hits"`
+}
+
+// ParseCheckpoint decodes a checkpoint file body. It accepts both the
+// wrapper document and a bare session snapshot (the pre-observer-state
+// file format), normalizing the latter into a Checkpoint whose observer
+// fields are nil — a resume from such a file starts its observers fresh.
+func ParseCheckpoint(data []byte) (Checkpoint, error) {
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return Checkpoint{}, fmt.Errorf("wire: bad checkpoint: %w", err)
+	}
+	if len(ck.Session) == 0 {
+		// No "session" key: a bare engine/router snapshot.
+		return Checkpoint{Version: CheckpointVersion, Session: data}, nil
+	}
+	if ck.Version != CheckpointVersion {
+		return Checkpoint{}, fmt.Errorf("wire: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	}
+	return ck, nil
+}

@@ -52,12 +52,26 @@ type StepResponse struct {
 	// Cost is the cost of step T (shared by all merged calls; sum costs
 	// per unique T to reconcile with GET /metrics).
 	Cost Cost `json:"cost"`
-	// Positions holds every server position after the step.
+	// Positions holds every server position after the step. In sharded
+	// mode they are concatenated in shard order: shard i's K servers
+	// occupy positions [i*K, (i+1)*K).
 	Positions []Point `json:"positions"`
+	// Shards tags the step with each shard's share when the server runs
+	// in router mode: how many of the step's requests each region
+	// received and what its session charged. Absent on unsharded servers.
+	Shards []ShardStep `json:"shards,omitempty"`
+}
+
+// ShardStep is one shard's share of a single routed step.
+type ShardStep struct {
+	Shard  int  `json:"shard"`
+	Routed int  `json:"routed"`
+	Cost   Cost `json:"cost"`
 }
 
 // MetricsResponse is the body of GET /metrics: the engine.Metrics snapshot
-// plus the front-end's own counters.
+// plus the front-end's own counters (and, in sharded mode, the per-shard
+// aggregation the fleet totals are summed from).
 type MetricsResponse struct {
 	Steps       int     `json:"steps"`
 	Requests    int     `json:"requests"`
@@ -67,6 +81,15 @@ type MetricsResponse struct {
 	Rejected int64 `json:"rejected"`
 	// QueueDepth is the number of batches waiting to be coalesced.
 	QueueDepth int `json:"queue_depth"`
+	// Shards breaks the totals down per region in router mode.
+	Shards []ShardMetrics `json:"shards,omitempty"`
+}
+
+// ShardMetrics is one shard's slice of the aggregated metrics.
+type ShardMetrics struct {
+	Shard    int  `json:"shard"`
+	Requests int  `json:"requests"`
+	Cost     Cost `json:"cost"`
 }
 
 // StateResponse is the body of GET /state: the session's current positions
@@ -84,6 +107,21 @@ type StateResponse struct {
 	Clamped int `json:"clamped"`
 	// Cost is the run's accumulated cost so far.
 	Cost Cost `json:"cost"`
+	// Partition holds the shard layout's boundaries on axis 0 in router
+	// mode (len(Partition)+1 shards). Absent on unsharded servers.
+	Partition []float64 `json:"partition,omitempty"`
+	// Shards holds each region's live counters in router mode.
+	Shards []ShardState `json:"shards,omitempty"`
+}
+
+// ShardState is one shard's live counters inside GET /state.
+type ShardState struct {
+	Shard    int `json:"shard"`
+	Requests int `json:"requests"`
+	Clamped  int `json:"clamped"`
+	// Positions holds the shard's own servers.
+	Positions []Point `json:"positions"`
+	Cost      Cost    `json:"cost"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -1,0 +1,46 @@
+#!/bin/sh
+# bench.sh: run the reproduction benchmark suite (BenchmarkE*) plus the
+# sharded-vs-unsharded serving benchmark (BenchmarkRouterStep) and emit a
+# machine-readable JSON summary, so the bench trajectory is tracked as a
+# CI artifact instead of scrolling away in logs.
+#
+#   ./scripts/bench.sh [out.json]        # default out: BENCH_<utc-stamp>.json
+#   BENCHTIME=100x ./scripts/bench.sh    # override -benchtime (default 1x
+#                                        # for the E-suite, 50x for the
+#                                        # router scaling curve)
+#
+# Run from the repository root.
+set -eu
+
+out="${1:-BENCH_$(date -u +%Y%m%d-%H%M%S).json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkE' -benchtime "${BENCHTIME:-1x}" . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkRouterStep' -benchtime "${BENCHTIME:-50x}" ./internal/shard/ | tee -a "$raw"
+
+# Convert `BenchmarkName-P   N   T ns/op [B B/op] [A allocs/op]` lines into
+# a JSON document. The -P CPU suffix is stripped from the name.
+awk -v go_version="$(go version)" -v stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN {
+	printf "{\n  \"go\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", go_version, stamp
+	n = 0
+}
+/^Benchmark/ && $4 == "ns/op" {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = $3
+	extra = ""
+	for (i = 4; i < NF; i++) {
+		if ($(i+1) == "B/op")      extra = extra sprintf(", \"bytes_per_op\": %s", $i)
+		if ($(i+1) == "allocs/op") extra = extra sprintf(", \"allocs_per_op\": %s", $i)
+	}
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extra
+}
+END {
+	printf "\n  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "bench summary written to $out ($(grep -c '"name"' "$out") benchmarks)"
