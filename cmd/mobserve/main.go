@@ -1,7 +1,12 @@
 // Command mobserve serves a live Mobile Server session over HTTP: clients
 // POST request batches to /step, batches arriving within the coalescing
 // window are merged into one engine step, a bounded queue answers 429 when
-// overloaded, and /metrics and /state stream live counters. With -shards N
+// overloaded, and /metrics and /state stream live counters. Unless
+// -stream=false, two persistent streaming endpoints ride along: POST
+// /stream upgrades the connection to pipelined NDJSON step frames (one
+// client streams batches without per-request HTTP overhead; backpressure
+// arrives as typed throttle frames), and GET /metrics/stream pushes one
+// server-sent metrics event per executed step. With -shards N
 // the space is partitioned into N regions along axis 0 and each region is
 // served by its own fleet of -k servers — requests route to their region's
 // session and the shards step concurrently. With -checkpoint the full
@@ -22,10 +27,12 @@
 //	curl localhost:8080/metrics
 //	curl localhost:8080/state
 //	curl localhost:8080/snapshot > manual.ckpt
+//	curl -N localhost:8080/metrics/stream                 # SSE, one event/step
 //
 // See examples/client for a load generator that drives this server and
 // reconciles its own counters against /metrics (use its -regions flag to
-// spread load across the shards).
+// spread load across the shards, and -stream to pipeline NDJSON frames
+// over one connection instead of per-request HTTP).
 package main
 
 import (
@@ -65,6 +72,7 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "checkpoint file; resumes from it when present")
 		every   = flag.Int("every", 1, "steps between checkpoints")
 		clamp   = flag.Bool("clamp", false, "clamp over-cap moves instead of failing the step")
+		stream  = flag.Bool("stream", true, "serve the persistent streaming endpoints (POST /stream NDJSON frames, GET /metrics/stream SSE)")
 	)
 	flag.Parse()
 
@@ -104,11 +112,15 @@ func main() {
 		fmt.Printf("serving %s (%s) fresh\n", srv.Algorithm(), layout)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.HandlerWith(*stream)}
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		fmt.Printf("listening on %s (coalescing window %v, queue %d)\n", *addr, *window, *queue)
+		transports := "transports: http"
+		if *stream {
+			transports = "transports: http + ndjson /stream + sse /metrics/stream"
+		}
+		fmt.Printf("listening on %s (coalescing window %v, queue %d; %s)\n", *addr, *window, *queue, transports)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
@@ -116,11 +128,18 @@ func main() {
 
 	<-done
 	fmt.Println("\nshutting down: draining queue and writing final checkpoint")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	_ = httpSrv.Shutdown(ctx)
+	// Close the service before the HTTP listener: Close ends every Watch
+	// subscription, so blocked /metrics/stream handlers return and
+	// Shutdown does not stall its full timeout waiting on SSE consumers.
+	// (Hijacked /stream connections are outside Shutdown's tracking and
+	// close with the process.) Handlers that race the close get 503.
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "final checkpoint: %v\n", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
 	}
 	res := srv.Finish()
 	fmt.Printf("served %d steps, %s, final positions %v\n", res.Steps, res.Cost, res.Final)

@@ -5,12 +5,25 @@
 // counted exactly once server-side, and the per-step costs the workers saw
 // (summed once per step) must equal the server's running cost totals.
 //
+// With -stream the same workload rides the persistent streaming transport
+// instead: one TCP connection is upgraded via POST /stream and every batch
+// becomes a pipelined NDJSON step frame (up to -inflight of them in
+// flight), acked in order by the server; backpressure arrives as typed
+// throttle frames, answered with a jittered backoff and a resend of the
+// same frame. Same tallies, same reconciliation — just no per-request
+// HTTP overhead.
+//
+// Retry backoff (both transports) carries ±20% jitter, so a fleet of
+// clients thrown back by the bounded queue does not re-stampede it in
+// lockstep.
+//
 // The reconciliation assumes this client is the server's only traffic
 // source since it started: steps fed by other clients (or served before a
 // checkpoint/restore) are in the server's totals but not in ours.
 //
 //	mobserve -addr :8080 &
 //	go run ./examples/client -n 10000 -workers 8
+//	go run ./examples/client -n 10000 -stream                # one pipelined connection
 //	go run ./examples/client -n 2000 -workers 16 -batch 1   # more contention
 //
 // Against a sharded server, -regions spreads the load over that many
@@ -27,16 +40,21 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -45,68 +63,50 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "http://localhost:8080", "mobserve base URL")
-		n       = flag.Int("n", 10_000, "total number of requests to send")
-		batch   = flag.Int("batch", 5, "requests per POST /step call")
-		workers = flag.Int("workers", 8, "concurrent client workers")
-		dim     = flag.Int("dim", 2, "request dimension (must match the server)")
-		regions = flag.Int("regions", 1, "distinct hotspot regions across [-span, span] (match the server's -shards)")
-		span    = flag.Float64("span", 25, "half-width of the region interval (match the server's -span)")
+		addr     = flag.String("addr", "http://localhost:8080", "mobserve base URL")
+		n        = flag.Int("n", 10_000, "total number of requests to send")
+		batch    = flag.Int("batch", 5, "requests per POST /step call (or per stream frame)")
+		workers  = flag.Int("workers", 8, "concurrent client workers (HTTP mode)")
+		dim      = flag.Int("dim", 2, "request dimension (must match the server)")
+		regions  = flag.Int("regions", 1, "distinct hotspot regions across [-span, span] (match the server's -shards)")
+		span     = flag.Float64("span", 25, "half-width of the region interval (match the server's -span)")
+		stream   = flag.Bool("stream", false, "pipeline NDJSON frames over one persistent POST /stream connection instead of per-request HTTP")
+		inflight = flag.Int("inflight", 32, "stream mode: maximum unacknowledged frames in flight")
 	)
 	flag.Parse()
+	if !strings.Contains(*addr, "://") {
+		// Accept a bare host:port; every code path (http.Get and the
+		// stream dial) wants a full URL.
+		*addr = "http://" + *addr
+	}
 	gen := workload{regions: *regions, span: *span, dim: *dim}
 
 	batches := (*n + *batch - 1) / *batch
-	fmt.Printf("driving %d requests (%d batches of %d) with %d workers against %s\n",
-		*n, batches, *batch, *workers, *addr)
+	mode := fmt.Sprintf("%d workers", *workers)
+	if *stream {
+		mode = fmt.Sprintf("one stream, %d frames in flight", *inflight)
+	}
+	fmt.Printf("driving %d requests (%d batches of %d) with %s against %s\n",
+		*n, batches, *batch, mode, *addr)
 
-	type tally struct {
-		accepted int
-		retries  int
-		costs    map[int]wire.Cost
-	}
-	tallies := make([]tally, *workers)
-	work := make(chan int)
-	var wg sync.WaitGroup
+	var (
+		accepted, retries int
+		costs             map[int]wire.Cost
+		err               error
+	)
 	start := time.Now()
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			tallies[w].costs = map[int]wire.Cost{}
-			for b := range work {
-				size := *batch
-				if rest := *n - b**batch; rest < size {
-					size = rest
-				}
-				resp, retries, err := post(*addr, gen.batch(b, size))
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "client: batch %d: %v\n", b, err)
-					os.Exit(1)
-				}
-				tallies[w].accepted += resp.Accepted
-				tallies[w].retries += retries
-				tallies[w].costs[resp.T] = resp.Cost
-			}
-		}(w)
+	if *stream {
+		accepted, retries, costs, err = driveStream(*addr, gen, *n, *batch, *inflight)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "client: stream: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		accepted, retries, costs = driveHTTP(*addr, gen, *n, *batch, *workers)
 	}
-	for b := 0; b < batches; b++ {
-		work <- b
-	}
-	close(work)
-	wg.Wait()
 	elapsed := time.Since(start)
 
-	accepted, retries := 0, 0
-	costs := map[int]wire.Cost{}
-	for _, t := range tallies {
-		accepted += t.accepted
-		retries += t.retries
-		for step, c := range t.costs {
-			costs[step] = c
-		}
-	}
-	fmt.Printf("sent %d requests in %v (%.0f req/s), %d batches coalesced into %d steps, %d 429-retries\n",
+	fmt.Printf("sent %d requests in %v (%.0f req/s), %d batches coalesced into %d steps, %d backoff-retries\n",
 		accepted, elapsed.Round(time.Millisecond), float64(accepted)/elapsed.Seconds(),
 		batches, len(costs), retries)
 
@@ -148,6 +148,239 @@ func main() {
 	}
 }
 
+// driveHTTP is the per-request transport: a pool of workers posting
+// batches, each call blocking for its step's outcome.
+func driveHTTP(addr string, gen workload, n, batchSize, workers int) (accepted, retries int, costs map[int]wire.Cost) {
+	type tally struct {
+		accepted int
+		retries  int
+		costs    map[int]wire.Cost
+	}
+	batches := (n + batchSize - 1) / batchSize
+	tallies := make([]tally, workers)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tallies[w].costs = map[int]wire.Cost{}
+			for b := range work {
+				size := batchSize
+				if rest := n - b*batchSize; rest < size {
+					size = rest
+				}
+				resp, r, err := post(addr, gen.batch(b, size))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "client: batch %d: %v\n", b, err)
+					os.Exit(1)
+				}
+				tallies[w].accepted += resp.Accepted
+				tallies[w].retries += r
+				tallies[w].costs[resp.T] = resp.Cost
+			}
+		}(w)
+	}
+	for b := 0; b < batches; b++ {
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+
+	costs = map[int]wire.Cost{}
+	for _, t := range tallies {
+		accepted += t.accepted
+		retries += t.retries
+		for step, c := range t.costs {
+			costs[step] = c
+		}
+	}
+	return accepted, retries, costs
+}
+
+// driveStream is the pipelined transport: one hijacked connection, every
+// batch a step frame with the batch index as its id, up to inflight of
+// them unacknowledged. Throttle frames are answered by resending the same
+// id after a jittered backoff; acks are tallied exactly like HTTP
+// responses.
+func driveStream(addr string, gen workload, n, batchSize, inflight int) (accepted, retries int, costs map[int]wire.Cost, err error) {
+	u, err := url.Parse(addr)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	host := u.Host
+	if host == "" {
+		if u.Opaque != "" {
+			// "localhost:8080" without a scheme parses as
+			// Scheme "localhost", Opaque "8080".
+			host = u.Scheme + ":" + u.Opaque
+		} else {
+			host = u.Path // a bare hostname lands in Path
+		}
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	// Upgrade and handshake.
+	if _, err := fmt.Fprintf(conn, "POST /stream HTTP/1.1\r\nHost: %s\r\nContent-Length: 0\r\n\r\n", host); err != nil {
+		return 0, 0, nil, err
+	}
+	status, err := br.ReadString('\n')
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if !bytes.Contains([]byte(status), []byte("200")) {
+		return 0, 0, nil, fmt.Errorf("POST /stream: %s", status)
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+	var wmu sync.Mutex // the writer goroutine and throttle resends share the socket
+	writeFrame := func(v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		wmu.Lock()
+		defer wmu.Unlock()
+		_, err = conn.Write(append(data, '\n'))
+		return err
+	}
+	if err := writeFrame(wire.HelloFrame{V: wire.V1, Type: wire.FrameHello, Dim: gen.dim}); err != nil {
+		return 0, 0, nil, err
+	}
+	welcome, err := readFrame(br)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var w wire.WelcomeFrame
+	if err := expectFrame(welcome, wire.FrameWelcome, &w); err != nil {
+		return 0, 0, nil, err
+	}
+	fmt.Printf("stream open: %s at step %d (dim %d)\n", w.Algorithm, w.T, w.Dim)
+
+	// Writer: pipeline fresh frames as the in-flight window allows. The
+	// semaphore is released per ack; a throttled frame keeps its slot
+	// until its resend is acked.
+	batches := (n + batchSize - 1) / batchSize
+	frames := make([]wire.StepFrame, batches)
+	for b := 0; b < batches; b++ {
+		size := batchSize
+		if rest := n - b*batchSize; rest < size {
+			size = rest
+		}
+		frames[b] = wire.StepFrame{V: wire.V1, Type: wire.FrameStep, ID: int64(b + 1), Requests: gen.batch(b, size).Requests}
+	}
+	sem := make(chan struct{}, inflight)
+	writeErr := make(chan error, 1)
+	go func() {
+		for b := 0; b < batches; b++ {
+			sem <- struct{}{}
+			if err := writeFrame(frames[b]); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+	}()
+
+	// Reader: every frame is eventually answered by exactly one ack (or a
+	// fatal error).
+	costs = map[int]wire.Cost{}
+	for pending := batches; pending > 0; {
+		select {
+		case err := <-writeErr:
+			return 0, 0, nil, err
+		default:
+		}
+		line, err := readFrame(br)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		head, err := wire.PeekFrame(line)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		switch head.Type {
+		case wire.FrameAck:
+			var ack wire.AckFrame
+			if err := wire.UnmarshalStrict(line, &ack); err != nil {
+				return 0, 0, nil, err
+			}
+			accepted += ack.Accepted
+			costs[ack.T] = ack.Cost
+			pending--
+			<-sem
+		case wire.FrameThrottle:
+			var th wire.ThrottleFrame
+			if err := wire.UnmarshalStrict(line, &th); err != nil {
+				return 0, 0, nil, err
+			}
+			retries++
+			go func(f wire.StepFrame, wait time.Duration) {
+				time.Sleep(jitter(wait))
+				if err := writeFrame(f); err != nil {
+					select {
+					case writeErr <- err:
+					default:
+					}
+				}
+			}(frames[th.ID-1], time.Duration(th.RetryAfterMS)*time.Millisecond)
+		case wire.FrameError:
+			var e wire.ErrorFrame
+			if err := wire.UnmarshalStrict(line, &e); err != nil {
+				return 0, 0, nil, err
+			}
+			return 0, 0, nil, fmt.Errorf("server error frame: %s", e.Err.Error())
+		default:
+			return 0, 0, nil, fmt.Errorf("unexpected %s frame", head.Type)
+		}
+	}
+	_ = writeFrame(wire.ByeFrame{V: wire.V1, Type: wire.FrameBye})
+	return accepted, retries, costs, nil
+}
+
+// readFrame returns the next non-empty NDJSON line.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return nil, err
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			return trimmed, nil
+		}
+	}
+}
+
+// expectFrame strictly decodes line into v after checking its type,
+// surfacing a typed server error frame as a readable failure.
+func expectFrame(line []byte, wantType string, v any) error {
+	head, err := wire.PeekFrame(line)
+	if err != nil {
+		return err
+	}
+	if head.Type == wire.FrameError {
+		var e wire.ErrorFrame
+		if err := wire.UnmarshalStrict(line, &e); err == nil {
+			return fmt.Errorf("server error frame: %s", e.Err.Error())
+		}
+	}
+	if head.Type != wantType {
+		return fmt.Errorf("got %s frame, want %s", head.Type, wantType)
+	}
+	return wire.UnmarshalStrict(line, v)
+}
+
 // workload generates the deterministic load: with one region, requests
 // cluster on a hotspot orbiting the origin at radius 20 (the original
 // workload); with R > 1 regions, batch b's hotspot orbits the center of
@@ -180,11 +413,21 @@ func (g workload) batch(b, size int) wire.StepRequest {
 	return wire.StepRequest{Requests: reqs}
 }
 
+// jitter spreads a backoff hint by ±20%, so many clients told to retry at
+// the same moment do not re-stampede the bounded queue in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+}
+
 // post sends one batch, retrying on 429 after the server's backoff hint:
 // the JSON body's retry_after_ms when present (millisecond resolution),
 // falling back to the whole-second Retry-After header, capped so a coarse
-// header cannot stall the generator. It returns the step outcome and how
-// many times it was told to back off.
+// header cannot stall the generator, and jittered ±20% so concurrent
+// clients desynchronize. It returns the step outcome and how many times
+// it was told to back off.
 func post(addr string, body wire.StepRequest) (wire.StepResponse, int, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -220,7 +463,7 @@ func post(addr string, body wire.StepRequest) (wire.StepResponse, int, error) {
 			if wait > 100*time.Millisecond {
 				wait = 100 * time.Millisecond
 			}
-			time.Sleep(wait)
+			time.Sleep(jitter(wait))
 		default:
 			return wire.StepResponse{}, retries, fmt.Errorf("POST /step: %s: %s", resp.Status, data)
 		}

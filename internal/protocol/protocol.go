@@ -1,0 +1,736 @@
+// Package protocol is the transport-neutral serving core: it owns a
+// session-shaped Backend — a single engine.Session or a shard.Router — and
+// turns it into a Service that any transport adapter (the HTTP mux and the
+// NDJSON streaming transport in internal/server, tests driving it
+// directly) can expose without re-implementing serving semantics.
+//
+// The Service owns everything that used to live inside the HTTP server:
+//
+//   - the single step loop that drives the backend (the engine itself
+//     stays single-threaded);
+//   - the coalescing window that merges concurrently submitted batches
+//     into one engine step;
+//   - the bounded queue whose overflow is typed backpressure
+//     (OverloadError) instead of transport-specific status codes;
+//   - checkpointing: atomic writes before acknowledgement, with
+//     DurabilityError marking the executed-but-not-durable case;
+//   - the Metrics/MoveStats observers and their snapshot reads;
+//   - a push subscription API (Watch) publishing a MetricsEvent per
+//     executed step, with a per-subscriber drop policy so a slow consumer
+//     can never stall the step loop.
+//
+// Transports translate: HTTP maps OverloadError to 429 + Retry-After and
+// DurabilityError to 507; the streaming transport maps them to typed
+// throttle and error frames. The semantics live here, once.
+package protocol
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// Backend is the session the service drives: one batch per step, with the
+// engine.Session accessor surface. engine.Session implements it directly;
+// shard.Router implements it by routing each step across its per-region
+// sessions and aggregating the results.
+type Backend interface {
+	Step(requests []geom.Point) error
+	T() int
+	Algorithm() string
+	Cost() core.Cost
+	Clamped() int
+	Positions() []geom.Point
+	Snapshot() ([]byte, error)
+	Finish() *engine.Result
+}
+
+// ShardedBackend is the extra surface a router-mode backend exposes; the
+// service uses it to tag snapshots and acks with per-shard payloads.
+type ShardedBackend interface {
+	Backend
+	Partition() core.Partition
+	LastSteps() []shard.StepStat
+	States() []shard.State
+}
+
+// Options configures the service. The zero value serves with strict cap
+// checking, no coalescing wait, a queue of DefaultQueueLimit batches, and
+// no checkpointing.
+type Options struct {
+	// CoalesceWindow is how long the step loop waits after the first
+	// queued batch for more batches to merge into the same engine step.
+	// Zero merges only batches that are already queued, without waiting.
+	CoalesceWindow time.Duration
+	// QueueLimit bounds the number of batches waiting for the step loop;
+	// a full queue refuses Submit with OverloadError. Default
+	// DefaultQueueLimit.
+	QueueLimit int
+	// CheckpointPath, when non-empty, enables checkpointing: the session
+	// snapshot is written there atomically (tmp file + rename) after every
+	// CheckpointEvery-th step, before the step's callers are acknowledged.
+	CheckpointPath string
+	// CheckpointEvery is the number of steps between checkpoints.
+	// Default 1 (checkpoint after every step).
+	CheckpointEvery int
+	// Mode and Tol configure the engine's cap enforcement.
+	Mode engine.Mode
+	Tol  float64
+	// Observers are extra engine observers appended after the service's
+	// own metrics and movement-stats observers. They are notified from the
+	// step loop; implementations must not call back into the service.
+	Observers []engine.Observer
+}
+
+// DefaultQueueLimit is the queue bound used when Options.QueueLimit is 0.
+const DefaultQueueLimit = 64
+
+func (o Options) withDefaults() Options {
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = DefaultQueueLimit
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+	return o
+}
+
+// Ack is the typed outcome of one executed engine step, handed to every
+// caller whose batch was coalesced into it. All merged callers share T,
+// Batched, Cost, Positions, and Shards; Accepted is per-caller.
+type Ack struct {
+	// T is the index of the engine step that served this batch.
+	T int
+	// Accepted is the number of requests from this caller.
+	Accepted int
+	// Batched is the total number of requests coalesced into step T.
+	Batched int
+	// Cost is the cost of step T.
+	Cost core.Cost
+	// Positions holds every server position after the step (read-only;
+	// shared between merged callers).
+	Positions []geom.Point
+	// Shards tags the step with each shard's share in router mode; nil on
+	// unsharded backends.
+	Shards []shard.StepStat
+}
+
+// MetricsSnapshot is the service's aggregate counters at one instant: the
+// engine.Metrics observer plus the service's own queue counters (and the
+// per-shard aggregation in router mode).
+type MetricsSnapshot struct {
+	Steps       int
+	Requests    int
+	Cost        core.Cost
+	AvgStepCost float64
+	// Rejected counts submissions turned away with OverloadError since
+	// start.
+	Rejected int64
+	// QueueDepth is the number of batches waiting to be coalesced.
+	QueueDepth int
+	// Shards breaks the totals down per region in router mode; nil
+	// otherwise.
+	Shards []shard.State
+}
+
+// StateSnapshot is the session's live state at one instant: positions plus
+// the engine.MoveStats observer.
+type StateSnapshot struct {
+	Algorithm string
+	T         int
+	Positions []geom.Point
+	MaxMove   float64
+	TotalMove float64
+	CapHits   int
+	Clamped   int
+	Cost      core.Cost
+	// Partition holds the shard layout in router mode; nil otherwise.
+	Partition core.Partition
+	// Shards holds each region's live counters in router mode.
+	Shards []shard.State
+}
+
+// OverloadError is typed backpressure: the bounded queue is full and the
+// batch was NOT enqueued. Resubmit after RetryAfterMS.
+type OverloadError struct {
+	// RetryAfterMS is the suggested backoff: one coalescing window in
+	// milliseconds, at least 1.
+	RetryAfterMS int
+}
+
+func (e *OverloadError) Error() string {
+	return "step queue is full"
+}
+
+// DurabilityError reports an executed-but-not-durable step: the engine
+// step RAN (the session advanced and the batch is counted in the metrics)
+// but its checkpoint write failed. The caller must not resubmit the batch
+// — that would feed it again as a new step; only its durability is in
+// doubt.
+type DurabilityError struct {
+	// ExecutedT is the step that did execute.
+	ExecutedT int
+	// Err is the underlying checkpoint write error.
+	Err error
+}
+
+func (e *DurabilityError) Error() string {
+	return fmt.Sprintf("step %d executed but checkpoint failed: %v", e.ExecutedT, e.Err)
+}
+
+func (e *DurabilityError) Unwrap() error { return e.Err }
+
+// ErrShuttingDown is returned by Submit/Enqueue once Close has begun: the
+// service accepts no new batches while draining.
+var ErrShuttingDown = errors.New("server is shutting down")
+
+// batch is one enqueued submission with its reply channel.
+type batch struct {
+	reqs  []geom.Point
+	reply chan outcome
+}
+
+// outcome is what the step loop hands back to a waiting Pending.
+type outcome struct {
+	ack Ack
+	err error
+}
+
+// Pending is an in-flight submission: the batch is enqueued (it owns a
+// queue slot) and will be coalesced into an engine step by the loop. Wait
+// blocks for that step's outcome. Each Pending must be waited at most
+// once; dropping it without waiting leaks nothing (the reply is buffered).
+type Pending struct {
+	n   int
+	ch  chan outcome
+	svc *Service
+}
+
+// Wait blocks until the submission's engine step has executed (or the
+// service shut down before reaching it) and returns the typed outcome.
+// The error is nil, a *DurabilityError (step executed, checkpoint did
+// not land), ErrShuttingDown (step never executed), or an engine error.
+func (p *Pending) Wait() (Ack, error) {
+	select {
+	case out := <-p.ch:
+		return out.ack, out.err
+	case <-p.svc.loopDone:
+		// The loop exited; the shutdown drain may still have served us.
+		select {
+		case out := <-p.ch:
+			return out.ack, out.err
+		default:
+			return Ack{}, ErrShuttingDown
+		}
+	}
+}
+
+// Service owns a backend and serves it to transport adapters. Create one
+// with New/Resume/NewSharded/ResumeSharded, submit batches with Submit (or
+// Enqueue + Wait to pipeline), and Close it to drain the queue and write
+// the final checkpoint.
+type Service struct {
+	cfg  core.Config
+	opts Options
+
+	// mu guards the session and the observers attached to it. Step runs
+	// only in the step loop; readers take mu for consistent snapshots.
+	mu       sync.Mutex
+	sess     Backend
+	metrics  *engine.Metrics
+	moves    *engine.MoveStats
+	lastCost core.Cost
+
+	queue    chan batch
+	rejected atomic.Int64
+	closing  atomic.Bool
+	closed   chan struct{}
+	loopDone chan struct{}
+	closeErr error
+	once     sync.Once
+
+	// subMu guards the Watch subscribers.
+	subMu      sync.Mutex
+	subs       map[*subscriber]struct{}
+	subsClosed bool
+}
+
+// New starts a service around a fresh session.
+func New(cfg core.Config, starts []geom.Point, alg core.FleetAlgorithm, opts Options) (*Service, error) {
+	return start(cfg, opts, nil, func(eopts engine.Options) (Backend, error) {
+		return engine.NewSession(cfg, starts, alg, eopts)
+	})
+}
+
+// Resume starts a service around a session restored from checkpoint bytes:
+// the step counter, costs, positions, and algorithm state continue exactly
+// where the snapshot was taken. The bytes may be a checkpoint document
+// written by this layer (whose observer state reseeds the metrics and
+// state snapshots, so dashboards survive the restart) or a bare engine
+// snapshot (observers start fresh and cover only the resumed part).
+func Resume(cfg core.Config, alg core.FleetAlgorithm, snapshot []byte, opts Options) (*Service, error) {
+	ck, err := wire.ParseCheckpoint(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return start(cfg, opts, &ck, func(eopts engine.Options) (Backend, error) {
+		return engine.Restore(cfg, alg, ck.Session, eopts)
+	})
+}
+
+// NewSharded starts a service in router mode: one fleet of cfg.Servers()
+// servers per shard of cfg.Partition, each request routed to its region's
+// session and all shards stepped concurrently (see shard.New). starts
+// holds one fleet layout per shard and newAlg constructs one independent
+// controller per shard.
+func NewSharded(cfg core.Config, starts [][]geom.Point, newAlg func() core.FleetAlgorithm, opts Options) (*Service, error) {
+	return start(cfg, opts, nil, func(eopts engine.Options) (Backend, error) {
+		return shard.New(cfg, starts, newAlg, eopts)
+	})
+}
+
+// ResumeSharded starts a router-mode service from a checkpoint written by
+// a sharded service: every shard session resumes exactly where the
+// combined snapshot was taken (shard.Restore rejects a mismatched shard
+// layout), and persisted observer state reseeds the metrics and state
+// snapshots. From a bare combined snapshot, step/request/cost totals are
+// instead reconstructed from the router's own counters; the decayed
+// average and movement stats restart.
+func ResumeSharded(cfg core.Config, newAlg func() core.FleetAlgorithm, snapshot []byte, opts Options) (*Service, error) {
+	ck, err := wire.ParseCheckpoint(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return start(cfg, opts, &ck, func(eopts engine.Options) (Backend, error) {
+		return shard.Restore(cfg, newAlg, ck.Session, eopts)
+	})
+}
+
+func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.Options) (Backend, error)) (*Service, error) {
+	opts = opts.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		opts:     opts,
+		metrics:  &engine.Metrics{},
+		moves:    &engine.MoveStats{},
+		queue:    make(chan batch, opts.QueueLimit),
+		closed:   make(chan struct{}),
+		loopDone: make(chan struct{}),
+		subs:     map[*subscriber]struct{}{},
+	}
+	obs := []engine.Observer{
+		engine.Func(func(info engine.StepInfo) { s.lastCost = info.Cost }),
+		s.metrics,
+		s.moves,
+	}
+	obs = append(obs, opts.Observers...)
+	sess, err := open(engine.Options{Mode: opts.Mode, Tol: opts.Tol, Observers: obs})
+	if err != nil {
+		return nil, err
+	}
+	s.sess = sess
+	if ck != nil {
+		s.seedObservers(*ck)
+		if ck.Metrics == nil {
+			s.reconcileShardedMetrics()
+		}
+	}
+	go s.loop()
+	return s, nil
+}
+
+// reconcileShardedMetrics covers a resume from a bare router snapshot (no
+// persisted observer state): the router restores its per-shard request
+// counters, so the fleet-level Metrics observer must agree with their sum
+// or the metrics would report shards that do not add up to the totals.
+// Steps, requests, and cost are reconstructed from the backend; the
+// decayed average (and the movement stats, which no snapshot carries)
+// restart.
+func (s *Service) reconcileShardedMetrics() {
+	sb, ok := s.sess.(ShardedBackend)
+	if !ok {
+		return
+	}
+	s.metrics.Steps = s.sess.T()
+	s.metrics.Cost = s.sess.Cost()
+	s.metrics.Requests = 0
+	for _, st := range sb.States() {
+		s.metrics.Requests += st.Requests
+	}
+}
+
+// seedObservers reinstates the observer state persisted in a checkpoint
+// document, so a resumed service's metrics and state continue the
+// pre-crash totals instead of starting from zero. Runs before the step
+// loop starts, so no lock is needed.
+func (s *Service) seedObservers(ck wire.Checkpoint) {
+	if m := ck.Metrics; m != nil {
+		s.metrics.Steps = m.Steps
+		s.metrics.Requests = m.Requests
+		s.metrics.Cost = core.Cost{Move: m.MoveCost, Serve: m.ServeCost}
+		s.metrics.AvgStepCost = m.AvgStepCost
+	}
+	if mv := ck.Moves; mv != nil {
+		s.moves.Steps = mv.Steps
+		s.moves.MaxMove = mv.MaxMove
+		s.moves.TotalMove = mv.TotalMove
+		s.moves.CapHits = mv.CapHits
+	}
+}
+
+// Config returns the configuration the service was opened with.
+func (s *Service) Config() core.Config { return s.cfg }
+
+// T returns the session's current step count.
+func (s *Service) T() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.T()
+}
+
+// Algorithm returns the backend's reported name (in router mode the
+// per-shard algorithm tagged with the shard count, e.g. "MtC-k×4").
+func (s *Service) Algorithm() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.Algorithm()
+}
+
+// Closing reports whether Close has begun; a closing service refuses new
+// submissions with ErrShuttingDown.
+func (s *Service) Closing() bool { return s.closing.Load() }
+
+// QueueDepth is the number of batches waiting to be coalesced. Unlike
+// Metrics it does not take the session lock, so it is safe to poll while
+// a step (or a blocking observer) is in flight.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Rejected counts submissions turned away with OverloadError since start.
+// Like QueueDepth it does not take the session lock.
+func (s *Service) Rejected() int64 { return s.rejected.Load() }
+
+// RetryAfterMS is the backoff hint attached to OverloadError: one
+// coalescing window in milliseconds, at least 1.
+func (s *Service) RetryAfterMS() int {
+	ms := int(s.opts.CoalesceWindow.Milliseconds())
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// Enqueue submits a pre-validated batch without waiting for its step: it
+// claims a queue slot and returns a Pending to Wait on, so a pipelining
+// transport can keep submitting while earlier steps execute. It never
+// blocks: a full queue returns *OverloadError (and counts toward
+// Rejected), a closing service returns ErrShuttingDown.
+func (s *Service) Enqueue(reqs []geom.Point) (*Pending, error) {
+	if s.closing.Load() {
+		return nil, ErrShuttingDown
+	}
+	b := batch{reqs: reqs, reply: make(chan outcome, 1)}
+	select {
+	case s.queue <- b:
+		return &Pending{n: len(reqs), ch: b.reply, svc: s}, nil
+	default:
+		s.rejected.Add(1)
+		return nil, &OverloadError{RetryAfterMS: s.RetryAfterMS()}
+	}
+}
+
+// Submit feeds one batch and blocks until its engine step has executed:
+// Enqueue + Wait.
+func (s *Service) Submit(reqs []geom.Point) (Ack, error) {
+	p, err := s.Enqueue(reqs)
+	if err != nil {
+		return Ack{}, err
+	}
+	return p.Wait()
+}
+
+// Metrics returns the aggregate counters at this instant.
+func (s *Service) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	m := MetricsSnapshot{
+		Steps:       s.metrics.Steps,
+		Requests:    s.metrics.Requests,
+		Cost:        s.metrics.Cost,
+		AvgStepCost: s.metrics.AvgStepCost,
+	}
+	if sb, ok := s.sess.(ShardedBackend); ok {
+		m.Shards = sb.States()
+	}
+	s.mu.Unlock()
+	m.Rejected = s.rejected.Load()
+	m.QueueDepth = len(s.queue)
+	return m
+}
+
+// State returns the session's live state at this instant.
+func (s *Service) State() StateSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StateSnapshot{
+		Algorithm: s.sess.Algorithm(),
+		T:         s.sess.T(),
+		Positions: s.sess.Positions(),
+		MaxMove:   s.moves.MaxMove,
+		TotalMove: s.moves.TotalMove,
+		CapHits:   s.moves.CapHits,
+		Clamped:   s.sess.Clamped(),
+		Cost:      s.sess.Cost(),
+	}
+	if sb, ok := s.sess.(ShardedBackend); ok {
+		st.Partition = append(core.Partition(nil), sb.Partition()...)
+		st.Shards = sb.States()
+	}
+	return st
+}
+
+// Snapshot returns the backend's bare resumable snapshot (what
+// GET /snapshot serves; observer state is not included — checkpoint files
+// written by the service itself carry it).
+func (s *Service) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.Snapshot()
+}
+
+// Close stops accepting traffic, drains the already-queued batches through
+// the session, writes a final checkpoint (when configured), closes every
+// Watch subscription, and waits for the step loop to exit. It returns the
+// final checkpoint error, if any.
+func (s *Service) Close() error {
+	s.once.Do(func() {
+		s.closing.Store(true)
+		close(s.closed)
+		<-s.loopDone
+	})
+	return s.closeErr
+}
+
+// Finish closes the underlying session and returns its accumulated result.
+// Call it after Close; a finished session cannot be snapshotted or resumed.
+func (s *Service) Finish() *engine.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.Finish()
+}
+
+// loop is the single goroutine that steps the session: it pulls the first
+// queued batch, coalesces what arrives within the window, executes one
+// engine step, checkpoints, and acknowledges the merged callers.
+func (s *Service) loop() {
+	defer s.closeSubs()
+	defer close(s.loopDone)
+	for {
+		select {
+		case <-s.closed:
+			s.drain()
+			return
+		case first := <-s.queue:
+			s.execute(s.coalesce(first))
+		}
+	}
+}
+
+// coalesce gathers the batches that share first's engine step.
+func (s *Service) coalesce(first batch) []batch {
+	items := []batch{first}
+	if w := s.opts.CoalesceWindow; w > 0 {
+		timer := time.NewTimer(w)
+		defer timer.Stop()
+		for {
+			select {
+			case b := <-s.queue:
+				items = append(items, b)
+			case <-timer.C:
+				return items
+			case <-s.closed:
+				return items
+			}
+		}
+	}
+	for {
+		select {
+		case b := <-s.queue:
+			items = append(items, b)
+		default:
+			return items
+		}
+	}
+}
+
+// drain executes every batch still queued at shutdown (one step each, no
+// coalescing wait) and writes the final checkpoint.
+func (s *Service) drain() {
+	for {
+		select {
+		case b := <-s.queue:
+			s.execute([]batch{b})
+		default:
+			s.closeErr = s.checkpointNow()
+			return
+		}
+	}
+}
+
+// execute merges the items into one request batch, runs one engine step,
+// checkpoints if due, replies to every merged caller, and publishes a
+// MetricsEvent to the Watch subscribers. A due checkpoint is written
+// before the acknowledgements, so with CheckpointEvery == 1 an
+// acknowledged step is never lost to a crash (larger cadences acknowledge
+// the steps between checkpoints before they are durable).
+func (s *Service) execute(items []batch) {
+	total := 0
+	for _, b := range items {
+		total += len(b.reqs)
+	}
+	merged := make([]geom.Point, 0, total)
+	for _, b := range items {
+		merged = append(merged, b.reqs...)
+	}
+
+	s.mu.Lock()
+	err := s.sess.Step(merged)
+	var ack Ack
+	var ev MetricsEvent
+	var snap []byte
+	var snapErr error
+	if err == nil {
+		ack = Ack{
+			T:         s.sess.T() - 1,
+			Batched:   total,
+			Cost:      s.lastCost,
+			Positions: s.sess.Positions(),
+		}
+		if sb, ok := s.sess.(ShardedBackend); ok {
+			// Copy: LastSteps returns the router's reused buffer, which
+			// the next Step overwrites while transports are still reading
+			// the ack outside the lock.
+			ack.Shards = append([]shard.StepStat(nil), sb.LastSteps()...)
+		}
+		ev = MetricsEvent{
+			T:           ack.T,
+			Batched:     total,
+			StepCost:    s.lastCost,
+			Steps:       s.metrics.Steps,
+			Requests:    s.metrics.Requests,
+			Cost:        s.metrics.Cost,
+			AvgStepCost: s.metrics.AvgStepCost,
+		}
+		if s.opts.CheckpointPath != "" && s.sess.T()%s.opts.CheckpointEvery == 0 {
+			snap, snapErr = s.checkpointDoc()
+		}
+	}
+	s.mu.Unlock()
+
+	if snap != nil {
+		snapErr = writeAtomic(s.opts.CheckpointPath, snap)
+	}
+	executed := err == nil
+	if executed && snapErr != nil {
+		// The step ran but is not durable; surface that to the callers
+		// rather than acknowledging a step a crash could silently lose.
+		err = &DurabilityError{ExecutedT: ack.T, Err: snapErr}
+	}
+	for _, b := range items {
+		a := ack
+		a.Accepted = len(b.reqs)
+		b.reply <- outcome{ack: a, err: err}
+	}
+	if executed {
+		ev.QueueDepth = len(s.queue)
+		ev.Rejected = s.rejected.Load()
+		s.publish(ev)
+	}
+}
+
+// checkpointNow snapshots and writes the checkpoint file unconditionally
+// (used at shutdown). A service without a checkpoint path does nothing.
+func (s *Service) checkpointNow() error {
+	if s.opts.CheckpointPath == "" {
+		return nil
+	}
+	s.mu.Lock()
+	snap, err := s.checkpointDoc()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return writeAtomic(s.opts.CheckpointPath, snap)
+}
+
+// checkpointDoc marshals the checkpoint document: the backend snapshot
+// plus the current observer state, captured together so the file is one
+// consistent cut of the run, stamped with the wire version (plus the
+// legacy stamp, so pre-envelope readers keep working). The caller must
+// hold mu.
+func (s *Service) checkpointDoc() ([]byte, error) {
+	sess, err := s.sess.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(wire.Checkpoint{
+		V:       wire.V1,
+		Version: wire.CheckpointVersion,
+		Session: sess,
+		Metrics: &wire.MetricsState{
+			Steps:       s.metrics.Steps,
+			Requests:    s.metrics.Requests,
+			MoveCost:    s.metrics.Cost.Move,
+			ServeCost:   s.metrics.Cost.Serve,
+			AvgStepCost: s.metrics.AvgStepCost,
+		},
+		Moves: &wire.MoveState{
+			Steps:     s.moves.Steps,
+			MaxMove:   s.moves.MaxMove,
+			TotalMove: s.moves.TotalMove,
+			CapHits:   s.moves.CapHits,
+		},
+	})
+}
+
+// writeAtomic writes data to path via a temp file in the same directory,
+// fsync, and an atomic rename, so neither a process kill mid-write nor a
+// system crash shortly after leaves a torn or empty checkpoint.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// some platforms/filesystems refuse it, and the rename is already
+	// atomic for process-level crashes.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}

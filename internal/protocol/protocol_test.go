@@ -1,0 +1,390 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/multi"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+func testConfig(k int) core.Config {
+	return core.Config{Dim: 2, D: 2, M: 1, Delta: 0.5, Order: core.MoveFirst, K: k}
+}
+
+func reqsFor(t, nReq int) []geom.Point {
+	out := make([]geom.Point, nReq)
+	for i := range out {
+		angle := 2*math.Pi*float64(t)/41 + float64(i)
+		out[i] = geom.NewPoint(8*math.Cos(angle), 8*math.Sin(angle))
+	}
+	return out
+}
+
+// TestSubmitMatchesEngine: driving the service batch-by-batch yields the
+// same trajectory and costs as stepping an engine session directly — the
+// protocol layer adds serving semantics, not drift.
+func TestSubmitMatchesEngine(t *testing.T) {
+	const steps = 40
+	cfg := testConfig(2)
+	svc, err := New(cfg, multi.SpreadStarts(cfg, 5), multi.NewMtCK(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ref, err := engine.NewSession(cfg, multi.SpreadStarts(cfg, 5), multi.NewMtCK(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var total core.Cost
+	for i := 0; i < steps; i++ {
+		reqs := reqsFor(i, 2)
+		ack, err := svc.Submit(reqs)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if ack.T != i || ack.Accepted != 2 || ack.Batched != 2 {
+			t.Fatalf("ack %d = %+v", i, ack)
+		}
+		if err := ref.Step(reqs); err != nil {
+			t.Fatal(err)
+		}
+		total = total.Add(ack.Cost)
+	}
+	m := svc.Metrics()
+	if m.Steps != steps || m.Requests != steps*2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Cost != ref.Cost() || total != ref.Cost() {
+		t.Fatalf("cost drift: service %v, acks %v, engine %v", m.Cost, total, ref.Cost())
+	}
+	st := svc.State()
+	if st.T != steps || len(st.Positions) != 2 {
+		t.Fatalf("state = %+v", st)
+	}
+	refPos := ref.Positions()
+	for j, p := range st.Positions {
+		if geom.Dist(p, refPos[j]) != 0 {
+			t.Fatalf("position %d drift: %v vs %v", j, p, refPos[j])
+		}
+	}
+}
+
+// blockingObserver parks the step loop inside a step so tests can hold the
+// queue full deterministically.
+type blockingObserver struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingObserver) Observe(engine.StepInfo) {
+	b.entered <- struct{}{}
+	<-b.release
+}
+
+// TestEnqueueOverload pins the typed-backpressure contract: with the loop
+// parked and the queue full, Enqueue fails fast with *OverloadError
+// carrying the millisecond backoff hint, and the rejection is counted.
+func TestEnqueueOverload(t *testing.T) {
+	cfg := testConfig(1)
+	obs := &blockingObserver{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		CoalesceWindow: 25 * time.Millisecond,
+		QueueLimit:     1,
+		Observers:      []engine.Observer{obs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	first, err := svc.Enqueue(reqsFor(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-obs.entered // loop is parked inside the first step
+	if _, err := svc.Enqueue(reqsFor(1, 1)); err != nil {
+		t.Fatalf("second enqueue should claim the queue slot: %v", err)
+	}
+
+	_, err = svc.Enqueue(reqsFor(2, 1))
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("overflow = %v, want *OverloadError", err)
+	}
+	if oe.RetryAfterMS != 25 {
+		t.Fatalf("RetryAfterMS = %d, want the 25ms coalescing window", oe.RetryAfterMS)
+	}
+
+	obs.release <- struct{}{}
+	<-obs.entered
+	obs.release <- struct{}{}
+	if ack, err := first.Wait(); err != nil || ack.T != 0 {
+		t.Fatalf("first = %+v, %v", ack, err)
+	}
+	if got := svc.Metrics().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+}
+
+// TestDurabilityError: when the checkpoint write fails, the step still
+// executes exactly once and the error is typed with the executed index.
+func TestDurabilityError(t *testing.T) {
+	cfg := testConfig(1)
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		CheckpointPath: filepath.Join(t.TempDir(), "no-such-dir", "x.ckpt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	for want := 0; want < 3; want++ {
+		_, err := svc.Submit(reqsFor(want, 1))
+		var de *DurabilityError
+		if !errors.As(err, &de) {
+			t.Fatalf("submit %d = %v, want *DurabilityError", want, err)
+		}
+		if de.ExecutedT != want {
+			t.Fatalf("ExecutedT = %d, want %d", de.ExecutedT, want)
+		}
+	}
+	if m := svc.Metrics(); m.Steps != 3 || m.Requests != 3 {
+		t.Fatalf("metrics after three durability errors = %+v, want each batch fed exactly once", m)
+	}
+}
+
+// TestSubmitAfterClose: a closing service refuses new work with
+// ErrShuttingDown instead of hanging or panicking.
+func TestSubmitAfterClose(t *testing.T) {
+	cfg := testConfig(1)
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(reqsFor(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(reqsFor(1, 1)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after close = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestCheckpointRoundTrip: the service's checkpoint document resumes into
+// a service whose metrics continue the pre-crash totals, and the file
+// carries the wire version stamp (plus the legacy stamp for old readers).
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := testConfig(2)
+	ckpt := filepath.Join(t.TempDir(), "svc.ckpt")
+	svc, err := New(cfg, multi.SpreadStarts(cfg, 5), multi.NewMtCK(), Options{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := svc.Submit(reqsFor(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill without Close: the per-step checkpoint must carry everything.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := wire.ParseCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.V != wire.V1 || ck.Version != wire.CheckpointVersion {
+		t.Fatalf("checkpoint stamps = v%d/version%d, want v%d/version%d", ck.V, ck.Version, wire.V1, wire.CheckpointVersion)
+	}
+
+	r, err := Resume(cfg, multi.NewMtCK(), data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if m := r.Metrics(); m.Steps != 10 || m.Requests != 20 {
+		t.Fatalf("resumed metrics = %+v, want 10 steps / 20 requests", m)
+	}
+	_ = svc // the "killed" service is intentionally left un-Closed
+}
+
+// TestShardedAckOwnsItsStats is the aliasing regression for router mode:
+// Ack.Shards must be a copy of the router's per-shard step stats, because
+// the router reuses that buffer on every step while callers read their
+// acks outside the service lock. With the aliasing bug, this test fails
+// under -race (concurrent submitters read acks while the loop keeps
+// stepping).
+func TestShardedAckOwnsItsStats(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Partition = core.UniformPartition(3, 20)
+	svc, err := NewSharded(cfg, shard.Starts(cfg, 5),
+		func() core.FleetAlgorithm { return multi.NewMtCK() }, Options{QueueLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ack, err := svc.Submit(reqsFor(g*1000+i, 3))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				// Read the shard stats after Submit returned — exactly
+				// what a transport adapter does — and check they are
+				// internally consistent with the ack they rode in on.
+				if len(ack.Shards) != 3 {
+					t.Errorf("ack has %d shard stats, want 3", len(ack.Shards))
+					return
+				}
+				routed := 0
+				for _, st := range ack.Shards {
+					routed += st.Routed
+				}
+				if routed != ack.Batched {
+					t.Errorf("shard routed sum %d != batched %d (torn stats)", routed, ack.Batched)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestWatchReceivesEvents: each executed step publishes one event carrying
+// the step index, batch size, and the running totals.
+func TestWatchReceivesEvents(t *testing.T) {
+	cfg := testConfig(1)
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ch := svc.Watch(context.Background())
+
+	for i := 0; i < 5; i++ {
+		if _, err := svc.Submit(reqsFor(i, 3)); err != nil {
+			t.Fatal(err)
+		}
+		ev := <-ch
+		if ev.T != i || ev.Batched != 3 || ev.Steps != i+1 || ev.Requests != (i+1)*3 {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+		if ev.Dropped != 0 {
+			t.Fatalf("event %d reports drops on an attentive consumer: %+v", i, ev)
+		}
+	}
+}
+
+// TestWatchSlowConsumerDrops pins the drop policy: a subscriber that stops
+// reading loses events beyond its buffer — the step loop never blocks —
+// and the tally of lost events rides on the next delivered one.
+func TestWatchSlowConsumerDrops(t *testing.T) {
+	cfg := testConfig(1)
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ch := svc.Watch(context.Background())
+
+	// Fill the buffer and then some without reading; every Submit
+	// returns, proving the loop is not stalled by the unread subscriber.
+	const total = WatchBuffer + 7
+	for i := 0; i < total; i++ {
+		if _, err := svc.Submit(reqsFor(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The loop is idle (every Submit was acknowledged); give the final
+	// publish a moment to land, then drain the kept prefix: the buffer
+	// holds exactly the first WatchBuffer events, drop-free.
+	time.Sleep(100 * time.Millisecond)
+	for i := 0; i < WatchBuffer; i++ {
+		ev := <-ch
+		if ev.T != i || ev.Dropped != 0 {
+			t.Fatalf("buffered event %d = %+v", i, ev)
+		}
+	}
+	// The remaining events were dropped; the tally rides on the next
+	// delivered event, so execute one more step now that there is room.
+	if _, err := svc.Submit(reqsFor(total, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-ch:
+		if ev.T != total || ev.Dropped != total-WatchBuffer {
+			t.Fatalf("post-drop event = %+v, want T=%d Dropped=%d", ev, total, total-WatchBuffer)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-drop event never delivered")
+	}
+}
+
+// TestWatchUnsubscribeAndClose: cancelling the context closes the channel,
+// and Close ends every remaining subscription (including ones asked for
+// after the fact).
+func TestWatchUnsubscribeAndClose(t *testing.T) {
+	cfg := testConfig(1)
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := svc.Watch(ctx)
+	cancel()
+	if !eventuallyClosed(cancelled) {
+		t.Fatal("cancelled subscription never closed")
+	}
+	// Publishing against the removed subscriber must not panic.
+	if _, err := svc.Submit(reqsFor(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	open := svc.Watch(context.Background())
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !eventuallyClosed(open) {
+		t.Fatal("Close left a subscription open")
+	}
+	if late := svc.Watch(context.Background()); !eventuallyClosed(late) {
+		t.Fatal("Watch after Close must return a closed channel")
+	}
+}
+
+// eventuallyClosed drains ch until it closes or the deadline passes.
+func eventuallyClosed(ch <-chan MetricsEvent) bool {
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return true
+			}
+		case <-deadline:
+			return false
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// MetricsEvent is one push notification of the subscription API: emitted
+// after every executed engine step with the step's own outcome and the
+// aggregate counters at that instant. It is the typed, transport-neutral
+// form of the server-sent events on GET /metrics/stream.
+type MetricsEvent struct {
+	// T is the executed step's index and Batched its merged request count.
+	T       int
+	Batched int
+	// StepCost is the cost charged by step T alone.
+	StepCost core.Cost
+
+	// Steps through AvgStepCost mirror MetricsSnapshot after step T.
+	Steps       int
+	Requests    int
+	Cost        core.Cost
+	AvgStepCost float64
+	QueueDepth  int
+	Rejected    int64
+
+	// Dropped counts the events this subscriber missed immediately before
+	// this one: the step loop never blocks on a slow consumer — when the
+	// subscriber's buffer is full the event is dropped and the next
+	// delivered event carries the tally.
+	Dropped int
+}
+
+// WatchBuffer is each subscriber's event buffer: the slack a consumer has
+// before the drop policy kicks in.
+const WatchBuffer = 16
+
+type subscriber struct {
+	ch chan MetricsEvent
+	// dropped counts events discarded since the last successful send;
+	// guarded by the service's subMu.
+	dropped int
+}
+
+// Watch subscribes to the per-step metrics feed. The returned channel
+// receives one MetricsEvent per executed step until ctx is done or the
+// service closes, then is closed. Slow consumers are never allowed to
+// stall the step loop: events beyond the subscriber's buffer are dropped,
+// and the next delivered event reports how many were lost (Dropped).
+// A nil ctx subscribes for the service's lifetime.
+func (s *Service) Watch(ctx context.Context) <-chan MetricsEvent {
+	sub := &subscriber{ch: make(chan MetricsEvent, WatchBuffer)}
+	s.subMu.Lock()
+	if s.subsClosed {
+		s.subMu.Unlock()
+		close(sub.ch)
+		return sub.ch
+	}
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.unsubscribe(sub)
+			case <-s.loopDone:
+				// closeSubs already closed the channel.
+			}
+		}()
+	}
+	return sub.ch
+}
+
+// unsubscribe removes one subscriber and closes its channel. Safe against
+// concurrent publish (both hold subMu) and against the service closing
+// first (the map lookup guards the double close).
+func (s *Service) unsubscribe(sub *subscriber) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if _, ok := s.subs[sub]; !ok {
+		return
+	}
+	delete(s.subs, sub)
+	close(sub.ch)
+}
+
+// publish fans one event out to every subscriber without ever blocking:
+// a full buffer drops the event and bumps the subscriber's tally, which
+// rides on its next delivered event.
+func (s *Service) publish(ev MetricsEvent) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for sub := range s.subs {
+		e := ev
+		e.Dropped = sub.dropped
+		select {
+		case sub.ch <- e:
+			sub.dropped = 0
+		default:
+			sub.dropped++
+		}
+	}
+}
+
+// closeSubs ends every subscription at loop exit; later Watch calls get an
+// already-closed channel.
+func (s *Service) closeSubs() {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	s.subsClosed = true
+	for sub := range s.subs {
+		delete(s.subs, sub)
+		close(sub.ch)
+	}
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/wire"
+)
+
+// BenchmarkStreamVsHTTP compares ingestion throughput of the two
+// transports feeding the same serving core: one op is one batch of
+// benchBatch requests, submitted either as a full POST /step round-trip
+// (request, engine step, response — the client waits out every round
+// trip) or as one pipelined NDJSON frame on a persistent /stream
+// connection (up to benchInflight frames in flight; the server coalesces
+// them into engine steps and acks in order). scripts/bench.sh runs this
+// and emits the stream_vs_http entry of the BENCH_*.json trajectory.
+func BenchmarkStreamVsHTTP(b *testing.B) {
+	const (
+		benchBatch    = 8
+		benchInflight = 64
+	)
+	newServer := func(b *testing.B) (*Server, *httptest.Server) {
+		b.Helper()
+		cfg := testConfig(1)
+		s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+			QueueLimit: 4 * benchInflight,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(func() {
+			ts.Close()
+			s.Close()
+		})
+		return s, ts
+	}
+
+	b.Run("http", func(b *testing.B) {
+		_, ts := newServer(b)
+		client := ts.Client()
+		body, err := json.Marshal(wire.StepRequest{Requests: reqsFor(0, benchBatch)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Post(ts.URL+"/step", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("POST /step = %d", resp.StatusCode)
+			}
+		}
+		b.StopTimer()
+		reportReqRate(b, benchBatch)
+	})
+
+	b.Run("stream", func(b *testing.B) {
+		_, ts := newServer(b)
+		c := dialStream(b, ts)
+		c.hello(0)
+		frame, err := json.Marshal(wire.StepFrame{V: wire.V1, Type: wire.FrameStep, ID: 1, Requests: reqsFor(0, benchBatch)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame = append(frame, '\n')
+
+		// The pipelining window: the writer runs ahead of the acks, but
+		// stays under the server's queue bound so nothing is throttled.
+		sem := make(chan struct{}, benchInflight)
+		writeErr := make(chan error, 1)
+		b.ResetTimer()
+		go func() {
+			bw := bufio.NewWriter(c.conn)
+			for i := 0; i < b.N; i++ {
+				sem <- struct{}{}
+				if _, err := bw.Write(frame); err != nil {
+					writeErr <- err
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					writeErr <- err
+					return
+				}
+			}
+		}()
+		for acked := 0; acked < b.N; acked++ {
+			select {
+			case err := <-writeErr:
+				b.Fatal(err)
+			default:
+			}
+			line, err := c.br.ReadBytes('\n')
+			if err != nil {
+				b.Fatal(err)
+			}
+			head, err := wire.PeekFrame(line)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if head.Type != wire.FrameAck {
+				b.Fatalf("got %s frame mid-pipeline: %s", head.Type, line)
+			}
+			<-sem
+		}
+		b.StopTimer()
+		reportReqRate(b, benchBatch)
+	})
+}
+
+// reportReqRate turns the measured wall-clock into a requests-per-second
+// metric so the transports' sustained ingestion rates sit next to their
+// ns/op in the bench output.
+func reportReqRate(b *testing.B, batch int) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*batch)/secs, "req/s")
+	}
+}

@@ -107,6 +107,66 @@ func TestResumeLegacyBareSnapshot(t *testing.T) {
 	}
 }
 
+// TestResumeLegacyCheckpointDocument pins the checkpoint compatibility
+// guarantee across the envelope change: a checkpoint document written by
+// the pre-envelope format (a "version" stamp, no "v") still resumes with
+// its observer state intact, and the file the resumed server then writes
+// carries both stamps.
+func TestResumeLegacyCheckpointDocument(t *testing.T) {
+	cfg := testConfig(2)
+	ckpt := filepath.Join(t.TempDir(), "legacy.ckpt")
+	a, err := New(cfg, multi.SpreadStarts(cfg, 5), multi.NewMtCK(), Options{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(a.Handler())
+	driveSequential(t, tsA.URL, 0, 12)
+	tsA.Close() // killed
+
+	// Rewrite the file exactly as PR-3 would have: same document, no "v".
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["v"]; !ok {
+		t.Fatal("new checkpoints must carry the v stamp")
+	}
+	delete(doc, "v")
+	legacy, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Resume(cfg, multi.NewMtCK(), legacy, Options{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	defer b.Close()
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+	var m wire.MetricsResponse
+	getJSON(t, tsB.URL+"/metrics", &m)
+	if m.Steps != 12 || m.Requests != 24 {
+		t.Fatalf("legacy resume lost observer state: %+v", m)
+	}
+	driveSequential(t, tsB.URL, 12, 13)
+	data, err = os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := wire.ParseCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.V != wire.V1 || ck.Version != wire.CheckpointVersion {
+		t.Fatalf("rewritten checkpoint stamps = v%d/version%d", ck.V, ck.Version)
+	}
+}
+
 // Test507NoDoubleFeed pins the executed-but-uncheckpointed contract from
 // the client's side: a 507 means the step RAN — the session advanced and
 // the batch is in /metrics — so a client that resends the batch feeds it
@@ -170,7 +230,9 @@ func TestRetryAfterMsUnderWindow(t *testing.T) {
 		postJSON(t, ts.URL, wire.StepRequest{Requests: reqsFor(0, 1)})
 	}()
 	<-obs.entered
-	s.queue <- batch{reqs: nil, reply: make(chan outcome, 1)}
+	if _, err := s.Service().Enqueue(nil); err != nil {
+		t.Fatal(err)
+	}
 
 	resp, data := postJSON(t, ts.URL, wire.StepRequest{Requests: reqsFor(1, 1)})
 	if resp.StatusCode != 429 {

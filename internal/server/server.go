@@ -1,537 +1,147 @@
-// Package server is the live-serving HTTP front-end of the streaming
-// engine: it owns one session-shaped Backend — a single engine.Session
-// (New/Resume) or a shard.Router fanning each step out to per-region
-// sessions (NewSharded/ResumeSharded) — and exposes it to the network with
-// the JSON wire format of package wire.
+// Package server exposes the transport-neutral serving core of
+// internal/protocol to the network. It is deliberately thin: every serving
+// semantic — batch coalescing, the bounded queue, checkpointing, observer
+// reads, the metrics subscription — lives in protocol.Service; this
+// package only translates between the Service's typed surface and the wire
+// formats of package wire, over two transports:
 //
-//   - POST /step feeds a request batch. Batches arriving within the
-//     coalescing window are merged into a single engine step; every merged
-//     caller gets the step's shared outcome plus its own accepted count.
-//   - A bounded queue applies backpressure: when it is full, POST /step is
-//     refused with 429 and a Retry-After header instead of buffering
-//     without limit.
-//   - GET /metrics and GET /state serve live engine.Metrics and
-//     engine.MoveStats snapshots via the engine's Observer plumbing.
-//   - GET /snapshot returns the session checkpoint document, and when a
-//     checkpoint path is configured the server writes it atomically after
-//     every CheckpointEvery-th step, before acknowledging that step's
-//     callers. With CheckpointEvery == 1 (the default) a killed process
-//     resumes from the file (Resume) losing at most one coalescing window
-//     of unacknowledged traffic; a larger cadence trades that durability
-//     for fewer writes and can lose up to CheckpointEvery-1 acknowledged
-//     steps on a crash.
+//   - the JSON-over-HTTP API (byte-compatible with its pre-protocol-layer
+//     form): POST /step feeds a request batch and blocks for its step's
+//     outcome, a full queue answers 429 + Retry-After, GET /metrics,
+//     GET /state, and GET /snapshot serve the live snapshots;
+//   - the persistent streaming API: POST /stream upgrades the connection
+//     to pipelined NDJSON frames (see stream.go) so one client can submit
+//     step batches without per-request HTTP overhead, and
+//     GET /metrics/stream pushes one server-sent event per executed step.
 //
-// One goroutine (the step loop) drives the session; HTTP handlers only
-// enqueue batches and read state under the session mutex, so the engine
-// itself stays single-threaded.
+// Create a Server with New or Resume (NewSharded/ResumeSharded for router
+// mode), mount Handler on an http.Server, and Close it to drain the queue
+// and write the final checkpoint.
 package server
 
 import (
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
-	"os"
-	"path/filepath"
-	"sync"
-	"sync/atomic"
-	"time"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/protocol"
 	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
-// Backend is the session the front-end drives: one batch per step, with
-// the engine.Session accessor surface. engine.Session implements it
-// directly; shard.Router implements it by routing each step across its
-// per-region sessions and aggregating the results.
-type Backend interface {
-	Step(requests []geom.Point) error
-	T() int
-	Algorithm() string
-	Cost() core.Cost
-	Clamped() int
-	Positions() []geom.Point
-	Snapshot() ([]byte, error)
-	Finish() *engine.Result
-}
+// Backend is the session shape the server drives; it lives in
+// internal/protocol now (the serving core is transport-neutral), and the
+// alias keeps this package's surface complete.
+type Backend = protocol.Backend
 
-// shardedBackend is the extra surface a router-mode backend exposes; the
-// handlers use it to tag responses with per-shard payloads.
-type shardedBackend interface {
-	Backend
-	Partition() core.Partition
-	LastSteps() []shard.StepStat
-	States() []shard.State
-}
-
-// Options configures the front-end. The zero value serves with strict cap
-// checking, no coalescing wait, a queue of DefaultQueueLimit batches, and
-// no checkpointing.
-type Options struct {
-	// CoalesceWindow is how long the step loop waits after the first
-	// queued batch for more batches to merge into the same engine step.
-	// Zero merges only batches that are already queued, without waiting.
-	CoalesceWindow time.Duration
-	// QueueLimit bounds the number of batches waiting for the step loop;
-	// a full queue refuses POST /step with 429. Default DefaultQueueLimit.
-	QueueLimit int
-	// CheckpointPath, when non-empty, enables checkpointing: the session
-	// snapshot is written there atomically (tmp file + rename) after every
-	// CheckpointEvery-th step, before the step's callers are acknowledged.
-	CheckpointPath string
-	// CheckpointEvery is the number of steps between checkpoints.
-	// Default 1 (checkpoint after every step).
-	CheckpointEvery int
-	// Mode and Tol configure the engine's cap enforcement.
-	Mode engine.Mode
-	Tol  float64
-	// Observers are extra engine observers appended after the server's own
-	// metrics and movement-stats observers. They are notified from the
-	// step loop; implementations must not call back into the server.
-	Observers []engine.Observer
-}
+// Options configures the serving core; see protocol.Options.
+type Options = protocol.Options
 
 // DefaultQueueLimit is the queue bound used when Options.QueueLimit is 0.
-const DefaultQueueLimit = 64
+const DefaultQueueLimit = protocol.DefaultQueueLimit
 
-func (o Options) withDefaults() Options {
-	if o.QueueLimit <= 0 {
-		o.QueueLimit = DefaultQueueLimit
-	}
-	if o.CheckpointEvery <= 0 {
-		o.CheckpointEvery = 1
-	}
-	return o
-}
-
-// batch is one enqueued POST /step body with its reply channel.
-type batch struct {
-	reqs  []geom.Point
-	reply chan outcome
-}
-
-// outcome is what the step loop hands back to a waiting handler. executed
-// distinguishes "the step failed" (err, resp empty) from "the step ran but
-// its checkpoint did not land" (err and resp both set): in the latter case
-// the session has advanced and the caller must not resend the batch.
-type outcome struct {
-	resp     wire.StepResponse
-	err      error
-	executed bool
-}
-
-// Server owns an engine session and serves it over HTTP. Create one with
-// New or Resume, mount Handler on an http.Server, and Close it to drain
-// the queue and write the final checkpoint.
+// Server adapts one protocol.Service to HTTP.
 type Server struct {
-	cfg  core.Config
-	opts Options
-
-	// mu guards the session and the observers attached to it. Step runs
-	// only in the step loop; handlers take mu for consistent reads.
-	mu       sync.Mutex
-	sess     Backend
-	metrics  *engine.Metrics
-	moves    *engine.MoveStats
-	lastCost core.Cost
-
-	queue    chan batch
-	rejected atomic.Int64
-	closing  atomic.Bool
-	closed   chan struct{}
-	loopDone chan struct{}
-	closeErr error
-	once     sync.Once
+	cfg core.Config
+	svc *protocol.Service
 }
 
 // New starts a server around a fresh session.
 func New(cfg core.Config, starts []geom.Point, alg core.FleetAlgorithm, opts Options) (*Server, error) {
-	return start(cfg, opts, nil, func(eopts engine.Options) (Backend, error) {
-		return engine.NewSession(cfg, starts, alg, eopts)
-	})
+	svc, err := protocol.New(cfg, starts, alg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, svc: svc}, nil
 }
 
-// Resume starts a server around a session restored from checkpoint bytes:
-// the step counter, costs, positions, and algorithm state continue exactly
-// where the snapshot was taken. The bytes may be a checkpoint document
-// written by this server (whose observer state reseeds /metrics and
-// /state, so dashboards survive the restart) or a bare engine snapshot
-// (observers start fresh and cover only the resumed part).
+// Resume starts a server around a session restored from checkpoint bytes;
+// see protocol.Resume.
 func Resume(cfg core.Config, alg core.FleetAlgorithm, snapshot []byte, opts Options) (*Server, error) {
-	ck, err := wire.ParseCheckpoint(snapshot)
+	svc, err := protocol.Resume(cfg, alg, snapshot, opts)
 	if err != nil {
 		return nil, err
 	}
-	return start(cfg, opts, &ck, func(eopts engine.Options) (Backend, error) {
-		return engine.Restore(cfg, alg, ck.Session, eopts)
-	})
+	return &Server{cfg: cfg, svc: svc}, nil
 }
 
-// NewSharded starts a server in router mode: one fleet of cfg.Servers()
-// servers per shard of cfg.Partition, each request routed to its region's
-// session and all shards stepped concurrently (see shard.New). starts
-// holds one fleet layout per shard and newAlg constructs one independent
-// controller per shard.
+// NewSharded starts a server in router mode; see protocol.NewSharded.
 func NewSharded(cfg core.Config, starts [][]geom.Point, newAlg func() core.FleetAlgorithm, opts Options) (*Server, error) {
-	return start(cfg, opts, nil, func(eopts engine.Options) (Backend, error) {
-		return shard.New(cfg, starts, newAlg, eopts)
-	})
+	svc, err := protocol.NewSharded(cfg, starts, newAlg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, svc: svc}, nil
 }
 
-// ResumeSharded starts a router-mode server from a checkpoint written by a
-// sharded server: every shard session resumes exactly where the combined
-// snapshot was taken (shard.Restore rejects a mismatched shard layout),
-// and persisted observer state reseeds /metrics and /state. From a bare
-// combined snapshot (GET /snapshot), step/request/cost totals are instead
-// reconstructed from the router's own counters; the decayed average and
-// movement stats restart.
+// ResumeSharded starts a router-mode server from a sharded checkpoint; see
+// protocol.ResumeSharded.
 func ResumeSharded(cfg core.Config, newAlg func() core.FleetAlgorithm, snapshot []byte, opts Options) (*Server, error) {
-	ck, err := wire.ParseCheckpoint(snapshot)
+	svc, err := protocol.ResumeSharded(cfg, newAlg, snapshot, opts)
 	if err != nil {
 		return nil, err
 	}
-	return start(cfg, opts, &ck, func(eopts engine.Options) (Backend, error) {
-		return shard.Restore(cfg, newAlg, ck.Session, eopts)
-	})
+	return &Server{cfg: cfg, svc: svc}, nil
 }
 
-func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.Options) (Backend, error)) (*Server, error) {
-	opts = opts.withDefaults()
-	s := &Server{
-		cfg:      cfg,
-		opts:     opts,
-		metrics:  &engine.Metrics{},
-		moves:    &engine.MoveStats{},
-		queue:    make(chan batch, opts.QueueLimit),
-		closed:   make(chan struct{}),
-		loopDone: make(chan struct{}),
-	}
-	obs := []engine.Observer{
-		engine.Func(func(info engine.StepInfo) { s.lastCost = info.Cost }),
-		s.metrics,
-		s.moves,
-	}
-	obs = append(obs, opts.Observers...)
-	sess, err := open(engine.Options{Mode: opts.Mode, Tol: opts.Tol, Observers: obs})
-	if err != nil {
-		return nil, err
-	}
-	s.sess = sess
-	if ck != nil {
-		s.seedObservers(*ck)
-		if ck.Metrics == nil {
-			s.reconcileShardedMetrics()
-		}
-	}
-	go s.loop()
-	return s, nil
-}
-
-// reconcileShardedMetrics covers a resume from a bare router snapshot (no
-// persisted observer state): the router restores its per-shard request
-// counters, so the fleet-level Metrics observer must agree with their sum
-// or /metrics would report shards that do not add up to the totals. Steps,
-// requests, and cost are reconstructed from the backend; the decayed
-// average (and the movement stats, which no snapshot carries) restart.
-func (s *Server) reconcileShardedMetrics() {
-	sb, ok := s.sess.(shardedBackend)
-	if !ok {
-		return
-	}
-	s.metrics.Steps = s.sess.T()
-	s.metrics.Cost = s.sess.Cost()
-	s.metrics.Requests = 0
-	for _, st := range sb.States() {
-		s.metrics.Requests += st.Requests
-	}
-}
-
-// seedObservers reinstates the observer state persisted in a checkpoint
-// document, so a resumed server's /metrics and /state continue the
-// pre-crash totals instead of starting from zero. Runs before the step
-// loop starts, so no lock is needed.
-func (s *Server) seedObservers(ck wire.Checkpoint) {
-	if m := ck.Metrics; m != nil {
-		s.metrics.Steps = m.Steps
-		s.metrics.Requests = m.Requests
-		s.metrics.Cost = core.Cost{Move: m.MoveCost, Serve: m.ServeCost}
-		s.metrics.AvgStepCost = m.AvgStepCost
-	}
-	if mv := ck.Moves; mv != nil {
-		s.moves.Steps = mv.Steps
-		s.moves.MaxMove = mv.MaxMove
-		s.moves.TotalMove = mv.TotalMove
-		s.moves.CapHits = mv.CapHits
-	}
-}
+// Service returns the underlying transport-neutral serving core, for
+// callers that want the typed surface (Submit/Watch/...) next to the HTTP
+// one.
+func (s *Server) Service() *protocol.Service { return s.svc }
 
 // T returns the session's current step count.
-func (s *Server) T() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sess.T()
-}
+func (s *Server) T() int { return s.svc.T() }
 
 // Algorithm returns the backend's reported name (in router mode the
 // per-shard algorithm tagged with the shard count, e.g. "MtC-k×4").
-func (s *Server) Algorithm() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sess.Algorithm()
-}
+func (s *Server) Algorithm() string { return s.svc.Algorithm() }
 
 // Close stops accepting traffic, drains the already-queued batches through
 // the session, writes a final checkpoint (when configured), and waits for
 // the step loop to exit. It returns the final checkpoint error, if any.
-func (s *Server) Close() error {
-	s.once.Do(func() {
-		s.closing.Store(true)
-		close(s.closed)
-		<-s.loopDone
-	})
-	return s.closeErr
-}
+func (s *Server) Close() error { return s.svc.Close() }
 
 // Finish closes the underlying session and returns its accumulated result.
 // Call it after Close; a finished session cannot be snapshotted or resumed.
-func (s *Server) Finish() *engine.Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sess.Finish()
-}
+func (s *Server) Finish() *engine.Result { return s.svc.Finish() }
 
-// loop is the single goroutine that steps the session: it pulls the first
-// queued batch, coalesces what arrives within the window, executes one
-// engine step, checkpoints, and acknowledges the merged callers.
-func (s *Server) loop() {
-	defer close(s.loopDone)
-	for {
-		select {
-		case <-s.closed:
-			s.drain()
-			return
-		case first := <-s.queue:
-			s.execute(s.coalesce(first))
-		}
-	}
-}
+// Handler returns the full HTTP API: the per-request endpoints
+// (POST /step, GET /metrics, GET /state, GET /snapshot) plus the streaming
+// transports (POST /stream, GET /metrics/stream). Use HandlerWith(false)
+// to serve the per-request endpoints only.
+func (s *Server) Handler() http.Handler { return s.HandlerWith(true) }
 
-// coalesce gathers the batches that share first's engine step.
-func (s *Server) coalesce(first batch) []batch {
-	items := []batch{first}
-	if w := s.opts.CoalesceWindow; w > 0 {
-		timer := time.NewTimer(w)
-		defer timer.Stop()
-		for {
-			select {
-			case b := <-s.queue:
-				items = append(items, b)
-			case <-timer.C:
-				return items
-			case <-s.closed:
-				return items
-			}
-		}
-	}
-	for {
-		select {
-		case b := <-s.queue:
-			items = append(items, b)
-		default:
-			return items
-		}
-	}
-}
-
-// drain executes every batch still queued at shutdown (one step each, no
-// coalescing wait) and writes the final checkpoint.
-func (s *Server) drain() {
-	for {
-		select {
-		case b := <-s.queue:
-			s.execute([]batch{b})
-		default:
-			s.closeErr = s.checkpointNow()
-			return
-		}
-	}
-}
-
-// execute merges the items into one request batch, runs one engine step,
-// checkpoints if due, and replies to every merged caller. A due checkpoint
-// is written before the acknowledgements, so with CheckpointEvery == 1 an
-// acknowledged step is never lost to a crash (larger cadences acknowledge
-// the steps between checkpoints before they are durable).
-func (s *Server) execute(items []batch) {
-	total := 0
-	for _, b := range items {
-		total += len(b.reqs)
-	}
-	merged := make([]geom.Point, 0, total)
-	for _, b := range items {
-		merged = append(merged, b.reqs...)
-	}
-
-	s.mu.Lock()
-	err := s.sess.Step(merged)
-	var resp wire.StepResponse
-	var snap []byte
-	var snapErr error
-	if err == nil {
-		resp = wire.StepResponse{
-			T:         s.sess.T() - 1,
-			Batched:   total,
-			Cost:      wire.FromCost(s.lastCost),
-			Positions: wire.FromPoints(s.sess.Positions()),
-		}
-		if sb, ok := s.sess.(shardedBackend); ok {
-			resp.Shards = shardSteps(sb.LastSteps())
-		}
-		if s.opts.CheckpointPath != "" && s.sess.T()%s.opts.CheckpointEvery == 0 {
-			snap, snapErr = s.checkpointDoc()
-		}
-	}
-	s.mu.Unlock()
-
-	if snap != nil {
-		snapErr = writeAtomic(s.opts.CheckpointPath, snap)
-	}
-	executed := err == nil
-	if executed && snapErr != nil {
-		// The step ran but is not durable; surface that to the callers
-		// (as 507 with the executed step index) rather than acknowledging
-		// a step a crash could silently lose.
-		err = fmt.Errorf("server: step %d executed but checkpoint failed: %w", resp.T, snapErr)
-	}
-	for _, b := range items {
-		r := resp
-		r.Accepted = len(b.reqs)
-		b.reply <- outcome{resp: r, err: err, executed: executed}
-	}
-}
-
-// checkpointNow snapshots and writes the checkpoint file unconditionally
-// (used at shutdown). A server without a checkpoint path does nothing.
-func (s *Server) checkpointNow() error {
-	if s.opts.CheckpointPath == "" {
-		return nil
-	}
-	s.mu.Lock()
-	snap, err := s.checkpointDoc()
-	s.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	return writeAtomic(s.opts.CheckpointPath, snap)
-}
-
-// checkpointDoc marshals the checkpoint document: the backend snapshot
-// plus the current observer state, captured together so the file is one
-// consistent cut of the run. The caller must hold mu.
-func (s *Server) checkpointDoc() ([]byte, error) {
-	sess, err := s.sess.Snapshot()
-	if err != nil {
-		return nil, err
-	}
-	return json.Marshal(wire.Checkpoint{
-		Version: wire.CheckpointVersion,
-		Session: sess,
-		Metrics: &wire.MetricsState{
-			Steps:       s.metrics.Steps,
-			Requests:    s.metrics.Requests,
-			MoveCost:    s.metrics.Cost.Move,
-			ServeCost:   s.metrics.Cost.Serve,
-			AvgStepCost: s.metrics.AvgStepCost,
-		},
-		Moves: &wire.MoveState{
-			Steps:     s.moves.Steps,
-			MaxMove:   s.moves.MaxMove,
-			TotalMove: s.moves.TotalMove,
-			CapHits:   s.moves.CapHits,
-		},
-	})
-}
-
-// shardSteps converts the router's per-shard step stats to their wire form.
-func shardSteps(stats []shard.StepStat) []wire.ShardStep {
-	out := make([]wire.ShardStep, len(stats))
-	for i, st := range stats {
-		out[i] = wire.ShardStep{Shard: i, Routed: st.Routed, Cost: wire.FromCost(st.Cost)}
-	}
-	return out
-}
-
-// writeAtomic writes data to path via a temp file in the same directory,
-// fsync, and an atomic rename, so neither a process kill mid-write nor a
-// system crash shortly after leaves a torn or empty checkpoint.
-func writeAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	// Make the rename itself durable. Directory fsync is best-effort:
-	// some platforms/filesystems refuse it, and the rename is already
-	// atomic for process-level crashes.
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = dir.Sync()
-		dir.Close()
-	}
-	return nil
-}
-
-// retryAfter returns the backoff hints sent with 429: the precise hint is
-// one coalescing window in milliseconds (at least 1ms), and the Retry-After
-// header is that value rounded up to the header's whole-second resolution.
-func (s *Server) retryAfter() (sec, ms int) {
-	ms = int(s.opts.CoalesceWindow.Milliseconds())
-	if ms < 1 {
-		ms = 1
-	}
-	sec = (ms + 999) / 1000
-	return sec, ms
-}
-
-// Handler returns the HTTP API: POST /step, GET /metrics, GET /state,
-// GET /snapshot.
-func (s *Server) Handler() http.Handler {
+// HandlerWith returns the HTTP API, with the streaming endpoints
+// (POST /stream, GET /metrics/stream) mounted only when stream is true.
+func (s *Server) HandlerWith(stream bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /step", s.handleStep)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /state", s.handleState)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	if stream {
+		mux.HandleFunc("POST /stream", s.handleStream)
+		mux.HandleFunc("GET /metrics/stream", s.handleMetricsStream)
+	}
 	return mux
 }
 
-// maxBodyBytes bounds a POST /step body; a batch larger than this is a
-// client error, not a reason to exhaust server memory.
+// maxBodyBytes bounds a POST /step body (and one NDJSON frame); a batch
+// larger than this is a client error, not a reason to exhaust server
+// memory.
 const maxBodyBytes = 8 << 20
 
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
-	if s.closing.Load() {
+	if s.svc.Closing() {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	var req wire.StepRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	req, err := wire.DecodeStepRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad step body: "+err.Error())
 		return
 	}
@@ -542,105 +152,107 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	b := batch{reqs: reqs, reply: make(chan outcome, 1)}
-	select {
-	case s.queue <- b:
-	default:
-		s.rejected.Add(1)
-		sec, ms := s.retryAfter()
-		w.Header().Set("Retry-After", fmt.Sprint(sec))
-		writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{
-			Error:         "step queue is full",
-			RetryAfterSec: sec,
-			RetryAfterMs:  ms,
-		})
+	ack, err := s.svc.Submit(reqs)
+	if err != nil {
+		s.writeStepError(w, err)
 		return
 	}
-	select {
-	case out := <-b.reply:
-		s.writeStepOutcome(w, out)
-	case <-s.loopDone:
-		// The loop exited; the drain may still have served us.
-		select {
-		case out := <-b.reply:
-			s.writeStepOutcome(w, out)
-		default:
-			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
-		}
+	writeJSON(w, http.StatusOK, ackResponse(ack))
+}
+
+// writeStepError maps the protocol layer's typed errors onto the HTTP
+// status-code signaling the per-request API has always used.
+func (s *Server) writeStepError(w http.ResponseWriter, err error) {
+	var oe *protocol.OverloadError
+	var de *protocol.DurabilityError
+	switch {
+	case errors.As(err, &oe):
+		sec := (oe.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{
+			Error:         err.Error(),
+			RetryAfterSec: sec,
+			RetryAfterMs:  oe.RetryAfterMS,
+		})
+	case errors.As(err, &de):
+		// The step ran (it is in /metrics and the session advanced) but
+		// its checkpoint did not land: answer 507 carrying the executed
+		// step index so clients know not to resend.
+		t := de.ExecutedT
+		writeJSON(w, http.StatusInsufficientStorage, wire.ErrorResponse{Error: err.Error(), ExecutedT: &t})
+	case errors.Is(err, protocol.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
-func (s *Server) writeStepOutcome(w http.ResponseWriter, out outcome) {
-	if out.err != nil {
-		if out.executed {
-			// The step ran (it is in /metrics and the session advanced)
-			// but its checkpoint did not land: answer 507 carrying the
-			// executed step index so clients know not to resend.
-			t := out.resp.T
-			writeJSON(w, http.StatusInsufficientStorage, wire.ErrorResponse{Error: out.err.Error(), ExecutedT: &t})
-			return
-		}
-		writeError(w, http.StatusInternalServerError, out.err.Error())
-		return
+// ackResponse converts a typed step outcome to its wire form.
+func ackResponse(ack protocol.Ack) wire.StepResponse {
+	resp := wire.StepResponse{
+		T:         ack.T,
+		Accepted:  ack.Accepted,
+		Batched:   ack.Batched,
+		Cost:      wire.FromCost(ack.Cost),
+		Positions: wire.FromPoints(ack.Positions),
 	}
-	writeJSON(w, http.StatusOK, out.resp)
+	if ack.Shards != nil {
+		resp.Shards = shardSteps(ack.Shards)
+	}
+	return resp
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	m := s.svc.Metrics()
 	resp := wire.MetricsResponse{
-		Steps:       s.metrics.Steps,
-		Requests:    s.metrics.Requests,
-		Cost:        wire.FromCost(s.metrics.Cost),
-		AvgStepCost: s.metrics.AvgStepCost,
+		Steps:       m.Steps,
+		Requests:    m.Requests,
+		Cost:        wire.FromCost(m.Cost),
+		AvgStepCost: m.AvgStepCost,
+		Rejected:    m.Rejected,
+		QueueDepth:  m.QueueDepth,
 	}
-	if sb, ok := s.sess.(shardedBackend); ok {
-		states := sb.States()
-		resp.Shards = make([]wire.ShardMetrics, len(states))
-		for i, st := range states {
+	if m.Shards != nil {
+		resp.Shards = make([]wire.ShardMetrics, len(m.Shards))
+		for i, st := range m.Shards {
 			resp.Shards[i] = wire.ShardMetrics{Shard: st.Shard, Requests: st.Requests, Cost: wire.FromCost(st.Cost)}
 		}
 	}
-	s.mu.Unlock()
-	resp.Rejected = s.rejected.Load()
-	resp.QueueDepth = len(s.queue)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	st := s.svc.State()
 	resp := wire.StateResponse{
-		Algorithm: s.sess.Algorithm(),
-		T:         s.sess.T(),
-		Positions: wire.FromPoints(s.sess.Positions()),
-		MaxMove:   s.moves.MaxMove,
-		TotalMove: s.moves.TotalMove,
-		CapHits:   s.moves.CapHits,
-		Clamped:   s.sess.Clamped(),
-		Cost:      wire.FromCost(s.sess.Cost()),
+		Algorithm: st.Algorithm,
+		T:         st.T,
+		Positions: wire.FromPoints(st.Positions),
+		MaxMove:   st.MaxMove,
+		TotalMove: st.TotalMove,
+		CapHits:   st.CapHits,
+		Clamped:   st.Clamped,
+		Cost:      wire.FromCost(st.Cost),
 	}
-	if sb, ok := s.sess.(shardedBackend); ok {
-		resp.Partition = append([]float64(nil), sb.Partition()...)
-		states := sb.States()
-		resp.Shards = make([]wire.ShardState, len(states))
-		for i, st := range states {
+	if st.Partition != nil {
+		resp.Partition = append([]float64(nil), st.Partition...)
+	}
+	if st.Shards != nil {
+		resp.Shards = make([]wire.ShardState, len(st.Shards))
+		for i, sh := range st.Shards {
 			resp.Shards[i] = wire.ShardState{
-				Shard:     st.Shard,
-				Requests:  st.Requests,
-				Clamped:   st.Clamped,
-				Positions: wire.FromPoints(st.Positions),
-				Cost:      wire.FromCost(st.Cost),
+				Shard:     sh.Shard,
+				Requests:  sh.Requests,
+				Clamped:   sh.Clamped,
+				Positions: wire.FromPoints(sh.Positions),
+				Cost:      wire.FromCost(sh.Cost),
 			}
 		}
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	snap, err := s.sess.Snapshot()
-	s.mu.Unlock()
+	snap, err := s.svc.Snapshot()
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
 		return
@@ -648,6 +260,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(snap)
+}
+
+// shardSteps converts the router's per-shard step stats to their wire form.
+func shardSteps(stats []shard.StepStat) []wire.ShardStep {
+	out := make([]wire.ShardStep, len(stats))
+	for i, st := range stats {
+		out[i] = wire.ShardStep{Shard: i, Routed: st.Routed, Cost: wire.FromCost(st.Cost)}
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

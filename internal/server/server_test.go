@@ -230,7 +230,9 @@ func TestBackpressure429(t *testing.T) {
 	<-obs.entered
 
 	// Second batch: fills the queue directly (the loop is parked).
-	s.queue <- batch{reqs: nil, reply: make(chan outcome, 1)}
+	if _, err := s.Service().Enqueue(nil); err != nil {
+		t.Fatal(err)
+	}
 
 	// Third batch over HTTP must be turned away.
 	resp, data := postJSON(t, ts.URL, wire.StepRequest{Requests: reqsFor(1, 1)})
@@ -255,7 +257,7 @@ func TestBackpressure429(t *testing.T) {
 	if code := <-firstDone; code != http.StatusOK {
 		t.Fatalf("first POST = %d", code)
 	}
-	if got := s.rejected.Load(); got != 1 {
+	if got := s.Service().Metrics().Rejected; got != 1 {
 		t.Fatalf("rejected = %d, want 1", got)
 	}
 }

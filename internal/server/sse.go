@@ -1,0 +1,56 @@
+// The push side of the metrics API: GET /metrics/stream serves the
+// protocol layer's Watch subscription as server-sent events, one event per
+// executed engine step, so dashboards follow the session without polling
+// GET /metrics.
+
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/wire"
+)
+
+func (s *Server) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported: response cannot be flushed")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// The subscription lives until the client goes away or the server
+	// closes; the protocol layer's drop policy guarantees a slow reader
+	// here can never stall the step loop — it just loses events, and the
+	// tally rides on the next delivered one (the "dropped" field).
+	for ev := range s.svc.Watch(r.Context()) {
+		data, err := json.Marshal(wire.MetricsEvent{
+			V:           wire.V1,
+			T:           ev.T,
+			Batched:     ev.Batched,
+			StepCost:    wire.FromCost(ev.StepCost),
+			Steps:       ev.Steps,
+			Requests:    ev.Requests,
+			Cost:        wire.FromCost(ev.Cost),
+			AvgStepCost: ev.AvgStepCost,
+			QueueDepth:  ev.QueueDepth,
+			Rejected:    ev.Rejected,
+			Dropped:     ev.Dropped,
+		})
+		if err != nil {
+			return
+		}
+		// SSE framing: the step index doubles as the event id, so
+		// EventSource clients see a resumable cursor.
+		if _, err := w.Write([]byte("id: " + strconv.Itoa(ev.T) + "\nevent: metrics\ndata: " + string(data) + "\n\n")); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+}

@@ -1,0 +1,262 @@
+// The persistent streaming transport: POST /stream hijacks the HTTP
+// connection and speaks newline-delimited JSON frames (package wire's
+// frame grammar) in both directions, so one client can pipeline step
+// batches without per-request HTTP overhead.
+//
+// Protocol, from the client's side:
+//
+//  1. POST /stream, then read the HTTP response head (200 with
+//     Content-Type application/x-ndjson); the connection is now a frame
+//     stream.
+//  2. Send {"v":1,"type":"hello"} (optionally with "dim"); the server
+//     answers a welcome frame carrying the algorithm, the session's
+//     current step count t, and the dimension — or an error frame with
+//     code bad_version, and closes, when the major version is unknown.
+//  3. Pipeline {"v":1,"type":"step","id":N,"requests":[...]} frames
+//     without waiting. The server answers every frame IN SUBMISSION ORDER
+//     with an ack (the step outcome), a throttle (typed backpressure: the
+//     batch was not enqueued, resend the same id after retry_after_ms), or
+//     an error frame carrying that id.
+//  4. Send {"v":1,"type":"bye"} (or just close) to end; the server
+//     finishes answering everything already submitted first.
+//
+// After a disconnect, steps whose acks were in flight may have executed:
+// reconnect and compare the welcome's t with the last acked step — every
+// step below t was executed exactly once, so resume from the first
+// unacked batch beyond it.
+
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/wire"
+)
+
+// replyItem is one queued response frame, carried from the reader to the
+// writer so replies leave in exactly the order their frames arrived.
+// Either pend is set (an enqueued step awaiting its outcome) or frame
+// holds an immediate reply (throttle or per-message error).
+type replyItem struct {
+	pend  *protocol.Pending
+	id    int64
+	frame any
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported: connection cannot be hijacked")
+		return
+	}
+	conn, bufrw, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	// The stream lives as long as the client keeps it; undo any server
+	// read/write deadlines inherited from the HTTP layer.
+	_ = conn.SetDeadline(time.Time{})
+
+	if _, err := bufrw.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"); err != nil {
+		return
+	}
+	if err := bufrw.Flush(); err != nil {
+		return
+	}
+
+	sc := bufio.NewScanner(bufrw.Reader)
+	sc.Buffer(make([]byte, 64<<10), maxBodyBytes)
+
+	writeFrame := func(v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bufrw.Write(append(data, '\n')); err != nil {
+			return err
+		}
+		return bufrw.Flush()
+	}
+
+	if !s.streamHandshake(sc, writeFrame) {
+		return
+	}
+
+	// The writer drains replies in submission order; the reader keeps
+	// consuming frames meanwhile, so the client can pipeline. The channel
+	// is bounded: a client that outruns the queue and its throttles
+	// eventually blocks the reader, which is TCP backpressure, not memory
+	// growth.
+	replies := make(chan replyItem, 2*protocol.DefaultQueueLimit)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		dead := false
+		for it := range replies {
+			frame := it.frame
+			if it.pend != nil {
+				ack, err := it.pend.Wait()
+				if err != nil {
+					frame = streamError(it.id, err)
+				} else {
+					a := ackResponse(ack)
+					frame = wire.AckFrame{V: wire.V1, Type: wire.FrameAck, ID: it.id, StepResponse: a}
+				}
+			}
+			// After a write failure keep draining so enqueued steps are
+			// still waited (their outcomes are buffered; nothing leaks),
+			// but stop touching the dead connection.
+			if !dead && writeFrame(frame) != nil {
+				dead = true
+			}
+		}
+	}()
+
+	s.streamRead(sc, replies)
+	close(replies)
+	<-writerDone
+}
+
+// streamHandshake consumes the hello frame and answers welcome (or a fatal
+// error frame). It reports whether the stream may proceed.
+func (s *Server) streamHandshake(sc *bufio.Scanner, writeFrame func(any) error) bool {
+	line, ok := nextLine(sc)
+	if !ok {
+		return false
+	}
+	head, err := wire.PeekFrame(line)
+	if err != nil {
+		_ = writeFrame(fatalError(wire.CodeBadFrame, err.Error()))
+		return false
+	}
+	if err := wire.CheckVersion(head.V); err != nil {
+		_ = writeFrame(fatalError(wire.CodeBadVersion, err.Error()))
+		return false
+	}
+	if head.Type != wire.FrameHello {
+		_ = writeFrame(fatalError(wire.CodeBadFrame, "first frame must be hello, got "+head.Type))
+		return false
+	}
+	var hello wire.HelloFrame
+	if err := wire.UnmarshalStrict(line, &hello); err != nil {
+		_ = writeFrame(fatalError(wire.CodeBadFrame, "bad hello: "+err.Error()))
+		return false
+	}
+	if hello.Dim != 0 && hello.Dim != s.cfg.Dim {
+		_ = writeFrame(fatalError(wire.CodeBadRequest,
+			"session dimension is "+strconv.Itoa(s.cfg.Dim)+", hello asked for "+strconv.Itoa(hello.Dim)))
+		return false
+	}
+	return writeFrame(wire.WelcomeFrame{
+		V:         wire.V1,
+		Type:      wire.FrameWelcome,
+		Algorithm: s.svc.Algorithm(),
+		T:         s.svc.T(),
+		Dim:       s.cfg.Dim,
+	}) == nil
+}
+
+// streamRead is the reader loop: it decodes frames and turns each into an
+// ordered reply item — an enqueued pending step, a throttle, or an error.
+// It returns on bye, on a fatal protocol violation, or when the
+// connection dies.
+func (s *Server) streamRead(sc *bufio.Scanner, replies chan<- replyItem) {
+	for {
+		line, ok := nextLine(sc)
+		if !ok {
+			return
+		}
+		head, err := wire.PeekFrame(line)
+		if err != nil {
+			replies <- replyItem{frame: fatalError(wire.CodeBadFrame, err.Error())}
+			return
+		}
+		if err := wire.CheckVersion(head.V); err != nil {
+			replies <- replyItem{frame: fatalError(wire.CodeBadVersion, err.Error())}
+			return
+		}
+		switch head.Type {
+		case wire.FrameStep:
+			var step wire.StepFrame
+			if err := wire.UnmarshalStrict(line, &step); err != nil {
+				replies <- replyItem{frame: fatalError(wire.CodeBadFrame, "bad step frame: "+err.Error())}
+				return
+			}
+			reqs, err := wire.ToPoints(step.Requests, s.cfg.Dim)
+			if err != nil {
+				// Payload-level rejection answers just this frame; the
+				// stream continues.
+				replies <- replyItem{frame: idError(step.ID, wire.CodeBadRequest, err.Error())}
+				continue
+			}
+			pend, err := s.svc.Enqueue(reqs)
+			if err != nil {
+				var oe *protocol.OverloadError
+				if errors.As(err, &oe) {
+					replies <- replyItem{frame: wire.ThrottleFrame{
+						V: wire.V1, Type: wire.FrameThrottle, ID: step.ID, RetryAfterMS: oe.RetryAfterMS,
+					}}
+					continue
+				}
+				replies <- replyItem{frame: streamError(step.ID, err)}
+				if errors.Is(err, protocol.ErrShuttingDown) {
+					return
+				}
+				continue
+			}
+			replies <- replyItem{pend: pend, id: step.ID}
+		case wire.FrameBye:
+			return
+		default:
+			replies <- replyItem{frame: fatalError(wire.CodeBadFrame, "unexpected frame type "+head.Type)}
+			return
+		}
+	}
+}
+
+// nextLine returns the next non-empty NDJSON line, or false when the
+// stream ended (EOF, connection error, or an over-long line).
+func nextLine(sc *bufio.Scanner) ([]byte, bool) {
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) > 0 {
+			return line, true
+		}
+	}
+	return nil, false
+}
+
+// streamError maps a protocol-layer error for one step frame to its typed
+// wire form.
+func streamError(id int64, err error) wire.ErrorFrame {
+	e := wire.Error{Code: wire.CodeInternal, Detail: err.Error()}
+	var de *protocol.DurabilityError
+	switch {
+	case errors.As(err, &de):
+		t := de.ExecutedT
+		e = wire.Error{Code: wire.CodeNotDurable, Detail: err.Error(), ExecutedT: &t}
+	case errors.Is(err, protocol.ErrShuttingDown):
+		e = wire.Error{Code: wire.CodeShuttingDown, Detail: err.Error()}
+	}
+	return wire.ErrorFrame{V: wire.V1, Type: wire.FrameError, ID: &id, Err: e}
+}
+
+// idError is a per-frame rejection: the identified frame failed, the
+// stream continues.
+func idError(id int64, code, detail string) wire.ErrorFrame {
+	return wire.ErrorFrame{V: wire.V1, Type: wire.FrameError, ID: &id, Err: wire.Error{Code: code, Detail: detail}}
+}
+
+// fatalError is a connection-level error frame: no id, and the server
+// closes the stream after writing it.
+func fatalError(code, detail string) wire.ErrorFrame {
+	return wire.ErrorFrame{V: wire.V1, Type: wire.FrameError, Err: wire.Error{Code: code, Detail: detail}}
+}

@@ -5,18 +5,27 @@ import (
 	"fmt"
 )
 
-// CheckpointVersion is the format version of the server checkpoint
-// document.
+// CheckpointVersion is the legacy format stamp of the server checkpoint
+// document: files written before the envelope carried it in a "version"
+// field. New files carry the wire version in "v" (like every other wire
+// document) and keep "version" populated so older readers still accept
+// them; ParseCheckpoint decodes both generations.
 const CheckpointVersion = 1
 
-// Checkpoint is the document the HTTP front-end writes to its checkpoint
+// Checkpoint is the document the serving layer writes to its checkpoint
 // file: the resumable session snapshot (an engine.Session snapshot, or a
 // shard.Router combined snapshot in router mode) plus the state of the
-// server's own observers, so /metrics and /state survive a restart
+// service's own observers, so metrics and state survive a restart
 // instead of starting from zero. The session document is embedded
 // verbatim — its byte-exactness guarantees are untouched by the wrapper.
 type Checkpoint struct {
-	Version int `json:"version"`
+	// V is the wire-format version stamp (V1). Zero in files written by
+	// the pre-envelope format, which stamped Version instead;
+	// ParseCheckpoint normalizes such legacy files to V = V1.
+	V int `json:"v,omitempty"`
+	// Version is the legacy stamp, kept populated on write so checkpoint
+	// files remain readable by pre-envelope binaries.
+	Version int `json:"version,omitempty"`
 	// Session is the engine or router snapshot to resume from.
 	Session json.RawMessage `json:"session"`
 	// Metrics carries the engine.Metrics observer state at checkpoint
@@ -46,21 +55,42 @@ type MoveState struct {
 	CapHits   int     `json:"cap_hits"`
 }
 
-// ParseCheckpoint decodes a checkpoint file body. It accepts both the
-// wrapper document and a bare session snapshot (the pre-observer-state
-// file format), normalizing the latter into a Checkpoint whose observer
-// fields are nil — a resume from such a file starts its observers fresh.
+// ParseCheckpoint decodes a checkpoint file body. It accepts all three
+// generations of the format, normalizing each into a v-stamped Checkpoint:
+//
+//   - the current envelope ({"v":1,"session":...});
+//   - the legacy wrapper ({"version":1,"session":...}), whose observer
+//     fields carry over unchanged;
+//   - a bare session snapshot (no "session" key at all — the
+//     pre-wrapper file format, and what GET /snapshot returns), whose
+//     observer fields come back nil so a resume starts them fresh.
+//
+// Unknown versions are rejected in either stamp: refusing to guess beats
+// resuming a session from a document we might misread.
 func ParseCheckpoint(data []byte) (Checkpoint, error) {
 	var ck Checkpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
 		return Checkpoint{}, fmt.Errorf("wire: bad checkpoint: %w", err)
 	}
+	// A carried "v" stamp is validated before anything else — even before
+	// the bare-snapshot fallback, so a future-major document whose layout
+	// we cannot know (it may not have a "session" key at all) is refused
+	// instead of misread as a bare engine snapshot.
+	if ck.V != 0 {
+		if err := CheckVersion(ck.V); err != nil {
+			return Checkpoint{}, fmt.Errorf("wire: bad checkpoint: %w", err)
+		}
+	}
 	if len(ck.Session) == 0 {
 		// No "session" key: a bare engine/router snapshot.
-		return Checkpoint{Version: CheckpointVersion, Session: data}, nil
+		return Checkpoint{V: V1, Version: CheckpointVersion, Session: data}, nil
 	}
-	if ck.Version != CheckpointVersion {
-		return Checkpoint{}, fmt.Errorf("wire: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	if ck.V == 0 {
+		// Legacy wrapper: only the "version" stamp.
+		if ck.Version != CheckpointVersion {
+			return Checkpoint{}, fmt.Errorf("wire: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+		}
+		ck.V = V1
 	}
 	return ck, nil
 }

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// V1 is the current wire-format version. Every frame of the streaming
+// transport (and every checkpoint document) carries it in a "v" field; the
+// integer is the format's major version, so a consumer that sees a "v" it
+// does not know must refuse the message rather than guess at its meaning.
+const V1 = 1
+
+// CheckVersion is the version-negotiation rule shared by every decoder:
+// the major version must be one we speak. Additive minor evolution happens
+// inside a major (new optional fields), so there is nothing to negotiate
+// below the major.
+func CheckVersion(v int) error {
+	if v != V1 {
+		return fmt.Errorf("wire: unsupported version %d (this endpoint speaks v%d)", v, V1)
+	}
+	return nil
+}
+
+// Frame types of the NDJSON streaming transport (POST /stream). Each frame
+// is one JSON object on its own line; see the per-type structs for the
+// grammar.
+const (
+	// FrameHello opens a stream (client -> server): version negotiation
+	// plus an optional dimension check.
+	FrameHello = "hello"
+	// FrameWelcome accepts a stream (server -> client) and tells the
+	// client where the session stands, so a reconnecting client can
+	// resume from the last executed step.
+	FrameWelcome = "welcome"
+	// FrameStep submits one pipelined request batch (client -> server).
+	FrameStep = "step"
+	// FrameAck answers one step frame (server -> client), in submission
+	// order, with the executed step's outcome.
+	FrameAck = "ack"
+	// FrameThrottle refuses one step frame under backpressure
+	// (server -> client): the batch was NOT enqueued; resend the same id
+	// after the carried backoff.
+	FrameThrottle = "throttle"
+	// FrameError reports a per-message or fatal error (server -> client).
+	FrameError = "error"
+	// FrameBye closes a stream gracefully (client -> server).
+	FrameBye = "bye"
+)
+
+// Error codes carried by Error.Code. They replace HTTP-status-only
+// signaling on the streaming transport (and are stable API: clients switch
+// on the code, not the detail text).
+const (
+	// CodeBadVersion: the hello (or a later frame) carried a version this
+	// endpoint does not speak. Fatal: the connection closes.
+	CodeBadVersion = "bad_version"
+	// CodeBadFrame: the frame was not valid JSON, had no known type, or
+	// carried unknown fields (decoding is strict).
+	CodeBadFrame = "bad_frame"
+	// CodeBadRequest: the frame was well-formed but its payload was
+	// rejected (dimension mismatch, non-finite coordinates).
+	CodeBadRequest = "bad_request"
+	// CodeOverloaded: the bounded queue is full. On the streaming
+	// transport this travels as a throttle frame, not an error frame.
+	CodeOverloaded = "overloaded"
+	// CodeNotDurable: the step EXECUTED but its checkpoint write failed;
+	// ExecutedT carries the step index. Resending would double-feed.
+	CodeNotDurable = "not_durable"
+	// CodeShuttingDown: the server is draining and accepts no new steps.
+	CodeShuttingDown = "shutting_down"
+	// CodeInternal: the step failed inside the engine.
+	CodeInternal = "internal"
+)
+
+// Error is the typed per-message error of the v1 protocol: a stable code,
+// a human-readable detail, and the structured hints that HTTP smuggled
+// through status codes and headers (Retry-After, the 507 executed-step
+// index).
+type Error struct {
+	Code   string `json:"code"`
+	Detail string `json:"detail,omitempty"`
+	// RetryAfterMS accompanies overloaded/throttle: how long to back off
+	// before resending, in milliseconds.
+	RetryAfterMS int `json:"retry_after_ms,omitempty"`
+	// ExecutedT accompanies not_durable: the step that DID execute. The
+	// batch was served and is in the metrics — do not resend it.
+	ExecutedT *int `json:"executed_t,omitempty"`
+}
+
+// Error implements the error interface so adapters can wrap it.
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return e.Code
+	}
+	return e.Code + ": " + e.Detail
+}
+
+// FrameHead is the envelope every frame shares: the version stamp and the
+// frame type. Decoders peek it leniently to dispatch, then re-decode the
+// full line strictly into the per-type struct.
+type FrameHead struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+}
+
+// PeekFrame reads just the envelope of one NDJSON line.
+func PeekFrame(line []byte) (FrameHead, error) {
+	var h FrameHead
+	if err := json.Unmarshal(line, &h); err != nil {
+		return FrameHead{}, fmt.Errorf("wire: bad frame: %w", err)
+	}
+	if h.Type == "" {
+		return FrameHead{}, fmt.Errorf("wire: frame has no type")
+	}
+	return h, nil
+}
+
+// HelloFrame opens a stream: `{"v":1,"type":"hello"}`. Dim, when set,
+// asks the server to confirm the session dimension before any step is
+// sent.
+type HelloFrame struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+	Dim  int    `json:"dim,omitempty"`
+}
+
+// WelcomeFrame accepts a stream:
+// `{"v":1,"type":"welcome","algorithm":"MtC","t":12,"dim":2}`.
+// T is the session's current step count — the next executed step gets
+// index T — so a reconnecting client knows exactly which of its batches
+// were executed before the connection died (every step up to T-1 was).
+type WelcomeFrame struct {
+	V         int    `json:"v"`
+	Type      string `json:"type"`
+	Algorithm string `json:"algorithm"`
+	T         int    `json:"t"`
+	Dim       int    `json:"dim"`
+}
+
+// StepFrame submits one batch:
+// `{"v":1,"type":"step","id":7,"requests":[[3,4],[5,6]]}`.
+// ID is chosen by the client (unique per connection; monotonically
+// increasing by convention) and echoed on the ack/throttle/error that
+// answers the frame, so a pipelining client can match replies without
+// counting.
+type StepFrame struct {
+	V        int     `json:"v"`
+	Type     string  `json:"type"`
+	ID       int64   `json:"id"`
+	Requests []Point `json:"requests"`
+}
+
+// AckFrame answers one step frame with the outcome of the engine step that
+// served it; the embedded StepResponse fields are identical to the HTTP
+// POST /step body, so both transports report one schema. Replies arrive in
+// frame-submission order.
+type AckFrame struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+	ID   int64  `json:"id"`
+	StepResponse
+}
+
+// ThrottleFrame is typed backpressure: the identified step frame was
+// refused (NOT enqueued, NOT executed) because the bounded queue is full.
+// Resend the same id after RetryAfterMS. It replaces the HTTP path's
+// 429/Retry-After churn.
+type ThrottleFrame struct {
+	V            int    `json:"v"`
+	Type         string `json:"type"`
+	ID           int64  `json:"id"`
+	RetryAfterMS int    `json:"retry_after_ms"`
+}
+
+// ErrorFrame reports an error. With an ID it answers that step frame (in
+// order, like an ack); without one it is connection-level and the server
+// closes the stream after writing it.
+type ErrorFrame struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+	ID   *int64 `json:"id,omitempty"`
+	Err  Error  `json:"error"`
+}
+
+// ByeFrame ends a stream gracefully: the server finishes answering every
+// submitted frame, then closes. `{"v":1,"type":"bye"}`.
+type ByeFrame struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+}
+
+// MetricsEvent is one server-sent event of GET /metrics/stream, pushed
+// after every executed step: the step's own outcome plus the running
+// totals of GET /metrics at that instant. Dropped counts the events this
+// subscriber missed immediately before this one because it consumed too
+// slowly (the server drops rather than buffer without bound or stall the
+// step loop).
+type MetricsEvent struct {
+	V        int  `json:"v"`
+	T        int  `json:"t"`
+	Batched  int  `json:"batched"`
+	StepCost Cost `json:"step_cost"`
+
+	Steps       int     `json:"steps"`
+	Requests    int     `json:"requests"`
+	Cost        Cost    `json:"cost"`
+	AvgStepCost float64 `json:"avg_step_cost"`
+	QueueDepth  int     `json:"queue_depth"`
+	Rejected    int64   `json:"rejected"`
+
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// UnmarshalStrict decodes one JSON document rejecting unknown fields, so a
+// misspelled field in a frame or request body is an error instead of a
+// silently ignored no-op. It also rejects trailing garbage after the
+// document.
+func UnmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("wire: trailing data after JSON document")
+	}
+	return nil
+}

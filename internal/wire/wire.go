@@ -1,6 +1,14 @@
-// Package wire defines the JSON wire format of the live-serving HTTP API
-// (internal/server, cmd/mobserve): request/response bodies for POST /step
-// and the snapshot documents returned by GET /metrics and GET /state.
+// Package wire defines the versioned JSON wire format of the serving API
+// (internal/protocol, internal/server, cmd/mobserve): request/response
+// bodies for the HTTP endpoints, the NDJSON frames of the streaming
+// transport (POST /stream), the server-sent metrics events
+// (GET /metrics/stream), and the checkpoint document.
+//
+// Everything that crosses a process boundary carries a version stamp
+// ("v", currently V1); decoders reject unknown majors instead of guessing
+// (CheckVersion), and request decoding is strict — unknown fields are an
+// error, not a silently dropped no-op. Errors are typed (Error, with a
+// stable Code) rather than status-code-only.
 //
 // Points travel as plain JSON arrays of coordinates. Go marshals float64
 // values in the shortest form that round-trips to identical bits, so
@@ -10,6 +18,7 @@ package wire
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -23,6 +32,22 @@ type Point []float64
 // are merged into a single engine step.
 type StepRequest struct {
 	Requests []Point `json:"requests"`
+}
+
+// DecodeStepRequest reads one POST /step body strictly: unknown or
+// misspelled fields (say "request" for "requests") are a decoding error,
+// so a malformed payload is refused with 400 instead of half-applying as
+// an empty batch.
+func DecodeStepRequest(r io.Reader) (StepRequest, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return StepRequest{}, err
+	}
+	var req StepRequest
+	if err := UnmarshalStrict(data, &req); err != nil {
+		return StepRequest{}, err
+	}
+	return req, nil
 }
 
 // Cost mirrors core.Cost with the redundant total included, so clients need

@@ -1,13 +1,17 @@
 #!/bin/sh
-# bench.sh: run the reproduction benchmark suite (BenchmarkE*) plus the
-# sharded-vs-unsharded serving benchmark (BenchmarkRouterStep) and emit a
-# machine-readable JSON summary, so the bench trajectory is tracked as a
-# CI artifact instead of scrolling away in logs.
+# bench.sh: run the reproduction benchmark suite (BenchmarkE*), the
+# sharded-vs-unsharded serving benchmark (BenchmarkRouterStep), and the
+# transport comparison (BenchmarkStreamVsHTTP) and emit a machine-readable
+# JSON summary, so the bench trajectory is tracked as a CI artifact
+# instead of scrolling away in logs. The summary carries a derived
+# "stream_vs_http" entry: per-batch latency of each transport and the
+# speedup of pipelined NDJSON ingestion over per-request HTTP.
 #
 #   ./scripts/bench.sh [out.json]        # default out: BENCH_<utc-stamp>.json
 #   BENCHTIME=100x ./scripts/bench.sh    # override -benchtime (default 1x
 #                                        # for the E-suite, 50x for the
-#                                        # router scaling curve)
+#                                        # router scaling curve, 300x for
+#                                        # the transport comparison)
 #
 # Run from the repository root.
 set -eu
@@ -18,13 +22,16 @@ trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench 'BenchmarkE' -benchtime "${BENCHTIME:-1x}" . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkRouterStep' -benchtime "${BENCHTIME:-50x}" ./internal/shard/ | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkStreamVsHTTP' -benchtime "${BENCHTIME:-300x}" ./internal/server/ | tee -a "$raw"
 
-# Convert `BenchmarkName-P   N   T ns/op [B B/op] [A allocs/op]` lines into
-# a JSON document. The -P CPU suffix is stripped from the name.
+# Convert `BenchmarkName-P   N   T ns/op [extras...]` lines into a JSON
+# document. The -P CPU suffix is stripped from the name. The transport
+# benchmarks additionally feed the stream_vs_http summary object.
 awk -v go_version="$(go version)" -v stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN {
 	printf "{\n  \"go\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", go_version, stamp
 	n = 0
+	http_ns = ""; stream_ns = ""
 }
 /^Benchmark/ && $4 == "ns/op" {
 	name = $1
@@ -35,12 +42,20 @@ BEGIN {
 	for (i = 4; i < NF; i++) {
 		if ($(i+1) == "B/op")      extra = extra sprintf(", \"bytes_per_op\": %s", $i)
 		if ($(i+1) == "allocs/op") extra = extra sprintf(", \"allocs_per_op\": %s", $i)
+		if ($(i+1) == "req/s")     extra = extra sprintf(", \"req_per_sec\": %s", $i)
 	}
+	if (name ~ /BenchmarkStreamVsHTTP\/http$/)   http_ns = ns
+	if (name ~ /BenchmarkStreamVsHTTP\/stream$/) stream_ns = ns
 	if (n++) printf ",\n"
 	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extra
 }
 END {
-	printf "\n  ]\n}\n"
+	printf "\n  ]"
+	if (http_ns != "" && stream_ns != "" && stream_ns + 0 > 0) {
+		printf ",\n  \"stream_vs_http\": {\"http_ns_per_batch\": %s, \"stream_ns_per_batch\": %s, \"stream_speedup\": %.2f}",
+			http_ns, stream_ns, (http_ns + 0) / (stream_ns + 0)
+	}
+	printf "\n}\n"
 }' "$raw" > "$out"
 
 echo "bench summary written to $out ($(grep -c '"name"' "$out") benchmarks)"
