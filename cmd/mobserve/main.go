@@ -9,18 +9,25 @@
 // server-sent metrics event per executed step. With -shards N
 // the space is partitioned into N regions along axis 0 and each region is
 // served by its own fleet of -k servers — requests route to their region's
-// session and the shards step concurrently. With -checkpoint the full
-// state (all shards plus the live observers) is written atomically after
-// every step, and a restarted mobserve resumes from that file exactly
-// where the killed process stood — including /metrics, which continues the
-// pre-crash totals. Raising -every trades that durability for fewer
-// writes: a crash can then lose up to every-1 acknowledged steps.
+// session and the shards step concurrently. With -rebalance threshold the
+// shard layout additionally adapts to the load: per-shard request counts
+// are watched over a sliding window and, when the skew crosses the
+// threshold, a server migrates from a cold shard into its hot neighbor
+// (migrations ride GET /metrics/stream as "rebalance" events, and /state
+// reports the live per-shard fleet sizes). With -checkpoint the full
+// state (all shards, the live layout, and the observers) is written
+// atomically after every step, and a restarted mobserve resumes from that
+// file exactly where the killed process stood — including /metrics, which
+// continues the pre-crash totals, and the migrated layout. Raising -every
+// trades that durability for fewer writes: a crash can then lose up to
+// every-1 acknowledged steps.
 //
 // Usage:
 //
 //	mobserve -addr :8080 -dim 2 -D 4 -delta 0.5           # single server
 //	mobserve -k 4 -alg mtck -window 2ms -queue 128        # fleet of 4
 //	mobserve -shards 4 -k 2 -span 25                      # 4 regions × 2 servers
+//	mobserve -shards 4 -k 2 -rebalance threshold          # adaptive layout
 //	mobserve -checkpoint mobserve.ckpt                    # crash-safe
 //
 //	curl -X POST localhost:8080/step -d '{"requests":[[3,4]]}'
@@ -73,6 +80,11 @@ func main() {
 		every   = flag.Int("every", 1, "steps between checkpoints")
 		clamp   = flag.Bool("clamp", false, "clamp over-cap moves instead of failing the step")
 		stream  = flag.Bool("stream", true, "serve the persistent streaming endpoints (POST /stream NDJSON frames, GET /metrics/stream SSE)")
+
+		rebalance = flag.String("rebalance", "", "dynamic shard rebalancing policy: threshold (empty = static layout; requires -shards > 1)")
+		rebWindow = flag.Int("rebalance-window", shard.DefaultRebalanceWindow, "rebalancing: sliding load-window length in steps")
+		rebRatio  = flag.Float64("rebalance-ratio", 2, "rebalancing: migrate when the hot shard's windowed load reaches ratio × its colder neighbor's")
+		rebCool   = flag.Int("rebalance-cooldown", 0, "rebalancing: minimum steps between migrations (0 = one full window)")
 	)
 	flag.Parse()
 
@@ -97,6 +109,33 @@ func main() {
 	if *clamp {
 		opts.Mode = engine.Clamp
 	}
+	switch *rebalance {
+	case "":
+	case "threshold":
+		if cfg.Partition.Shards() <= 1 {
+			fatal(errors.New("-rebalance requires -shards > 1"))
+		}
+		if cfg.Servers() <= 1 {
+			// With one server per shard every donor sits at the policy's
+			// floor, so no migration could ever fire — refuse rather than
+			// silently serve a static layout.
+			fatal(errors.New("-rebalance requires -k > 1 (single-server shards have no server to donate)"))
+		}
+		// Refuse out-of-range tuning instead of letting the policy lift it
+		// to its defaults behind the operator's back.
+		if *rebWindow < 1 {
+			fatal(fmt.Errorf("-rebalance-window %d: need >= 1", *rebWindow))
+		}
+		if *rebRatio <= 1 {
+			fatal(fmt.Errorf("-rebalance-ratio %g: need > 1 (parity would thrash servers on noise)", *rebRatio))
+		}
+		if *rebCool < 0 {
+			fatal(fmt.Errorf("-rebalance-cooldown %d: need >= 0 (0 = one full window)", *rebCool))
+		}
+		opts.Rebalancer = &shard.Threshold{WindowSteps: *rebWindow, Ratio: *rebRatio, Cooldown: *rebCool}
+	default:
+		fatal(fmt.Errorf("unknown rebalance policy %q (threshold)", *rebalance))
+	}
 
 	srv, resumed, err := open(cfg, newAlg, opts, *radius)
 	if err != nil {
@@ -105,6 +144,9 @@ func main() {
 	layout := fmt.Sprintf("K=%d, dim %d", cfg.Servers(), cfg.Dim)
 	if n := cfg.Partition.Shards(); n > 1 {
 		layout = fmt.Sprintf("%d shards × K=%d, dim %d", n, cfg.Servers(), cfg.Dim)
+		if *rebalance != "" {
+			layout += fmt.Sprintf(", %s rebalancing (window %d)", *rebalance, *rebWindow)
+		}
 	}
 	if resumed {
 		fmt.Printf("resumed %s (%s) from %s at step %d\n", srv.Algorithm(), layout, *ckpt, srv.T())

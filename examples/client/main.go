@@ -33,6 +33,15 @@
 //	mobserve -addr :8080 -shards 4 -k 2 &
 //	go run ./examples/client -n 10000 -regions 4
 //
+// With -drift the load is instead one tight hotspot that sweeps across
+// [-span, span] over the whole run — the adversarial pattern for a static
+// shard layout, and the workload dynamic rebalancing is built for. Compare
+// the final cost of a static server against one started with
+// -rebalance threshold:
+//
+//	mobserve -addr :8080 -shards 4 -k 2 -rebalance threshold &
+//	go run ./examples/client -n 20000 -drift
+//
 // Point it at a server started with a tiny -queue to watch backpressure:
 //
 //	mobserve -addr :8080 -queue 1 -window 10ms &
@@ -70,6 +79,7 @@ func main() {
 		dim      = flag.Int("dim", 2, "request dimension (must match the server)")
 		regions  = flag.Int("regions", 1, "distinct hotspot regions across [-span, span] (match the server's -shards)")
 		span     = flag.Float64("span", 25, "half-width of the region interval (match the server's -span)")
+		drift    = flag.Bool("drift", false, "one tight hotspot sweeping across [-span, span] over the run (exercises dynamic rebalancing)")
 		stream   = flag.Bool("stream", false, "pipeline NDJSON frames over one persistent POST /stream connection instead of per-request HTTP")
 		inflight = flag.Int("inflight", 32, "stream mode: maximum unacknowledged frames in flight")
 	)
@@ -79,9 +89,8 @@ func main() {
 		// stream dial) wants a full URL.
 		*addr = "http://" + *addr
 	}
-	gen := workload{regions: *regions, span: *span, dim: *dim}
-
 	batches := (*n + *batch - 1) / *batch
+	gen := workload{regions: *regions, span: *span, dim: *dim, drift: *drift, batches: batches}
 	mode := fmt.Sprintf("%d workers", *workers)
 	if *stream {
 		mode = fmt.Sprintf("one stream, %d frames in flight", *inflight)
@@ -325,6 +334,12 @@ func driveStream(addr string, gen workload, n, batchSize, inflight int) (accepte
 			if err := wire.UnmarshalStrict(line, &th); err != nil {
 				return 0, 0, nil, err
 			}
+			// The id is server-controlled input: bounds-check it before
+			// indexing, so a malformed throttle frame is a clean error
+			// instead of a panic.
+			if th.ID < 1 || th.ID > int64(len(frames)) {
+				return 0, 0, nil, fmt.Errorf("throttle frame for unknown id %d (sent ids 1..%d)", th.ID, len(frames))
+			}
 			retries++
 			go func(f wire.StepFrame, wait time.Duration) {
 				time.Sleep(jitter(wait))
@@ -385,16 +400,28 @@ func expectFrame(line []byte, wantType string, v any) error {
 // cluster on a hotspot orbiting the origin at radius 20 (the original
 // workload); with R > 1 regions, batch b's hotspot orbits the center of
 // region b%R across [-span, span] on axis 0, so a sharded server sees
-// round-robin traffic in every shard.
+// round-robin traffic in every shard. With drift the hotspot instead
+// sweeps linearly across [-0.8·span, 0.8·span] over the whole run,
+// crossing every shard boundary — the pattern a static layout handles
+// worst and a rebalancing server absorbs by migrating servers after it.
 type workload struct {
 	regions int
 	span    float64
 	dim     int
+	drift   bool
+	batches int
 }
 
 func (g workload) batch(b, size int) wire.StepRequest {
 	cx, radius := 0.0, 20.0
-	if g.regions > 1 {
+	if g.drift {
+		frac := 0.0
+		if g.batches > 1 {
+			frac = float64(b) / float64(g.batches-1)
+		}
+		cx = g.span * (-0.8 + 1.6*frac)
+		radius = 0.1 * g.span
+	} else if g.regions > 1 {
 		width := 2 * g.span / float64(g.regions)
 		cx = -g.span + width*(float64(b%g.regions)+0.5)
 		radius = 0.35 * width

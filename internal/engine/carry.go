@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Carry is the accumulated-counter state of a session that survives a
+// rebuild: the step counter and the cost, movement, and clamp totals. It is
+// what a live layout change (the shard router migrating a server between
+// regions) transplants from a torn-down session into its replacement, so
+// the fleet-wide totals a Result or a snapshot reports are unaffected by
+// how often the session behind them was rebuilt.
+type Carry struct {
+	// Steps is the number of steps the session has absorbed.
+	Steps int
+	// Cost is the accumulated total cost.
+	Cost core.Cost
+	// MaxMove is the largest single-server single-step movement observed.
+	MaxMove float64
+	// Clamped counts cap-enforced server-moves (Clamp mode only).
+	Clamped int
+}
+
+// Carry returns the session's accumulated counters, for transplanting into
+// a replacement session via NewSessionFrom.
+func (s *Session) Carry() Carry {
+	return Carry{
+		Steps:   s.res.Steps,
+		Cost:    s.res.Cost,
+		MaxMove: s.res.MaxMove,
+		Clamped: s.res.Clamped,
+	}
+}
+
+// NewSessionFrom builds a session that continues an interrupted accounting
+// stream: it is NewSession — fresh algorithm, Reset at starts, observers
+// announced — except that the returned session's step counter and cost,
+// movement, and clamp totals start from carry instead of zero.
+//
+// This is the primitive behind live fleet-layout changes: unlike Restore it
+// does not require the new session to have the same server count as the
+// old one, because the algorithm starts fresh at the given positions — only
+// the aggregate counters carry over. The first Step after the rebuild gets
+// index carry.Steps.
+func NewSessionFrom(cfg core.Config, starts []geom.Point, alg core.FleetAlgorithm, opts Options, carry Carry) (*Session, error) {
+	if carry.Steps < 0 {
+		return nil, fmt.Errorf("engine: carried step counter %d is negative", carry.Steps)
+	}
+	s, err := NewSession(cfg, starts, alg, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.res.Steps = carry.Steps
+	s.res.Cost = carry.Cost
+	s.res.MaxMove = carry.MaxMove
+	s.res.Clamped = carry.Clamped
+	return s, nil
+}

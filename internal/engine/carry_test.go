@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// TestNewSessionFromTransplantsCounters: a rebuilt session continues the
+// original's accounting — step counter, cost, movement, clamp totals —
+// even when the fleet size changed across the rebuild.
+func TestNewSessionFromTransplantsCounters(t *testing.T) {
+	cfg := core.Config{Dim: 2, D: 2, M: 1, Delta: 0.5, K: 2}
+	starts := []geom.Point{geom.NewPoint(-3, 0), geom.NewPoint(3, 0)}
+	s, err := NewSession(cfg, starts, &chase{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Step([]geom.Point{geom.NewPoint(float64(i), 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	carry := s.Carry()
+	if carry.Steps != 10 || carry.Cost != s.Cost() {
+		t.Fatalf("carry = %+v does not match the session", carry)
+	}
+
+	// Grow the fleet by one server at a new position — the layout change a
+	// shard migration performs.
+	grown := cfg
+	grown.K = 3
+	rebuiltStarts := append(s.Positions(), geom.NewPoint(9, 9))
+	r, err := NewSessionFrom(grown, rebuiltStarts, &chase{}, Options{}, carry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != 10 {
+		t.Fatalf("rebuilt session at T=%d, want 10", r.T())
+	}
+	if r.Cost() != s.Cost() {
+		t.Fatalf("rebuilt cost %v != original %v", r.Cost(), s.Cost())
+	}
+	if err := r.Step([]geom.Point{geom.NewPoint(3, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Finish()
+	if res.Steps != 11 || len(res.Final) != 3 {
+		t.Fatalf("rebuilt result = %d steps, %d servers; want 11, 3", res.Steps, len(res.Final))
+	}
+	if res.Cost.Total() < carry.Cost.Total() {
+		t.Fatalf("rebuilt total %v lost carried cost %v", res.Cost, carry.Cost)
+	}
+	if res.MaxMove < carry.MaxMove {
+		t.Fatalf("rebuilt MaxMove %v lost carried %v", res.MaxMove, carry.MaxMove)
+	}
+}
+
+// TestNewSessionFromRejectsBadCarry: a negative step counter is refused,
+// and start-position validation is NewSession's.
+func TestNewSessionFromRejectsBadCarry(t *testing.T) {
+	cfg := core.Config{Dim: 2, D: 2, M: 1, Delta: 0.5, K: 1}
+	starts := []geom.Point{geom.NewPoint(0, 0)}
+	if _, err := NewSessionFrom(cfg, starts, &chase{}, Options{}, Carry{Steps: -1}); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative carry = %v, want error", err)
+	}
+	if _, err := NewSessionFrom(cfg, nil, &chase{}, Options{}, Carry{}); err == nil {
+		t.Fatal("missing starts must be refused")
+	}
+}

@@ -57,12 +57,15 @@ type Backend interface {
 }
 
 // ShardedBackend is the extra surface a router-mode backend exposes; the
-// service uses it to tag snapshots and acks with per-shard payloads.
+// service uses it to tag snapshots and acks with per-shard payloads, and to
+// install and observe the dynamic rebalancing policy.
 type ShardedBackend interface {
 	Backend
 	Partition() core.Partition
 	LastSteps() []shard.StepStat
 	States() []shard.State
+	SetRebalancer(shard.Rebalancer)
+	LastRebalance() *shard.RebalanceEvent
 }
 
 // Options configures the service. The zero value serves with strict cap
@@ -91,6 +94,13 @@ type Options struct {
 	// own metrics and movement-stats observers. They are notified from the
 	// step loop; implementations must not call back into the service.
 	Observers []engine.Observer
+	// Rebalancer, when non-nil, installs a dynamic rebalancing policy on a
+	// router-mode backend: per-shard load is watched over the policy's
+	// sliding window and servers migrate between neighboring shards when
+	// the skew crosses its threshold. Applied migrations ride the Watch
+	// feed as MetricsEvent.Rebalance. Requires NewSharded/ResumeSharded —
+	// an unsharded backend has nothing to rebalance and is refused.
+	Rebalancer shard.Rebalancer
 }
 
 // DefaultQueueLimit is the queue bound used when Options.QueueLimit is 0.
@@ -340,6 +350,13 @@ func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.
 		return nil, err
 	}
 	s.sess = sess
+	if opts.Rebalancer != nil {
+		sb, ok := sess.(ShardedBackend)
+		if !ok {
+			return nil, errors.New("protocol: a rebalancer requires a sharded backend")
+		}
+		sb.SetRebalancer(opts.Rebalancer)
+	}
 	if ck != nil {
 		s.seedObservers(*ck)
 		if ck.Metrics == nil {
@@ -615,12 +632,6 @@ func (s *Service) execute(items []batch) {
 			Cost:      s.lastCost,
 			Positions: s.sess.Positions(),
 		}
-		if sb, ok := s.sess.(ShardedBackend); ok {
-			// Copy: LastSteps returns the router's reused buffer, which
-			// the next Step overwrites while transports are still reading
-			// the ack outside the lock.
-			ack.Shards = append([]shard.StepStat(nil), sb.LastSteps()...)
-		}
 		ev = MetricsEvent{
 			T:           ack.T,
 			Batched:     total,
@@ -629,6 +640,12 @@ func (s *Service) execute(items []batch) {
 			Requests:    s.metrics.Requests,
 			Cost:        s.metrics.Cost,
 			AvgStepCost: s.metrics.AvgStepCost,
+		}
+		if sb, ok := s.sess.(ShardedBackend); ok {
+			// LastSteps returns a caller-owned copy, so the ack can carry
+			// it across the lock boundary as-is.
+			ack.Shards = sb.LastSteps()
+			ev.Rebalance = sb.LastRebalance()
 		}
 		if s.opts.CheckpointPath != "" && s.sess.T()%s.opts.CheckpointEvery == 0 {
 			snap, snapErr = s.checkpointDoc()

@@ -6,6 +6,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -386,5 +388,226 @@ func eventuallyClosed(ch <-chan MetricsEvent) bool {
 		case <-deadline:
 			return false
 		}
+	}
+}
+
+// hotReqs puts n requests in a tight cluster around (x, 0), so one shard
+// of a partitioned service carries the whole step's load.
+func hotReqs(t, n int, x float64) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		angle := 2*math.Pi*float64(t)/31 + float64(i)
+		out[i] = geom.NewPoint(x+2*math.Cos(angle), 2*math.Sin(angle))
+	}
+	return out
+}
+
+// TestWatchCancelFreesSubscriber is the leak check for subscriber
+// lifecycle: cancelling the context must remove the subscriber from the
+// service's map (freeing its buffer) and end its watcher goroutine — not
+// merely close the channel.
+func TestWatchCancelFreesSubscriber(t *testing.T) {
+	cfg := testConfig(1)
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	before := runtime.NumGoroutine()
+	const subs = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	chans := make([]<-chan MetricsEvent, subs)
+	for i := range chans {
+		chans[i] = svc.Watch(ctx)
+	}
+	// Put events in the buffers so the test also covers freeing non-empty
+	// subscriptions.
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Submit(reqsFor(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	for i, ch := range chans {
+		if !eventuallyClosed(ch) {
+			t.Fatalf("subscriber %d never closed after cancel", i)
+		}
+	}
+
+	// The map entry (and with it the buffer) must be gone, and the watcher
+	// goroutines must exit; poll briefly, they unwind asynchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		svc.subMu.Lock()
+		left := len(svc.subs)
+		svc.subMu.Unlock()
+		leaked := runtime.NumGoroutine() - before
+		if left == 0 && leaked <= 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after cancel: %d subscribers still registered, %d extra goroutines", left, leaked)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The service must still serve and publish to fresh subscribers.
+	fresh := svc.Watch(context.Background())
+	if _, err := svc.Submit(reqsFor(9, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-fresh:
+		if ev.Dropped != 0 {
+			t.Fatalf("fresh subscriber starts with drops: %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fresh subscription after mass-cancel got no event")
+	}
+}
+
+// TestWatchCarriesRebalanceEvent: with a rebalancing policy installed, the
+// step that migrates a server publishes the typed event on the metrics
+// feed, and the service's state report shows the new layout.
+func TestWatchCarriesRebalanceEvent(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Partition = core.UniformPartition(4, 20)
+	svc, err := NewSharded(cfg, shard.Starts(cfg, 5),
+		func() core.FleetAlgorithm { return multi.NewMtCK() },
+		Options{Rebalancer: &shard.Threshold{WindowSteps: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ch := svc.Watch(context.Background())
+
+	var ev *shard.RebalanceEvent
+	for i := 0; i < 20 && ev == nil; i++ {
+		if _, err := svc.Submit(hotReqs(i, 6, 15)); err != nil {
+			t.Fatal(err)
+		}
+		got := <-ch
+		ev = got.Rebalance
+	}
+	if ev == nil {
+		t.Fatal("no rebalance event after 20 hotspot steps")
+	}
+	if ev.To != 3 || ev.From != 2 {
+		t.Fatalf("migration %d→%d, want 2→3 (hotspot sits in shard 3)", ev.From, ev.To)
+	}
+	st := svc.State()
+	total := 0
+	for _, sh := range st.Shards {
+		total += sh.Servers
+		if len(sh.Positions) != sh.Servers {
+			t.Fatalf("shard %d reports %d servers, %d positions", sh.Shard, sh.Servers, len(sh.Positions))
+		}
+	}
+	if total != 8 {
+		t.Fatalf("state layout sums to %d servers, want 8", total)
+	}
+	if st.Shards[3].Servers != 3 {
+		t.Fatalf("hot shard has %d servers, want 3", st.Shards[3].Servers)
+	}
+}
+
+// TestRebalancerRequiresShardedBackend: installing a policy on a
+// single-session service is a configuration error, not a silent no-op.
+func TestRebalancerRequiresShardedBackend(t *testing.T) {
+	cfg := testConfig(1)
+	_, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()),
+		Options{Rebalancer: &shard.Threshold{}})
+	if err == nil {
+		t.Fatal("rebalancer on an unsharded backend must be refused")
+	}
+}
+
+// TestResumeReproducesMigratedLayout is the serving-layer half of the
+// layout-in-checkpoint invariant: kill a rebalanced service and resume it
+// from its checkpoint file — the migrated layout, the metrics, and the
+// state report all continue exactly where the killed process stood.
+func TestResumeReproducesMigratedLayout(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Partition = core.UniformPartition(4, 20)
+	path := filepath.Join(t.TempDir(), "ckpt")
+	newAlg := func() core.FleetAlgorithm { return multi.NewMtCK() }
+	opts := func() Options {
+		return Options{CheckpointPath: path, Rebalancer: &shard.Threshold{WindowSteps: 4}}
+	}
+
+	svcA, err := NewSharded(cfg, shard.Starts(cfg, 5), newAlg, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := svcA.Submit(hotReqs(i, 6, 15)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantMetrics := svcA.Metrics()
+	wantState := svcA.State()
+	if wantState.Shards[3].Servers != 3 {
+		t.Fatalf("no migration before the kill: %+v", wantState.Shards)
+	}
+	if err := svcA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcB, err := ResumeSharded(cfg, newAlg, snap, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcB.Close()
+	if got := svcB.Metrics(); !reflect.DeepEqual(got, wantMetrics) {
+		t.Fatalf("resumed metrics diverged:\n%+v\nvs\n%+v", got, wantMetrics)
+	}
+	if got := svcB.State(); !reflect.DeepEqual(got, wantState) {
+		t.Fatalf("resumed state diverged:\n%+v\nvs\n%+v", got, wantState)
+	}
+}
+
+// TestWatchDropCarriesRebalance: a layout change whose step event was
+// dropped on a slow subscriber rides the next delivered event, so a
+// consumer tracking the layout from the feed never desyncs permanently.
+func TestWatchDropCarriesRebalance(t *testing.T) {
+	cfg := testConfig(1)
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ch := svc.Watch(context.Background())
+
+	// Fill the subscriber's buffer, then publish a migrating step's event
+	// into the full buffer: it is dropped, but its rebalance must be
+	// remembered.
+	for i := 0; i < WatchBuffer; i++ {
+		svc.publish(MetricsEvent{T: i})
+	}
+	rb := &shard.RebalanceEvent{T: WatchBuffer, From: 0, To: 1, Ks: []int{1, 3}}
+	svc.publish(MetricsEvent{T: WatchBuffer, Rebalance: rb})
+
+	for i := 0; i < WatchBuffer; i++ {
+		ev := <-ch
+		if ev.Rebalance != nil {
+			t.Fatalf("buffered event %d already carries a rebalance: %+v", i, ev)
+		}
+	}
+	svc.publish(MetricsEvent{T: WatchBuffer + 1})
+	ev := <-ch
+	if ev.T != WatchBuffer+1 || ev.Dropped != 1 {
+		t.Fatalf("post-drop event = %+v, want T=%d Dropped=1", ev, WatchBuffer+1)
+	}
+	if ev.Rebalance != rb {
+		t.Fatalf("post-drop event lost the dropped migration: %+v", ev.Rebalance)
+	}
+	// Once delivered, the carried migration is cleared.
+	svc.publish(MetricsEvent{T: WatchBuffer + 2})
+	if ev := <-ch; ev.Rebalance != nil {
+		t.Fatalf("carried migration delivered twice: %+v", ev.Rebalance)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // MetricsEvent is one push notification of the subscription API: emitted
@@ -30,6 +31,19 @@ type MetricsEvent struct {
 	// subscriber's buffer is full the event is dropped and the next
 	// delivered event carries the tally.
 	Dropped int
+
+	// Rebalance carries the server migration the step applied, if any: in
+	// router mode with a rebalancing policy installed, a step whose load
+	// skew crossed the policy's threshold migrates a server between
+	// neighboring shards and reports it here. Nil on every other step. The
+	// event is immutable and may be shared between subscribers.
+	//
+	// Layout changes survive the drop policy: when the migrating step's
+	// event is dropped on a slow subscriber, the next event that IS
+	// delivered to it carries the most recent undelivered migration (whose
+	// Ks is the live layout), so a consumer tracking the layout from this
+	// field never desyncs permanently.
+	Rebalance *shard.RebalanceEvent
 }
 
 // WatchBuffer is each subscriber's event buffer: the slack a consumer has
@@ -41,6 +55,10 @@ type subscriber struct {
 	// dropped counts events discarded since the last successful send;
 	// guarded by the service's subMu.
 	dropped int
+	// pendingReb is the most recent rebalance event discarded with a
+	// dropped step event; it rides the next delivered event so the
+	// subscriber's view of the layout never desyncs. Guarded by subMu.
+	pendingReb *shard.RebalanceEvent
 }
 
 // Watch subscribes to the per-step metrics feed. The returned channel
@@ -87,18 +105,27 @@ func (s *Service) unsubscribe(sub *subscriber) {
 
 // publish fans one event out to every subscriber without ever blocking:
 // a full buffer drops the event and bumps the subscriber's tally, which
-// rides on its next delivered event.
+// rides on its next delivered event — along with the most recent dropped
+// rebalance event, so layout changes are never lost to the drop policy.
 func (s *Service) publish(ev MetricsEvent) {
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
 	for sub := range s.subs {
 		e := ev
 		e.Dropped = sub.dropped
+		if e.Rebalance == nil {
+			e.Rebalance = sub.pendingReb
+		}
 		select {
 		case sub.ch <- e:
 			sub.dropped = 0
+			sub.pendingReb = nil
 		default:
 			sub.dropped++
+			// Keep the newest migration; its Ks is the live layout.
+			if ev.Rebalance != nil {
+				sub.pendingReb = ev.Rebalance
+			}
 		}
 	}
 }

@@ -241,6 +241,7 @@ func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
 		for i, sh := range st.Shards {
 			resp.Shards[i] = wire.ShardState{
 				Shard:     sh.Shard,
+				Servers:   sh.Servers,
 				Requests:  sh.Requests,
 				Clamped:   sh.Clamped,
 				Positions: wire.FromPoints(sh.Positions),

@@ -51,6 +51,25 @@ func (s *Server) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
 		if _, err := w.Write([]byte("id: " + strconv.Itoa(ev.T) + "\nevent: metrics\ndata: " + string(data) + "\n\n")); err != nil {
 			return
 		}
+		// A step that migrated a server emits a second, typed event right
+		// after its metrics, so layout changes arrive in order with the
+		// load that triggered them.
+		if rb := ev.Rebalance; rb != nil {
+			data, err := json.Marshal(wire.RebalanceEvent{
+				V:      wire.V1,
+				T:      rb.T,
+				From:   rb.From,
+				To:     rb.To,
+				Server: wire.Point(rb.Server),
+				Ks:     rb.Ks,
+			})
+			if err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("event: rebalance\ndata: " + string(data) + "\n\n")); err != nil {
+				return
+			}
+		}
 		fl.Flush()
 	}
 }

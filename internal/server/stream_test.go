@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -549,5 +550,86 @@ func TestStepRejectsUnknownFields(t *testing.T) {
 	getJSON(t, ts.URL+"/metrics", &m)
 	if m.Steps != 0 || m.Requests != 0 {
 		t.Fatalf("malformed bodies reached the session: %+v", m)
+	}
+}
+
+// TestSSERebalanceEvent: a step that migrates a server pushes a typed
+// "rebalance" event on GET /metrics/stream right after that step's metrics
+// event, and GET /state reports the migrated layout.
+func TestSSERebalanceEvent(t *testing.T) {
+	cfg := shardedTestConfig(4, 2)
+	s, err := NewSharded(cfg, shard.Starts(cfg, 5), newMtCK,
+		Options{Rebalancer: &shard.Threshold{WindowSteps: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// A tight hotspot parked in shard 3: the threshold policy migrates a
+	// server from shard 2 once its 4-step window fills.
+	const steps = 12
+	posted := make(chan struct{})
+	go func() {
+		defer close(posted)
+		for i := 0; i < steps; i++ {
+			reqs := make([]wire.Point, 6)
+			for j := range reqs {
+				a := float64(i*6 + j)
+				reqs[j] = wire.Point{15 + 2*math.Cos(a), 2 * math.Sin(a)}
+			}
+			postJSON(t, ts.URL, wire.StepRequest{Requests: reqs})
+		}
+	}()
+	defer func() { <-posted }()
+
+	var ev wire.RebalanceEvent
+	br := bufio.NewReader(resp.Body)
+	event, found := "", false
+	for !found {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "rebalance":
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatal(err)
+			}
+			found = true
+		}
+	}
+	if ev.V != wire.V1 || ev.From != 2 || ev.To != 3 {
+		t.Fatalf("rebalance event = %+v, want v1 migration 2→3", ev)
+	}
+	if len(ev.Ks) != 4 || ev.Ks[2] != 1 || ev.Ks[3] != 3 {
+		t.Fatalf("rebalance event layout = %v, want [2 2 1 3]", ev.Ks)
+	}
+	if len(ev.Server) != cfg.Dim {
+		t.Fatalf("rebalance event server position has dim %d, want %d", len(ev.Server), cfg.Dim)
+	}
+
+	<-posted
+	var st wire.StateResponse
+	getJSON(t, ts.URL+"/state", &st)
+	total := 0
+	for _, sh := range st.Shards {
+		total += sh.Servers
+		if len(sh.Positions) != sh.Servers {
+			t.Fatalf("shard %d reports %d servers, %d positions", sh.Shard, sh.Servers, len(sh.Positions))
+		}
+	}
+	if total != 8 || st.Shards[3].Servers != 3 {
+		t.Fatalf("/state layout = %+v, want 8 servers with 3 in shard 3", st.Shards)
 	}
 }

@@ -40,3 +40,45 @@ func BenchmarkRouterStep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRebalanceVsStatic serves the drifting-hotspot workload — the
+// adversarial pattern for a frozen shard layout — once per iteration, with
+// and without the threshold rebalancing policy: 4 shards × 2 servers, a
+// tight 24-request hotspot sweeping across all three boundaries over 400
+// steps. ns/op is the full run; the cost/step metric is the serving cost
+// the layout policy is judged on (scripts/bench.sh derives its
+// rebalance_vs_static summary from it: rebalancing serves the drift
+// cheaper because every region the hotspot enters was reinforced through
+// the boundary it crossed).
+func BenchmarkRebalanceVsStatic(b *testing.B) {
+	const shards, k, steps, perStep = 4, 2, 400, 24
+	cfg := shardedConfig(shards, k)
+	batches := make([][]geom.Point, steps)
+	for t := range batches {
+		batches[t] = driftBatch(t, steps, perStep)
+	}
+	run := func(b *testing.B, newPolicy func() Rebalancer) {
+		b.ReportAllocs()
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			r, err := New(cfg, Starts(cfg, 5), newMtCK, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if newPolicy != nil {
+				r.SetRebalancer(newPolicy())
+			}
+			for t := range batches {
+				if err := r.Step(batches[t]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cost += r.Cost().Total()
+		}
+		b.ReportMetric(cost/float64(b.N*steps), "cost/step")
+	}
+	b.Run("static", func(b *testing.B) { run(b, nil) })
+	b.Run("rebalance", func(b *testing.B) {
+		run(b, func() Rebalancer { return &Threshold{WindowSteps: 8} })
+	})
+}

@@ -1,0 +1,353 @@
+// Dynamic shard rebalancing: the shard layout is no longer frozen at
+// startup. A pluggable Rebalancer watches each shard's request load over a
+// sliding window and, when the skew crosses its threshold, migrates a
+// server from a cold shard into its hot neighbor — the movement-constrained
+// analogue of reassigning mobile resources to shifting demand. A migration
+// does not teleport anything: the donated server keeps its position and
+// simply changes which region's session commands it, so the per-step
+// movement cap stays honored and the handover itself is free. The affected
+// sessions are rebuilt around the new fleet sizes with their accumulated
+// counters transplanted (engine.NewSessionFrom), so fleet-wide costs,
+// metrics, and snapshots are unaffected by how often the layout changed.
+
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/geom"
+)
+
+// Migration is one planned layout change: move one server from shard From
+// to the neighboring shard To (|From-To| == 1 — servers cross one routing
+// boundary at a time, mirroring the movement constraint on the servers
+// themselves).
+type Migration struct {
+	From int
+	To   int
+}
+
+// RebalanceEvent records one applied migration. All fields are immutable
+// once published; transports may hand the event to concurrent readers.
+type RebalanceEvent struct {
+	// T is the index of the next global step: the migration is in effect
+	// for step T and later.
+	T int
+	// From and To are the donor and recipient shards.
+	From int
+	To   int
+	// Server is the migrated server's position at migration time (it does
+	// not move during the handover).
+	Server geom.Point
+	// Ks is the per-shard fleet layout after the migration.
+	Ks []int
+}
+
+// LoadView is what a Rebalancer sees when it plans: the per-shard request
+// load over the sliding window, the current fleet layout, and the
+// partition. All slices are copies the policy may keep.
+type LoadView struct {
+	// T is the index of the next global step; a planned migration takes
+	// effect before it executes.
+	T int
+	// Window is the number of steps aggregated into Load.
+	Window int
+	// Load holds each shard's routed-request count within the window.
+	Load []int
+	// Ks holds each shard's current fleet size.
+	Ks []int
+	// Partition is the routing layout.
+	Partition []float64
+}
+
+// Rebalancer is the pluggable policy deciding when servers migrate between
+// shards. The router calls Plan after every step once the sliding window is
+// full; returning nil means "leave the layout alone". A Rebalancer instance
+// must not be shared between routers — it may keep per-run state (e.g. a
+// cooldown clock).
+type Rebalancer interface {
+	// Window is the sliding-window length, in steps, the policy wants the
+	// load aggregated over (at least 1).
+	Window() int
+	// Plan inspects the windowed load and either returns a migration to
+	// apply now or nil.
+	Plan(v LoadView) *Migration
+}
+
+// DefaultRebalanceWindow is the sliding-window length Threshold uses when
+// WindowSteps is zero.
+const DefaultRebalanceWindow = 32
+
+// Threshold is the reference rebalancing policy: when the hottest shard's
+// windowed load exceeds Ratio times its colder neighbor's, one server
+// migrates from that neighbor into the hot shard. Zero fields take the
+// documented defaults, so Threshold{} is a usable policy.
+type Threshold struct {
+	// WindowSteps is the sliding-window length in steps.
+	// Default DefaultRebalanceWindow.
+	WindowSteps int
+	// Ratio triggers a migration when hotLoad >= Ratio·(donorLoad+1).
+	// Default 2. Values <= 1 are lifted to the default — a ratio at or
+	// below parity would thrash servers back and forth on noise.
+	Ratio float64
+	// Cooldown is the minimum number of steps between two migrations.
+	// Default WindowSteps (one full fresh window).
+	Cooldown int
+	// MinServers is the floor no donor shard is drained below. Default 1.
+	MinServers int
+	// MinRequests is the minimum windowed load of the hot shard before any
+	// migration is considered, so an almost-idle fleet is left alone.
+	// Default WindowSteps (an average of one request per step).
+	MinRequests int
+
+	lastT   int
+	planned bool
+}
+
+// Window implements Rebalancer.
+func (p *Threshold) Window() int {
+	if p.WindowSteps < 1 {
+		return DefaultRebalanceWindow
+	}
+	return p.WindowSteps
+}
+
+func (p *Threshold) ratio() float64 {
+	if p.Ratio <= 1 {
+		return 2
+	}
+	return p.Ratio
+}
+
+func (p *Threshold) cooldown() int {
+	if p.Cooldown < 1 {
+		return p.Window()
+	}
+	return p.Cooldown
+}
+
+func (p *Threshold) minServers() int {
+	if p.MinServers < 1 {
+		return 1
+	}
+	return p.MinServers
+}
+
+func (p *Threshold) minRequests() int {
+	if p.MinRequests < 1 {
+		return p.Window()
+	}
+	return p.MinRequests
+}
+
+// Plan implements Rebalancer: find the hottest shard, pick its
+// lighter-loaded neighbor that can still donate, and migrate one server in
+// when the skew clears the threshold.
+func (p *Threshold) Plan(v LoadView) *Migration {
+	if p.planned && v.T-p.lastT < p.cooldown() {
+		return nil
+	}
+	hot := 0
+	for i, l := range v.Load {
+		if l > v.Load[hot] {
+			hot = i
+		}
+	}
+	if v.Load[hot] < p.minRequests() {
+		return nil
+	}
+	donor := -1
+	for _, d := range []int{hot - 1, hot + 1} {
+		if d < 0 || d >= len(v.Ks) || v.Ks[d] <= p.minServers() {
+			continue
+		}
+		if donor == -1 || v.Load[d] < v.Load[donor] {
+			donor = d
+		}
+	}
+	if donor == -1 {
+		return nil
+	}
+	if float64(v.Load[hot]) < p.ratio()*float64(v.Load[donor]+1) {
+		return nil
+	}
+	p.lastT, p.planned = v.T, true
+	return &Migration{From: donor, To: hot}
+}
+
+// SetRebalancer installs (or, with nil, removes) the rebalancing policy.
+// The sliding load window restarts empty. Like every Router method it must
+// be called from the driving goroutine, between steps.
+func (r *Router) SetRebalancer(rb Rebalancer) {
+	r.rb = rb
+	r.win = nil
+	if rb != nil {
+		w := rb.Window()
+		if w < 1 {
+			w = 1
+		}
+		r.win = newLoadWindow(w, len(r.sess))
+	}
+}
+
+// Rebalances returns the number of migrations applied since the router was
+// created or restored (the count is part of the snapshot, so it survives a
+// kill-and-restore).
+func (r *Router) Rebalances() int { return r.rebalances }
+
+// LastRebalance returns the migration applied by the most recent Step, or
+// nil if that step left the layout alone. The returned event is immutable.
+func (r *Router) LastRebalance() *RebalanceEvent { return r.lastReb }
+
+// autoRebalance runs the installed policy at the end of a step: feed the
+// step's per-shard load into the sliding window and, once it is full, apply
+// whatever the policy plans. A migration resets the window — the loads
+// gathered under the old layout would double-trigger under the new one.
+func (r *Router) autoRebalance() error {
+	r.win.push(r.last)
+	if !r.win.full() {
+		return nil
+	}
+	m := r.rb.Plan(LoadView{
+		T:         r.steps,
+		Window:    r.win.filled,
+		Load:      append([]int(nil), r.win.sum...),
+		Ks:        r.Ks(),
+		Partition: append([]float64(nil), r.part...),
+	})
+	if m == nil {
+		return nil
+	}
+	if err := r.Rebalance(*m); err != nil {
+		return fmt.Errorf("rebalance %d→%d: %w", m.From, m.To, err)
+	}
+	r.win.reset()
+	return nil
+}
+
+// Rebalance applies one migration now: the donor shard's server nearest the
+// shared routing boundary switches to the recipient's session, at its
+// current position. Both affected sessions are rebuilt around their new
+// fleet sizes with fresh algorithm instances (reset at the current
+// positions) and their accumulated counters transplanted, so fleet-wide
+// totals and the snapshot/restore invariant are unaffected.
+//
+// The receiver is validated before anything is touched; an invalid
+// migration returns an error and leaves the router unchanged.
+func (r *Router) Rebalance(m Migration) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.finished {
+		return ErrFinished
+	}
+	n := len(r.sess)
+	if m.From < 0 || m.From >= n || m.To < 0 || m.To >= n {
+		return fmt.Errorf("shard: migration %d→%d out of range for %d shards", m.From, m.To, n)
+	}
+	if d := m.To - m.From; d != 1 && d != -1 {
+		return fmt.Errorf("shard: migration %d→%d is not between neighboring shards", m.From, m.To)
+	}
+	if r.ks[m.From] <= 1 {
+		return fmt.Errorf("shard: shard %d has %d server(s) and cannot donate", m.From, r.ks[m.From])
+	}
+
+	// The donated server is the donor's server nearest the shared boundary:
+	// it is the cheapest to fold into the recipient's region and — after a
+	// hotspot drifted across that boundary — typically already sits next to
+	// the demand it is being sent to serve.
+	boundary := r.part[min(m.From, m.To)]
+	fromPos := r.sess[m.From].Positions()
+	toPos := r.sess[m.To].Positions()
+	j := nearestAxis0(fromPos, boundary)
+	migrant := fromPos[j]
+	newFrom := append(fromPos[:j:j], fromPos[j+1:]...)
+	newTo := append(toPos, migrant)
+
+	fromCfg := r.derivedConfig(r.ks[m.From] - 1)
+	toCfg := r.derivedConfig(r.ks[m.To] + 1)
+	fs, err := engine.NewSessionFrom(fromCfg, newFrom, r.newAlg(), r.shardOptions(m.From), r.sess[m.From].Carry())
+	if err != nil {
+		return fmt.Errorf("shard %d: rebuild after migration: %w", m.From, err)
+	}
+	ts, err := engine.NewSessionFrom(toCfg, newTo, r.newAlg(), r.shardOptions(m.To), r.sess[m.To].Carry())
+	if err != nil {
+		return fmt.Errorf("shard %d: rebuild after migration: %w", m.To, err)
+	}
+
+	r.sess[m.From], r.sess[m.To] = fs, ts
+	r.ks[m.From]--
+	r.ks[m.To]++
+	r.reindex()
+	r.rebalances++
+	r.lastReb = &RebalanceEvent{
+		T:      r.steps,
+		From:   m.From,
+		To:     m.To,
+		Server: migrant.Clone(),
+		Ks:     r.Ks(),
+	}
+	return nil
+}
+
+// nearestAxis0 returns the index of the position closest to x on axis 0.
+func nearestAxis0(pos []geom.Point, x float64) int {
+	best, bestD := 0, math.Inf(1)
+	for j, p := range pos {
+		if d := math.Abs(p[0] - x); d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best
+}
+
+// loadWindow is the router's sliding per-shard load aggregation: a ring of
+// the last size steps' routed counts plus their running per-shard sums.
+type loadWindow struct {
+	size   int
+	ring   [][]int
+	sum    []int
+	next   int
+	filled int
+}
+
+func newLoadWindow(size, shards int) *loadWindow {
+	w := &loadWindow{
+		size: size,
+		ring: make([][]int, size),
+		sum:  make([]int, shards),
+	}
+	for i := range w.ring {
+		w.ring[i] = make([]int, shards)
+	}
+	return w
+}
+
+func (w *loadWindow) push(stats []StepStat) {
+	slot := w.ring[w.next]
+	for i := range slot {
+		w.sum[i] -= slot[i]
+		slot[i] = stats[i].Routed
+		w.sum[i] += slot[i]
+	}
+	w.next = (w.next + 1) % w.size
+	if w.filled < w.size {
+		w.filled++
+	}
+}
+
+func (w *loadWindow) full() bool { return w.filled == w.size }
+
+func (w *loadWindow) reset() {
+	for i := range w.ring {
+		for j := range w.ring[i] {
+			w.ring[i][j] = 0
+		}
+	}
+	for i := range w.sum {
+		w.sum[i] = 0
+	}
+	w.next, w.filled = 0, 0
+}

@@ -1,20 +1,33 @@
 // Package shard is the multi-region fleet layer: it partitions the metric
 // space into contiguous regions along axis 0 (core.Partition) and serves
-// each region with its own independent engine.Session — one fleet of
-// Config.K servers per shard. A Router routes every incoming request to
-// its region's session, steps all shards concurrently (the per-shard work
-// is independent, so this is real within-step parallelism via
-// engine.StepAll), and aggregates the per-shard costs, counters, and
-// positions into fleet-wide totals.
+// each region with its own independent engine.Session — a fleet of servers
+// per shard. A Router routes every incoming request to its region's
+// session, steps all shards concurrently (the per-shard work is
+// independent, so this is real within-step parallelism via engine.StepAll),
+// and aggregates the per-shard costs, counters, and positions into
+// fleet-wide totals.
+//
+// Shard fleet sizes start uniform (Config.K servers each, unless the caller
+// hands New unequal start fleets) but need not stay that way: a pluggable
+// Rebalancer (see rebalance.go) can migrate servers between neighboring
+// shards when the request load skews, so a hotspot drifting across a
+// region boundary is met by capacity instead of overloading one shard
+// while its neighbors idle.
 //
 // Every global step steps every shard — possibly with an empty batch — so
 // all shard sessions share the same step counter and a combined snapshot is
 // coherent: Router.Snapshot packs the per-shard engine snapshots plus the
-// router's own counters into one document, and Restore rejects a layout
-// (partition, shard count, per-shard config) that differs from the one the
-// snapshot was taken under. Per shard, a killed-and-resumed run finishes
-// byte-identical to the uninterrupted run, inheriting the engine's
-// checkpoint guarantees.
+// router's own counters and the current per-shard fleet sizes into one
+// document, and Restore rejects a layout (partition, shard count, base
+// config) that differs from the one the snapshot was taken under. A resume
+// reproduces the migrated layout, every counter, and every position exactly
+// — the layout is part of the document — and without a rebalancing policy a
+// killed-and-resumed run finishes byte-identical to the uninterrupted run,
+// inheriting the engine's checkpoint guarantees. Rebalancer runtime state
+// (the sliding load window, a policy's cooldown clock) is NOT part of the
+// snapshot: the caller reinstalls the policy after Restore, so a resumed
+// run's future migrations may fire at different steps than the
+// uninterrupted run's would have.
 package shard
 
 import (
@@ -34,21 +47,30 @@ import (
 // Router methods are not safe for concurrent use; like a Session it is
 // driven by one goroutine (the concurrency is inside Step, across shards).
 type Router struct {
-	cfg  core.Config
-	part core.Partition
-	k    int // servers per shard
-	name string
-	opts engine.Options
-	sess []*engine.Session
-	obs  []engine.Observer
+	cfg    core.Config
+	part   core.Partition
+	ks     []int // per-shard fleet sizes; migrations change them
+	off    []int // ks prefix sums: shard i owns merged slots [off[i], off[i+1])
+	name   string
+	opts   engine.Options
+	newAlg func() core.FleetAlgorithm
+	sess   []*engine.Session
+	obs    []engine.Observer
 
 	// Merged per-step views, concatenated across shards: shard i owns the
-	// server slots [i*k, (i+1)*k). The per-shard capture observers write
-	// disjoint ranges, so the concurrent step goroutines never collide.
+	// server slots [off[i], off[i+1]). The per-shard capture observers
+	// write disjoint ranges, so the concurrent step goroutines never
+	// collide; migrations (which resize these buffers) only happen between
+	// steps, on the driving goroutine.
 	prev, pos []geom.Point
 	last      []StepStat
 	routed    [][]geom.Point
 	requests  []int // cumulative requests routed per shard
+
+	rb         Rebalancer
+	win        *loadWindow
+	rebalances int             // migrations applied so far
+	lastReb    *RebalanceEvent // migration applied by the most recent Step, nil otherwise
 
 	steps    int
 	err      error
@@ -73,6 +95,8 @@ type StepStat struct {
 type State struct {
 	// Shard is the region index.
 	Shard int
+	// Servers is the shard's current fleet size (migrations change it).
+	Servers int
 	// Requests is the cumulative number of requests routed to the shard.
 	Requests int
 	// Cost is the shard session's accumulated cost.
@@ -84,10 +108,13 @@ type State struct {
 }
 
 // New builds a router over cfg.Partition.Shards() fresh sessions. starts
-// holds one fleet layout per shard (cfg.Servers() positions each), and
-// newAlg constructs one independent algorithm instance per shard — shards
-// must not share mutable controller state. Observers in opts are attached
-// at the router level: they see one merged StepInfo per global step
+// holds one fleet layout per shard — usually cfg.Servers() positions each
+// (see Starts), but the fleets may be unequal (StartsSized): shard i starts
+// with len(starts[i]) servers. newAlg constructs one independent algorithm
+// instance per shard — shards must not share mutable controller state — and
+// is retained: a rebalancing migration rebuilds the affected shards'
+// sessions with fresh instances from it. Observers in opts are attached at
+// the router level: they see one merged StepInfo per global step
 // (concatenated positions, summed cost, max movement), not per-shard
 // events.
 func New(cfg core.Config, starts [][]geom.Point, newAlg func() core.FleetAlgorithm, opts engine.Options) (*Router, error) {
@@ -98,12 +125,16 @@ func New(cfg core.Config, starts [][]geom.Point, newAlg func() core.FleetAlgorit
 	if len(starts) != n {
 		return nil, fmt.Errorf("shard: %d start fleets for %d shards", len(starts), n)
 	}
-	r, err := newRouter(cfg, opts)
-	if err != nil {
-		return nil, err
+	ks := make([]int, n)
+	for i := range starts {
+		if len(starts[i]) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no servers", i)
+		}
+		ks[i] = len(starts[i])
 	}
+	r := newRouter(cfg, ks, newAlg, opts)
 	for i := range r.sess {
-		s, err := engine.NewSession(cfg, starts[i], newAlg(), r.shardOptions(i))
+		s, err := engine.NewSession(r.shardConfig(i), starts[i], newAlg(), r.shardOptions(i))
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -114,23 +145,59 @@ func New(cfg core.Config, starts [][]geom.Point, newAlg func() core.FleetAlgorit
 }
 
 // newRouter allocates the router shell shared by New and Restore: buffers
-// sized for n shards of k servers, with the sessions still unset.
-func newRouter(cfg core.Config, opts engine.Options) (*Router, error) {
-	n, k := cfg.Partition.Shards(), cfg.Servers()
+// sized for the given per-shard fleet sizes, with the sessions still unset.
+func newRouter(cfg core.Config, ks []int, newAlg func() core.FleetAlgorithm, opts engine.Options) *Router {
+	n := len(ks)
 	r := &Router{
 		cfg:      cfg,
 		part:     cfg.Partition,
-		k:        k,
+		ks:       append([]int(nil), ks...),
+		off:      make([]int, n+1),
 		opts:     opts,
+		newAlg:   newAlg,
 		obs:      opts.Observers,
 		sess:     make([]*engine.Session, n),
-		prev:     make([]geom.Point, n*k),
-		pos:      make([]geom.Point, n*k),
 		last:     make([]StepStat, n),
 		routed:   make([][]geom.Point, n),
 		requests: make([]int, n),
 	}
-	return r, nil
+	r.reindex()
+	return r
+}
+
+// reindex recomputes the merged-buffer offsets from the current per-shard
+// fleet sizes and reallocates the concatenated position buffers. Called on
+// construction and after every migration; the capture observers pick the
+// new offsets up on the next step.
+func (r *Router) reindex() {
+	total := 0
+	for i, k := range r.ks {
+		r.off[i] = total
+		total += k
+	}
+	r.off[len(r.ks)] = total
+	r.prev = make([]geom.Point, total)
+	r.pos = make([]geom.Point, total)
+}
+
+// derivedConfig is the configuration a session with a fleet of k servers
+// runs under: the router's base configuration with K swapped for k. For a
+// fleet still at the base size the configuration is passed through
+// untouched (preserving K=0 for single-server setups), so uniform layouts
+// snapshot byte-identically to routers that predate per-shard sizes. Both
+// live rebuilds (Rebalance) and restores derive configs through this one
+// rule — the byte-identical kill-and-restore invariant depends on it.
+func (r *Router) derivedConfig(k int) core.Config {
+	c := r.cfg
+	if k != c.Servers() {
+		c.K = k
+	}
+	return c
+}
+
+// shardConfig is the configuration shard i's session currently runs under.
+func (r *Router) shardConfig(i int) core.Config {
+	return r.derivedConfig(r.ks[i])
 }
 
 // shardOptions is the per-shard engine options: the router's cap mode and
@@ -147,7 +214,8 @@ func (r *Router) shardOptions(i int) engine.Options {
 // capture returns shard i's internal observer: it records the shard's step
 // stats and copies the pre/post positions into the router's concatenated
 // buffers. It runs inside the shard's step goroutine but touches only
-// shard-i-owned state.
+// shard-i-owned state — the offsets are read per step, so a migration
+// (which rewrites them between steps) never skews a live write.
 func (r *Router) capture(i int) engine.Observer {
 	return engine.Func(func(info engine.StepInfo) {
 		r.last[i] = StepStat{
@@ -156,7 +224,7 @@ func (r *Router) capture(i int) engine.Observer {
 			Moved:   info.Moved,
 			Clamped: info.Clamped,
 		}
-		lo := i * r.k
+		lo := r.off[i]
 		for j := range info.Pos {
 			r.prev[lo+j] = copyPoint(r.prev[lo+j], info.Prev[j])
 			r.pos[lo+j] = copyPoint(r.pos[lo+j], info.Pos[j])
@@ -185,6 +253,13 @@ func (r *Router) Shards() int { return len(r.sess) }
 // Partition returns the shard layout the router routes with.
 func (r *Router) Partition() core.Partition { return r.part }
 
+// Ks returns a copy of the current per-shard fleet sizes.
+func (r *Router) Ks() []int { return append([]int(nil), r.ks...) }
+
+// Servers returns the fleet-wide server count (the sum of the per-shard
+// sizes; migrations preserve it).
+func (r *Router) Servers() int { return r.off[len(r.ks)] }
+
 // T returns the number of global steps fed so far (every shard session is
 // at the same step).
 func (r *Router) T() int { return r.steps }
@@ -212,9 +287,10 @@ func (r *Router) Clamped() int {
 }
 
 // Positions returns a copy of every server position, concatenated in shard
-// order (shard i's servers occupy [i*K, (i+1)*K)).
+// order (shard i's servers occupy the merged slots [off[i], off[i+1]) —
+// fleet sizes may differ per shard, see Ks).
 func (r *Router) Positions() []geom.Point {
-	out := make([]geom.Point, 0, len(r.sess)*r.k)
+	out := make([]geom.Point, 0, r.Servers())
 	for _, s := range r.sess {
 		out = append(out, s.Positions()...)
 	}
@@ -222,8 +298,11 @@ func (r *Router) Positions() []geom.Point {
 }
 
 // LastSteps returns each shard's share of the most recent global step. The
-// returned slice is valid until the next Step.
-func (r *Router) LastSteps() []StepStat { return r.last }
+// returned slice is a copy the caller owns; it is never overwritten by a
+// later Step.
+func (r *Router) LastSteps() []StepStat {
+	return append([]StepStat(nil), r.last...)
+}
 
 // States returns every shard's live cumulative counters.
 func (r *Router) States() []State {
@@ -231,6 +310,7 @@ func (r *Router) States() []State {
 	for i, s := range r.sess {
 		out[i] = State{
 			Shard:     i,
+			Servers:   r.ks[i],
 			Requests:  r.requests[i],
 			Cost:      s.Cost(),
 			Clamped:   s.Clamped(),
@@ -257,11 +337,15 @@ func (r *Router) Route(requests []geom.Point) [][]geom.Point {
 // concurrently (one goroutine per shard, engine.StepAll); a shard that
 // receives no requests steps with an empty batch so all sessions stay on
 // the same step counter. After the barrier the router merges the per-shard
-// outcomes into one StepInfo and notifies its observers.
+// outcomes into one StepInfo, notifies its observers, and — when a
+// Rebalancer is installed — feeds the step's load into the sliding window
+// and applies the policy's migration, if it plans one.
 //
 // Errors raised by any shard are sticky, exactly like a session's
 // post-move errors: the other shards have already advanced, so the router
-// refuses to compute from inconsistent state.
+// refuses to compute from inconsistent state. A failed rebalance (a policy
+// planning an invalid migration, or a session rebuild failing) is sticky
+// too — the layout machinery must not limp along half-applied.
 func (r *Router) Step(requests []geom.Point) error {
 	if r.err != nil {
 		return r.err
@@ -269,6 +353,7 @@ func (r *Router) Step(requests []geom.Point) error {
 	if r.finished {
 		return engine.ErrFinished
 	}
+	r.lastReb = nil
 	for i, v := range requests {
 		if v.Dim() != r.cfg.Dim {
 			return fmt.Errorf("shard: request %d in step %d has dim %d, want %d", i, r.steps, v.Dim(), r.cfg.Dim)
@@ -300,6 +385,12 @@ func (r *Router) Step(requests []geom.Point) error {
 	}
 	for _, o := range r.obs {
 		o.Observe(info)
+	}
+	if r.rb != nil {
+		if err := r.autoRebalance(); err != nil {
+			r.err = err
+			return r.err
+		}
 	}
 	return nil
 }
@@ -349,14 +440,30 @@ func (r *Router) ShardResults() ([]*engine.Result, error) {
 	return r.shardRes, nil
 }
 
-// Starts builds a default fleet layout for a sharded run: each shard's K
-// servers are spread evenly across its region's extent on axis 0 (strictly
-// inside it, so no server sits on a routing boundary), with the unbounded
-// outer regions truncated at span beyond their finite edge. All other
-// coordinates are zero. For the unsharded single-region layout the extent
-// is [-span, span].
+// Starts builds the default uniform fleet layout for a sharded run: each
+// shard gets cfg.Servers() servers. See StartsSized for the placement rule
+// and for unequal layouts.
 func Starts(cfg core.Config, span float64) [][]geom.Point {
-	n, k := cfg.Partition.Shards(), cfg.Servers()
+	ks := make([]int, cfg.Partition.Shards())
+	for i := range ks {
+		ks[i] = cfg.Servers()
+	}
+	return StartsSized(cfg, span, ks)
+}
+
+// StartsSized builds a fleet layout with ks[i] servers in shard i: each
+// shard's servers are spread evenly across its region's extent on axis 0
+// (strictly inside it, so no server sits on a routing boundary), with the
+// unbounded outer regions truncated at span beyond their finite edge. All
+// other coordinates are zero. For the unsharded single-region layout the
+// extent is [-span, span]. It panics when len(ks) does not match the
+// partition's shard count — a layout for the wrong partition is a
+// programming error, not an input.
+func StartsSized(cfg core.Config, span float64, ks []int) [][]geom.Point {
+	n := cfg.Partition.Shards()
+	if len(ks) != n {
+		panic(fmt.Sprintf("shard: StartsSized got %d fleet sizes for %d shards", len(ks), n))
+	}
 	out := make([][]geom.Point, n)
 	for i := range out {
 		lo, hi := cfg.Partition.Region(i)
@@ -367,10 +474,10 @@ func Starts(cfg core.Config, span float64) [][]geom.Point {
 		} else if i == n-1 {
 			hi = lo + span
 		}
-		fleet := make([]geom.Point, k)
+		fleet := make([]geom.Point, ks[i])
 		for j := range fleet {
 			p := geom.Zero(cfg.Dim)
-			p[0] = lo + (hi-lo)*float64(j+1)/float64(k+1)
+			p[0] = lo + (hi-lo)*float64(j+1)/float64(ks[i]+1)
 			fleet[j] = p
 		}
 		out[i] = fleet

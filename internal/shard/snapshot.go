@@ -16,15 +16,24 @@ const SnapshotVersion = 1
 // snapshot is the serialized form of a mid-stream sharded run: the global
 // configuration (including the partition — the shard layout is part of the
 // document, so Restore can reject a mismatched layout before touching any
-// shard), the router's own counters, and one engine snapshot per shard.
-// The per-shard documents are embedded verbatim, so per shard the combined
-// checkpoint inherits the engine's byte-exactness guarantee.
+// shard), the router's own counters, the current per-shard fleet sizes,
+// and one engine snapshot per shard. The per-shard documents are embedded
+// verbatim, so per shard the combined checkpoint inherits the engine's
+// byte-exactness guarantee.
 type snapshot struct {
-	Version  int               `json:"version"`
-	Config   core.Config       `json:"config"`
-	Steps    int               `json:"steps"`
-	Requests []int             `json:"requests"`
-	Shards   []json.RawMessage `json:"shards"`
+	Version  int         `json:"version"`
+	Config   core.Config `json:"config"`
+	Steps    int         `json:"steps"`
+	Requests []int       `json:"requests"`
+	// Ks is the live fleet layout: how many servers each shard owned when
+	// the snapshot was taken (rebalancing migrations change it). Absent in
+	// documents written before dynamic rebalancing, which were always
+	// uniform at Config.K servers per shard.
+	Ks []int `json:"ks,omitempty"`
+	// Rebalances counts the migrations applied before the snapshot, so a
+	// resumed run's counter continues instead of restarting.
+	Rebalances int               `json:"rebalances,omitempty"`
+	Shards     []json.RawMessage `json:"shards"`
 }
 
 // ErrSnapshotFinished mirrors engine.ErrSnapshotFinished for router
@@ -32,9 +41,10 @@ type snapshot struct {
 var ErrSnapshotFinished = engine.ErrSnapshotFinished
 
 // Snapshot serializes the sharded run mid-stream as one atomic document:
-// the router counters plus every shard session's own snapshot, taken at
-// the same global step (Step keeps all shards in lockstep). Feed the bytes
-// to Restore to continue the run in another process.
+// the router counters, the current per-shard fleet layout, and every shard
+// session's own snapshot, taken at the same global step (Step keeps all
+// shards in lockstep). Feed the bytes to Restore to continue the run in
+// another process — with the migrated layout reproduced exactly.
 func (r *Router) Snapshot() ([]byte, error) {
 	if r.finished {
 		return nil, ErrSnapshotFinished
@@ -43,11 +53,13 @@ func (r *Router) Snapshot() ([]byte, error) {
 		return nil, fmt.Errorf("shard: cannot snapshot a failed router: %w", r.err)
 	}
 	snap := snapshot{
-		Version:  SnapshotVersion,
-		Config:   r.cfg,
-		Steps:    r.steps,
-		Requests: append([]int(nil), r.requests...),
-		Shards:   make([]json.RawMessage, len(r.sess)),
+		Version:    SnapshotVersion,
+		Config:     r.cfg,
+		Steps:      r.steps,
+		Requests:   append([]int(nil), r.requests...),
+		Ks:         r.Ks(),
+		Rebalances: r.rebalances,
+		Shards:     make([]json.RawMessage, len(r.sess)),
 	}
 	for i, s := range r.sess {
 		b, err := s.Snapshot()
@@ -60,14 +72,17 @@ func (r *Router) Snapshot() ([]byte, error) {
 }
 
 // Restore reopens a sharded run from bytes produced by Router.Snapshot.
-// The caller passes the same configuration the run was taken under —
+// The caller passes the same base configuration the run was taken under —
 // including the partition — and a factory for fresh per-shard algorithm
 // instances; a snapshot whose shard layout (partition boundaries, shard
-// count, or per-shard configuration) disagrees is rejected as a whole
-// rather than restoring a subset of shards against the wrong regions.
-// Each shard session is restored through engine.Restore, so positions,
-// costs, step counters, and algorithm state continue exactly; observers in
-// opts see only the steps fed after the restore.
+// count, or base configuration) disagrees is rejected as a whole rather
+// than restoring a subset of shards against the wrong regions. The live
+// per-shard fleet sizes come from the document itself, so a layout changed
+// by rebalancing migrations resumes exactly as it stood (legacy documents
+// without the layout restore uniform at Config.K). Each shard session is
+// restored through engine.Restore, so positions, costs, step counters, and
+// algorithm state continue exactly; observers in opts see only the steps
+// fed after the restore.
 func Restore(cfg core.Config, newAlg func() core.FleetAlgorithm, data []byte, opts engine.Options) (*Router, error) {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
@@ -82,6 +97,13 @@ func Restore(cfg core.Config, newAlg func() core.FleetAlgorithm, data []byte, op
 	if !cfg.Partition.Equal(snap.Config.Partition) {
 		return nil, fmt.Errorf("shard: snapshot was taken under partition %v, restore requested %v", snap.Config.Partition, cfg.Partition)
 	}
+	// The per-shard sessions run under derived configurations (K swapped
+	// for the shard's live size), so the base configuration must be checked
+	// here — engine.Restore can no longer catch a base-K mismatch once the
+	// layout travels in the document. K=0 and K=1 both mean one server.
+	if a, b := canonicalK(cfg), canonicalK(snap.Config); !a.Equal(b) {
+		return nil, fmt.Errorf("shard: snapshot was taken under config %+v, restore requested %+v", snap.Config, cfg)
+	}
 	n := cfg.Partition.Shards()
 	if len(snap.Shards) != n {
 		return nil, fmt.Errorf("shard: snapshot has %d shards for a %d-shard partition", len(snap.Shards), n)
@@ -92,12 +114,25 @@ func Restore(cfg core.Config, newAlg func() core.FleetAlgorithm, data []byte, op
 	if snap.Steps < 0 {
 		return nil, errors.New("shard: snapshot has a negative step counter")
 	}
-	r, err := newRouter(cfg, opts)
-	if err != nil {
-		return nil, err
+	ks := snap.Ks
+	if ks == nil {
+		// Legacy document: the layout was always uniform.
+		ks = make([]int, n)
+		for i := range ks {
+			ks[i] = cfg.Servers()
+		}
 	}
+	if len(ks) != n {
+		return nil, fmt.Errorf("shard: snapshot has %d fleet sizes for %d shards", len(ks), n)
+	}
+	for i, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("shard: snapshot gives shard %d fleet size %d", i, k)
+		}
+	}
+	r := newRouter(cfg, ks, newAlg, opts)
 	for i, sb := range snap.Shards {
-		s, err := engine.Restore(cfg, newAlg(), sb, r.shardOptions(i))
+		s, err := engine.Restore(r.shardConfig(i), newAlg(), sb, r.shardOptions(i))
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -107,7 +142,14 @@ func Restore(cfg core.Config, newAlg func() core.FleetAlgorithm, data []byte, op
 		r.sess[i] = s
 	}
 	r.steps = snap.Steps
+	r.rebalances = snap.Rebalances
 	copy(r.requests, snap.Requests)
 	r.begin()
 	return r, nil
+}
+
+// canonicalK normalizes the K=0 ≡ K=1 freedom for base-config comparison.
+func canonicalK(c core.Config) core.Config {
+	c.K = c.Servers()
+	return c
 }

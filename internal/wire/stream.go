@@ -213,6 +213,25 @@ type MetricsEvent struct {
 	Dropped int `json:"dropped,omitempty"`
 }
 
+// RebalanceEvent is one server-sent event of GET /metrics/stream with
+// event type "rebalance": a dynamic-rebalancing migration the identified
+// step applied. It rides the same stream as the metrics events, so a
+// dashboard following the feed sees layout changes in order with the load
+// that triggered them.
+type RebalanceEvent struct {
+	V int `json:"v"`
+	// T is the first global step served under the new layout.
+	T int `json:"t"`
+	// From and To are the donor and recipient shards.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Server is the migrated server's position (it does not move during
+	// the handover; it only changes which region's session commands it).
+	Server Point `json:"server"`
+	// Ks is the per-shard fleet layout after the migration.
+	Ks []int `json:"ks"`
+}
+
 // UnmarshalStrict decodes one JSON document rejecting unknown fields, so a
 // misspelled field in a frame or request body is an error instead of a
 // silently ignored no-op. It also rejects trailing garbage after the

@@ -78,8 +78,10 @@ type StepResponse struct {
 	// per unique T to reconcile with GET /metrics).
 	Cost Cost `json:"cost"`
 	// Positions holds every server position after the step. In sharded
-	// mode they are concatenated in shard order: shard i's K servers
-	// occupy positions [i*K, (i+1)*K).
+	// mode they are concatenated in shard order; fleet sizes may differ
+	// per shard once rebalancing migrations have run, so use the servers
+	// counts in GET /state's shards payload — not index arithmetic — to
+	// attribute a slot to a shard.
 	Positions []Point `json:"positions"`
 	// Shards tags the step with each shard's share when the server runs
 	// in router mode: how many of the step's requests each region
@@ -141,7 +143,10 @@ type StateResponse struct {
 
 // ShardState is one shard's live counters inside GET /state.
 type ShardState struct {
-	Shard    int `json:"shard"`
+	Shard int `json:"shard"`
+	// Servers is the shard's current fleet size; rebalancing migrations
+	// change it, so the live layout is part of the state report.
+	Servers  int `json:"servers"`
 	Requests int `json:"requests"`
 	Clamped  int `json:"clamped"`
 	// Positions holds the shard's own servers.

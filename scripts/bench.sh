@@ -1,17 +1,22 @@
 #!/bin/sh
 # bench.sh: run the reproduction benchmark suite (BenchmarkE*), the
-# sharded-vs-unsharded serving benchmark (BenchmarkRouterStep), and the
-# transport comparison (BenchmarkStreamVsHTTP) and emit a machine-readable
+# sharded-vs-unsharded serving benchmark (BenchmarkRouterStep), the
+# transport comparison (BenchmarkStreamVsHTTP), and the shard-layout
+# comparison (BenchmarkRebalanceVsStatic) and emit a machine-readable
 # JSON summary, so the bench trajectory is tracked as a CI artifact
-# instead of scrolling away in logs. The summary carries a derived
-# "stream_vs_http" entry: per-batch latency of each transport and the
-# speedup of pipelined NDJSON ingestion over per-request HTTP.
+# instead of scrolling away in logs. The summary carries two derived
+# entries: "stream_vs_http" (per-batch latency of each transport and the
+# speedup of pipelined NDJSON ingestion over per-request HTTP) and
+# "rebalance_vs_static" (per-step serving cost of the drifting-hotspot
+# workload under a static vs a dynamically rebalanced shard layout, and
+# the fraction of cost the rebalancer saves).
 #
 #   ./scripts/bench.sh [out.json]        # default out: BENCH_<utc-stamp>.json
 #   BENCHTIME=100x ./scripts/bench.sh    # override -benchtime (default 1x
 #                                        # for the E-suite, 50x for the
 #                                        # router scaling curve, 300x for
-#                                        # the transport comparison)
+#                                        # the transport comparison, 3x for
+#                                        # the full-run layout comparison)
 #
 # Run from the repository root.
 set -eu
@@ -23,6 +28,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkE' -benchtime "${BENCHTIME:-1x}" . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkRouterStep' -benchtime "${BENCHTIME:-50x}" ./internal/shard/ | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkStreamVsHTTP' -benchtime "${BENCHTIME:-300x}" ./internal/server/ | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkRebalanceVsStatic' -benchtime "${BENCHTIME:-3x}" ./internal/shard/ | tee -a "$raw"
 
 # Convert `BenchmarkName-P   N   T ns/op [extras...]` lines into a JSON
 # document. The -P CPU suffix is stripped from the name. The transport
@@ -32,6 +38,7 @@ BEGIN {
 	printf "{\n  \"go\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", go_version, stamp
 	n = 0
 	http_ns = ""; stream_ns = ""
+	static_cost = ""; rebalance_cost = ""
 }
 /^Benchmark/ && $4 == "ns/op" {
 	name = $1
@@ -43,6 +50,11 @@ BEGIN {
 		if ($(i+1) == "B/op")      extra = extra sprintf(", \"bytes_per_op\": %s", $i)
 		if ($(i+1) == "allocs/op") extra = extra sprintf(", \"allocs_per_op\": %s", $i)
 		if ($(i+1) == "req/s")     extra = extra sprintf(", \"req_per_sec\": %s", $i)
+		if ($(i+1) == "cost/step") {
+			extra = extra sprintf(", \"cost_per_step\": %s", $i)
+			if (name ~ /BenchmarkRebalanceVsStatic\/static$/)    static_cost = $i
+			if (name ~ /BenchmarkRebalanceVsStatic\/rebalance$/) rebalance_cost = $i
+		}
 	}
 	if (name ~ /BenchmarkStreamVsHTTP\/http$/)   http_ns = ns
 	if (name ~ /BenchmarkStreamVsHTTP\/stream$/) stream_ns = ns
@@ -54,6 +66,10 @@ END {
 	if (http_ns != "" && stream_ns != "" && stream_ns + 0 > 0) {
 		printf ",\n  \"stream_vs_http\": {\"http_ns_per_batch\": %s, \"stream_ns_per_batch\": %s, \"stream_speedup\": %.2f}",
 			http_ns, stream_ns, (http_ns + 0) / (stream_ns + 0)
+	}
+	if (static_cost != "" && rebalance_cost != "" && static_cost + 0 > 0) {
+		printf ",\n  \"rebalance_vs_static\": {\"static_cost_per_step\": %s, \"rebalance_cost_per_step\": %s, \"cost_saved_frac\": %.3f}",
+			static_cost, rebalance_cost, 1 - (rebalance_cost + 0) / (static_cost + 0)
 	}
 	printf "\n}\n"
 }' "$raw" > "$out"
