@@ -49,17 +49,13 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
-	"net"
 	"net/http"
-	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -67,6 +63,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/streamclient"
 	"repro/internal/wire"
 )
 
@@ -207,193 +204,63 @@ func driveHTTP(addr string, gen workload, n, batchSize, workers int) (accepted, 
 	return accepted, retries, costs
 }
 
-// driveStream is the pipelined transport: one hijacked connection, every
-// batch a step frame with the batch index as its id, up to inflight of
-// them unacknowledged. Throttle frames are answered by resending the same
-// id after a jittered backoff; acks are tallied exactly like HTTP
-// responses.
+// driveStream is the pipelined transport, built on the shared
+// internal/streamclient package (the same client the cluster coordinator
+// uses): one upgraded connection, every batch a pipelined step frame, up
+// to inflight of them unacknowledged. Throttle frames are resent by the
+// client itself after a jittered backoff; acks are tallied exactly like
+// HTTP responses.
 func driveStream(addr string, gen workload, n, batchSize, inflight int) (accepted, retries int, costs map[int]wire.Cost, err error) {
-	u, err := url.Parse(addr)
+	c, err := streamclient.Dial(addr, "/stream", streamclient.Options{Dim: gen.dim})
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	host := u.Host
-	if host == "" {
-		if u.Opaque != "" {
-			// "localhost:8080" without a scheme parses as
-			// Scheme "localhost", Opaque "8080".
-			host = u.Scheme + ":" + u.Opaque
-		} else {
-			host = u.Path // a bare hostname lands in Path
-		}
-	}
-	conn, err := net.Dial("tcp", host)
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	defer conn.Close()
-	br := bufio.NewReader(conn)
-
-	// Upgrade and handshake.
-	if _, err := fmt.Fprintf(conn, "POST /stream HTTP/1.1\r\nHost: %s\r\nContent-Length: 0\r\n\r\n", host); err != nil {
-		return 0, 0, nil, err
-	}
-	status, err := br.ReadString('\n')
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	if !bytes.Contains([]byte(status), []byte("200")) {
-		return 0, 0, nil, fmt.Errorf("POST /stream: %s", status)
-	}
-	for {
-		line, err := br.ReadString('\n')
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		if line == "\r\n" {
-			break
-		}
-	}
-	var wmu sync.Mutex // the writer goroutine and throttle resends share the socket
-	writeFrame := func(v any) error {
-		data, err := json.Marshal(v)
-		if err != nil {
-			return err
-		}
-		wmu.Lock()
-		defer wmu.Unlock()
-		_, err = conn.Write(append(data, '\n'))
-		return err
-	}
-	if err := writeFrame(wire.HelloFrame{V: wire.V1, Type: wire.FrameHello, Dim: gen.dim}); err != nil {
-		return 0, 0, nil, err
-	}
-	welcome, err := readFrame(br)
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	var w wire.WelcomeFrame
-	if err := expectFrame(welcome, wire.FrameWelcome, &w); err != nil {
-		return 0, 0, nil, err
-	}
+	defer c.Close()
+	w := c.Welcome()
 	fmt.Printf("stream open: %s at step %d (dim %d)\n", w.Algorithm, w.T, w.Dim)
 
 	// Writer: pipeline fresh frames as the in-flight window allows. The
 	// semaphore is released per ack; a throttled frame keeps its slot
-	// until its resend is acked.
+	// until its resend is acked (resends happen inside the client).
 	batches := (n + batchSize - 1) / batchSize
-	frames := make([]wire.StepFrame, batches)
-	for b := 0; b < batches; b++ {
-		size := batchSize
-		if rest := n - b*batchSize; rest < size {
-			size = rest
-		}
-		frames[b] = wire.StepFrame{V: wire.V1, Type: wire.FrameStep, ID: int64(b + 1), Requests: gen.batch(b, size).Requests}
-	}
 	sem := make(chan struct{}, inflight)
+	pends := make(chan *streamclient.Pending, inflight)
 	writeErr := make(chan error, 1)
 	go func() {
+		defer close(pends)
 		for b := 0; b < batches; b++ {
+			size := batchSize
+			if rest := n - b*batchSize; rest < size {
+				size = rest
+			}
 			sem <- struct{}{}
-			if err := writeFrame(frames[b]); err != nil {
+			p, err := c.Step(gen.batch(b, size).Requests)
+			if err != nil {
 				writeErr <- err
 				return
 			}
+			pends <- p
 		}
 	}()
 
-	// Reader: every frame is eventually answered by exactly one ack (or a
-	// fatal error).
+	// Reader: every frame is eventually answered by exactly one ack (or
+	// the connection's fatal error).
 	costs = map[int]wire.Cost{}
-	for pending := batches; pending > 0; {
-		select {
-		case err := <-writeErr:
-			return 0, 0, nil, err
-		default:
-		}
-		line, err := readFrame(br)
+	for p := range pends {
+		ack, err := p.Wait()
 		if err != nil {
 			return 0, 0, nil, err
 		}
-		head, err := wire.PeekFrame(line)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		switch head.Type {
-		case wire.FrameAck:
-			var ack wire.AckFrame
-			if err := wire.UnmarshalStrict(line, &ack); err != nil {
-				return 0, 0, nil, err
-			}
-			accepted += ack.Accepted
-			costs[ack.T] = ack.Cost
-			pending--
-			<-sem
-		case wire.FrameThrottle:
-			var th wire.ThrottleFrame
-			if err := wire.UnmarshalStrict(line, &th); err != nil {
-				return 0, 0, nil, err
-			}
-			// The id is server-controlled input: bounds-check it before
-			// indexing, so a malformed throttle frame is a clean error
-			// instead of a panic.
-			if th.ID < 1 || th.ID > int64(len(frames)) {
-				return 0, 0, nil, fmt.Errorf("throttle frame for unknown id %d (sent ids 1..%d)", th.ID, len(frames))
-			}
-			retries++
-			go func(f wire.StepFrame, wait time.Duration) {
-				time.Sleep(jitter(wait))
-				if err := writeFrame(f); err != nil {
-					select {
-					case writeErr <- err:
-					default:
-					}
-				}
-			}(frames[th.ID-1], time.Duration(th.RetryAfterMS)*time.Millisecond)
-		case wire.FrameError:
-			var e wire.ErrorFrame
-			if err := wire.UnmarshalStrict(line, &e); err != nil {
-				return 0, 0, nil, err
-			}
-			return 0, 0, nil, fmt.Errorf("server error frame: %s", e.Err.Error())
-		default:
-			return 0, 0, nil, fmt.Errorf("unexpected %s frame", head.Type)
-		}
+		accepted += ack.Accepted
+		costs[ack.T] = ack.Cost
+		<-sem
 	}
-	_ = writeFrame(wire.ByeFrame{V: wire.V1, Type: wire.FrameBye})
-	return accepted, retries, costs, nil
-}
-
-// readFrame returns the next non-empty NDJSON line.
-func readFrame(br *bufio.Reader) ([]byte, error) {
-	for {
-		line, err := br.ReadBytes('\n')
-		if err != nil {
-			return nil, err
-		}
-		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
-			return trimmed, nil
-		}
+	select {
+	case err := <-writeErr:
+		return 0, 0, nil, err
+	default:
 	}
-}
-
-// expectFrame strictly decodes line into v after checking its type,
-// surfacing a typed server error frame as a readable failure.
-func expectFrame(line []byte, wantType string, v any) error {
-	head, err := wire.PeekFrame(line)
-	if err != nil {
-		return err
-	}
-	if head.Type == wire.FrameError {
-		var e wire.ErrorFrame
-		if err := wire.UnmarshalStrict(line, &e); err == nil {
-			return fmt.Errorf("server error frame: %s", e.Err.Error())
-		}
-	}
-	if head.Type != wantType {
-		return fmt.Errorf("got %s frame, want %s", head.Type, wantType)
-	}
-	return wire.UnmarshalStrict(line, v)
+	return accepted, int(c.Throttles()), costs, nil
 }
 
 // workload generates the deterministic load: with one region, requests
@@ -440,15 +307,6 @@ func (g workload) batch(b, size int) wire.StepRequest {
 	return wire.StepRequest{Requests: reqs}
 }
 
-// jitter spreads a backoff hint by ±20%, so many clients told to retry at
-// the same moment do not re-stampede the bounded queue in lockstep.
-func jitter(d time.Duration) time.Duration {
-	if d <= 0 {
-		return d
-	}
-	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
-}
-
 // post sends one batch, retrying on 429 after the server's backoff hint:
 // the JSON body's retry_after_ms when present (millisecond resolution),
 // falling back to the whole-second Retry-After header, capped so a coarse
@@ -490,7 +348,7 @@ func post(addr string, body wire.StepRequest) (wire.StepResponse, int, error) {
 			if wait > 100*time.Millisecond {
 				wait = 100 * time.Millisecond
 			}
-			time.Sleep(jitter(wait))
+			time.Sleep(streamclient.Jitter(wait))
 		default:
 			return wire.StepResponse{}, retries, fmt.Errorf("POST /step: %s: %s", resp.Status, data)
 		}

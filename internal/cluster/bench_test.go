@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// BenchmarkClusterVsLocal pins the coordinator's forwarding overhead: one
+// op is one full POST /step round-trip of benchBatch requests, served
+// either by the in-process sharded server ("local") or by a coordinator
+// forwarding each shard's sub-batch to worker-hosted shard services over
+// loopback TCP ("cluster"). Both sides run the identical serving core, so
+// the delta is purely the extra network hop plus the merge.
+// scripts/bench.sh runs this and emits the cluster_vs_local entry of the
+// BENCH_*.json trajectory.
+func BenchmarkClusterVsLocal(b *testing.B) {
+	const benchBatch = 8
+	cfg := testCfg(2, 2)
+	body, err := json.Marshal(wire.StepRequest{Requests: spreadReqs(0, benchBatch)})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, url string) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(url+"/step", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("POST /step = %d", resp.StatusCode)
+			}
+		}
+	}
+
+	b.Run("local", func(b *testing.B) {
+		s, err := server.NewSharded(cfg, shard.Starts(cfg, testSpan), newMtCK, server.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(func() {
+			ts.Close()
+			_ = s.Close()
+		})
+		run(b, ts.URL)
+	})
+
+	b.Run("cluster", func(b *testing.B) {
+		var addrs []string
+		for i := 0; i < 2; i++ {
+			w, err := NewWorker(cfg, WorkerOptions{NewAlg: newMtCK, CheckpointDir: b.TempDir(), Span: testSpan})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wts := httptest.NewServer(w)
+			b.Cleanup(func() {
+				wts.CloseClientConnections()
+				wts.Close()
+				_ = w.Close()
+			})
+			addrs = append(addrs, wts.Listener.Addr().String())
+		}
+		copts := fastDial()
+		copts.Workers = addrs
+		svc, err := NewService(cfg, copts, protocol.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := server.NewFromService(cfg, svc)
+		ts := httptest.NewServer(srv.Handler())
+		b.Cleanup(func() {
+			ts.CloseClientConnections()
+			ts.Close()
+			_ = srv.Close()
+		})
+		run(b, ts.URL)
+	})
+}

@@ -1,0 +1,653 @@
+// Package cluster is the distributed fleet layer: it splits the sharded
+// serving stack across processes. A Coordinator is a thin forwarding
+// backend — it implements the protocol layer's region surface
+// (protocol.RegionBackend), routes each global step's batch to the worker
+// that owns each shard by axis-0 position, and merges the per-shard acks
+// back into the exact combined step/metrics/snapshot shapes shard.Router
+// produces in-process. A Worker hosts the per-shard engine sessions behind
+// the versioned NDJSON streaming transport, checkpointing every step
+// before acknowledgement.
+//
+// Failover invariant: no acknowledged step is ever lost, and no step is
+// ever fed twice. Workers checkpoint (fsynced, atomic rename) before they
+// ack, so when a worker dies mid-step its checkpoint holds the shard at
+// either T == t (the in-flight step never executed) or T == t+1 (it
+// executed but the ack was lost). The coordinator rehomes the shard by
+// dialing another worker with ?floor=t, reads the welcome's step count,
+// and reconciles: T == t resends the batch; T == t+1 recovers the executed
+// step's exact outcome from the welcome's recovery payload (welcome.last)
+// instead of resending. Any other T is a fatal lockstep violation and the
+// coordinator refuses to continue.
+//
+// What is NOT fault-tolerant: the coordinator itself is a single point of
+// control. If it crashes after some shards executed step t but before all
+// did, the workers are stranded one step apart; a replacement coordinator
+// detects the disagreeing welcomes at startup and refuses to adopt the
+// fleet rather than guess. Dynamic rebalancing (server migration between
+// shards) is also not available in cluster mode yet — shards live in
+// different processes, and migrating server state across them is the
+// ROADMAP's cross-host re-partitioning item.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/protocol"
+	"repro/internal/shard"
+	"repro/internal/streamclient"
+	"repro/internal/wire"
+)
+
+// CoordinatorOptions configures the forwarding tier.
+type CoordinatorOptions struct {
+	// Workers lists the worker addresses (host:port or URL). Shard i is
+	// initially assigned to Workers[i % len(Workers)]; every address is a
+	// failover candidate for every shard. Required.
+	Workers []string
+	// Heartbeat is the per-connection liveness cadence: a ping rides each
+	// idle stream at this interval, and a connection silent for 3× the
+	// interval is declared dead, triggering failover on the next step
+	// instead of hanging it. Zero disables the probe (connection failures
+	// are still detected by the transport itself).
+	Heartbeat time.Duration
+	// MaxAttempts, BaseBackoff, and MaxBackoff bound the reconnect storm
+	// per candidate address (see streamclient.Options); after every
+	// candidate is exhausted the step fails with a typed
+	// *protocol.UnreachableError.
+	MaxAttempts int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// shardAck is one shard's share of a global step, as recovered from its
+// ack (or from a welcome's recovery payload after a failover).
+type shardAck struct {
+	cost      core.Cost
+	clamped   int
+	positions []geom.Point
+}
+
+// Coordinator forwards steps to shard workers and aggregates their
+// outcomes, mirroring shard.Router's combined views exactly: per-shard
+// costs, clamp and request counters, positions, and the merged per-step
+// StepInfo are all reconstructed bit-identically from the acks (JSON
+// float64 round-trips are exact), so a cluster run's /metrics, /state,
+// and /snapshot match the in-process router's byte for byte.
+//
+// Like a Router, a Coordinator is driven by one goroutine (the service's
+// step loop); the concurrency is inside Step, across shards.
+type Coordinator struct {
+	cfg  core.Config
+	opts CoordinatorOptions
+	obs  []engine.Observer
+	name string
+
+	assign  []int // shard i is served by opts.Workers[assign[i]]
+	clients []*streamclient.Client
+
+	steps     int
+	requests  []int
+	costs     []core.Cost
+	clamped   []int
+	pos       [][]geom.Point // live per-shard positions, mirrored from acks
+	last      []shard.StepStat
+	failovers []wire.FailoverEvent
+	maxMove   float64
+
+	err      error
+	finished bool
+	res      *engine.Result
+}
+
+// NewCoordinator dials every shard's worker, verifies the fleet is in
+// lockstep (all welcomes at the same step count — a disagreeing fleet is
+// refused rather than guessed at), seeds its mirrors from the workers'
+// live state, and announces the run to the observers in eopts. Mode and
+// Tol in eopts are ignored: cap enforcement happens on the workers.
+func NewCoordinator(cfg core.Config, opts CoordinatorOptions, eopts engine.Options) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("cluster: coordinator needs at least one worker address")
+	}
+	n := cfg.Partition.Shards()
+	c := &Coordinator{
+		cfg:      cfg,
+		opts:     opts,
+		obs:      eopts.Observers,
+		assign:   make([]int, n),
+		clients:  make([]*streamclient.Client, n),
+		requests: make([]int, n),
+		costs:    make([]core.Cost, n),
+		clamped:  make([]int, n),
+		pos:      make([][]geom.Point, n),
+		last:     make([]shard.StepStat, n),
+	}
+	for i := 0; i < n; i++ {
+		c.assign[i] = i % len(opts.Workers)
+		cl, err := streamclient.Dial(opts.Workers[c.assign[i]], c.streamPath(i, 0), c.dialOpts())
+		if err != nil {
+			c.closeClients()
+			return nil, fmt.Errorf("cluster: shard %d on %s: %w", i, opts.Workers[c.assign[i]], err)
+		}
+		c.clients[i] = cl
+	}
+	w0 := c.clients[0].Welcome()
+	c.name = fmt.Sprintf("%s×%d", w0.Algorithm, n)
+	c.steps = w0.T
+	for i, cl := range c.clients {
+		w := cl.Welcome()
+		if w.T != c.steps {
+			c.closeClients()
+			return nil, fmt.Errorf("cluster: fleet out of lockstep: shard 0 at step %d, shard %d at step %d — refusing to adopt", c.steps, i, w.T)
+		}
+		if w.Algorithm != w0.Algorithm {
+			c.closeClients()
+			return nil, fmt.Errorf("cluster: shard 0 runs %s, shard %d runs %s", w0.Algorithm, i, w.Algorithm)
+		}
+	}
+	if err := c.adopt(); err != nil {
+		c.closeClients()
+		return nil, err
+	}
+	starts := c.Positions()
+	for _, o := range c.obs {
+		if b, ok := o.(engine.BeginObserver); ok {
+			b.Begin(cfg, starts, c.name)
+		}
+	}
+	return c, nil
+}
+
+// adopt seeds the coordinator's per-shard mirrors from the workers' live
+// state and metrics, so a coordinator joining a fleet mid-run (or at step
+// zero — the same code path) continues the exact counters. The fetched
+// JSON round-trips float64 bits exactly, so the mirrors stay bit-equal
+// with what an uninterrupted coordinator would hold.
+func (c *Coordinator) adopt() error {
+	for i := range c.clients {
+		addr := c.opts.Workers[c.assign[i]]
+		var st wire.StateResponse
+		if err := c.getJSON(addr, fmt.Sprintf("/shard/%d/state", i), &st); err != nil {
+			return fmt.Errorf("cluster: shard %d state from %s: %w", i, addr, err)
+		}
+		var m wire.MetricsResponse
+		if err := c.getJSON(addr, fmt.Sprintf("/shard/%d/metrics", i), &m); err != nil {
+			return fmt.Errorf("cluster: shard %d metrics from %s: %w", i, addr, err)
+		}
+		if st.T != c.steps {
+			return fmt.Errorf("cluster: shard %d moved to step %d during adoption (expected %d)", i, st.T, c.steps)
+		}
+		if len(st.Positions) != c.cfg.Servers() {
+			return fmt.Errorf("cluster: shard %d has %d servers, expected %d", i, len(st.Positions), c.cfg.Servers())
+		}
+		c.pos[i] = toGeom(st.Positions)
+		c.costs[i] = core.Cost{Move: st.Cost.Move, Serve: st.Cost.Serve}
+		c.clamped[i] = st.Clamped
+		c.requests[i] = m.Requests
+	}
+	return nil
+}
+
+func (c *Coordinator) streamPath(i, floor int) string {
+	return fmt.Sprintf("/shard/%d/stream?floor=%d", i, floor)
+}
+
+func (c *Coordinator) dialOpts() streamclient.Options {
+	return streamclient.Options{
+		Dim:              c.cfg.Dim,
+		MaxAttempts:      c.opts.MaxAttempts,
+		BaseBackoff:      c.opts.BaseBackoff,
+		MaxBackoff:       c.opts.MaxBackoff,
+		HeartbeatEvery:   c.opts.Heartbeat,
+		HeartbeatTimeout: 3 * c.opts.Heartbeat,
+	}
+}
+
+// getJSON fetches one worker HTTP endpoint.
+func (c *Coordinator) getJSON(addr, path string, v any) error {
+	data, err := httpGet(addr, path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// httpGet fetches path from a worker base address (host:port or URL).
+func httpGet(addr, path string) ([]byte, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := http.Get(addr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}
+
+func (c *Coordinator) closeClients() {
+	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+// T returns the number of global steps fed so far.
+func (c *Coordinator) T() int { return c.steps }
+
+// Algorithm returns the coordinator's reported name: the workers' per
+// shard algorithm tagged with the shard count, exactly like shard.Router.
+func (c *Coordinator) Algorithm() string { return c.name }
+
+// Cost returns the fleet-wide accumulated cost: the sum over shards, in
+// shard order (the same accumulation the in-process router performs).
+func (c *Coordinator) Cost() core.Cost {
+	var total core.Cost
+	for _, cost := range c.costs {
+		total = total.Add(cost)
+	}
+	return total
+}
+
+// Clamped returns the fleet-wide count of cap-enforced server-moves.
+func (c *Coordinator) Clamped() int {
+	n := 0
+	for _, v := range c.clamped {
+		n += v
+	}
+	return n
+}
+
+// Positions returns a copy of every server position, concatenated in
+// shard order.
+func (c *Coordinator) Positions() []geom.Point {
+	out := make([]geom.Point, 0, c.cfg.Partition.Shards()*c.cfg.Servers())
+	for _, fleet := range c.pos {
+		for _, p := range fleet {
+			out = append(out, p.Clone())
+		}
+	}
+	return out
+}
+
+// Partition returns the shard layout the coordinator routes with.
+func (c *Coordinator) Partition() core.Partition { return c.cfg.Partition }
+
+// LastSteps returns each shard's share of the most recent global step.
+func (c *Coordinator) LastSteps() []shard.StepStat {
+	return append([]shard.StepStat(nil), c.last...)
+}
+
+// States returns every shard's live cumulative counters, mirroring
+// shard.Router.States from the coordinator's ack-fed counters.
+func (c *Coordinator) States() []shard.State {
+	out := make([]shard.State, len(c.pos))
+	for i := range c.pos {
+		fleet := make([]geom.Point, len(c.pos[i]))
+		for j, p := range c.pos[i] {
+			fleet[j] = p.Clone()
+		}
+		out[i] = shard.State{
+			Shard:     i,
+			Servers:   len(c.pos[i]),
+			Requests:  c.requests[i],
+			Cost:      c.costs[i],
+			Clamped:   c.clamped[i],
+			Positions: fleet,
+		}
+	}
+	return out
+}
+
+// Assignments returns the worker address currently serving each shard.
+func (c *Coordinator) Assignments() []string {
+	out := make([]string, len(c.assign))
+	for i, w := range c.assign {
+		out[i] = c.opts.Workers[w]
+	}
+	return out
+}
+
+// LastFailovers returns the rehoming events the most recent step applied,
+// or nil.
+func (c *Coordinator) LastFailovers() []wire.FailoverEvent {
+	if len(c.failovers) == 0 {
+		return nil
+	}
+	return append([]wire.FailoverEvent(nil), c.failovers...)
+}
+
+// Step routes one global step's batch to the shard workers and forwards
+// each share concurrently (one frame per shard, including empty ones, so
+// every shard session stays on the same step counter). A worker that died
+// is failed over transparently — the shard is rehomed onto the next
+// candidate worker, its last fsynced checkpoint restored, and the
+// in-flight step reconciled through the welcome so it is neither lost nor
+// double-fed. After the barrier the per-shard outcomes are merged into
+// one StepInfo, bit-identical to the in-process router's.
+//
+// Errors are sticky, exactly like the router's: once any shard executed a
+// step another shard refused (every candidate unreachable, or a lockstep
+// violation), the fleet is out of sync and the coordinator refuses to
+// compute from inconsistent state.
+func (c *Coordinator) Step(requests []geom.Point) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.finished {
+		return engine.ErrFinished
+	}
+	for i, v := range requests {
+		if v.Dim() != c.cfg.Dim {
+			return fmt.Errorf("cluster: request %d in step %d has dim %d, want %d", i, c.steps, v.Dim(), c.cfg.Dim)
+		}
+		if !v.IsFinite() {
+			return fmt.Errorf("cluster: request %d in step %d is not finite: %v", i, c.steps, v)
+		}
+	}
+
+	n := len(c.clients)
+	buckets := make([][]wire.Point, n)
+	for _, v := range requests {
+		i := c.cfg.Partition.ShardOfPoint(v)
+		buckets[i] = append(buckets[i], wire.Point(v))
+	}
+
+	t := c.steps
+	acks := make([]shardAck, n)
+	evs := make([][]wire.FailoverEvent, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			acks[i], evs[i], errs[i] = c.stepShard(i, t, buckets[i])
+		}(i)
+	}
+	wg.Wait()
+
+	c.failovers = nil
+	for _, e := range evs {
+		c.failovers = append(c.failovers, e...)
+	}
+	for i, err := range errs {
+		if err != nil {
+			c.err = fmt.Errorf("cluster: step %d: shard %d: %w", t, i, err)
+			return c.err
+		}
+	}
+
+	// Merge in shard order, mirroring shard.Router.Step: identical values
+	// in identical accumulation order keep every derived float bit-equal.
+	prev := make([]geom.Point, 0, len(requests))
+	pos := make([]geom.Point, 0, len(requests))
+	info := engine.StepInfo{T: t, Requests: requests}
+	for i := range acks {
+		moved := 0.0
+		for j := range acks[i].positions {
+			if d := geom.Dist(c.pos[i][j], acks[i].positions[j]); d > moved {
+				moved = d
+			}
+		}
+		c.last[i] = shard.StepStat{
+			Routed:  len(buckets[i]),
+			Cost:    acks[i].cost,
+			Moved:   moved,
+			Clamped: acks[i].clamped,
+		}
+		c.requests[i] += len(buckets[i])
+		c.costs[i] = c.costs[i].Add(acks[i].cost)
+		c.clamped[i] += acks[i].clamped
+		prev = append(prev, c.pos[i]...)
+		pos = append(pos, acks[i].positions...)
+		info.Cost = info.Cost.Add(acks[i].cost)
+		info.Clamped += acks[i].clamped
+		if moved > info.Moved {
+			info.Moved = moved
+		}
+	}
+	info.Prev = prev
+	info.Pos = pos
+	for i := range acks {
+		c.pos[i] = acks[i].positions
+	}
+	c.steps++
+	if info.Moved > c.maxMove {
+		c.maxMove = info.Moved
+	}
+	for _, o := range c.obs {
+		o.Observe(info)
+	}
+	return nil
+}
+
+// stepShard forwards one shard's share of global step t, failing over to
+// the remaining candidate workers when the connection (or the worker
+// behind it) is gone. It returns the shard's outcome, the failover events
+// applied, and the terminal error if every candidate was exhausted. It
+// touches only shard-i-owned state, so the per-shard goroutines never
+// collide.
+func (c *Coordinator) stepShard(i, t int, batch []wire.Point) (shardAck, []wire.FailoverEvent, error) {
+	var lastErr error
+	if cl := c.clients[i]; cl != nil && cl.Err() == nil {
+		p, err := cl.Step(batch)
+		if err == nil {
+			ack, err := p.Wait()
+			if err == nil {
+				sa, err := c.fromAck(i, t, ack.StepResponse)
+				return sa, nil, err
+			}
+			var we *wire.Error
+			if errors.As(err, &we) {
+				// The worker spoke: a typed refusal (bad payload, worker
+				// shutting down mid-drain), not a dead connection. The step
+				// did not execute anywhere; fail it without rehoming.
+				return shardAck{}, nil, err
+			}
+			lastErr = err
+		} else {
+			lastErr = err
+		}
+	} else if cl != nil {
+		lastErr = cl.Err()
+	}
+
+	// The connection is dead: the in-flight step may or may not have
+	// executed before the worker went down. Rehome the shard — candidates
+	// are the assigned worker first (a restart is the cheapest recovery),
+	// then every other worker — and reconcile through the welcome.
+	var events []wire.FailoverEvent
+	from := c.opts.Workers[c.assign[i]]
+	start := c.assign[i]
+	nw := len(c.opts.Workers)
+	attempts := 0
+	for k := 0; k < nw; k++ {
+		wi := (start + k) % nw
+		addr := c.opts.Workers[wi]
+		cl, err := streamclient.Dial(addr, c.streamPath(i, t), c.dialOpts())
+		if err != nil {
+			var ue *protocol.UnreachableError
+			if errors.As(err, &ue) {
+				attempts += ue.Attempts
+				lastErr = ue.Err
+				continue
+			}
+			// A reachable worker that rejected the handshake is a fatal
+			// configuration problem, not an outage.
+			return shardAck{}, events, err
+		}
+		w := cl.Welcome()
+		ev := wire.FailoverEvent{T: t, Shard: i, From: from, To: addr, RestoredT: w.T}
+		switch w.T {
+		case t:
+			// The crashed worker never executed the step: resend it.
+			ev.Resent = true
+			p, err := cl.Step(batch)
+			if err == nil {
+				ack, werr := p.Wait()
+				if werr == nil {
+					c.clients[i].Close()
+					c.clients[i], c.assign[i] = cl, wi
+					events = append(events, ev)
+					sa, ferr := c.fromAck(i, t, ack.StepResponse)
+					return sa, events, ferr
+				}
+				err = werr
+			}
+			cl.Close()
+			lastErr = err
+			attempts++
+		case t + 1:
+			// The step executed but its ack died with the worker: recover
+			// the exact outcome from the restored checkpoint's recovery
+			// payload instead of resending (which would double-feed).
+			if w.Last == nil || w.Last.T != t {
+				cl.Close()
+				return shardAck{}, events, fmt.Errorf("worker %s restored step %d but carries no recovery payload for it", addr, w.T)
+			}
+			if w.Last.Batched != len(batch) {
+				cl.Close()
+				return shardAck{}, events, fmt.Errorf("worker %s recovered step %d with %d requests, coordinator sent %d", addr, t, w.Last.Batched, len(batch))
+			}
+			c.clients[i].Close()
+			c.clients[i], c.assign[i] = cl, wi
+			events = append(events, ev)
+			sa, ferr := c.fromAck(i, t, wire.StepResponse{
+				T:         w.Last.T,
+				Batched:   w.Last.Batched,
+				Cost:      w.Last.Cost,
+				Clamped:   w.Last.Clamped,
+				Positions: w.Last.Positions,
+			})
+			return sa, events, ferr
+		default:
+			// Neither t nor t+1: the shard advanced (or lagged) beyond the
+			// one-step window the checkpoint-before-ack invariant allows.
+			cl.Close()
+			return shardAck{}, events, fmt.Errorf("worker %s is at step %d, coordinator expected %d or %d — lockstep violated", addr, w.T, t, t+1)
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no candidate workers")
+	}
+	return shardAck{}, events, &protocol.UnreachableError{
+		Addr:     c.opts.Workers[(start+nw-1)%nw],
+		Attempts: attempts,
+		Err:      lastErr,
+	}
+}
+
+// fromAck validates one shard's step outcome and converts it to the
+// coordinator's internal form.
+func (c *Coordinator) fromAck(i, t int, resp wire.StepResponse) (shardAck, error) {
+	if resp.T != t {
+		return shardAck{}, fmt.Errorf("worker acked step %d, coordinator sent %d", resp.T, t)
+	}
+	if len(resp.Positions) != len(c.pos[i]) {
+		return shardAck{}, fmt.Errorf("worker acked %d positions for a %d-server shard", len(resp.Positions), len(c.pos[i]))
+	}
+	return shardAck{
+		cost:      core.Cost{Move: resp.Cost.Move, Serve: resp.Cost.Serve},
+		clamped:   resp.Clamped,
+		positions: toGeom(resp.Positions),
+	}, nil
+}
+
+// Snapshot fetches every shard's engine snapshot from its worker and
+// packs them into a combined document with exactly shard.Router's shape,
+// so a cluster run can be scaled back down into an in-process Restore.
+// The service holds its lock across the fetches and no step is in flight,
+// so the per-shard documents form one consistent cut at the same global
+// step.
+func (c *Coordinator) Snapshot() ([]byte, error) {
+	if c.finished {
+		return nil, shard.ErrSnapshotFinished
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("cluster: cannot snapshot a failed coordinator: %w", c.err)
+	}
+	n := len(c.clients)
+	docs := make([]json.RawMessage, n)
+	ks := make([]int, n)
+	for i := 0; i < n; i++ {
+		data, err := httpGet(c.opts.Workers[c.assign[i]], fmt.Sprintf("/shard/%d/snapshot", i))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d snapshot: %w", i, err)
+		}
+		docs[i] = data
+		ks[i] = len(c.pos[i])
+	}
+	return shard.PackSnapshot(c.cfg, c.steps, c.requests, ks, 0, docs)
+}
+
+// Finish closes every worker connection and returns the aggregated fleet
+// result from the coordinator's mirrors. The workers themselves are NOT
+// finished — they keep their sessions resumable (another coordinator may
+// adopt them); shutting worker processes down is the operator's call.
+func (c *Coordinator) Finish() *engine.Result {
+	if c.finished {
+		res := *c.res
+		return &res
+	}
+	c.finished = true
+	c.closeClients()
+	agg := &engine.Result{Algorithm: c.name, Steps: c.steps, MaxMove: c.maxMove}
+	for i := range c.costs {
+		agg.Cost = agg.Cost.Add(c.costs[i])
+		agg.Clamped += c.clamped[i]
+		for _, p := range c.pos[i] {
+			agg.Final = append(agg.Final, p.Clone())
+		}
+	}
+	c.res = agg
+	for _, o := range c.obs {
+		if e, ok := o.(engine.EndObserver); ok {
+			res := *agg
+			e.End(&res)
+		}
+	}
+	res := *agg
+	return &res
+}
+
+// toGeom converts wire points to geometry points, sharing the freshly
+// decoded storage.
+func toGeom(pts []wire.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Point(p)
+	}
+	return out
+}
+
+// NewService wires a coordinator into the full serving core: coalescing,
+// bounded queue, Watch subscriptions, typed errors — protocol.Service in
+// front of a forwarding backend. The service's observers see the merged
+// fleet-wide StepInfo, so /metrics and /state report exactly what an
+// in-process router service would.
+func NewService(cfg core.Config, copts CoordinatorOptions, popts protocol.Options) (*protocol.Service, error) {
+	return protocol.NewFromBackend(cfg, func(eopts engine.Options) (protocol.Backend, error) {
+		return NewCoordinator(cfg, copts, eopts)
+	}, popts)
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// TestClusterProcessSmoke is the end-to-end drill against REAL processes:
+// build cmd/mobcluster, spawn two workers and a coordinator, drive steps
+// over HTTP, SIGKILL one worker mid-run, keep driving — and require the
+// coordinator's /metrics and /state to stay byte-identical to an
+// uninterrupted in-process run of the same steps.
+func TestClusterProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test skipped in -short mode")
+	}
+	const before, total, perStep = 5, 10, 4
+	const smokeSpan = 20.0 // -span: partition half-width AND fresh placement
+
+	bin := filepath.Join(t.TempDir(), "mobcluster")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/mobcluster").CombinedOutput(); err != nil {
+		t.Fatalf("building mobcluster: %v\n%s", err, out)
+	}
+
+	ckptDir := t.TempDir() // shared: the survivor takes over the victim's shards
+	common := []string{"-dim", "2", "-k", "2", "-shards", "2", "-span", "20"}
+	w1 := spawnNode(t, bin, append([]string{"-role", "worker", "-addr", "127.0.0.1:0", "-ckpt-dir", ckptDir}, common...), "worker listening on ")
+	w2 := spawnNode(t, bin, append([]string{"-role", "worker", "-addr", "127.0.0.1:0", "-ckpt-dir", ckptDir}, common...), "worker listening on ")
+	co := spawnNode(t, bin, append([]string{"-role", "coordinator", "-addr", "127.0.0.1:0", "-window", "0",
+		"-workers", w1.addr + "," + w2.addr}, common...), "coordinator listening on ")
+
+	// The uninterrupted reference, in-process, built exactly as mobcluster
+	// builds its config from the flags above (Order's zero value is
+	// MoveFirst, matching the binary's default).
+	cfg := core.Config{Dim: 2, D: 2, M: 1, Delta: 0.5, K: 2,
+		Partition: core.UniformPartition(2, smokeSpan)}
+	local, err := server.NewSharded(cfg, shard.Starts(cfg, smokeSpan), newMtCK, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := httptest.NewServer(local.Handler())
+	t.Cleanup(func() {
+		lts.Close()
+		_ = local.Close()
+	})
+
+	coURL := "http://" + co.addr
+	for i := 0; i < before; i++ {
+		reqs := spreadReqs(i, perStep)
+		postStep(t, coURL, reqs)
+		postStep(t, lts.URL, reqs)
+	}
+
+	// SIGKILL worker 1: no shutdown hook runs, no final checkpoint — only
+	// the per-step checkpoint-before-ack invariant protects the run.
+	if err := w1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w1.cmd.Wait()
+
+	for i := before; i < total; i++ {
+		reqs := spreadReqs(i, perStep)
+		postStep(t, coURL, reqs)
+		postStep(t, lts.URL, reqs)
+	}
+
+	cm, lm := getBody(t, coURL+"/metrics"), getBody(t, lts.URL+"/metrics")
+	if !bytes.Equal(cm, lm) {
+		t.Fatalf("/metrics diverged after SIGKILL failover:\ncluster: %s\nlocal:   %s", cm, lm)
+	}
+	cs, ls := getBody(t, coURL+"/state"), getBody(t, lts.URL+"/state")
+	if a, b := stateWithoutWorkers(t, cs), stateWithoutWorkers(t, ls); !bytes.Equal(a, b) {
+		t.Fatalf("/state diverged after SIGKILL failover:\ncluster: %s\nlocal:   %s", a, b)
+	}
+	var st wire.StateResponse
+	if err := json.Unmarshal(cs, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers[0] != w2.addr {
+		t.Fatalf("shard 0 not rehomed onto the survivor: %v", st.Workers)
+	}
+}
+
+// node is one spawned mobcluster process plus its resolved listen address.
+type node struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// spawnNode starts one mobcluster process and waits for its startup line
+// (which carries the resolved :0 address).
+func spawnNode(t *testing.T, bin string, args []string, marker string) *node {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		// Keep draining stdout after the marker so the child never blocks
+		// on a full pipe.
+		sc := bufio.NewScanner(stdout)
+		sent := false
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), marker); ok && !sent {
+				addr, _, _ := strings.Cut(rest, " ")
+				addrCh <- strings.TrimSuffix(addr, ",")
+				sent = true
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &node{cmd: cmd, addr: addr}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("node %v never printed %q", args, marker)
+		return nil
+	}
+}

@@ -56,16 +56,39 @@ type Backend interface {
 	Finish() *engine.Result
 }
 
-// ShardedBackend is the extra surface a router-mode backend exposes; the
-// service uses it to tag snapshots and acks with per-shard payloads, and to
-// install and observe the dynamic rebalancing policy.
-type ShardedBackend interface {
+// RegionBackend is the surface every backend that partitions the fleet
+// into axis-0 regions exposes — shard.Router in-process, and the cluster
+// coordinator across processes. The service uses it to tag snapshots,
+// metrics, and acks with per-shard payloads.
+type RegionBackend interface {
 	Backend
 	Partition() core.Partition
 	LastSteps() []shard.StepStat
 	States() []shard.State
+}
+
+// ShardedBackend is the extra surface a router-mode backend exposes on top
+// of the region surface: installing and observing the dynamic rebalancing
+// policy. The cluster coordinator is a RegionBackend but not a
+// ShardedBackend — migrating servers between shards that live in different
+// processes is future work (see ROADMAP).
+type ShardedBackend interface {
+	RegionBackend
 	SetRebalancer(shard.Rebalancer)
 	LastRebalance() *shard.RebalanceEvent
+}
+
+// FailoverBackend is the optional surface a forwarding-tier backend (the
+// cluster coordinator) exposes: the live shard→worker assignment and the
+// failover events the most recent step applied. The service mirrors them
+// into StateSnapshot.Workers and MetricsEvent.Failovers.
+type FailoverBackend interface {
+	// Assignments returns the worker address currently serving each shard
+	// (a caller-owned copy).
+	Assignments() []string
+	// LastFailovers returns the rehoming events applied while executing
+	// the most recent step, or nil; the slice is caller-owned.
+	LastFailovers() []wire.FailoverEvent
 }
 
 // Options configures the service. The zero value serves with strict cap
@@ -134,6 +157,23 @@ type Ack struct {
 	// Shards tags the step with each shard's share in router mode; nil on
 	// unsharded backends.
 	Shards []shard.StepStat
+	// Clamped counts the step's cap-clamped server moves, so a forwarding
+	// tier can keep exact fleet-wide clamp counters without re-deriving
+	// engine behavior.
+	Clamped int
+}
+
+// LastStep is the outcome of the most recent executed step, kept so a
+// streaming transport can re-serve a lost ack to a reconnecting pipeliner
+// (WelcomeFrame.Last): the step's index, batch size, own cost, clamp
+// count, and the post-step positions. It survives restarts — the
+// checkpoint document persists it alongside the observers.
+type LastStep struct {
+	T         int
+	Batched   int
+	Cost      core.Cost
+	Clamped   int
+	Positions []geom.Point
 }
 
 // MetricsSnapshot is the service's aggregate counters at one instant: the
@@ -169,6 +209,9 @@ type StateSnapshot struct {
 	Partition core.Partition
 	// Shards holds each region's live counters in router mode.
 	Shards []shard.State
+	// Workers holds the live shard→worker assignment when the backend is a
+	// cluster coordinator (Workers[i] serves shard i); nil otherwise.
+	Workers []string
 }
 
 // OverloadError is typed backpressure: the bounded queue is full and the
@@ -200,6 +243,27 @@ func (e *DurabilityError) Error() string {
 }
 
 func (e *DurabilityError) Unwrap() error { return e.Err }
+
+// UnreachableError reports that a forwarding tier could not reach the
+// backend owning part of the batch, even after its bounded
+// reconnect-and-failover policy ran out of candidates. The step did NOT
+// execute; the caller may resubmit once the fleet recovers. Transports map
+// it to 502 (HTTP) and the "unreachable" error code (streaming).
+type UnreachableError struct {
+	// Addr is the last address tried.
+	Addr string
+	// Attempts is the total number of connection attempts made before
+	// giving up.
+	Attempts int
+	// Err is the last underlying dial or transport error.
+	Err error
+}
+
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("backend %s unreachable after %d attempts: %v", e.Addr, e.Attempts, e.Err)
+}
+
+func (e *UnreachableError) Unwrap() error { return e.Err }
 
 // ErrShuttingDown is returned by Submit/Enqueue once Close has begun: the
 // service accepts no new batches while draining.
@@ -256,15 +320,20 @@ type Service struct {
 
 	// mu guards the session and the observers attached to it. Step runs
 	// only in the step loop; readers take mu for consistent snapshots.
-	mu       sync.Mutex
-	sess     Backend
-	metrics  *engine.Metrics
-	moves    *engine.MoveStats
-	lastCost core.Cost
+	mu          sync.Mutex
+	sess        Backend
+	metrics     *engine.Metrics
+	moves       *engine.MoveStats
+	lastCost    core.Cost
+	lastClamped int
+	// last is the persisted outcome of the most recent executed step
+	// (LastStep re-serves it with live positions); nil before any step.
+	last *wire.LastStepState
 
 	queue    chan batch
 	rejected atomic.Int64
 	closing  atomic.Bool
+	aborting atomic.Bool
 	closed   chan struct{}
 	loopDone chan struct{}
 	closeErr error
@@ -327,6 +396,19 @@ func ResumeSharded(cfg core.Config, newAlg func() core.FleetAlgorithm, snapshot 
 	})
 }
 
+// NewFromBackend starts a service around a backend the caller constructs —
+// the hook a forwarding tier (the cluster coordinator) uses to put the full
+// serving core (coalescing, bounded queue, checkpointing, Watch) in front
+// of a backend this package does not know how to build. open receives the
+// engine options the service needs wired through: the cap mode/tolerance
+// and the service's observers, which the backend must notify exactly once
+// per executed step (as shard.Router does). A backend that opens already
+// advanced (adopting workers mid-run) has its fleet metrics reconciled from
+// the backend's own counters, like a resume from a bare router snapshot.
+func NewFromBackend(cfg core.Config, open func(engine.Options) (Backend, error), opts Options) (*Service, error) {
+	return start(cfg, opts, nil, open)
+}
+
 func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.Options) (Backend, error)) (*Service, error) {
 	opts = opts.withDefaults()
 	s := &Service{
@@ -340,7 +422,10 @@ func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.
 		subs:     map[*subscriber]struct{}{},
 	}
 	obs := []engine.Observer{
-		engine.Func(func(info engine.StepInfo) { s.lastCost = info.Cost }),
+		engine.Func(func(info engine.StepInfo) {
+			s.lastCost = info.Cost
+			s.lastClamped = info.Clamped
+		}),
 		s.metrics,
 		s.moves,
 	}
@@ -362,6 +447,11 @@ func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.
 		if ck.Metrics == nil {
 			s.reconcileShardedMetrics()
 		}
+	} else if sess.T() > 0 {
+		// A backend opened without a checkpoint but already advanced: a
+		// coordinator adopting workers mid-run. Rebuild the fleet metrics
+		// from the backend's own counters so totals and shards agree.
+		s.reconcileShardedMetrics()
 	}
 	go s.loop()
 	return s, nil
@@ -375,7 +465,7 @@ func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.
 // decayed average (and the movement stats, which no snapshot carries)
 // restart.
 func (s *Service) reconcileShardedMetrics() {
-	sb, ok := s.sess.(ShardedBackend)
+	sb, ok := s.sess.(RegionBackend)
 	if !ok {
 		return
 	}
@@ -403,6 +493,10 @@ func (s *Service) seedObservers(ck wire.Checkpoint) {
 		s.moves.MaxMove = mv.MaxMove
 		s.moves.TotalMove = mv.TotalMove
 		s.moves.CapHits = mv.CapHits
+	}
+	if ls := ck.LastStep; ls != nil {
+		last := *ls
+		s.last = &last
 	}
 }
 
@@ -485,7 +579,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 		Cost:        s.metrics.Cost,
 		AvgStepCost: s.metrics.AvgStepCost,
 	}
-	if sb, ok := s.sess.(ShardedBackend); ok {
+	if sb, ok := s.sess.(RegionBackend); ok {
 		m.Shards = sb.States()
 	}
 	s.mu.Unlock()
@@ -508,11 +602,34 @@ func (s *Service) State() StateSnapshot {
 		Clamped:   s.sess.Clamped(),
 		Cost:      s.sess.Cost(),
 	}
-	if sb, ok := s.sess.(ShardedBackend); ok {
+	if sb, ok := s.sess.(RegionBackend); ok {
 		st.Partition = append(core.Partition(nil), sb.Partition()...)
 		st.Shards = sb.States()
 	}
+	if fb, ok := s.sess.(FailoverBackend); ok {
+		st.Workers = fb.Assignments()
+	}
 	return st
+}
+
+// LastStep returns the outcome of the most recent executed step with the
+// post-step positions, or nil before any step has run (and on services
+// resumed from checkpoints that predate the persisted field). Streaming
+// transports re-serve it inside the welcome frame so a reconnecting
+// pipeliner can recover a lost ack without resending the batch.
+func (s *Service) LastStep() *LastStep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last == nil {
+		return nil
+	}
+	return &LastStep{
+		T:         s.last.T,
+		Batched:   s.last.Batched,
+		Cost:      core.Cost{Move: s.last.MoveCost, Serve: s.last.ServeCost},
+		Clamped:   s.last.Clamped,
+		Positions: s.sess.Positions(),
+	}
 }
 
 // Snapshot returns the backend's bare resumable snapshot (what
@@ -535,6 +652,18 @@ func (s *Service) Close() error {
 		<-s.loopDone
 	})
 	return s.closeErr
+}
+
+// Abort is Close without the final flush: still-queued batches are refused
+// with ErrShuttingDown instead of executed, and no final checkpoint is
+// written. It is for retiring a service whose checkpoint file may since
+// have been handed to a NEWER incarnation (a shard worker dropping a
+// session another worker took over): with per-step checkpointing every
+// acknowledged step is already durable, so the only thing a final write
+// could do is clobber the newer incarnation's file with stale state.
+func (s *Service) Abort() error {
+	s.aborting.Store(true)
+	return s.Close()
 }
 
 // Finish closes the underlying session and returns its accumulated result.
@@ -590,13 +719,22 @@ func (s *Service) coalesce(first batch) []batch {
 }
 
 // drain executes every batch still queued at shutdown (one step each, no
-// coalescing wait) and writes the final checkpoint.
+// coalescing wait) and writes the final checkpoint. An aborting service
+// (Abort) instead refuses the queued batches and skips the write — it must
+// not touch a checkpoint file that may no longer be its own.
 func (s *Service) drain() {
 	for {
 		select {
 		case b := <-s.queue:
+			if s.aborting.Load() {
+				b.reply <- outcome{err: ErrShuttingDown}
+				continue
+			}
 			s.execute([]batch{b})
 		default:
+			if s.aborting.Load() {
+				return
+			}
 			s.closeErr = s.checkpointNow()
 			return
 		}
@@ -631,6 +769,14 @@ func (s *Service) execute(items []batch) {
 			Batched:   total,
 			Cost:      s.lastCost,
 			Positions: s.sess.Positions(),
+			Clamped:   s.lastClamped,
+		}
+		s.last = &wire.LastStepState{
+			T:         ack.T,
+			Batched:   total,
+			MoveCost:  s.lastCost.Move,
+			ServeCost: s.lastCost.Serve,
+			Clamped:   s.lastClamped,
 		}
 		ev = MetricsEvent{
 			T:           ack.T,
@@ -641,11 +787,16 @@ func (s *Service) execute(items []batch) {
 			Cost:        s.metrics.Cost,
 			AvgStepCost: s.metrics.AvgStepCost,
 		}
-		if sb, ok := s.sess.(ShardedBackend); ok {
+		if sb, ok := s.sess.(RegionBackend); ok {
 			// LastSteps returns a caller-owned copy, so the ack can carry
 			// it across the lock boundary as-is.
 			ack.Shards = sb.LastSteps()
+		}
+		if sb, ok := s.sess.(ShardedBackend); ok {
 			ev.Rebalance = sb.LastRebalance()
+		}
+		if fb, ok := s.sess.(FailoverBackend); ok {
+			ev.Failovers = fb.LastFailovers()
 		}
 		if s.opts.CheckpointPath != "" && s.sess.T()%s.opts.CheckpointEvery == 0 {
 			snap, snapErr = s.checkpointDoc()
@@ -716,6 +867,7 @@ func (s *Service) checkpointDoc() ([]byte, error) {
 			TotalMove: s.moves.TotalMove,
 			CapHits:   s.moves.CapHits,
 		},
+		LastStep: s.last,
 	})
 }
 

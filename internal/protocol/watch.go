@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/shard"
+	"repro/internal/wire"
 )
 
 // MetricsEvent is one push notification of the subscription API: emitted
@@ -44,6 +45,15 @@ type MetricsEvent struct {
 	// Ks is the live layout), so a consumer tracking the layout from this
 	// field never desyncs permanently.
 	Rebalance *shard.RebalanceEvent
+
+	// Failovers carries the shard-rehoming events the step applied, if
+	// any: in cluster mode, a step during which the coordinator lost a
+	// worker and restored its shard elsewhere reports each move here. Nil
+	// on every other step. Like Rebalance, failovers survive the drop
+	// policy — ownership changes dropped with their step event ride the
+	// next delivered event — so a consumer tracking the shard→worker
+	// assignment from this field never desyncs permanently.
+	Failovers []wire.FailoverEvent
 }
 
 // WatchBuffer is each subscriber's event buffer: the slack a consumer has
@@ -59,6 +69,10 @@ type subscriber struct {
 	// dropped step event; it rides the next delivered event so the
 	// subscriber's view of the layout never desyncs. Guarded by subMu.
 	pendingReb *shard.RebalanceEvent
+	// pendingFail accumulates the failover events discarded with dropped
+	// step events, in order; they ride ahead of the next delivered event's
+	// own failovers. Guarded by subMu.
+	pendingFail []wire.FailoverEvent
 }
 
 // Watch subscribes to the per-step metrics feed. The returned channel
@@ -116,16 +130,27 @@ func (s *Service) publish(ev MetricsEvent) {
 		if e.Rebalance == nil {
 			e.Rebalance = sub.pendingReb
 		}
+		if len(sub.pendingFail) > 0 {
+			// Prepend the dropped ownership changes, oldest first, without
+			// aliasing either slice into the delivered event.
+			merged := make([]wire.FailoverEvent, 0, len(sub.pendingFail)+len(ev.Failovers))
+			merged = append(merged, sub.pendingFail...)
+			merged = append(merged, ev.Failovers...)
+			e.Failovers = merged
+		}
 		select {
 		case sub.ch <- e:
 			sub.dropped = 0
 			sub.pendingReb = nil
+			sub.pendingFail = nil
 		default:
 			sub.dropped++
 			// Keep the newest migration; its Ks is the live layout.
 			if ev.Rebalance != nil {
 				sub.pendingReb = ev.Rebalance
 			}
+			// Keep every dropped ownership change, in order.
+			sub.pendingFail = append(sub.pendingFail, ev.Failovers...)
 		}
 	}
 }

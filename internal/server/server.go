@@ -88,6 +88,13 @@ func ResumeSharded(cfg core.Config, newAlg func() core.FleetAlgorithm, snapshot 
 	return &Server{cfg: cfg, svc: svc}, nil
 }
 
+// NewFromService adapts an already-running service to the HTTP API — the
+// hook the cluster layer uses to mount its coordinator-backed service
+// (protocol.NewFromBackend) on the same endpoints the local modes serve.
+func NewFromService(cfg core.Config, svc *protocol.Service) *Server {
+	return &Server{cfg: cfg, svc: svc}
+}
+
 // Service returns the underlying transport-neutral serving core, for
 // callers that want the typed surface (Submit/Watch/...) next to the HTTP
 // one.
@@ -165,6 +172,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writeStepError(w http.ResponseWriter, err error) {
 	var oe *protocol.OverloadError
 	var de *protocol.DurabilityError
+	var ue *protocol.UnreachableError
 	switch {
 	case errors.As(err, &oe):
 		sec := (oe.RetryAfterMS + 999) / 1000
@@ -180,6 +188,11 @@ func (s *Server) writeStepError(w http.ResponseWriter, err error) {
 		// step index so clients know not to resend.
 		t := de.ExecutedT
 		writeJSON(w, http.StatusInsufficientStorage, wire.ErrorResponse{Error: err.Error(), ExecutedT: &t})
+	case errors.As(err, &ue):
+		// The forwarding tier gave up on the shard's backend: the step did
+		// NOT execute, so the batch is safe to resubmit once the fleet
+		// recovers. 502 is the classic bad-upstream signal.
+		writeError(w, http.StatusBadGateway, err.Error())
 	case errors.Is(err, protocol.ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 	default:
@@ -195,6 +208,7 @@ func ackResponse(ack protocol.Ack) wire.StepResponse {
 		Batched:   ack.Batched,
 		Cost:      wire.FromCost(ack.Cost),
 		Positions: wire.FromPoints(ack.Positions),
+		Clamped:   ack.Clamped,
 	}
 	if ack.Shards != nil {
 		resp.Shards = shardSteps(ack.Shards)
@@ -235,6 +249,9 @@ func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
 	}
 	if st.Partition != nil {
 		resp.Partition = append([]float64(nil), st.Partition...)
+	}
+	if st.Workers != nil {
+		resp.Workers = append([]string(nil), st.Workers...)
 	}
 	if st.Shards != nil {
 		resp.Shards = make([]wire.ShardState, len(st.Shards))

@@ -70,6 +70,19 @@ func (s *Server) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		// A step during which the coordinator rehomed shards (cluster mode)
+		// emits one typed event per ownership change, in order, so a
+		// dashboard tracking the shard→worker assignment stays in sync.
+		for _, fo := range ev.Failovers {
+			fo.V = wire.V1
+			data, err := json.Marshal(fo)
+			if err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("event: failover\ndata: " + string(data) + "\n\n")); err != nil {
+				return
+			}
+		}
 		fl.Flush()
 	}
 }

@@ -155,13 +155,26 @@ func (s *Server) streamHandshake(sc *bufio.Scanner, writeFrame func(any) error) 
 			"session dimension is "+strconv.Itoa(s.cfg.Dim)+", hello asked for "+strconv.Itoa(hello.Dim)))
 		return false
 	}
-	return writeFrame(wire.WelcomeFrame{
+	welcome := wire.WelcomeFrame{
 		V:         wire.V1,
 		Type:      wire.FrameWelcome,
 		Algorithm: s.svc.Algorithm(),
 		T:         s.svc.T(),
 		Dim:       s.cfg.Dim,
-	}) == nil
+	}
+	// Re-serve the last executed step's outcome, so a reconnecting
+	// pipeliner whose final ack was lost in flight recovers it instead of
+	// resending the batch (which would double-feed the session).
+	if ls := s.svc.LastStep(); ls != nil {
+		welcome.Last = &wire.LastStep{
+			T:         ls.T,
+			Batched:   ls.Batched,
+			Cost:      wire.FromCost(ls.Cost),
+			Clamped:   ls.Clamped,
+			Positions: wire.FromPoints(ls.Positions),
+		}
+	}
+	return writeFrame(welcome) == nil
 }
 
 // streamRead is the reader loop: it decodes frames and turns each into an
@@ -213,6 +226,11 @@ func (s *Server) streamRead(sc *bufio.Scanner, replies chan<- replyItem) {
 				continue
 			}
 			replies <- replyItem{pend: pend, id: step.ID}
+		case wire.FramePing:
+			// The pong rides the ordered reply queue behind any pending
+			// acks, so receiving it proves the whole pipeline — reader,
+			// step loop, writer — is alive, not just the TCP connection.
+			replies <- replyItem{frame: wire.PongFrame{V: wire.V1, Type: wire.FramePong}}
 		case wire.FrameBye:
 			return
 		default:
@@ -239,10 +257,13 @@ func nextLine(sc *bufio.Scanner) ([]byte, bool) {
 func streamError(id int64, err error) wire.ErrorFrame {
 	e := wire.Error{Code: wire.CodeInternal, Detail: err.Error()}
 	var de *protocol.DurabilityError
+	var ue *protocol.UnreachableError
 	switch {
 	case errors.As(err, &de):
 		t := de.ExecutedT
 		e = wire.Error{Code: wire.CodeNotDurable, Detail: err.Error(), ExecutedT: &t}
+	case errors.As(err, &ue):
+		e = wire.Error{Code: wire.CodeUnreachable, Detail: err.Error()}
 	case errors.Is(err, protocol.ErrShuttingDown):
 		e = wire.Error{Code: wire.CodeShuttingDown, Detail: err.Error()}
 	}

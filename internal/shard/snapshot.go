@@ -153,3 +153,34 @@ func canonicalK(c core.Config) core.Config {
 	c.K = c.Servers()
 	return c
 }
+
+// PackSnapshot assembles a combined snapshot document with exactly the
+// shape Router.Snapshot writes, from parts collected elsewhere — the hook
+// the cluster coordinator uses to serve GET /snapshot by packing the
+// per-shard snapshots it fetched from its workers. Because the shapes
+// match, a fleet run can be scaled back down: feed the packed document to
+// Restore and the whole cluster continues inside one process.
+func PackSnapshot(cfg core.Config, steps int, requests []int, ks []int, rebalances int, shards []json.RawMessage) ([]byte, error) {
+	n := cfg.Partition.Shards()
+	if len(shards) != n {
+		return nil, fmt.Errorf("shard: pack: %d shard documents for %d shards", len(shards), n)
+	}
+	if len(requests) != n {
+		return nil, fmt.Errorf("shard: pack: %d request counters for %d shards", len(requests), n)
+	}
+	if len(ks) != n {
+		return nil, fmt.Errorf("shard: pack: %d fleet sizes for %d shards", len(ks), n)
+	}
+	if steps < 0 {
+		return nil, errors.New("shard: pack: negative step counter")
+	}
+	return json.Marshal(&snapshot{
+		Version:    SnapshotVersion,
+		Config:     cfg,
+		Steps:      steps,
+		Requests:   append([]int(nil), requests...),
+		Ks:         append([]int(nil), ks...),
+		Rebalances: rebalances,
+		Shards:     shards,
+	})
+}

@@ -1,0 +1,531 @@
+// Package streamclient is the reusable client side of the NDJSON
+// streaming transport (POST /stream, package wire's frame grammar): dial
+// with capped-exponential-backoff retries, hello/welcome handshake with
+// version negotiation, pipelined step frames answered in order, automatic
+// jittered resend on typed throttle frames, and a heartbeat that declares
+// a silent connection dead instead of hanging its callers forever.
+//
+// It exists so the cluster coordinator (internal/cluster) and the example
+// load generator (examples/client) share one tested implementation of the
+// client protocol instead of a copy each.
+//
+// Usage:
+//
+//	c, err := streamclient.Dial("localhost:8080", "/stream", streamclient.Options{Dim: 2})
+//	p, err := c.Step(batch)   // write one pipelined frame
+//	ack, err := p.Wait()      // block for its in-order ack
+//	c.Close()
+//
+// Dial bounds its reconnect storm: after Options.MaxAttempts failed
+// connection attempts (with exponential, jittered backoff between them,
+// capped at Options.MaxBackoff per wait) it gives up with a typed
+// *protocol.UnreachableError, so a forwarding tier can surface "backend
+// unreachable" to its own callers instead of blocking them indefinitely.
+// A server that answers the handshake with an error frame (say
+// bad_version) is NOT retried — it is reachable and said no.
+package streamclient
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/wire"
+)
+
+// Options configures a Dial. The zero value uses the defaults below and
+// disables the dimension check and the heartbeat.
+type Options struct {
+	// Dim, when nonzero, is sent in the hello so the server confirms the
+	// session dimension before any step is pipelined.
+	Dim int
+	// MaxAttempts bounds the connection attempts one Dial makes before
+	// giving up with *protocol.UnreachableError. Default DefaultMaxAttempts.
+	MaxAttempts int
+	// BaseBackoff is the wait after the first failed attempt; each further
+	// failure doubles it. Default DefaultBaseBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-wait backoff growth. Default DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// HeartbeatEvery, when positive, starts the liveness probe: a ping
+	// frame rides the pipeline at this cadence, and when no frame at all
+	// (ack, pong, anything) arrives for HeartbeatTimeout the connection is
+	// declared dead (Err returns ErrHeartbeat and every pending Wait
+	// unblocks) instead of hanging callers on a silent socket.
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is the silence that kills the connection; default
+	// 3×HeartbeatEvery.
+	HeartbeatTimeout time.Duration
+	// HandshakeTimeout bounds one connection attempt end to end (TCP dial
+	// through the welcome). A server that accepts the connection but never
+	// answers the handshake is a transport failure like any other: the
+	// attempt is abandoned and retried under the backoff policy instead of
+	// blocking the caller forever. Default DefaultHandshakeTimeout.
+	HandshakeTimeout time.Duration
+}
+
+// Defaults for the dial retry policy: 5 attempts with 25ms, 50ms, 100ms,
+// 200ms jittered waits between them (~0.4s worst case per address) keep a
+// coordinator's failover decision fast while still riding out a worker
+// restart.
+const (
+	DefaultMaxAttempts = 5
+	DefaultBaseBackoff = 25 * time.Millisecond
+	DefaultMaxBackoff  = 2 * time.Second
+)
+
+// DefaultHandshakeTimeout bounds one connection attempt (dial + hello +
+// welcome) when Options.HandshakeTimeout is zero.
+const DefaultHandshakeTimeout = 5 * time.Second
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = DefaultBaseBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.HeartbeatEvery > 0 && o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 3 * o.HeartbeatEvery
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	return o
+}
+
+// ErrHeartbeat reports a connection the heartbeat declared dead: no frame
+// of any kind arrived for Options.HeartbeatTimeout.
+var ErrHeartbeat = errors.New("streamclient: heartbeat timeout, connection declared dead")
+
+// ErrClosed reports an operation on a client after Close.
+var ErrClosed = errors.New("streamclient: client closed")
+
+// stepResult is one resolved pending frame.
+type stepResult struct {
+	ack wire.AckFrame
+	err error
+}
+
+// Pending is one in-flight step frame awaiting its ack.
+type Pending struct {
+	ch chan stepResult
+	// ID is the frame id the client assigned (unique per connection,
+	// monotonically increasing from 1).
+	ID int64
+}
+
+// Wait blocks for the frame's outcome: the typed ack, a per-frame error
+// frame (as *wire.Error), or the connection's fatal error. Throttle frames
+// never surface here — the client resends the frame itself after the
+// server's jittered backoff hint, and Wait resolves with the eventual ack.
+func (p *Pending) Wait() (wire.AckFrame, error) {
+	res := <-p.ch
+	return res.ack, res.err
+}
+
+// pendingEntry is the client's book-keeping for one unacked frame: the
+// reply channel plus the frame itself, kept so a throttle can resend it.
+type pendingEntry struct {
+	ch    chan stepResult
+	frame wire.StepFrame
+}
+
+// Client is one NDJSON stream connection. Step may be called from any
+// goroutine; replies arrive in submission order on the connection and are
+// dispatched to each Pending.
+type Client struct {
+	opts    Options
+	conn    net.Conn
+	wmu     sync.Mutex // serializes frame writes (Step, resends, pings, bye)
+	welcome wire.WelcomeFrame
+
+	mu      sync.Mutex
+	pending map[int64]*pendingEntry
+	nextID  int64
+	closed  bool
+
+	throttles atomic.Int64
+	lastRecv  atomic.Int64 // UnixNano of the most recent received frame
+
+	failOnce sync.Once
+	fatal    atomic.Value // error
+	done     chan struct{}
+}
+
+// Host extracts the dialable host:port from a base URL or a bare
+// host[:port] string, accepting the same spellings the example client
+// always has ("http://localhost:8080", "localhost:8080", "localhost").
+func Host(base string) (string, error) {
+	if !bytes.Contains([]byte(base), []byte("://")) {
+		return base, nil
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return "", err
+	}
+	if u.Host != "" {
+		return u.Host, nil
+	}
+	return "", fmt.Errorf("streamclient: no host in %q", base)
+}
+
+// Dial connects to the streaming endpoint at path (usually "/stream") on
+// base (a URL or host:port), retrying transport failures under the
+// capped-backoff policy, and completes the hello/welcome handshake. A
+// handshake the server rejects with an error frame (bad_version, dimension
+// mismatch) fails immediately — the server is reachable and said no; only
+// transport failures are retried. When every attempt fails the returned
+// error is a *protocol.UnreachableError carrying the attempt count and the
+// last underlying error.
+func Dial(base, path string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	host, err := Host(base)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	backoff := opts.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		c, err := dialOnce(host, path, opts)
+		if err == nil {
+			return c, nil
+		}
+		var we *wire.Error
+		if errors.As(err, &we) {
+			// The server spoke: a protocol-level rejection, not an outage.
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= opts.MaxAttempts {
+			return nil, &protocol.UnreachableError{Addr: host, Attempts: attempt, Err: lastErr}
+		}
+		time.Sleep(Jitter(backoff))
+		if backoff *= 2; backoff > opts.MaxBackoff {
+			backoff = opts.MaxBackoff
+		}
+	}
+}
+
+// dialOnce makes one connection attempt: TCP dial, HTTP upgrade, hello,
+// welcome. A server error frame during the handshake comes back as a
+// *wire.Error (wrapped), which Dial treats as permanent.
+func dialOnce(host, path string, opts Options) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", host, opts.HandshakeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	// The whole handshake runs under one deadline, cleared once the welcome
+	// arrives (steady-state liveness is the heartbeat's job, not the
+	// socket's).
+	_ = conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
+	br := bufio.NewReader(conn)
+	if _, err := fmt.Fprintf(conn, "POST %s HTTP/1.1\r\nHost: %s\r\nContent-Length: 0\r\n\r\n", path, host); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	status, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !bytes.Contains([]byte(status), []byte("200")) {
+		conn.Close()
+		return nil, fmt.Errorf("streamclient: POST %s: %s", path, bytes.TrimSpace([]byte(status)))
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+
+	c := &Client{
+		opts:    opts,
+		conn:    conn,
+		pending: map[int64]*pendingEntry{},
+		done:    make(chan struct{}),
+	}
+	hello := wire.HelloFrame{V: wire.V1, Type: wire.FrameHello, Dim: opts.Dim}
+	if err := c.writeFrame(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	line, err := readLine(br)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := decodeExpected(line, wire.FrameWelcome, &c.welcome); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	c.lastRecv.Store(time.Now().UnixNano())
+	go c.readLoop(br)
+	if opts.HeartbeatEvery > 0 {
+		go c.heartbeat()
+	}
+	return c, nil
+}
+
+// Welcome returns the handshake's welcome frame: the algorithm, the
+// session's current step count (the reconciliation anchor after a
+// reconnect), the dimension, and — when the session has executed any step
+// — the last executed step's exact outcome (Last).
+func (c *Client) Welcome() wire.WelcomeFrame { return c.welcome }
+
+// Throttles counts the throttle frames the connection has absorbed (each
+// one resent automatically after the server's jittered backoff hint).
+func (c *Client) Throttles() int64 { return c.throttles.Load() }
+
+// Err returns the connection's fatal error, or nil while it is healthy.
+func (c *Client) Err() error {
+	if v := c.fatal.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Done is closed when the connection dies (fatal error or Close).
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Step writes one pipelined step frame and returns the Pending to Wait on.
+// It does not block for the ack, so callers can keep frames in flight; it
+// fails immediately when the connection is already dead.
+func (c *Client) Step(reqs []wire.Point) (*Pending, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := c.Err(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	entry := &pendingEntry{
+		ch:    make(chan stepResult, 1),
+		frame: wire.StepFrame{V: wire.V1, Type: wire.FrameStep, ID: id, Requests: reqs},
+	}
+	c.pending[id] = entry
+	c.mu.Unlock()
+
+	if err := c.writeFrame(entry.frame); err != nil {
+		c.fail(err)
+		return nil, err
+	}
+	return &Pending{ch: entry.ch, ID: id}, nil
+}
+
+// Close sends a bye frame and tears the connection down. Callers should
+// Wait their pending frames first — the server answers everything already
+// submitted before honoring the bye, but Close does not wait for that.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = c.writeFrame(wire.ByeFrame{V: wire.V1, Type: wire.FrameBye})
+	c.fail(ErrClosed)
+	return nil
+}
+
+// writeFrame marshals and writes one frame under the write lock (Step,
+// throttle resends, pings, and bye share the socket).
+func (c *Client) writeFrame(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err = c.conn.Write(append(data, '\n'))
+	return err
+}
+
+// fail ends the connection once: records the fatal error, closes the
+// socket, resolves every pending frame with the error, and closes Done.
+func (c *Client) fail(err error) {
+	c.failOnce.Do(func() {
+		c.fatal.Store(err)
+		c.conn.Close()
+		c.mu.Lock()
+		for id, e := range c.pending {
+			delete(c.pending, id)
+			e.ch <- stepResult{err: err}
+		}
+		c.mu.Unlock()
+		close(c.done)
+	})
+}
+
+// readLoop is the dispatch goroutine: every received frame stamps the
+// liveness clock, acks and per-frame errors resolve their Pending,
+// throttles schedule a jittered resend, pongs are liveness only, and a
+// connection-level error frame (or a read error) kills the connection.
+func (c *Client) readLoop(br *bufio.Reader) {
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.lastRecv.Store(time.Now().UnixNano())
+		head, err := wire.PeekFrame(line)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch head.Type {
+		case wire.FrameAck:
+			var ack wire.AckFrame
+			if err := wire.UnmarshalStrict(line, &ack); err != nil {
+				c.fail(err)
+				return
+			}
+			c.resolve(ack.ID, stepResult{ack: ack})
+		case wire.FrameThrottle:
+			var th wire.ThrottleFrame
+			if err := wire.UnmarshalStrict(line, &th); err != nil {
+				c.fail(err)
+				return
+			}
+			c.throttles.Add(1)
+			c.mu.Lock()
+			entry := c.pending[th.ID]
+			c.mu.Unlock()
+			if entry == nil {
+				c.fail(fmt.Errorf("streamclient: throttle for unknown frame id %d", th.ID))
+				return
+			}
+			go func(frame wire.StepFrame, wait time.Duration) {
+				time.Sleep(Jitter(wait))
+				if err := c.writeFrame(frame); err != nil {
+					c.fail(err)
+				}
+			}(entry.frame, time.Duration(th.RetryAfterMS)*time.Millisecond)
+		case wire.FramePong:
+			// Liveness only; the lastRecv stamp above did the work.
+		case wire.FrameError:
+			var ef wire.ErrorFrame
+			if err := wire.UnmarshalStrict(line, &ef); err != nil {
+				c.fail(err)
+				return
+			}
+			e := ef.Err
+			if ef.ID != nil {
+				// Per-frame rejection: that frame failed, the stream lives.
+				c.resolve(*ef.ID, stepResult{err: &e})
+				continue
+			}
+			c.fail(&e)
+			return
+		default:
+			c.fail(fmt.Errorf("streamclient: unexpected %s frame", head.Type))
+			return
+		}
+	}
+}
+
+// resolve delivers one outcome to its Pending (ignoring ids the server
+// answered twice or that a fatal teardown already resolved).
+func (c *Client) resolve(id int64, res stepResult) {
+	c.mu.Lock()
+	entry := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if entry != nil {
+		entry.ch <- res
+	}
+}
+
+// heartbeat pings at the configured cadence and declares the connection
+// dead after HeartbeatTimeout of total silence. Any received frame resets
+// the clock — pongs ride the same ordered reply queue as acks, so one
+// arriving proves the server's whole pipeline (reader, step loop, writer)
+// is alive, not just the TCP connection.
+func (c *Client) heartbeat() {
+	ticker := time.NewTicker(c.opts.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+			silence := time.Since(time.Unix(0, c.lastRecv.Load()))
+			if silence > c.opts.HeartbeatTimeout {
+				c.fail(ErrHeartbeat)
+				return
+			}
+			_ = c.writeFrame(wire.PingFrame{V: wire.V1, Type: wire.FramePing})
+		}
+	}
+}
+
+// readLine returns the next non-empty NDJSON line.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return nil, err
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			// ReadBytes reuses no buffer, but trim shares storage; copy so
+			// the caller owns the line.
+			out := make([]byte, len(trimmed))
+			copy(out, trimmed)
+			return out, nil
+		}
+	}
+}
+
+// decodeExpected strictly decodes line into v after checking its type,
+// surfacing a typed server error frame as *wire.Error.
+func decodeExpected(line []byte, wantType string, v any) error {
+	head, err := wire.PeekFrame(line)
+	if err != nil {
+		return err
+	}
+	if head.Type == wire.FrameError {
+		var ef wire.ErrorFrame
+		if err := wire.UnmarshalStrict(line, &ef); err == nil {
+			e := ef.Err
+			return fmt.Errorf("streamclient: server rejected handshake: %w", &e)
+		}
+	}
+	if head.Type != wantType {
+		return fmt.Errorf("streamclient: got %s frame, want %s", head.Type, wantType)
+	}
+	return wire.UnmarshalStrict(line, v)
+}
+
+// Jitter spreads a wait by ±20%, so many clients told to retry at the same
+// moment do not re-stampede a bounded queue (or a restarting worker) in
+// lockstep.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+}

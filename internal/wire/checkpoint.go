@@ -33,6 +33,25 @@ type Checkpoint struct {
 	Metrics *MetricsState `json:"metrics,omitempty"`
 	// Moves carries the engine.MoveStats observer state.
 	Moves *MoveState `json:"moves,omitempty"`
+	// LastStep carries the outcome of the final step executed before the
+	// checkpoint was taken; nil in files written before the field existed
+	// (or before any step ran). A resumed service re-arms its welcome
+	// recovery payload (WelcomeFrame.Last) from it, so a coordinator
+	// reconnecting after the process died between checkpoint and ack can
+	// still recover the executed step's exact outcome.
+	LastStep *LastStepState `json:"last_step,omitempty"`
+}
+
+// LastStepState is the serialized outcome of the last executed step. Move
+// and serve costs are kept separately so the restored value continues from
+// identical float64 bits; positions are not persisted — the session
+// snapshot already carries them.
+type LastStepState struct {
+	T         int     `json:"t"`
+	Batched   int     `json:"batched"`
+	MoveCost  float64 `json:"move_cost"`
+	ServeCost float64 `json:"serve_cost"`
+	Clamped   int     `json:"clamped,omitempty"`
 }
 
 // MetricsState is the serialized engine.Metrics observer: running totals

@@ -47,6 +47,13 @@ const (
 	FrameError = "error"
 	// FrameBye closes a stream gracefully (client -> server).
 	FrameBye = "bye"
+	// FramePing is a liveness probe (client -> server): the server answers
+	// with a pong frame through the same ordered reply queue as the acks,
+	// so any received frame proves the whole pipeline is alive, not just
+	// the TCP connection.
+	FramePing = "ping"
+	// FramePong answers a ping (server -> client).
+	FramePong = "pong"
 )
 
 // Error codes carried by Error.Code. They replace HTTP-status-only
@@ -72,6 +79,11 @@ const (
 	CodeShuttingDown = "shutting_down"
 	// CodeInternal: the step failed inside the engine.
 	CodeInternal = "internal"
+	// CodeUnreachable: a forwarding tier (the cluster coordinator) could
+	// not reach the backend that owns the request's shard, even after its
+	// bounded reconnect-and-failover policy ran out. The step did NOT
+	// execute.
+	CodeUnreachable = "unreachable"
 )
 
 // Error is the typed per-message error of the v1 protocol: a stable code,
@@ -137,6 +149,44 @@ type WelcomeFrame struct {
 	Algorithm string `json:"algorithm"`
 	T         int    `json:"t"`
 	Dim       int    `json:"dim"`
+	// Last carries the outcome of the last executed step (step T-1), when
+	// the session has executed any. A reconnecting pipeliner whose final
+	// ack was lost mid-flight recovers the executed step's exact outcome
+	// from here instead of resending the batch (which would double-feed).
+	// Absent at T == 0 and on sessions resumed from checkpoints that
+	// predate the field.
+	Last *LastStep `json:"last,omitempty"`
+}
+
+// LastStep is the recovery payload inside a welcome frame: the outcome of
+// the session's most recent executed step, exactly as its (possibly lost)
+// ack reported it. Costs and positions are exact float64 round-trips, so a
+// consumer reconstructing the lost ack from this payload stays bit-equal
+// with one that received the ack directly.
+type LastStep struct {
+	// T is the executed step's index (the welcome's T minus one).
+	T int `json:"t"`
+	// Batched is the number of requests the step served.
+	Batched int `json:"batched"`
+	// Cost is the step's own cost.
+	Cost Cost `json:"cost"`
+	// Clamped counts the step's cap-clamped server moves.
+	Clamped int `json:"clamped,omitempty"`
+	// Positions holds every server position after the step.
+	Positions []Point `json:"positions"`
+}
+
+// PingFrame is a liveness probe: `{"v":1,"type":"ping"}`. The server
+// answers with a pong through the ordered reply queue.
+type PingFrame struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+}
+
+// PongFrame answers a ping: `{"v":1,"type":"pong"}`.
+type PongFrame struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
 }
 
 // StepFrame submits one batch:
@@ -230,6 +280,30 @@ type RebalanceEvent struct {
 	Server Point `json:"server"`
 	// Ks is the per-shard fleet layout after the migration.
 	Ks []int `json:"ks"`
+}
+
+// FailoverEvent is one server-sent event of GET /metrics/stream with event
+// type "failover": the cluster coordinator lost a shard worker and rehomed
+// the shard onto another worker by restoring its last fsynced checkpoint.
+// It rides the same stream as the metrics events, so a dashboard following
+// the feed sees ownership changes in order with the traffic around them.
+type FailoverEvent struct {
+	V int `json:"v"`
+	// T is the global step the coordinator was feeding when the worker
+	// died (the first step served by the new owner).
+	T int `json:"t"`
+	// Shard is the rehomed shard.
+	Shard int `json:"shard"`
+	// From and To are the dead and the new owner's worker addresses.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// RestoredT is the step count the new owner reported after restoring
+	// the shard's checkpoint: T means the in-flight step had not executed
+	// and was resent; T+1 means it had executed and its outcome was
+	// recovered from the welcome instead of resending.
+	RestoredT int `json:"restored_t"`
+	// Resent reports which of those two paths ran.
+	Resent bool `json:"resent"`
 }
 
 // UnmarshalStrict decodes one JSON document rejecting unknown fields, so a

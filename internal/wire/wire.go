@@ -87,6 +87,10 @@ type StepResponse struct {
 	// in router mode: how many of the step's requests each region
 	// received and what its session charged. Absent on unsharded servers.
 	Shards []ShardStep `json:"shards,omitempty"`
+	// Clamped counts the step's cap-clamped server moves (only present
+	// when nonzero). A forwarding tier needs it to keep exact fleet-wide
+	// clamp counters without re-deriving engine behavior.
+	Clamped int `json:"clamped,omitempty"`
 }
 
 // ShardStep is one shard's share of a single routed step.
@@ -139,6 +143,10 @@ type StateResponse struct {
 	Partition []float64 `json:"partition,omitempty"`
 	// Shards holds each region's live counters in router mode.
 	Shards []ShardState `json:"shards,omitempty"`
+	// Workers holds the live shard→worker assignment in cluster mode
+	// (Workers[i] is the address serving shard i; failovers change it).
+	// Absent outside coordinator mode.
+	Workers []string `json:"workers,omitempty"`
 }
 
 // ShardState is one shard's live counters inside GET /state.

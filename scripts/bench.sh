@@ -1,15 +1,19 @@
 #!/bin/sh
 # bench.sh: run the reproduction benchmark suite (BenchmarkE*), the
 # sharded-vs-unsharded serving benchmark (BenchmarkRouterStep), the
-# transport comparison (BenchmarkStreamVsHTTP), and the shard-layout
-# comparison (BenchmarkRebalanceVsStatic) and emit a machine-readable
+# transport comparison (BenchmarkStreamVsHTTP), the shard-layout
+# comparison (BenchmarkRebalanceVsStatic), and the multi-process serving
+# comparison (BenchmarkClusterVsLocal) and emit a machine-readable
 # JSON summary, so the bench trajectory is tracked as a CI artifact
-# instead of scrolling away in logs. The summary carries two derived
+# instead of scrolling away in logs. The summary carries three derived
 # entries: "stream_vs_http" (per-batch latency of each transport and the
-# speedup of pipelined NDJSON ingestion over per-request HTTP) and
+# speedup of pipelined NDJSON ingestion over per-request HTTP),
 # "rebalance_vs_static" (per-step serving cost of the drifting-hotspot
 # workload under a static vs a dynamically rebalanced shard layout, and
-# the fraction of cost the rebalancer saves).
+# the fraction of cost the rebalancer saves), and "cluster_vs_local"
+# (per-step latency of the in-process sharded server vs a coordinator
+# forwarding to worker-hosted shards over loopback, pinning the
+# forwarding overhead of the cluster tier).
 #
 #   ./scripts/bench.sh [out.json]        # default out: BENCH_<utc-stamp>.json
 #   BENCHTIME=100x ./scripts/bench.sh    # override -benchtime (default 1x
@@ -29,6 +33,7 @@ go test -run '^$' -bench 'BenchmarkE' -benchtime "${BENCHTIME:-1x}" . | tee "$ra
 go test -run '^$' -bench 'BenchmarkRouterStep' -benchtime "${BENCHTIME:-50x}" ./internal/shard/ | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkStreamVsHTTP' -benchtime "${BENCHTIME:-300x}" ./internal/server/ | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkRebalanceVsStatic' -benchtime "${BENCHTIME:-3x}" ./internal/shard/ | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkClusterVsLocal' -benchtime "${BENCHTIME:-200x}" ./internal/cluster/ | tee -a "$raw"
 
 # Convert `BenchmarkName-P   N   T ns/op [extras...]` lines into a JSON
 # document. The -P CPU suffix is stripped from the name. The transport
@@ -39,6 +44,7 @@ BEGIN {
 	n = 0
 	http_ns = ""; stream_ns = ""
 	static_cost = ""; rebalance_cost = ""
+	local_ns = ""; cluster_ns = ""
 }
 /^Benchmark/ && $4 == "ns/op" {
 	name = $1
@@ -58,6 +64,8 @@ BEGIN {
 	}
 	if (name ~ /BenchmarkStreamVsHTTP\/http$/)   http_ns = ns
 	if (name ~ /BenchmarkStreamVsHTTP\/stream$/) stream_ns = ns
+	if (name ~ /BenchmarkClusterVsLocal\/local$/)   local_ns = ns
+	if (name ~ /BenchmarkClusterVsLocal\/cluster$/) cluster_ns = ns
 	if (n++) printf ",\n"
 	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extra
 }
@@ -70,6 +78,10 @@ END {
 	if (static_cost != "" && rebalance_cost != "" && static_cost + 0 > 0) {
 		printf ",\n  \"rebalance_vs_static\": {\"static_cost_per_step\": %s, \"rebalance_cost_per_step\": %s, \"cost_saved_frac\": %.3f}",
 			static_cost, rebalance_cost, 1 - (rebalance_cost + 0) / (static_cost + 0)
+	}
+	if (local_ns != "" && cluster_ns != "" && local_ns + 0 > 0) {
+		printf ",\n  \"cluster_vs_local\": {\"local_ns_per_step\": %s, \"cluster_ns_per_step\": %s, \"forwarding_overhead_ns\": %d, \"slowdown\": %.2f}",
+			local_ns, cluster_ns, (cluster_ns + 0) - (local_ns + 0), (cluster_ns + 0) / (local_ns + 0)
 	}
 	printf "\n}\n"
 }' "$raw" > "$out"
