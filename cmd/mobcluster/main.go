@@ -46,6 +46,7 @@ import (
 	"repro/internal/multi"
 	"repro/internal/protocol"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -65,6 +66,8 @@ func main() {
 		clamp   = flag.Bool("clamp", false, "worker: clamp over-cap moves instead of failing the step")
 		ckptDir = flag.String("ckpt-dir", "", "worker: per-shard checkpoint directory (required; share it between workers that cover for each other)")
 
+		wireOpt = flag.String("wire", "auto", "shard-stream encoding: auto (negotiate binary, fall back to ndjson) | binary (worker: grant it; coordinator: require it) | ndjson (pin)")
+
 		workers   = flag.String("workers", "", "coordinator: comma-separated worker addresses (required)")
 		window    = flag.Duration("window", 2*time.Millisecond, "coordinator: batch coalescing window")
 		heartbeat = flag.Duration("heartbeat", time.Second, "coordinator: worker liveness ping interval (0 disables)")
@@ -82,11 +85,17 @@ func main() {
 		fatal(err)
 	}
 
+	switch *wireOpt {
+	case "auto", "binary", "ndjson":
+	default:
+		fatal(fmt.Errorf("unknown -wire policy %q (auto|binary|ndjson)", *wireOpt))
+	}
+
 	switch *role {
 	case "worker":
-		runWorker(cfg, *addr, *algName, *ckptDir, *span, *clamp, *queue)
+		runWorker(cfg, *addr, *algName, *ckptDir, *span, *clamp, *queue, *wireOpt)
 	case "coordinator":
-		runCoordinator(cfg, *addr, *workers, *window, *heartbeat, *attempts, *backoff, *queue)
+		runCoordinator(cfg, *addr, *workers, *window, *heartbeat, *attempts, *backoff, *queue, *wireOpt)
 	case "":
 		fatal(errors.New("-role is required: coordinator|worker"))
 	default:
@@ -94,7 +103,7 @@ func main() {
 	}
 }
 
-func runWorker(cfg core.Config, addr, algName, ckptDir string, span float64, clamp bool, queue int) {
+func runWorker(cfg core.Config, addr, algName, ckptDir string, span float64, clamp bool, queue int, wireOpt string) {
 	newAlg, err := pickAlgorithm(algName, cfg)
 	if err != nil {
 		fatal(err)
@@ -104,6 +113,11 @@ func runWorker(cfg core.Config, addr, algName, ckptDir string, span float64, cla
 		CheckpointDir: ckptDir,
 		Span:          span,
 		QueueLimit:    queue,
+	}
+	// auto and binary both grant a coordinator's binary request (the
+	// worker side never initiates); ndjson pins the hosted streams.
+	if wireOpt == "ndjson" {
+		opts.Wire = wire.WireNDJSON
 	}
 	if clamp {
 		opts.Mode = engine.Clamp
@@ -125,7 +139,7 @@ func runWorker(cfg core.Config, addr, algName, ckptDir string, span float64, cla
 	})
 }
 
-func runCoordinator(cfg core.Config, addr, workers string, window, heartbeat time.Duration, attempts int, backoff time.Duration, queue int) {
+func runCoordinator(cfg core.Config, addr, workers string, window, heartbeat time.Duration, attempts int, backoff time.Duration, queue int, wireOpt string) {
 	if workers == "" {
 		fatal(errors.New("-role coordinator requires -workers"))
 	}
@@ -134,6 +148,12 @@ func runCoordinator(cfg core.Config, addr, workers string, window, heartbeat tim
 		Heartbeat:   heartbeat,
 		MaxAttempts: attempts,
 		BaseBackoff: backoff,
+	}
+	switch wireOpt {
+	case "binary":
+		copts.Wire = wire.WireBinary // require: fail loudly on old workers
+	case "ndjson":
+		copts.Wire = wire.WireNDJSON
 	}
 	svc, err := cluster.NewService(cfg, copts, protocol.Options{
 		CoalesceWindow: window,

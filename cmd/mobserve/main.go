@@ -79,7 +79,8 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "checkpoint file; resumes from it when present")
 		every   = flag.Int("every", 1, "steps between checkpoints")
 		clamp   = flag.Bool("clamp", false, "clamp over-cap moves instead of failing the step")
-		stream  = flag.Bool("stream", true, "serve the persistent streaming endpoints (POST /stream NDJSON frames, GET /metrics/stream SSE)")
+		stream  = flag.Bool("stream", true, "serve the persistent streaming endpoints (POST /stream frames, GET /metrics/stream SSE)")
+		wireOpt = flag.String("wire", "binary", "stream encoding policy: binary (grant clients' binary-frame requests) | ndjson (pin every stream to NDJSON)")
 
 		rebalance = flag.String("rebalance", "", "dynamic shard rebalancing policy: threshold (empty = static layout; requires -shards > 1)")
 		rebWindow = flag.Int("rebalance-window", shard.DefaultRebalanceWindow, "rebalancing: sliding load-window length in steps")
@@ -140,6 +141,12 @@ func main() {
 	srv, resumed, err := open(cfg, newAlg, opts, *radius)
 	if err != nil {
 		fatal(err)
+	}
+	switch *wireOpt {
+	case "binary", "ndjson":
+		srv.SetStreamWire(*wireOpt)
+	default:
+		fatal(fmt.Errorf("unknown -wire policy %q (binary|ndjson)", *wireOpt))
 	}
 	layout := fmt.Sprintf("K=%d, dim %d", cfg.Servers(), cfg.Dim)
 	if n := cfg.Partition.Shards(); n > 1 {

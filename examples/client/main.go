@@ -77,8 +77,9 @@ func main() {
 		regions  = flag.Int("regions", 1, "distinct hotspot regions across [-span, span] (match the server's -shards)")
 		span     = flag.Float64("span", 25, "half-width of the region interval (match the server's -span)")
 		drift    = flag.Bool("drift", false, "one tight hotspot sweeping across [-span, span] over the run (exercises dynamic rebalancing)")
-		stream   = flag.Bool("stream", false, "pipeline NDJSON frames over one persistent POST /stream connection instead of per-request HTTP")
+		stream   = flag.Bool("stream", false, "pipeline step frames over one persistent POST /stream connection instead of per-request HTTP")
 		inflight = flag.Int("inflight", 32, "stream mode: maximum unacknowledged frames in flight")
+		wireOpt  = flag.String("wire", "auto", "stream mode encoding: auto (negotiate binary, fall back to ndjson) | binary (require) | ndjson (pin)")
 	)
 	flag.Parse()
 	if !strings.Contains(*addr, "://") {
@@ -102,7 +103,7 @@ func main() {
 	)
 	start := time.Now()
 	if *stream {
-		accepted, retries, costs, err = driveStream(*addr, gen, *n, *batch, *inflight)
+		accepted, retries, costs, err = driveStream(*addr, gen, *n, *batch, *inflight, *wireOpt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "client: stream: %v\n", err)
 			os.Exit(1)
@@ -210,14 +211,14 @@ func driveHTTP(addr string, gen workload, n, batchSize, workers int) (accepted, 
 // to inflight of them unacknowledged. Throttle frames are resent by the
 // client itself after a jittered backoff; acks are tallied exactly like
 // HTTP responses.
-func driveStream(addr string, gen workload, n, batchSize, inflight int) (accepted, retries int, costs map[int]wire.Cost, err error) {
-	c, err := streamclient.Dial(addr, "/stream", streamclient.Options{Dim: gen.dim})
+func driveStream(addr string, gen workload, n, batchSize, inflight int, wireOpt string) (accepted, retries int, costs map[int]wire.Cost, err error) {
+	c, err := streamclient.Dial(addr, "/stream", streamclient.Options{Dim: gen.dim, Wire: wireOpt})
 	if err != nil {
 		return 0, 0, nil, err
 	}
 	defer c.Close()
 	w := c.Welcome()
-	fmt.Printf("stream open: %s at step %d (dim %d)\n", w.Algorithm, w.T, w.Dim)
+	fmt.Printf("stream open: %s at step %d (dim %d, %s frames)\n", w.Algorithm, w.T, w.Dim, c.Wire())
 
 	// Writer: pipeline fresh frames as the in-flight window allows. The
 	// semaphore is released per ack; a throttled frame keeps its slot
@@ -253,6 +254,7 @@ func driveStream(addr string, gen workload, n, batchSize, inflight int) (accepte
 		}
 		accepted += ack.Accepted
 		costs[ack.T] = ack.Cost
+		p.Release() // recycle the pooled frame once the ack is tallied
 		<-sem
 	}
 	select {

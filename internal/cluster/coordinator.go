@@ -67,6 +67,14 @@ type CoordinatorOptions struct {
 	MaxAttempts int
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// Wire selects the frame encoding requested from workers: empty (or
+	// streamclient.WireAuto) negotiates binary with transparent NDJSON
+	// fallback for older workers; wire.WireNDJSON pins NDJSON;
+	// wire.WireBinary requires binary. The mirrors are bit-identical
+	// either way — binary acks carry exact float64 bits, like JSON's
+	// round-trip — so /metrics, /state, and /snapshot do not depend on
+	// the choice.
+	Wire string
 }
 
 // shardAck is one shard's share of a global step, as recovered from its
@@ -100,6 +108,7 @@ type Coordinator struct {
 	costs     []core.Cost
 	clamped   []int
 	pos       [][]geom.Point // live per-shard positions, mirrored from acks
+	spare     [][]geom.Point // per-shard double buffer the next ack copies into
 	last      []shard.StepStat
 	failovers []wire.FailoverEvent
 	maxMove   float64
@@ -132,6 +141,7 @@ func NewCoordinator(cfg core.Config, opts CoordinatorOptions, eopts engine.Optio
 		costs:    make([]core.Cost, n),
 		clamped:  make([]int, n),
 		pos:      make([][]geom.Point, n),
+		spare:    make([][]geom.Point, n),
 		last:     make([]shard.StepStat, n),
 	}
 	for i := 0; i < n; i++ {
@@ -207,6 +217,7 @@ func (c *Coordinator) streamPath(i, floor int) string {
 func (c *Coordinator) dialOpts() streamclient.Options {
 	return streamclient.Options{
 		Dim:              c.cfg.Dim,
+		Wire:             c.opts.Wire,
 		MaxAttempts:      c.opts.MaxAttempts,
 		BaseBackoff:      c.opts.BaseBackoff,
 		MaxBackoff:       c.opts.MaxBackoff,
@@ -430,7 +441,10 @@ func (c *Coordinator) Step(requests []geom.Point) error {
 	info.Prev = prev
 	info.Pos = pos
 	for i := range acks {
-		c.pos[i] = acks[i].positions
+		// Swap the per-shard double buffer: the outgoing positions become
+		// the copy target for the next step's ack. Observers hold prev/pos
+		// on loan (the engine contract) and must clone to retain.
+		c.spare[i], c.pos[i] = c.pos[i], acks[i].positions
 	}
 	c.steps++
 	if info.Moved > c.maxMove {
@@ -456,8 +470,10 @@ func (c *Coordinator) stepShard(i, t int, batch []wire.Point) (shardAck, []wire.
 			ack, err := p.Wait()
 			if err == nil {
 				sa, err := c.fromAck(i, t, ack.StepResponse)
+				p.Release()
 				return sa, nil, err
 			}
+			p.Release()
 			var we *wire.Error
 			if errors.As(err, &we) {
 				// The worker spoke: a typed refusal (bad payload, worker
@@ -511,8 +527,10 @@ func (c *Coordinator) stepShard(i, t int, batch []wire.Point) (shardAck, []wire.
 					c.clients[i], c.assign[i] = cl, wi
 					events = append(events, ev)
 					sa, ferr := c.fromAck(i, t, ack.StepResponse)
+					p.Release()
 					return sa, events, ferr
 				}
+				p.Release()
 				err = werr
 			}
 			cl.Close()
@@ -559,7 +577,11 @@ func (c *Coordinator) stepShard(i, t int, batch []wire.Point) (shardAck, []wire.
 }
 
 // fromAck validates one shard's step outcome and converts it to the
-// coordinator's internal form.
+// coordinator's internal form. The acked positions are deep-copied into
+// the shard's spare buffer: on the binary encoding resp.Positions aliases
+// the client's pooled ack storage, which is recycled as soon as the
+// caller Releases the pending, so sharing it (the old toGeom behavior)
+// would let a later ack overwrite the retained mirror.
 func (c *Coordinator) fromAck(i, t int, resp wire.StepResponse) (shardAck, error) {
 	if resp.T != t {
 		return shardAck{}, fmt.Errorf("worker acked step %d, coordinator sent %d", resp.T, t)
@@ -570,8 +592,23 @@ func (c *Coordinator) fromAck(i, t int, resp wire.StepResponse) (shardAck, error
 	return shardAck{
 		cost:      core.Cost{Move: resp.Cost.Move, Serve: resp.Cost.Serve},
 		clamped:   resp.Clamped,
-		positions: toGeom(resp.Positions),
+		positions: copyPositions(c.spare[i], resp.Positions),
 	}, nil
+}
+
+// copyPositions copies wire points into dst's reusable point buffers,
+// growing only what is missing, and returns the filled slice.
+func copyPositions(dst []geom.Point, pts []wire.Point) []geom.Point {
+	if cap(dst) < len(pts) {
+		grown := make([]geom.Point, len(pts))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:len(pts)]
+	for i, p := range pts {
+		dst[i] = geom.CopyInto(dst[i], geom.Point(p))
+	}
+	return dst
 }
 
 // Snapshot fetches every shard's engine snapshot from its worker and

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// startWorkerWire is startWorker with a stream-encoding policy on the
+// hosted shard services; it returns the worker's address.
+func startWorkerWire(t *testing.T, cfg core.Config, dir, policy string) string {
+	t.Helper()
+	w, err := NewWorker(cfg, WorkerOptions{NewAlg: newMtCK, CheckpointDir: dir, Span: testSpan, Wire: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(w)
+	t.Cleanup(func() {
+		ts.CloseClientConnections()
+		ts.Close()
+		_ = w.Close()
+	})
+	return ts.Listener.Addr().String()
+}
+
+// TestMixedWireClusterMatchesLocal is the fleet-level transport
+// equivalence differential: the same workload through three cluster
+// configurations — all-binary (the default), a mixed-version fleet where
+// the binary coordinator's workers are pinned to NDJSON (old workers,
+// new coordinator), and a coordinator pinned to NDJSON — must leave
+// /metrics and /state byte-identical to each other and to the local
+// sharded reference server. The encoding a shard stream happens to
+// negotiate must be unobservable in every externally visible number.
+func TestMixedWireClusterMatchesLocal(t *testing.T) {
+	const steps, perStep = 20, 4
+	cfg := testCfg(2, 2)
+
+	type fleet struct {
+		name       string
+		workerWire string
+		coordWire  string
+	}
+	fleets := []fleet{
+		{"all-binary", "", ""},
+		{"old-workers", wire.WireNDJSON, ""},
+		{"ndjson-coordinator", "", wire.WireNDJSON},
+	}
+
+	local := startLocal(t, cfg)
+	urls := make([]string, len(fleets))
+	for fi, fl := range fleets {
+		w1 := startWorkerWire(t, cfg, t.TempDir(), fl.workerWire)
+		w2 := startWorkerWire(t, cfg, t.TempDir(), fl.workerWire)
+		copts := fastDial()
+		copts.Workers = []string{w1, w2}
+		copts.Wire = fl.coordWire
+		urls[fi] = startCluster(t, cfg, copts).URL
+	}
+
+	for i := 0; i < steps; i++ {
+		reqs := spreadReqs(i, perStep)
+		postStep(t, local.URL, reqs)
+		for _, u := range urls {
+			postStep(t, u, reqs)
+		}
+	}
+
+	lm := getBody(t, local.URL+"/metrics")
+	ls := stateWithoutWorkers(t, getBody(t, local.URL+"/state"))
+	for fi, fl := range fleets {
+		cm := getBody(t, urls[fi]+"/metrics")
+		if !bytes.Equal(cm, lm) {
+			t.Errorf("%s: /metrics diverged from local:\ncluster: %s\nlocal:   %s", fl.name, cm, lm)
+		}
+		cs := stateWithoutWorkers(t, getBody(t, urls[fi]+"/state"))
+		if !bytes.Equal(cs, ls) {
+			t.Errorf("%s: /state diverged from local:\ncluster: %s\nlocal:   %s", fl.name, cs, ls)
+		}
+	}
+}

@@ -61,6 +61,12 @@ type WorkerOptions struct {
 	// QueueLimit bounds each shard service's step queue; default
 	// protocol.DefaultQueueLimit.
 	QueueLimit int
+	// Wire is the stream-encoding policy for the hosted shard services:
+	// empty (or wire.WireBinary) grants a coordinator's binary request,
+	// wire.WireNDJSON pins every stream to NDJSON — the knob that lets a
+	// mixed-version fleet (old workers, new coordinator) be reproduced in
+	// tests.
+	Wire string
 }
 
 // DefaultSpan is the start-placement half-width used when
@@ -193,6 +199,7 @@ func (w *Worker) open(i int) (*server.Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: resume: %w", i, err)
 		}
+		srv.SetStreamWire(w.opts.Wire)
 		return srv, nil
 	}
 	if !errors.Is(err, os.ErrNotExist) {
@@ -207,6 +214,7 @@ func (w *Worker) open(i int) (*server.Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 	}
+	srv.SetStreamWire(w.opts.Wire)
 	return srv, nil
 }
 

@@ -29,12 +29,20 @@ type Algorithm interface {
 type PositionTracker struct {
 	Cfg Config
 	Pos geom.Point
+	// spare is the position double-buffer: CappedMove writes the new
+	// position into it and swaps, so the steady-state step loop moves
+	// without allocating. The point CappedMove (and Move) returned two
+	// calls ago is therefore overwritten — callers that retain positions
+	// across steps must clone (the engine copies into its own buffers
+	// immediately).
+	spare geom.Point
 }
 
 // Reset stores the configuration and start position.
 func (p *PositionTracker) Reset(cfg Config, start geom.Point) {
 	p.Cfg = cfg
 	p.Pos = start.Clone()
+	p.spare = nil
 }
 
 // CappedMove moves the tracked position toward target by at most the
@@ -44,6 +52,7 @@ func (p *PositionTracker) CappedMove(target geom.Point, want float64) geom.Point
 	if cap := p.Cfg.OnlineCap(); step > cap {
 		step = cap
 	}
-	p.Pos = geom.MoveToward(p.Pos, target, step)
+	p.spare = geom.MoveTowardInto(p.spare, p.Pos, target, step)
+	p.Pos, p.spare = p.spare, p.Pos
 	return p.Pos
 }

@@ -49,6 +49,10 @@ type MtCOptions struct {
 type MtC struct {
 	PositionTracker
 	opts MtCOptions
+	// centerBuf holds the most recent center: Center computes into it so
+	// the steady-state Move path allocates nothing. It is overwritten by
+	// the next Center/Move call.
+	centerBuf geom.Point
 }
 
 // NewMtC returns the paper's Move-to-Center algorithm.
@@ -72,12 +76,14 @@ func (a *MtC) Name() string {
 }
 
 // Center returns the target point c for the given requests from the current
-// position, applying the configured tie-break.
+// position, applying the configured tie-break. The returned point is a
+// buffer the next Center/Move call overwrites; clone to retain it.
 func (a *MtC) Center(requests []geom.Point) geom.Point {
 	if a.opts.TieBreak == TieBreakMidpoint {
 		return median.Point(requests, a.opts.Median)
 	}
-	return median.Closest(requests, a.Pos, a.opts.Median)
+	a.centerBuf = median.ClosestInto(a.centerBuf, requests, a.Pos, a.opts.Median)
+	return a.centerBuf
 }
 
 // Move implements Algorithm.

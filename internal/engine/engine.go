@@ -152,6 +152,23 @@ func (s *Session) Clamped() int { return s.res.Clamped }
 // Positions returns a copy of the current server positions.
 func (s *Session) Positions() []geom.Point { return clonePoints(s.pos) }
 
+// PositionsInto copies the current server positions into dst, growing it
+// (and each point's storage) only when capacity is short, and returns the
+// filled slice. It is the allocation-free Positions used by the serving
+// layer's pooled ack buffers.
+func (s *Session) PositionsInto(dst []geom.Point) []geom.Point {
+	if cap(dst) < len(s.pos) {
+		grown := make([]geom.Point, len(s.pos))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:len(s.pos)]
+	for i, p := range s.pos {
+		dst[i] = geom.CopyInto(dst[i], p)
+	}
+	return dst
+}
+
 // Position returns a copy of server j's current position.
 func (s *Session) Position(j int) geom.Point { return s.pos[j].Clone() }
 

@@ -148,6 +148,48 @@ func MoveToward(p, target Point, step float64) Point {
 	return Lerp(p, target, step/d)
 }
 
+// CopyInto copies src into dst, growing dst when its capacity is short,
+// and returns the destination. It is the allocation-free Clone used by the
+// serving hot path's reusable buffers.
+func CopyInto(dst, src Point) Point {
+	if cap(dst) < len(src) {
+		dst = make(Point, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
+// LerpInto writes Lerp(p, q, t) into dst (grown as needed) and returns it.
+// dst may alias p or q: each coordinate is read before it is written. The
+// arithmetic matches Lerp exactly, so results are bit-identical.
+func LerpInto(dst, p, q Point, t float64) Point {
+	assertSameDim(p, q)
+	if cap(dst) < len(p) {
+		dst = make(Point, len(p))
+	}
+	dst = dst[:len(p)]
+	for i := range p {
+		dst[i] = p[i] + t*(q[i]-p[i])
+	}
+	return dst
+}
+
+// MoveTowardInto writes MoveToward(p, target, step) into dst (grown as
+// needed) and returns it; dst may alias p or target. The arithmetic
+// matches MoveToward exactly, so results are bit-identical.
+func MoveTowardInto(dst, p, target Point, step float64) Point {
+	assertSameDim(p, target)
+	if step <= 0 {
+		return CopyInto(dst, p)
+	}
+	d := Dist(p, target)
+	if d <= step || d == 0 {
+		return CopyInto(dst, target)
+	}
+	return LerpInto(dst, p, target, step/d)
+}
+
 // Unit returns p normalized to length 1. It panics on the zero vector.
 func (p Point) Unit() Point {
 	n := p.Norm()

@@ -1,0 +1,113 @@
+package median
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// requireBitEqual asserts got and want match coordinate for coordinate at
+// the float64-bit level — the contract ClosestInto makes with Closest is
+// bit-identical arithmetic, not approximate agreement, because a cluster
+// mirrors positions across transports and processes by value.
+func requireBitEqual(t *testing.T, name string, got, want geom.Point) {
+	t.Helper()
+	if got.Dim() != want.Dim() {
+		t.Fatalf("%s: dim %d != %d", name, got.Dim(), want.Dim())
+	}
+	for k := range want {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("%s: coord %d: %x != %x (%v vs %v)",
+				name, k, math.Float64bits(got[k]), math.Float64bits(want[k]), got[k], want[k])
+		}
+	}
+}
+
+// TestClosestIntoMatchesClosest pins ClosestInto ≡ Closest bitwise across
+// every solver path: single point, coincident set, two points, collinear
+// odd and even (both the lo==hi degenerate and the segment tie-break),
+// three points collinear and non-collinear, and the n>3 Weiszfeld loop.
+func TestClosestIntoMatchesClosest(t *testing.T) {
+	anchor := geom.Point{0.3, -1.7}
+	cases := []struct {
+		name string
+		pts  []geom.Point
+	}{
+		{"single", []geom.Point{{1.5, 2.5}}},
+		{"coincident", []geom.Point{{1, 1}, {1, 1}, {1, 1}}},
+		{"two-points", []geom.Point{{0, 0}, {2, 4}}},
+		{"collinear-odd", []geom.Point{{0, 0}, {1, 1}, {5, 5}}},
+		{"collinear-even-distinct", []geom.Point{{0, 0}, {1, 1}, {3, 3}, {9, 9}}},
+		{"collinear-even-tied", []geom.Point{{0, 0}, {2, 2}, {2, 2}, {9, 9}}},
+		{"three-noncollinear", []geom.Point{{0, 0}, {4, 0}, {1, 3}}},
+		{"weiszfeld", []geom.Point{{0, 0}, {4, 0}, {1, 3}, {-2, 1}, {3, 3}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := Closest(tc.pts, anchor, Options{})
+			got := ClosestInto(nil, tc.pts, anchor, Options{})
+			requireBitEqual(t, tc.name, got, want)
+			// Repeat through the pool with a reused destination: pooled
+			// scratch state from the previous call must not leak in.
+			reuse := make(geom.Point, 0, 8)
+			for i := 0; i < 3; i++ {
+				reuse = ClosestInto(reuse, tc.pts, anchor, Options{})
+				requireBitEqual(t, tc.name+" reused", reuse, want)
+			}
+		})
+	}
+}
+
+// TestClosestIntoMatchesClosestRandom hammers the equivalence over random
+// sets of every size 1..12 in 1–4 dimensions, interleaving calls so the
+// pooled scratch is constantly re-entered at different shapes.
+func TestClosestIntoMatchesClosestRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var dst geom.Point
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(12)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			p := make(geom.Point, dim)
+			for k := range p {
+				p[k] = rng.NormFloat64() * 10
+			}
+			pts[i] = p
+		}
+		anchor := make(geom.Point, dim)
+		for k := range anchor {
+			anchor[k] = rng.NormFloat64() * 10
+		}
+		want := Closest(pts, anchor, Options{})
+		dst = ClosestInto(dst, pts, anchor, Options{})
+		requireBitEqual(t, "random", dst, want)
+	}
+}
+
+// TestClosestIntoAllocFree pins the pooled-path allocation contract on
+// the shapes the serving loop hits: after warmup, collinear sets and
+// Weiszfeld sets (n != 3 non-collinear) run at 0 allocs/op.
+func TestClosestIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budget is not measurable under -race (the race runtime allocates)")
+	}
+	anchor := geom.Point{0.3, -1.7}
+	for _, tc := range []struct {
+		name string
+		pts  []geom.Point
+	}{
+		{"collinear", []geom.Point{{0, 0}, {1, 1}, {3, 3}, {9, 9}}},
+		{"weiszfeld", []geom.Point{{0, 0}, {4, 0}, {1, 3}, {-2, 1}, {3, 3}}},
+	} {
+		dst := ClosestInto(nil, tc.pts, anchor, Options{})
+		allocs := testing.AllocsPerRun(200, func() {
+			dst = ClosestInto(dst, tc.pts, anchor, Options{})
+		})
+		if allocs != 0 {
+			t.Errorf("%s: ClosestInto allocates %v/op, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -152,7 +152,10 @@ type Ack struct {
 	// Cost is the cost of step T.
 	Cost core.Cost
 	// Positions holds every server position after the step (read-only;
-	// shared between merged callers).
+	// shared between merged callers). When the backend supports in-place
+	// position copies the slice is a pooled buffer: it stays valid until
+	// every merged caller has called Release, and must not be retained
+	// past that point.
 	Positions []geom.Point
 	// Shards tags the step with each shard's share in router mode; nil on
 	// unsharded backends.
@@ -161,6 +164,42 @@ type Ack struct {
 	// tier can keep exact fleet-wide clamp counters without re-deriving
 	// engine behavior.
 	Clamped int
+
+	// buf is the pooled backing of Positions, reference-counted across the
+	// merged callers; nil when the positions were freshly allocated.
+	buf *posBuf
+}
+
+// Release hands the ack's pooled position buffer back to the service once
+// this caller is done reading Positions. Call it exactly once per ack
+// received (copies of one ack share the buffer — only one copy may release
+// it); calling it on an ack without a pooled buffer is a no-op. After
+// Release the ack's Positions are nil.
+func (a *Ack) Release() {
+	b := a.buf
+	if b == nil {
+		return
+	}
+	a.buf = nil
+	a.Positions = nil
+	if b.refs.Add(-1) == 0 {
+		b.svc.posPool.Put(b)
+	}
+}
+
+// posBuf is a pooled position buffer shared by the acks of one executed
+// step; refs counts the merged callers that have not yet released it.
+type posBuf struct {
+	pts  []geom.Point
+	refs atomic.Int32
+	svc  *Service
+}
+
+// positionsInto is the optional backend fast path: copy the current
+// positions into a reusable buffer instead of allocating a fresh clone
+// per step. engine.Session implements it.
+type positionsInto interface {
+	PositionsInto([]geom.Point) []geom.Point
 }
 
 // LastStep is the outcome of the most recent executed step, kept so a
@@ -289,6 +328,9 @@ type Pending struct {
 	n   int
 	ch  chan outcome
 	svc *Service
+	// consumed records that Wait actually read the outcome, making the
+	// reply channel provably empty and the Pending safe to pool.
+	consumed bool
 }
 
 // Wait blocks until the submission's engine step has executed (or the
@@ -298,16 +340,33 @@ type Pending struct {
 func (p *Pending) Wait() (Ack, error) {
 	select {
 	case out := <-p.ch:
+		p.consumed = true
 		return out.ack, out.err
 	case <-p.svc.loopDone:
 		// The loop exited; the shutdown drain may still have served us.
 		select {
 		case out := <-p.ch:
+			p.consumed = true
 			return out.ack, out.err
 		default:
 			return Ack{}, ErrShuttingDown
 		}
 	}
+}
+
+// Release returns the Pending to the service's pool for reuse by a later
+// Enqueue. Call it only after Wait has returned (and at most once); a
+// Pending that shut down before its outcome arrived is left to the
+// garbage collector, since the drain could still deliver into its
+// channel.
+func (p *Pending) Release() {
+	if p == nil || !p.consumed {
+		return
+	}
+	p.consumed = false
+	svc := p.svc
+	p.svc = nil
+	svc.pendPool.Put(p)
 }
 
 // Service owns a backend and serves it to transport adapters. Create one
@@ -329,6 +388,16 @@ type Service struct {
 	// last is the persisted outcome of the most recent executed step
 	// (LastStep re-serves it with live positions); nil before any step.
 	last *wire.LastStepState
+
+	// Hot-path pools and scratch: pendPool recycles Pending values (and
+	// their reply channels) across Enqueue/Release cycles, posPool recycles
+	// the ack position buffers across steps, and itemsBuf/mergedBuf are the
+	// step loop's private coalescing scratch (the loop is one goroutine, so
+	// they need no lock).
+	pendPool  sync.Pool
+	posPool   sync.Pool
+	itemsBuf  []batch
+	mergedBuf []geom.Point
 
 	queue    chan batch
 	rejected atomic.Int64
@@ -550,12 +619,22 @@ func (s *Service) Enqueue(reqs []geom.Point) (*Pending, error) {
 	if s.closing.Load() {
 		return nil, ErrShuttingDown
 	}
-	b := batch{reqs: reqs, reply: make(chan outcome, 1)}
+	var p *Pending
+	if v := s.pendPool.Get(); v != nil {
+		p = v.(*Pending)
+	} else {
+		p = &Pending{ch: make(chan outcome, 1)}
+	}
+	p.n = len(reqs)
+	p.svc = s
+	p.consumed = false
 	select {
-	case s.queue <- b:
-		return &Pending{n: len(reqs), ch: b.reply, svc: s}, nil
+	case s.queue <- batch{reqs: reqs, reply: p.ch}:
+		return p, nil
 	default:
 		s.rejected.Add(1)
+		p.svc = nil
+		s.pendPool.Put(p)
 		return nil, &OverloadError{RetryAfterMS: s.RetryAfterMS()}
 	}
 }
@@ -567,7 +646,9 @@ func (s *Service) Submit(reqs []geom.Point) (Ack, error) {
 	if err != nil {
 		return Ack{}, err
 	}
-	return p.Wait()
+	ack, err := p.Wait()
+	p.Release()
+	return ack, err
 }
 
 // Metrics returns the aggregate counters at this instant.
@@ -691,9 +772,11 @@ func (s *Service) loop() {
 	}
 }
 
-// coalesce gathers the batches that share first's engine step.
+// coalesce gathers the batches that share first's engine step into the
+// loop's reusable scratch slice (valid until the next coalesce call).
 func (s *Service) coalesce(first batch) []batch {
-	items := []batch{first}
+	items := append(s.itemsBuf[:0], first)
+	defer func() { s.itemsBuf = items }()
 	if w := s.opts.CoalesceWindow; w > 0 {
 		timer := time.NewTimer(w)
 		defer timer.Stop()
@@ -752,10 +835,14 @@ func (s *Service) execute(items []batch) {
 	for _, b := range items {
 		total += len(b.reqs)
 	}
-	merged := make([]geom.Point, 0, total)
+	// The merged batch lives in loop-owned scratch: the backend (and its
+	// observers) must not retain it past the Step call, which lets the
+	// transports reuse the request buffers once their ack arrives.
+	merged := s.mergedBuf[:0]
 	for _, b := range items {
 		merged = append(merged, b.reqs...)
 	}
+	s.mergedBuf = merged
 
 	s.mu.Lock()
 	err := s.sess.Step(merged)
@@ -765,13 +852,29 @@ func (s *Service) execute(items []batch) {
 	var snapErr error
 	if err == nil {
 		ack = Ack{
-			T:         s.sess.T() - 1,
-			Batched:   total,
-			Cost:      s.lastCost,
-			Positions: s.sess.Positions(),
-			Clamped:   s.lastClamped,
+			T:       s.sess.T() - 1,
+			Batched: total,
+			Cost:    s.lastCost,
+			Clamped: s.lastClamped,
 		}
-		s.last = &wire.LastStepState{
+		if pi, ok := s.sess.(positionsInto); ok {
+			var pb *posBuf
+			if v := s.posPool.Get(); v != nil {
+				pb = v.(*posBuf)
+			} else {
+				pb = &posBuf{svc: s}
+			}
+			pb.pts = pi.PositionsInto(pb.pts)
+			pb.refs.Store(int32(len(items)))
+			ack.Positions = pb.pts
+			ack.buf = pb
+		} else {
+			ack.Positions = s.sess.Positions()
+		}
+		if s.last == nil {
+			s.last = &wire.LastStepState{}
+		}
+		*s.last = wire.LastStepState{
 			T:         ack.T,
 			Batched:   total,
 			MoveCost:  s.lastCost.Move,

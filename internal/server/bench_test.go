@@ -122,6 +122,169 @@ func BenchmarkStreamVsHTTP(b *testing.B) {
 	})
 }
 
+// BenchmarkStreamBinaryVsNDJSON compares the two stream encodings feeding
+// the same serving core over identical pipelined connections: one op is
+// one frame of benchBatch requests, sent either as a pre-marshaled NDJSON
+// line or as a pre-encoded binary frame (up to benchInflight in flight).
+// Both halves measure the full loop — socket, decode, engine step, ack
+// encode, socket — so the delta is the encoding work itself plus the
+// allocation pressure it induces. scripts/bench.sh runs this and derives
+// the stream_binary_vs_ndjson entry of the BENCH_*.json trajectory.
+func BenchmarkStreamBinaryVsNDJSON(b *testing.B) {
+	const (
+		benchBatch    = 8
+		benchInflight = 64
+	)
+	newServer := func(b *testing.B) *httptest.Server {
+		b.Helper()
+		cfg := testConfig(1)
+		s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+			QueueLimit: 4 * benchInflight,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(func() {
+			ts.Close()
+			s.Close()
+		})
+		return ts
+	}
+
+	b.Run("ndjson", func(b *testing.B) {
+		ts := newServer(b)
+		c := dialStream(b, ts)
+		c.hello(0)
+		frame, err := json.Marshal(wire.StepFrame{V: wire.V1, Type: wire.FrameStep, ID: 1, Requests: reqsFor(0, benchBatch)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame = append(frame, '\n')
+
+		// Warm the connection with a pipelined burst at full window
+		// depth — first-step session setup, pool fills, reply-queue
+		// growth, and bufio growth happen here, not in the timed
+		// region, so allocs/op reflects the steady state even at the
+		// small fixed -benchtime counts CI uses.
+		bw := bufio.NewWriter(c.conn)
+		for i := 0; i < 2*benchInflight; i++ {
+			if _, err := bw.Write(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2*benchInflight; i++ {
+			if _, err := c.br.ReadBytes('\n'); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		sem := make(chan struct{}, benchInflight)
+		writeErr := make(chan error, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		go func() {
+			for i := 0; i < b.N; i++ {
+				sem <- struct{}{}
+				if _, err := bw.Write(frame); err != nil {
+					writeErr <- err
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					writeErr <- err
+					return
+				}
+			}
+		}()
+		for acked := 0; acked < b.N; acked++ {
+			select {
+			case err := <-writeErr:
+				b.Fatal(err)
+			default:
+			}
+			line, err := c.br.ReadBytes('\n')
+			if err != nil {
+				b.Fatal(err)
+			}
+			head, err := wire.PeekFrame(line)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if head.Type != wire.FrameAck {
+				b.Fatalf("got %s frame mid-pipeline: %s", head.Type, line)
+			}
+			<-sem
+		}
+		b.StopTimer()
+		reportReqRate(b, benchBatch)
+	})
+
+	b.Run("binary", func(b *testing.B) {
+		ts := newServer(b)
+		c := dialStream(b, ts)
+		if w := c.helloWire(0, wire.WireBinary); w.Wire != wire.WireBinary {
+			b.Fatalf("server declined binary: welcome wire = %q", w.Wire)
+		}
+		payload := wire.AppendStepFrom(nil, wire.V1, 1, reqsFor(0, benchBatch))
+
+		// Same full-depth pipelined warmup as the ndjson half: keep
+		// one-time setup allocations out of the timed region.
+		bw := bufio.NewWriter(c.conn)
+		var ackBuf []byte
+		for i := 0; i < 2*benchInflight; i++ {
+			if err := wire.WriteBinaryFrame(bw, wire.BinStep, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2*benchInflight; i++ {
+			if _, _, err := wire.ReadBinaryFrame(c.br, &ackBuf, wire.DefaultMaxFrame); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		sem := make(chan struct{}, benchInflight)
+		writeErr := make(chan error, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		go func() {
+			for i := 0; i < b.N; i++ {
+				sem <- struct{}{}
+				if err := wire.WriteBinaryFrame(bw, wire.BinStep, payload); err != nil {
+					writeErr <- err
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					writeErr <- err
+					return
+				}
+			}
+		}()
+		for acked := 0; acked < b.N; acked++ {
+			select {
+			case err := <-writeErr:
+				b.Fatal(err)
+			default:
+			}
+			tag, _, err := wire.ReadBinaryFrame(c.br, &ackBuf, wire.DefaultMaxFrame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tag != wire.BinAck {
+				b.Fatalf("got binary tag 0x%02x mid-pipeline, want ack", tag)
+			}
+			<-sem
+		}
+		b.StopTimer()
+		reportReqRate(b, benchBatch)
+	})
+}
+
 // reportReqRate turns the measured wall-clock into a requests-per-second
 // metric so the transports' sustained ingestion rates sit next to their
 // ns/op in the bench output.

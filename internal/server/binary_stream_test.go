@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/wire"
+)
+
+// helloWire performs the handshake asking for a wire encoding and returns
+// the welcome. The handshake itself is always NDJSON — the encoding only
+// switches after the welcome confirms it.
+func (c *streamConn) helloWire(dim int, wireOpt string) wire.WelcomeFrame {
+	c.t.Helper()
+	c.send(wire.HelloFrame{V: wire.V1, Type: wire.FrameHello, Dim: dim, Wire: wireOpt})
+	var w wire.WelcomeFrame
+	c.recv(wire.FrameWelcome, &w)
+	return w
+}
+
+// sendBinary writes one framed binary payload on the raw connection.
+func (c *streamConn) sendBinary(tag byte, payload []byte) {
+	c.t.Helper()
+	bw := bufio.NewWriter(c.conn)
+	if err := wire.WriteBinaryFrame(bw, tag, payload); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// recvBinary reads the next binary frame and checks its tag.
+func (c *streamConn) recvBinary(wantTag byte) []byte {
+	c.t.Helper()
+	var buf []byte
+	tag, payload, err := wire.ReadBinaryFrame(c.br, &buf, wire.DefaultMaxFrame)
+	if err != nil {
+		c.t.Fatalf("reading binary frame: %v", err)
+	}
+	if tag != wantTag {
+		c.t.Fatalf("got binary tag 0x%02x, want 0x%02x", tag, wantTag)
+	}
+	return payload
+}
+
+func newStreamServer(t *testing.T, wirePolicy string) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := testConfig(1)
+	s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		QueueLimit: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetStreamWire(wirePolicy)
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestStreamBinaryNegotiation pins the upgrade: a hello asking for binary
+// is confirmed by a welcome carrying wire:"binary", after which steps,
+// acks, pings, pongs, and byes all travel as binary frames, with ack
+// values identical to what the NDJSON encoding would carry.
+func TestStreamBinaryNegotiation(t *testing.T) {
+	_, ts := newStreamServer(t, "")
+	c := dialStream(t, ts)
+	w := c.helloWire(2, wire.WireBinary)
+	if w.Wire != wire.WireBinary {
+		t.Fatalf("welcome wire = %q, want %q", w.Wire, wire.WireBinary)
+	}
+
+	const frames = 20
+	for id := int64(1); id <= frames; id++ {
+		c.sendBinary(wire.BinStep, wire.AppendStepFrom(nil, wire.V1, id, reqsFor(int(id), 2)))
+	}
+	accepted := 0
+	var ack wire.AckFrame
+	for id := int64(1); id <= frames; id++ {
+		payload := c.recvBinary(wire.BinAck)
+		if err := wire.DecodeAck(payload, &ack); err != nil {
+			t.Fatal(err)
+		}
+		if ack.ID != id {
+			t.Fatalf("ack order broken: got id %d, want %d", ack.ID, id)
+		}
+		if len(ack.Positions) != 1 || len(ack.Positions[0]) != 2 {
+			t.Fatalf("ack %d positions = %+v", id, ack.Positions)
+		}
+		accepted += ack.Accepted
+	}
+	if accepted != frames*2 {
+		t.Fatalf("accepted %d requests, want %d", accepted, frames*2)
+	}
+
+	// Control frames follow the negotiated encoding too.
+	c.sendBinary(wire.BinPing, wire.AppendControl(nil, wire.V1))
+	if _, err := wire.DecodeControl(c.recvBinary(wire.BinPong)); err != nil {
+		t.Fatal(err)
+	}
+	c.sendBinary(wire.BinBye, wire.AppendControl(nil, wire.V1))
+}
+
+// TestStreamBinaryDeclined pins the policy knob: a server pinned to
+// NDJSON answers a binary request with an unconfirmed welcome and the
+// stream stays NDJSON — the client's ask is an offer, not a demand.
+func TestStreamBinaryDeclined(t *testing.T) {
+	_, ts := newStreamServer(t, wire.WireNDJSON)
+	c := dialStream(t, ts)
+	w := c.helloWire(2, wire.WireBinary)
+	if w.Wire != "" {
+		t.Fatalf("pinned server confirmed wire %q", w.Wire)
+	}
+	c.step(1, reqsFor(1, 2))
+	var ack wire.AckFrame
+	c.recv(wire.FrameAck, &ack)
+	if ack.ID != 1 || ack.Accepted != 2 {
+		t.Fatalf("NDJSON fallback ack = %+v", ack)
+	}
+}
+
+// TestStreamPlainHelloStaysNDJSON pins backward compatibility: a hello
+// without the wire field — every pre-binary client — never sees a
+// confirmed encoding or a binary byte.
+func TestStreamPlainHelloStaysNDJSON(t *testing.T) {
+	_, ts := newStreamServer(t, "")
+	c := dialStream(t, ts)
+	w := c.hello(2)
+	if w.Wire != "" {
+		t.Fatalf("plain hello got wire %q confirmed", w.Wire)
+	}
+	c.step(1, reqsFor(1, 2))
+	var ack wire.AckFrame
+	c.recv(wire.FrameAck, &ack)
+	if ack.ID != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+}
+
+// TestStreamUnknownWireRejected pins strictness at the negotiation point:
+// an unknown wire value is a protocol error (bad_request), not something
+// to silently fall back from — a client that sends it would otherwise
+// misinterpret every following byte.
+func TestStreamUnknownWireRejected(t *testing.T) {
+	_, ts := newStreamServer(t, "")
+	c := dialStream(t, ts)
+	c.send(wire.HelloFrame{V: wire.V1, Type: wire.FrameHello, Dim: 2, Wire: "gzip"})
+	var ef wire.ErrorFrame
+	c.recv(wire.FrameError, &ef)
+	if ef.Err.Code != wire.CodeBadRequest {
+		t.Fatalf("error code = %q, want %q", ef.Err.Code, wire.CodeBadRequest)
+	}
+}
+
+// TestStreamBinaryBadPointsKeepsStream pins per-frame error semantics
+// under the binary encoding: a step whose points have the wrong dimension
+// is answered with an error frame carrying its id, and the stream keeps
+// serving subsequent frames.
+func TestStreamBinaryBadPointsKeepsStream(t *testing.T) {
+	_, ts := newStreamServer(t, "")
+	c := dialStream(t, ts)
+	if w := c.helloWire(2, wire.WireBinary); w.Wire != wire.WireBinary {
+		t.Fatalf("welcome wire = %q", w.Wire)
+	}
+	c.sendBinary(wire.BinStep, wire.AppendStepFrom(nil, wire.V1, 1, []wire.Point{{1, 2, 3}}))
+	var ef wire.ErrorFrame
+	if err := wire.DecodeErrorFrame(c.recvBinary(wire.BinError), &ef); err != nil {
+		t.Fatal(err)
+	}
+	if ef.Err.Code != wire.CodeBadRequest || ef.ID == nil || *ef.ID != 1 {
+		t.Fatalf("error frame = %+v", ef)
+	}
+	c.sendBinary(wire.BinStep, wire.AppendStepFrom(nil, wire.V1, 2, reqsFor(2, 2)))
+	var ack wire.AckFrame
+	if err := wire.DecodeAck(c.recvBinary(wire.BinAck), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID != 2 {
+		t.Fatalf("stream did not continue past the bad frame: ack %+v", ack)
+	}
+}
+
+// rawGet fetches a URL and returns the exact response bytes.
+func rawGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestStreamBinaryMetricsMatchNDJSON is the transport-equivalence
+// differential: the same workload driven in lockstep over a binary
+// stream and an NDJSON stream leaves byte-identical /metrics and /state
+// documents. The encodings may differ on the wire; the engine must not
+// be able to tell.
+func TestStreamBinaryMetricsMatchNDJSON(t *testing.T) {
+	const steps = 30
+	_, tsBin := newStreamServer(t, "")
+	_, tsJSON := newStreamServer(t, wire.WireNDJSON)
+
+	cb := dialStream(t, tsBin)
+	if w := cb.helloWire(2, wire.WireBinary); w.Wire != wire.WireBinary {
+		t.Fatalf("binary server welcome wire = %q", w.Wire)
+	}
+	cj := dialStream(t, tsJSON)
+	if w := cj.helloWire(2, wire.WireBinary); w.Wire != "" {
+		t.Fatalf("NDJSON server welcome wire = %q", w.Wire)
+	}
+
+	// Lockstep: wait for each ack before the next frame, so both runs
+	// execute the identical step sequence regardless of coalescing.
+	var bAck, jAck wire.AckFrame
+	for id := int64(1); id <= steps; id++ {
+		reqs := reqsFor(int(id), 3)
+		cb.sendBinary(wire.BinStep, wire.AppendStepFrom(nil, wire.V1, id, reqs))
+		if err := wire.DecodeAck(cb.recvBinary(wire.BinAck), &bAck); err != nil {
+			t.Fatal(err)
+		}
+		cj.step(id, reqs)
+		cj.recv(wire.FrameAck, &jAck)
+		if bAck.T != jAck.T || bAck.Cost != jAck.Cost || bAck.Accepted != jAck.Accepted {
+			t.Fatalf("step %d: binary ack %+v != NDJSON ack %+v", id, bAck, jAck)
+		}
+	}
+
+	for _, path := range []string{"/metrics", "/state"} {
+		if b, j := rawGet(t, tsBin.URL+path), rawGet(t, tsJSON.URL+path); !bytes.Equal(b, j) {
+			t.Errorf("%s diverged between encodings:\n binary %s\n ndjson %s", path, b, j)
+		}
+	}
+}
+
+// TestStreamServerZeroAlloc gates the server-side steady state at
+// 0 allocs/op: decode a binary step frame into a pooled buffer, validate,
+// enqueue, wait for the engine, encode the binary ack, release. This is
+// the exact component chain readLoop/writeLoop run per frame (minus the
+// socket), and AllocsPerRun measures global mallocs, so the background
+// step loop's allocations count too — a regression anywhere in the
+// pipeline fails this test.
+func TestStreamServerZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budget is not measurable under -race (the race runtime allocates)")
+	}
+	cfg := testConfig(1)
+	s, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		QueueLimit: 128, // CoalesceWindow 0: timers allocate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := &srvStream{srv: s, bw: bufio.NewWriterSize(io.Discard, 1<<16), binary: true}
+	// A batch of 8 non-collinear requests: the pooled Weiszfeld path (the
+	// n==3 closed form still allocates and is documented as such).
+	reqs := reqsFor(1, 8)
+	stepPayload := wire.AppendStepFrom(nil, wire.V1, 1, reqs)
+
+	var payload []byte
+	var shardBuf []wire.ShardStep
+	buf := stepBufPool.Get().(*stepBuf)
+	defer stepBufPool.Put(buf)
+
+	oneStep := func() {
+		if err := wire.DecodeStep(stepPayload, &buf.frame); err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.ValidatePoints(buf.frame.Requests, cfg.Dim); err != nil {
+			t.Fatal(err)
+		}
+		pend, err := s.svc.Enqueue(buf.geomView())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack, err := pend.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if werr := c.writeAck(buf.frame.ID, ack, nil, &payload, &shardBuf); werr != nil {
+			t.Fatal(werr)
+		}
+		ack.Release()
+		pend.Release()
+	}
+	// Warm the pools (request buffers, ack buffers, encoder scratch).
+	for i := 0; i < 10; i++ {
+		oneStep()
+	}
+	if allocs := testing.AllocsPerRun(200, oneStep); allocs != 0 {
+		t.Fatalf("server stream step allocates %v/op, want 0", allocs)
+	}
+}

@@ -48,6 +48,23 @@ const DefaultQueueLimit = protocol.DefaultQueueLimit
 type Server struct {
 	cfg core.Config
 	svc *protocol.Service
+	// wirePolicy is the stream-encoding policy: "" or wire.WireBinary
+	// grants a hello's binary request, wire.WireNDJSON pins the stream to
+	// NDJSON. Plain hellos always get NDJSON either way.
+	wirePolicy string
+}
+
+// SetStreamWire sets the stream-encoding policy: wire.WireBinary (or "")
+// accepts binary when a hello asks for it, wire.WireNDJSON refuses and
+// keeps every stream on NDJSON. Call before serving traffic.
+func (s *Server) SetStreamWire(policy string) { s.wirePolicy = policy }
+
+// streamWire reports the effective stream-encoding policy.
+func (s *Server) streamWire() string {
+	if s.wirePolicy == "" {
+		return wire.WireBinary
+	}
+	return s.wirePolicy
 }
 
 // New starts a server around a fresh session.
@@ -165,6 +182,9 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ackResponse(ack))
+	// ackResponse shares the ack's pooled position storage; the encoder is
+	// done with it once writeJSON returns.
+	ack.Release()
 }
 
 // writeStepError maps the protocol layer's typed errors onto the HTTP

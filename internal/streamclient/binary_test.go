@@ -1,0 +1,266 @@
+package streamclient
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// testServerWire is testServer with a server-side stream-encoding policy.
+func testServerWire(t *testing.T, policy string) *httptest.Server {
+	t.Helper()
+	cfg := core.Config{Dim: 2, D: 2, M: 1, Delta: 0.5, K: 1}
+	s, err := server.New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetStreamWire(policy)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.CloseClientConnections()
+		ts.Close()
+		_ = s.Close()
+	})
+	return ts
+}
+
+// TestDialNegotiatesBinary pins the default: against a current server a
+// plain Dial comes up binary, and the binary session serves acks with the
+// same contents the NDJSON tests pin.
+func TestDialNegotiatesBinary(t *testing.T) {
+	ts := testServerWire(t, "")
+	c, err := Dial(ts.Listener.Addr().String(), "/stream", Options{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Wire() != wire.WireBinary {
+		t.Fatalf("negotiated wire = %q, want %q", c.Wire(), wire.WireBinary)
+	}
+	lastT := -1
+	for i := 0; i < 20; i++ {
+		p, err := c.Step([]wire.Point{{float64(i), 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack, err := p.Wait()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ack.ID != p.ID || ack.Accepted != 1 || len(ack.Positions) != 1 {
+			t.Fatalf("frame %d ack = %+v", i, ack)
+		}
+		if ack.T < lastT {
+			t.Fatalf("step indices regressed: %d after %d", ack.T, lastT)
+		}
+		lastT = ack.T
+		p.Release()
+	}
+}
+
+// TestDialPinnedNDJSON pins the client-side opt-out and the server-side
+// decline, in both directions.
+func TestDialPinnedNDJSON(t *testing.T) {
+	t.Run("client-pins", func(t *testing.T) {
+		ts := testServerWire(t, "")
+		c, err := Dial(ts.Listener.Addr().String(), "/stream", Options{Dim: 2, Wire: wire.WireNDJSON})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if c.Wire() != wire.WireNDJSON {
+			t.Fatalf("wire = %q, want %q", c.Wire(), wire.WireNDJSON)
+		}
+	})
+	t.Run("server-declines", func(t *testing.T) {
+		ts := testServerWire(t, wire.WireNDJSON)
+		c, err := Dial(ts.Listener.Addr().String(), "/stream", Options{Dim: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if c.Wire() != wire.WireNDJSON {
+			t.Fatalf("wire = %q, want %q", c.Wire(), wire.WireNDJSON)
+		}
+		p, err := c.Step([]wire.Point{{1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack, err := p.Wait(); err != nil || ack.Accepted != 1 {
+			t.Fatalf("NDJSON session ack = %+v, %v", ack, err)
+		}
+		p.Release()
+	})
+}
+
+// TestDialForcedBinaryAgainstPinnedServer pins the forced mode: a client
+// that requires binary fails loudly against a server that will not grant
+// it, instead of silently serving slower.
+func TestDialForcedBinaryAgainstPinnedServer(t *testing.T) {
+	ts := testServerWire(t, wire.WireNDJSON)
+	c, err := Dial(ts.Listener.Addr().String(), "/stream", Options{Dim: 2, Wire: wire.WireBinary})
+	if err == nil {
+		c.Close()
+		t.Fatal("forced binary dial succeeded against an NDJSON-pinned server")
+	}
+	if !strings.Contains(err.Error(), "binary") {
+		t.Fatalf("forced binary failure = %v", err)
+	}
+}
+
+// oldServer is a hand-rolled stream endpoint that predates the wire
+// field: it strict-rejects any hello carrying unknown fields with
+// bad_frame (exactly what UnmarshalStrict produces on a real old server)
+// and welcomes a plain hello, then acks steps as NDJSON.
+func oldServer(t *testing.T) (addr string, accepted *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for { // consume the upgrade request head
+					line, err := br.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if line == "\r\n" {
+						break
+					}
+				}
+				fmt.Fprintf(conn, "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\r\n")
+				line, err := br.ReadString('\n')
+				if err != nil {
+					return
+				}
+				var hello wire.HelloFrame
+				if err := wire.UnmarshalStrict([]byte(line), &hello); err != nil || hello.Wire != "" {
+					frame, _ := json.Marshal(wire.ErrorFrame{V: wire.V1, Type: wire.FrameError,
+						Err: wire.Error{Code: wire.CodeBadFrame, Detail: "unknown field \"wire\""}})
+					conn.Write(append(frame, '\n'))
+					return
+				}
+				welcome, _ := json.Marshal(wire.WelcomeFrame{V: wire.V1, Type: wire.FrameWelcome,
+					Algorithm: "MtC", Dim: hello.Dim})
+				conn.Write(append(welcome, '\n'))
+				for {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						return
+					}
+					var step wire.StepFrame
+					if wire.UnmarshalStrict([]byte(line), &step) != nil {
+						return
+					}
+					ack, _ := json.Marshal(wire.AckFrame{V: wire.V1, Type: wire.FrameAck, ID: step.ID,
+						StepResponse: wire.StepResponse{T: 1, Accepted: len(step.Requests),
+							Batched: len(step.Requests), Positions: []wire.Point{{0, 0}}}})
+					conn.Write(append(ack, '\n'))
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), accepted
+}
+
+// TestDialAutoFallsBackToOldServer pins the downgrade path: an old server
+// strict-rejects the wire field as bad_frame; an auto-mode client
+// re-dials once without the field and comes up NDJSON. The downgrade
+// re-dial is not a counted transport attempt.
+func TestDialAutoFallsBackToOldServer(t *testing.T) {
+	addr, accepted := oldServer(t)
+	opts := fastOpts()
+	opts.Dim = 2
+	c, err := Dial(addr, "/stream", opts)
+	if err != nil {
+		t.Fatalf("auto dial against old server: %v", err)
+	}
+	defer c.Close()
+	if c.Wire() != wire.WireNDJSON {
+		t.Fatalf("wire = %q, want %q after downgrade", c.Wire(), wire.WireNDJSON)
+	}
+	if got := accepted.Load(); got != 2 {
+		t.Fatalf("old server saw %d connections, want 2 (binary ask, then plain re-dial)", got)
+	}
+	p, err := c.Step([]wire.Point{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := p.Wait(); err != nil || ack.Accepted != 1 {
+		t.Fatalf("downgraded session ack = %+v, %v", ack, err)
+	}
+	p.Release()
+
+	// Forced binary against the same old server must fail, not downgrade.
+	fopts := fastOpts()
+	fopts.Dim = 2
+	fopts.Wire = wire.WireBinary
+	if c2, err := Dial(addr, "/stream", fopts); err == nil {
+		c2.Close()
+		t.Fatal("forced binary dial downgraded against an old server")
+	}
+}
+
+// TestClientStepZeroAlloc gates the client-side steady state at
+// 0 allocs/op over a real TCP connection to a real server: Step encodes
+// from caller storage into the reused write buffer, Wait blocks for the
+// decoded-in-place ack, Release recycles. AllocsPerRun counts global
+// mallocs, so the server half of the loop (running in this process) is
+// gated too — this is the whole pipeline, socket to socket.
+func TestClientStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budget is not measurable under -race (the race runtime allocates)")
+	}
+	ts := testServerWire(t, "")
+	c, err := Dial(ts.Listener.Addr().String(), "/stream", Options{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Wire() != wire.WireBinary {
+		t.Fatalf("negotiated wire = %q", c.Wire())
+	}
+	// A batch of 8 non-collinear requests keeps the engine on its pooled
+	// Weiszfeld path; single in-flight keeps the pipeline depth fixed.
+	reqs := make([]wire.Point, 8)
+	for i := range reqs {
+		reqs[i] = wire.Point{float64(i%3) + 0.25*float64(i), float64((i * 5) % 7)}
+	}
+	oneStep := func() {
+		p, err := c.Step(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	for i := 0; i < 10; i++ {
+		oneStep()
+	}
+	if allocs := testing.AllocsPerRun(200, oneStep); allocs != 0 {
+		t.Fatalf("client step allocates %v/op, want 0", allocs)
+	}
+}

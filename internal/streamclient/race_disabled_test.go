@@ -1,0 +1,7 @@
+//go:build !race
+
+package streamclient
+
+// raceEnabled reports whether this binary was built with -race; see
+// race_enabled_test.go.
+const raceEnabled = false

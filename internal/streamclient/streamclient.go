@@ -1,9 +1,10 @@
-// Package streamclient is the reusable client side of the NDJSON
-// streaming transport (POST /stream, package wire's frame grammar): dial
-// with capped-exponential-backoff retries, hello/welcome handshake with
-// version negotiation, pipelined step frames answered in order, automatic
-// jittered resend on typed throttle frames, and a heartbeat that declares
-// a silent connection dead instead of hanging its callers forever.
+// Package streamclient is the reusable client side of the streaming
+// transport (POST /stream, package wire's frame grammar): dial with
+// capped-exponential-backoff retries, hello/welcome handshake with
+// version and frame-encoding negotiation, pipelined step frames answered
+// in order, automatic jittered resend on typed throttle frames, and a
+// heartbeat that declares a silent connection dead instead of hanging its
+// callers forever.
 //
 // It exists so the cluster coordinator (internal/cluster) and the example
 // load generator (examples/client) share one tested implementation of the
@@ -14,7 +15,16 @@
 //	c, err := streamclient.Dial("localhost:8080", "/stream", streamclient.Options{Dim: 2})
 //	p, err := c.Step(batch)   // write one pipelined frame
 //	ack, err := p.Wait()      // block for its in-order ack
+//	p.Release()               // recycle the pending + ack buffers
 //	c.Close()
+//
+// By default the client asks the server for the length-prefixed binary
+// frame encoding (wire.WireBinary) and falls back to NDJSON transparently
+// when the server is older or pinned; Options.Wire overrides. On the
+// binary encoding the steady-state loop — encode step, read ack — runs at
+// 0 allocs/op: Step retains the caller's batch until the ack (so
+// throttled frames can be resent) and Wait's ack aliases a pooled buffer
+// that Release recycles.
 //
 // Dial bounds its reconnect storm: after Options.MaxAttempts failed
 // connection attempts (with exponential, jittered backoff between them,
@@ -28,6 +38,7 @@ package streamclient
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,12 +53,23 @@ import (
 	"repro/internal/wire"
 )
 
+// WireAuto asks the server for the binary encoding but accepts NDJSON
+// when the server is older or pinned — the default negotiation policy.
+const WireAuto = "auto"
+
 // Options configures a Dial. The zero value uses the defaults below and
 // disables the dimension check and the heartbeat.
 type Options struct {
 	// Dim, when nonzero, is sent in the hello so the server confirms the
 	// session dimension before any step is pipelined.
 	Dim int
+	// Wire selects the frame-encoding negotiation: WireAuto (the default)
+	// requests wire.WireBinary and falls back to NDJSON transparently —
+	// both when a current server declines and when an older server
+	// strict-rejects the unknown hello field; wire.WireBinary requires the
+	// binary encoding (Dial fails when the server does not grant it);
+	// wire.WireNDJSON never asks.
+	Wire string
 	// MaxAttempts bounds the connection attempts one Dial makes before
 	// giving up with *protocol.UnreachableError. Default DefaultMaxAttempts.
 	MaxAttempts int
@@ -113,49 +135,73 @@ var ErrHeartbeat = errors.New("streamclient: heartbeat timeout, connection decla
 // ErrClosed reports an operation on a client after Close.
 var ErrClosed = errors.New("streamclient: client closed")
 
-// stepResult is one resolved pending frame.
+// stepResult signals one resolved pending frame; the ack itself lives in
+// the Pending's own buffer.
 type stepResult struct {
-	ack wire.AckFrame
 	err error
 }
 
-// Pending is one in-flight step frame awaiting its ack.
+// Pending is one in-flight step frame awaiting its ack. It is pooled:
+// call Release after Wait to recycle it (and its ack buffers) into the
+// connection's pool; skipping Release is safe but allocates.
 type Pending struct {
 	ch chan stepResult
 	// ID is the frame id the client assigned (unique per connection,
 	// monotonically increasing from 1).
 	ID int64
+
+	c        *Client
+	reqs     []wire.Point // caller's batch, retained for throttle resends
+	ack      wire.AckFrame
+	consumed bool
 }
 
 // Wait blocks for the frame's outcome: the typed ack, a per-frame error
 // frame (as *wire.Error), or the connection's fatal error. Throttle frames
 // never surface here — the client resends the frame itself after the
 // server's jittered backoff hint, and Wait resolves with the eventual ack.
+//
+// The caller's request batch must stay valid until Wait returns (a
+// throttle resend re-encodes it). The returned ack's slices alias this
+// Pending's reusable buffer: they are valid until Release.
 func (p *Pending) Wait() (wire.AckFrame, error) {
 	res := <-p.ch
-	return res.ack, res.err
+	p.consumed = true
+	return p.ack, res.err
 }
 
-// pendingEntry is the client's book-keeping for one unacked frame: the
-// reply channel plus the frame itself, kept so a throttle can resend it.
-type pendingEntry struct {
-	ch    chan stepResult
-	frame wire.StepFrame
+// Release recycles a waited Pending (and the ack buffer Wait returned)
+// into the connection's pool. Call it once, after Wait and after the last
+// read of the ack; a Pending whose Wait has not returned is left alone.
+func (p *Pending) Release() {
+	if p == nil || !p.consumed {
+		return
+	}
+	c := p.c
+	p.consumed = false
+	p.c = nil
+	p.reqs = nil
+	p.ID = 0
+	c.pendPool.Put(p)
 }
 
-// Client is one NDJSON stream connection. Step may be called from any
-// goroutine; replies arrive in submission order on the connection and are
-// dispatched to each Pending.
+// Client is one stream connection. Step may be called from any goroutine;
+// replies arrive in submission order on the connection and are dispatched
+// to each Pending.
 type Client struct {
 	opts    Options
 	conn    net.Conn
 	wmu     sync.Mutex // serializes frame writes (Step, resends, pings, bye)
+	payload []byte     // binary payload scratch, under wmu
+	frame   []byte     // binary tag|len|payload scratch, under wmu
 	welcome wire.WelcomeFrame
+	binary  bool
 
-	mu      sync.Mutex
-	pending map[int64]*pendingEntry
-	nextID  int64
-	closed  bool
+	mu       sync.Mutex
+	pending  map[int64]*Pending
+	nextID   int64
+	closed   bool
+	pendPool sync.Pool
 
 	throttles atomic.Int64
 	lastRecv  atomic.Int64 // UnixNano of the most recent received frame
@@ -184,7 +230,8 @@ func Host(base string) (string, error) {
 
 // Dial connects to the streaming endpoint at path (usually "/stream") on
 // base (a URL or host:port), retrying transport failures under the
-// capped-backoff policy, and completes the hello/welcome handshake. A
+// capped-backoff policy, and completes the hello/welcome handshake
+// (including the frame-encoding negotiation; see Options.Wire). A
 // handshake the server rejects with an error frame (bad_version, dimension
 // mismatch) fails immediately — the server is reachable and said no; only
 // transport failures are retried. When every attempt fails the returned
@@ -196,16 +243,36 @@ func Dial(base, path string, opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	askWire := ""
+	switch opts.Wire {
+	case "", WireAuto, wire.WireBinary:
+		askWire = wire.WireBinary
+	case wire.WireNDJSON:
+	default:
+		return nil, fmt.Errorf("streamclient: unknown wire option %q", opts.Wire)
+	}
 	var lastErr error
 	backoff := opts.BaseBackoff
 	for attempt := 1; ; attempt++ {
-		c, err := dialOnce(host, path, opts)
+		c, err := dialOnce(host, path, opts, askWire)
 		if err == nil {
+			if opts.Wire == wire.WireBinary && !c.binary {
+				c.Close()
+				return nil, fmt.Errorf("streamclient: server did not grant the required binary encoding")
+			}
 			return c, nil
 		}
 		var we *wire.Error
 		if errors.As(err, &we) {
-			// The server spoke: a protocol-level rejection, not an outage.
+			// A server that predates the "wire" hello field strict-rejects
+			// it as a bad frame: fall back to a plain NDJSON hello (a
+			// protocol downgrade, not a transport failure). Any other
+			// rejection is permanent — the server spoke and said no.
+			if we.Code == wire.CodeBadFrame && askWire != "" && opts.Wire != wire.WireBinary {
+				askWire = ""
+				attempt--
+				continue
+			}
 			return nil, err
 		}
 		lastErr = err
@@ -219,10 +286,11 @@ func Dial(base, path string, opts Options) (*Client, error) {
 	}
 }
 
-// dialOnce makes one connection attempt: TCP dial, HTTP upgrade, hello,
-// welcome. A server error frame during the handshake comes back as a
-// *wire.Error (wrapped), which Dial treats as permanent.
-func dialOnce(host, path string, opts Options) (*Client, error) {
+// dialOnce makes one connection attempt: TCP dial, HTTP upgrade, hello
+// (asking for askWire when nonempty), welcome. A server error frame during
+// the handshake comes back as a *wire.Error (wrapped), which Dial treats
+// as permanent (or as the fallback signal for the encoding downgrade).
+func dialOnce(host, path string, opts Options, askWire string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", host, opts.HandshakeTimeout)
 	if err != nil {
 		return nil, err
@@ -259,11 +327,12 @@ func dialOnce(host, path string, opts Options) (*Client, error) {
 	c := &Client{
 		opts:    opts,
 		conn:    conn,
-		pending: map[int64]*pendingEntry{},
+		pending: map[int64]*Pending{},
 		done:    make(chan struct{}),
 	}
-	hello := wire.HelloFrame{V: wire.V1, Type: wire.FrameHello, Dim: opts.Dim}
-	if err := c.writeFrame(hello); err != nil {
+	c.pendPool.New = func() any { return &Pending{ch: make(chan stepResult, 1)} }
+	hello := wire.HelloFrame{V: wire.V1, Type: wire.FrameHello, Dim: opts.Dim, Wire: askWire}
+	if err := c.writeJSONLocked(hello); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -276,6 +345,9 @@ func dialOnce(host, path string, opts Options) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
+	// The server confirms only encodings the hello asked for; everything
+	// after the welcome speaks the confirmed encoding in both directions.
+	c.binary = c.welcome.Wire == wire.WireBinary
 	_ = conn.SetDeadline(time.Time{})
 	c.lastRecv.Store(time.Now().UnixNano())
 	go c.readLoop(br)
@@ -287,9 +359,19 @@ func dialOnce(host, path string, opts Options) (*Client, error) {
 
 // Welcome returns the handshake's welcome frame: the algorithm, the
 // session's current step count (the reconciliation anchor after a
-// reconnect), the dimension, and — when the session has executed any step
-// — the last executed step's exact outcome (Last).
+// reconnect), the dimension, the confirmed frame encoding, and — when the
+// session has executed any step — the last executed step's exact outcome
+// (Last).
 func (c *Client) Welcome() wire.WelcomeFrame { return c.welcome }
+
+// Wire reports the negotiated frame encoding: wire.WireBinary or
+// wire.WireNDJSON.
+func (c *Client) Wire() string {
+	if c.binary {
+		return wire.WireBinary
+	}
+	return wire.WireNDJSON
+}
 
 // Throttles counts the throttle frames the connection has absorbed (each
 // one resent automatically after the server's jittered backoff hint).
@@ -309,6 +391,9 @@ func (c *Client) Done() <-chan struct{} { return c.done }
 // Step writes one pipelined step frame and returns the Pending to Wait on.
 // It does not block for the ack, so callers can keep frames in flight; it
 // fails immediately when the connection is already dead.
+//
+// The batch must stay valid and unmodified until Wait returns: a throttled
+// frame is re-encoded from it for the resend.
 func (c *Client) Step(reqs []wire.Point) (*Pending, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -321,18 +406,18 @@ func (c *Client) Step(reqs []wire.Point) (*Pending, error) {
 	}
 	c.nextID++
 	id := c.nextID
-	entry := &pendingEntry{
-		ch:    make(chan stepResult, 1),
-		frame: wire.StepFrame{V: wire.V1, Type: wire.FrameStep, ID: id, Requests: reqs},
-	}
-	c.pending[id] = entry
+	p := c.pendPool.Get().(*Pending)
+	p.ID = id
+	p.c = c
+	p.reqs = reqs
+	c.pending[id] = p
 	c.mu.Unlock()
 
-	if err := c.writeFrame(entry.frame); err != nil {
+	if err := c.writeStep(id, reqs); err != nil {
 		c.fail(err)
 		return nil, err
 	}
-	return &Pending{ch: entry.ch, ID: id}, nil
+	return p, nil
 }
 
 // Close sends a bye frame and tears the connection down. Callers should
@@ -346,14 +431,39 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	_ = c.writeFrame(wire.ByeFrame{V: wire.V1, Type: wire.FrameBye})
+	_ = c.writeControl(wire.BinBye, wire.ByeFrame{V: wire.V1, Type: wire.FrameBye})
 	c.fail(ErrClosed)
 	return nil
 }
 
-// writeFrame marshals and writes one frame under the write lock (Step,
-// throttle resends, pings, and bye share the socket).
-func (c *Client) writeFrame(v any) error {
+// writeStep encodes and writes one step frame in the negotiated encoding.
+// On the binary path the payload and frame scratch buffers are reused
+// under the write lock, so the steady-state write allocates nothing.
+func (c *Client) writeStep(id int64, reqs []wire.Point) error {
+	if !c.binary {
+		return c.writeJSONLocked(wire.StepFrame{V: wire.V1, Type: wire.FrameStep, ID: id, Requests: reqs})
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.payload = wire.AppendStepFrom(c.payload[:0], wire.V1, id, reqs)
+	return c.writeBinaryLocked(wire.BinStep, c.payload)
+}
+
+// writeControl writes one control frame (ping, bye) in the negotiated
+// encoding; binTag is its binary tag, v its NDJSON form.
+func (c *Client) writeControl(binTag byte, v any) error {
+	if !c.binary {
+		return c.writeJSONLocked(v)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.payload = wire.AppendControl(c.payload[:0], wire.V1)
+	return c.writeBinaryLocked(binTag, c.payload)
+}
+
+// writeJSONLocked marshals and writes one NDJSON frame under the write
+// lock (Step, throttle resends, pings, and bye share the socket).
+func (c *Client) writeJSONLocked(v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
@@ -364,6 +474,18 @@ func (c *Client) writeFrame(v any) error {
 	return err
 }
 
+// writeBinaryLocked assembles tag|uvarint(len)|payload into the frame
+// scratch and writes it in one call; the caller holds wmu.
+func (c *Client) writeBinaryLocked(tag byte, payload []byte) error {
+	c.frame = append(c.frame[:0], tag)
+	var head [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(head[:], uint64(len(payload)))
+	c.frame = append(c.frame, head[:n]...)
+	c.frame = append(c.frame, payload...)
+	_, err := c.conn.Write(c.frame)
+	return err
+}
+
 // fail ends the connection once: records the fatal error, closes the
 // socket, resolves every pending frame with the error, and closes Done.
 func (c *Client) fail(err error) {
@@ -371,20 +493,56 @@ func (c *Client) fail(err error) {
 		c.fatal.Store(err)
 		c.conn.Close()
 		c.mu.Lock()
-		for id, e := range c.pending {
+		for id, p := range c.pending {
 			delete(c.pending, id)
-			e.ch <- stepResult{err: err}
+			p.ch <- stepResult{err: err}
 		}
 		c.mu.Unlock()
 		close(c.done)
 	})
 }
 
-// readLoop is the dispatch goroutine: every received frame stamps the
-// liveness clock, acks and per-frame errors resolve their Pending,
-// throttles schedule a jittered resend, pongs are liveness only, and a
-// connection-level error frame (or a read error) kills the connection.
+// take claims the pending entry for id, removing it from the in-flight
+// map; nil when the id is unknown (answered twice, or a fatal teardown
+// already resolved it).
+func (c *Client) take(id int64) *Pending {
+	c.mu.Lock()
+	p := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	return p
+}
+
+// throttled schedules the jittered resend of a throttled frame. The entry
+// stays pending: its Wait resolves with the eventual ack.
+func (c *Client) throttled(id int64, retryMS int) bool {
+	c.throttles.Add(1)
+	c.mu.Lock()
+	p := c.pending[id]
+	c.mu.Unlock()
+	if p == nil {
+		c.fail(fmt.Errorf("streamclient: throttle for unknown frame id %d", id))
+		return false
+	}
+	go func(reqs []wire.Point, wait time.Duration) {
+		time.Sleep(Jitter(wait))
+		if err := c.writeStep(id, reqs); err != nil {
+			c.fail(err)
+		}
+	}(p.reqs, time.Duration(retryMS)*time.Millisecond)
+	return true
+}
+
+// readLoop dispatches received frames in the negotiated encoding: every
+// frame stamps the liveness clock, acks and per-frame errors resolve
+// their Pending, throttles schedule a jittered resend, pongs are liveness
+// only, and a connection-level error frame (or a read error) kills the
+// connection.
 func (c *Client) readLoop(br *bufio.Reader) {
+	if c.binary {
+		c.readBinary(br)
+		return
+	}
 	for {
 		line, err := readLine(br)
 		if err != nil {
@@ -404,27 +562,19 @@ func (c *Client) readLoop(br *bufio.Reader) {
 				c.fail(err)
 				return
 			}
-			c.resolve(ack.ID, stepResult{ack: ack})
+			if p := c.take(ack.ID); p != nil {
+				p.ack = ack
+				p.ch <- stepResult{}
+			}
 		case wire.FrameThrottle:
 			var th wire.ThrottleFrame
 			if err := wire.UnmarshalStrict(line, &th); err != nil {
 				c.fail(err)
 				return
 			}
-			c.throttles.Add(1)
-			c.mu.Lock()
-			entry := c.pending[th.ID]
-			c.mu.Unlock()
-			if entry == nil {
-				c.fail(fmt.Errorf("streamclient: throttle for unknown frame id %d", th.ID))
+			if !c.throttled(th.ID, th.RetryAfterMS) {
 				return
 			}
-			go func(frame wire.StepFrame, wait time.Duration) {
-				time.Sleep(Jitter(wait))
-				if err := c.writeFrame(frame); err != nil {
-					c.fail(err)
-				}
-			}(entry.frame, time.Duration(th.RetryAfterMS)*time.Millisecond)
 		case wire.FramePong:
 			// Liveness only; the lastRecv stamp above did the work.
 		case wire.FrameError:
@@ -433,14 +583,9 @@ func (c *Client) readLoop(br *bufio.Reader) {
 				c.fail(err)
 				return
 			}
-			e := ef.Err
-			if ef.ID != nil {
-				// Per-frame rejection: that frame failed, the stream lives.
-				c.resolve(*ef.ID, stepResult{err: &e})
-				continue
+			if !c.errorFrame(ef) {
+				return
 			}
-			c.fail(&e)
-			return
 		default:
 			c.fail(fmt.Errorf("streamclient: unexpected %s frame", head.Type))
 			return
@@ -448,16 +593,74 @@ func (c *Client) readLoop(br *bufio.Reader) {
 	}
 }
 
-// resolve delivers one outcome to its Pending (ignoring ids the server
-// answered twice or that a fatal teardown already resolved).
-func (c *Client) resolve(id int64, res stepResult) {
-	c.mu.Lock()
-	entry := c.pending[id]
-	delete(c.pending, id)
-	c.mu.Unlock()
-	if entry != nil {
-		entry.ch <- res
+// readBinary is readLoop on the binary encoding. Acks decode straight
+// into the waiting Pending's reusable frame (BinaryAckID picks the target
+// before the full decode), so the steady-state receive allocates nothing.
+func (c *Client) readBinary(br *bufio.Reader) {
+	var buf []byte
+	for {
+		tag, payload, err := wire.ReadBinaryFrame(br, &buf, wire.DefaultMaxFrame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.lastRecv.Store(time.Now().UnixNano())
+		switch tag {
+		case wire.BinAck:
+			id, err := wire.BinaryAckID(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			p := c.take(id)
+			if p == nil {
+				continue
+			}
+			if err := wire.DecodeAck(payload, &p.ack); err != nil {
+				c.fail(err)
+				return
+			}
+			p.ch <- stepResult{}
+		case wire.BinThrottle:
+			var th wire.ThrottleFrame
+			if err := wire.DecodeThrottle(payload, &th); err != nil {
+				c.fail(err)
+				return
+			}
+			if !c.throttled(th.ID, th.RetryAfterMS) {
+				return
+			}
+		case wire.BinPong:
+			// Liveness only.
+		case wire.BinError:
+			var ef wire.ErrorFrame
+			if err := wire.DecodeErrorFrame(payload, &ef); err != nil {
+				c.fail(err)
+				return
+			}
+			if !c.errorFrame(ef) {
+				return
+			}
+		default:
+			c.fail(fmt.Errorf("streamclient: unexpected binary frame 0x%x", tag))
+			return
+		}
 	}
+}
+
+// errorFrame handles a received error frame: a per-frame rejection
+// resolves just that Pending and reports true (the stream lives); a
+// connection-level error kills the connection and reports false.
+func (c *Client) errorFrame(ef wire.ErrorFrame) bool {
+	e := ef.Err
+	if ef.ID != nil {
+		if p := c.take(*ef.ID); p != nil {
+			p.ch <- stepResult{err: &e}
+		}
+		return true
+	}
+	c.fail(&e)
+	return false
 }
 
 // heartbeat pings at the configured cadence and declares the connection
@@ -478,7 +681,7 @@ func (c *Client) heartbeat() {
 				c.fail(ErrHeartbeat)
 				return
 			}
-			_ = c.writeFrame(wire.PingFrame{V: wire.V1, Type: wire.FramePing})
+			_ = c.writeControl(wire.BinPing, wire.PingFrame{V: wire.V1, Type: wire.FramePing})
 		}
 	}
 }

@@ -136,6 +136,12 @@ type HelloFrame struct {
 	V    int    `json:"v"`
 	Type string `json:"type"`
 	Dim  int    `json:"dim,omitempty"`
+	// Wire, when set, asks the server to switch the stream to the named
+	// frame encoding (WireBinary or WireNDJSON) after the welcome. The
+	// handshake itself is always NDJSON. Servers that predate the field
+	// reject the hello strictly (bad_frame), which clients treat as "speak
+	// NDJSON" by re-dialing without the field.
+	Wire string `json:"wire,omitempty"`
 }
 
 // WelcomeFrame accepts a stream:
@@ -156,6 +162,10 @@ type WelcomeFrame struct {
 	// Absent at T == 0 and on sessions resumed from checkpoints that
 	// predate the field.
 	Last *LastStep `json:"last,omitempty"`
+	// Wire confirms the frame encoding of every frame after this welcome.
+	// Empty means NDJSON (the only encoding before the field existed). A
+	// server never confirms an encoding the hello did not ask for.
+	Wire string `json:"wire,omitempty"`
 }
 
 // LastStep is the recovery payload inside a welcome frame: the outcome of

@@ -185,18 +185,31 @@ type ErrorResponse struct {
 // coordinates so a malformed batch can be refused before it reaches the
 // engine (and before it can poison batches it would be coalesced with).
 func ToPoints(pts []Point, dim int) ([]geom.Point, error) {
+	if err := ValidatePoints(pts, dim); err != nil {
+		return nil, err
+	}
 	out := make([]geom.Point, len(pts))
+	for i, c := range pts {
+		out[i] = geom.Point(c).Clone()
+	}
+	return out, nil
+}
+
+// ValidatePoints is ToPoints' validation without the clone: it rejects
+// dimension mismatches and non-finite coordinates. Transports that reuse
+// decoded request buffers (the binary stream path) validate in place and
+// hand the same storage to the engine.
+func ValidatePoints(pts []Point, dim int) error {
 	for i, c := range pts {
 		p := geom.Point(c)
 		if p.Dim() != dim {
-			return nil, fmt.Errorf("wire: request %d has dim %d, want %d", i, p.Dim(), dim)
+			return fmt.Errorf("wire: request %d has dim %d, want %d", i, p.Dim(), dim)
 		}
 		if !p.IsFinite() {
-			return nil, fmt.Errorf("wire: request %d is not finite", i)
+			return fmt.Errorf("wire: request %d is not finite", i)
 		}
-		out[i] = p.Clone()
 	}
-	return out, nil
+	return nil
 }
 
 // FromPoints converts geometry points to their wire form (sharing the

@@ -1,13 +1,17 @@
 #!/bin/sh
 # bench.sh: run the reproduction benchmark suite (BenchmarkE*), the
 # sharded-vs-unsharded serving benchmark (BenchmarkRouterStep), the
-# transport comparison (BenchmarkStreamVsHTTP), the shard-layout
+# transport comparison (BenchmarkStreamVsHTTP), the stream-encoding
+# comparison (BenchmarkStreamBinaryVsNDJSON), the shard-layout
 # comparison (BenchmarkRebalanceVsStatic), and the multi-process serving
 # comparison (BenchmarkClusterVsLocal) and emit a machine-readable
 # JSON summary, so the bench trajectory is tracked as a CI artifact
-# instead of scrolling away in logs. The summary carries three derived
+# instead of scrolling away in logs. The summary carries four derived
 # entries: "stream_vs_http" (per-batch latency of each transport and the
 # speedup of pipelined NDJSON ingestion over per-request HTTP),
+# "stream_binary_vs_ndjson" (per-frame latency of each stream encoding,
+# the speedup of binary frames over NDJSON, and the binary path's
+# allocs/op — the zero-copy pipeline's headline numbers),
 # "rebalance_vs_static" (per-step serving cost of the drifting-hotspot
 # workload under a static vs a dynamically rebalanced shard layout, and
 # the fraction of cost the rebalancer saves), and "cluster_vs_local"
@@ -15,11 +19,15 @@
 # forwarding to worker-hosted shards over loopback, pinning the
 # forwarding overhead of the cluster tier).
 #
+# The script fails (non-zero exit) when any expected summary entry is
+# missing from the output — a benchmark that silently stopped emitting
+# is a regression, not a gap in the report.
+#
 #   ./scripts/bench.sh [out.json]        # default out: BENCH_<utc-stamp>.json
 #   BENCHTIME=100x ./scripts/bench.sh    # override -benchtime (default 1x
 #                                        # for the E-suite, 50x for the
 #                                        # router scaling curve, 300x for
-#                                        # the transport comparison, 3x for
+#                                        # the transport comparisons, 3x for
 #                                        # the full-run layout comparison)
 #
 # Run from the repository root.
@@ -32,17 +40,19 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkE' -benchtime "${BENCHTIME:-1x}" . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkRouterStep' -benchtime "${BENCHTIME:-50x}" ./internal/shard/ | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkStreamVsHTTP' -benchtime "${BENCHTIME:-300x}" ./internal/server/ | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkStreamBinaryVsNDJSON' -benchtime "${BENCHTIME:-300x}" ./internal/server/ | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkRebalanceVsStatic' -benchtime "${BENCHTIME:-3x}" ./internal/shard/ | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkClusterVsLocal' -benchtime "${BENCHTIME:-200x}" ./internal/cluster/ | tee -a "$raw"
 
 # Convert `BenchmarkName-P   N   T ns/op [extras...]` lines into a JSON
-# document. The -P CPU suffix is stripped from the name. The transport
-# benchmarks additionally feed the stream_vs_http summary object.
+# document. The -P CPU suffix is stripped from the name. The comparison
+# benchmarks additionally feed the derived summary objects.
 awk -v go_version="$(go version)" -v stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN {
 	printf "{\n  \"go\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", go_version, stamp
 	n = 0
 	http_ns = ""; stream_ns = ""
+	ndjson_ns = ""; binary_ns = ""; binary_allocs = ""
 	static_cost = ""; rebalance_cost = ""
 	local_ns = ""; cluster_ns = ""
 }
@@ -54,7 +64,10 @@ BEGIN {
 	extra = ""
 	for (i = 4; i < NF; i++) {
 		if ($(i+1) == "B/op")      extra = extra sprintf(", \"bytes_per_op\": %s", $i)
-		if ($(i+1) == "allocs/op") extra = extra sprintf(", \"allocs_per_op\": %s", $i)
+		if ($(i+1) == "allocs/op") {
+			extra = extra sprintf(", \"allocs_per_op\": %s", $i)
+			if (name ~ /BenchmarkStreamBinaryVsNDJSON\/binary$/) binary_allocs = $i
+		}
 		if ($(i+1) == "req/s")     extra = extra sprintf(", \"req_per_sec\": %s", $i)
 		if ($(i+1) == "cost/step") {
 			extra = extra sprintf(", \"cost_per_step\": %s", $i)
@@ -64,6 +77,8 @@ BEGIN {
 	}
 	if (name ~ /BenchmarkStreamVsHTTP\/http$/)   http_ns = ns
 	if (name ~ /BenchmarkStreamVsHTTP\/stream$/) stream_ns = ns
+	if (name ~ /BenchmarkStreamBinaryVsNDJSON\/ndjson$/) ndjson_ns = ns
+	if (name ~ /BenchmarkStreamBinaryVsNDJSON\/binary$/) binary_ns = ns
 	if (name ~ /BenchmarkClusterVsLocal\/local$/)   local_ns = ns
 	if (name ~ /BenchmarkClusterVsLocal\/cluster$/) cluster_ns = ns
 	if (n++) printf ",\n"
@@ -75,6 +90,12 @@ END {
 		printf ",\n  \"stream_vs_http\": {\"http_ns_per_batch\": %s, \"stream_ns_per_batch\": %s, \"stream_speedup\": %.2f}",
 			http_ns, stream_ns, (http_ns + 0) / (stream_ns + 0)
 	}
+	if (ndjson_ns != "" && binary_ns != "" && binary_ns + 0 > 0) {
+		printf ",\n  \"stream_binary_vs_ndjson\": {\"ndjson_ns_per_frame\": %s, \"binary_ns_per_frame\": %s, \"binary_speedup\": %.2f",
+			ndjson_ns, binary_ns, (ndjson_ns + 0) / (binary_ns + 0)
+		if (binary_allocs != "") printf ", \"binary_allocs_per_op\": %s", binary_allocs
+		printf "}"
+	}
 	if (static_cost != "" && rebalance_cost != "" && static_cost + 0 > 0) {
 		printf ",\n  \"rebalance_vs_static\": {\"static_cost_per_step\": %s, \"rebalance_cost_per_step\": %s, \"cost_saved_frac\": %.3f}",
 			static_cost, rebalance_cost, 1 - (rebalance_cost + 0) / (static_cost + 0)
@@ -85,5 +106,18 @@ END {
 	}
 	printf "\n}\n"
 }' "$raw" > "$out"
+
+# Fail loudly when an expected summary entry is missing: the benchmark it
+# derives from was renamed, skipped, or broke without failing the run.
+missing=0
+for key in stream_vs_http stream_binary_vs_ndjson rebalance_vs_static cluster_vs_local; do
+	if ! grep -q "\"$key\"" "$out"; then
+		echo "bench.sh: missing expected summary entry \"$key\" in $out" >&2
+		missing=1
+	fi
+done
+if [ "$missing" -ne 0 ]; then
+	exit 1
+fi
 
 echo "bench summary written to $out ($(grep -c '"name"' "$out") benchmarks)"
