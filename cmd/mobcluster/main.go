@@ -25,6 +25,15 @@
 // -ckpt-dir at shared storage for that), emits "failover" events on the
 // SSE feed, and loses no step. Workers print their resolved listen
 // address on startup, so -addr :0 works for scripted tests.
+//
+// Pipelined ingestion: start every node with -window W (> 1) to keep up
+// to W steps in flight per shard instead of paying one round trip — and
+// one checkpoint fsync — per step; workers additionally take
+// -commit-every G to cover up to G steps per fsync (group commit). The
+// failover guarantees are unchanged at every crash offset inside the
+// window: workers ack only group-committed steps and re-serve their ack
+// ring at reconnect, so the coordinator recovers executed in-flight steps
+// exactly and resends only the true suffix.
 package main
 
 import (
@@ -68,8 +77,11 @@ func main() {
 
 		wireOpt = flag.String("wire", "auto", "shard-stream encoding: auto (negotiate binary, fall back to ndjson) | binary (worker: grant it; coordinator: require it) | ndjson (pin)")
 
+		window      = flag.Int("window", 1, "pipelined ingestion window: coordinator keeps up to this many steps in flight per shard; worker grants windows up to it (1 = lockstep)")
+		commitEvery = flag.Int("commit-every", 1, "worker: group-commit cadence — one fsynced checkpoint covers up to this many steps before their acks release (1 = checkpoint every step)")
+
 		workers   = flag.String("workers", "", "coordinator: comma-separated worker addresses (required)")
-		window    = flag.Duration("window", 2*time.Millisecond, "coordinator: batch coalescing window")
+		coalesce  = flag.Duration("coalesce", 2*time.Millisecond, "coordinator: batch coalescing window")
 		heartbeat = flag.Duration("heartbeat", time.Second, "coordinator: worker liveness ping interval (0 disables)")
 		attempts  = flag.Int("attempts", 0, "coordinator: dial attempts per worker before moving on (0 = default)")
 		backoff   = flag.Duration("backoff", 0, "coordinator: base reconnect backoff (0 = default)")
@@ -91,11 +103,18 @@ func main() {
 		fatal(fmt.Errorf("unknown -wire policy %q (auto|binary|ndjson)", *wireOpt))
 	}
 
+	if *window < 1 {
+		fatal(fmt.Errorf("-window must be >= 1, got %d", *window))
+	}
+	if *commitEvery < 1 {
+		fatal(fmt.Errorf("-commit-every must be >= 1, got %d", *commitEvery))
+	}
+
 	switch *role {
 	case "worker":
-		runWorker(cfg, *addr, *algName, *ckptDir, *span, *clamp, *queue, *wireOpt)
+		runWorker(cfg, *addr, *algName, *ckptDir, *span, *clamp, *queue, *wireOpt, *window, *commitEvery)
 	case "coordinator":
-		runCoordinator(cfg, *addr, *workers, *window, *heartbeat, *attempts, *backoff, *queue, *wireOpt)
+		runCoordinator(cfg, *addr, *workers, *coalesce, *heartbeat, *attempts, *backoff, *queue, *wireOpt, *window)
 	case "":
 		fatal(errors.New("-role is required: coordinator|worker"))
 	default:
@@ -103,7 +122,7 @@ func main() {
 	}
 }
 
-func runWorker(cfg core.Config, addr, algName, ckptDir string, span float64, clamp bool, queue int, wireOpt string) {
+func runWorker(cfg core.Config, addr, algName, ckptDir string, span float64, clamp bool, queue int, wireOpt string, window, commitEvery int) {
 	newAlg, err := pickAlgorithm(algName, cfg)
 	if err != nil {
 		fatal(err)
@@ -113,6 +132,8 @@ func runWorker(cfg core.Config, addr, algName, ckptDir string, span float64, cla
 		CheckpointDir: ckptDir,
 		Span:          span,
 		QueueLimit:    queue,
+		MaxWindow:     window,
+		CommitEvery:   commitEvery,
 	}
 	// auto and binary both grant a coordinator's binary request (the
 	// worker side never initiates); ndjson pins the hosted streams.
@@ -139,7 +160,7 @@ func runWorker(cfg core.Config, addr, algName, ckptDir string, span float64, cla
 	})
 }
 
-func runCoordinator(cfg core.Config, addr, workers string, window, heartbeat time.Duration, attempts int, backoff time.Duration, queue int, wireOpt string) {
+func runCoordinator(cfg core.Config, addr, workers string, coalesce, heartbeat time.Duration, attempts int, backoff time.Duration, queue int, wireOpt string, window int) {
 	if workers == "" {
 		fatal(errors.New("-role coordinator requires -workers"))
 	}
@@ -148,6 +169,7 @@ func runCoordinator(cfg core.Config, addr, workers string, window, heartbeat tim
 		Heartbeat:   heartbeat,
 		MaxAttempts: attempts,
 		BaseBackoff: backoff,
+		Window:      window,
 	}
 	switch wireOpt {
 	case "binary":
@@ -156,8 +178,9 @@ func runCoordinator(cfg core.Config, addr, workers string, window, heartbeat tim
 		copts.Wire = wire.WireNDJSON
 	}
 	svc, err := cluster.NewService(cfg, copts, protocol.Options{
-		CoalesceWindow: window,
+		CoalesceWindow: coalesce,
 		QueueLimit:     queue,
+		Window:         window,
 	})
 	if err != nil {
 		fatal(err)

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/protocol"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -91,4 +92,59 @@ func BenchmarkClusterVsLocal(b *testing.B) {
 		})
 		run(b, ts.URL)
 	})
+}
+
+// BenchmarkClusterPipelinedVsLockstep pins what the pipelined window buys:
+// one op is one global step driven straight at the coordinator backend —
+// "lockstep" pays one full worker round-trip plus one checkpoint fsync per
+// step (Step), "pipelined" keeps a window of 8 in flight and lets the
+// workers group-commit 8 steps per fsync (StepAsync/ResolveOldest at
+// steady state). Same workers, same loopback TCP, same serving core; the
+// delta is the overlap. scripts/bench.sh runs this and emits the
+// cluster_pipelined_vs_lockstep entry of the BENCH_*.json trajectory.
+func BenchmarkClusterPipelinedVsLockstep(b *testing.B) {
+	const benchBatch = 8
+	cfg := testCfg(2, 2)
+
+	run := func(b *testing.B, window, commitEvery int) {
+		b.Helper()
+		w1, _ := startWindowedWorker(b, cfg, b.TempDir(), window, commitEvery)
+		w2, _ := startWindowedWorker(b, cfg, b.TempDir(), window, commitEvery)
+		copts := fastDial()
+		copts.Workers = []string{w1.Listener.Addr().String(), w2.Listener.Addr().String()}
+		copts.Window = window
+		co, err := NewCoordinator(cfg, copts, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { co.Finish() })
+		if co.Window() != window {
+			b.Fatalf("negotiated window = %d, want %d", co.Window(), window)
+		}
+		inflight := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if inflight == co.Window() {
+				if err := co.ResolveOldest(); err != nil {
+					b.Fatal(err)
+				}
+				inflight--
+			}
+			if err := co.StepAsync(toGeom(spreadReqs(i, benchBatch))); err != nil {
+				b.Fatal(err)
+			}
+			inflight++
+		}
+		for inflight > 0 {
+			if err := co.ResolveOldest(); err != nil {
+				b.Fatal(err)
+			}
+			inflight--
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(co.Window()), "window")
+	}
+
+	b.Run("lockstep", func(b *testing.B) { run(b, 1, 1) })
+	b.Run("pipelined", func(b *testing.B) { run(b, 8, 8) })
 }

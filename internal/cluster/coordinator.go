@@ -19,6 +19,14 @@
 // instead of resending. Any other T is a fatal lockstep violation and the
 // coordinator refuses to continue.
 //
+// With a pipelined window (CoordinatorOptions.Window > 1) the invariant
+// generalizes: up to W steps are in flight per shard, workers amortize the
+// per-step fsync with group commit and keep an ack ring of their last W
+// executed steps, and a restored worker at any T within
+// [t_oldest, t_newest+1] is reconciled by recovering the executed prefix
+// from the welcome's ring and resending the rest in order — exactly-once
+// at every crash offset inside the window.
+//
 // What is NOT fault-tolerant: the coordinator itself is a single point of
 // control. If it crashes after some shards executed step t but before all
 // did, the workers are stranded one step apart; a replacement coordinator
@@ -75,6 +83,18 @@ type CoordinatorOptions struct {
 	// round-trip — so /metrics, /state, and /snapshot do not depend on
 	// the choice.
 	Wire string
+	// Window, when > 1, asks every worker for a pipelined ingestion window
+	// and lets the coordinator keep up to that many global steps in flight
+	// at once (StepAsync/ResolveOldest) instead of paying one full
+	// round-trip — and one worker checkpoint fsync — of latency per step.
+	// The usable window is the minimum the workers grant, floored at 1, so
+	// a mixed fleet with one lockstep worker degrades to lockstep instead
+	// of breaking. Failover reconciliation generalizes from the welcome's
+	// single recovery payload to its ack ring: a restored worker at step T
+	// recovers every in-flight step below T from the ring and is resent
+	// the rest, in order, so no step is lost or double-fed at any crash
+	// offset within the window.
+	Window int
 }
 
 // shardAck is one shard's share of a global step, as recovered from its
@@ -83,6 +103,25 @@ type shardAck struct {
 	cost      core.Cost
 	clamped   int
 	positions []geom.Point
+}
+
+// cflight is one submitted-but-unresolved global step: its index, the
+// per-shard request buckets (owned by the flight — a failover resends
+// them), and per-shard resolution state. The per-shard slices are indexed
+// by shard and each element is touched only by that shard's resolve
+// goroutine, so concurrent per-shard resolution never collides.
+type cflight struct {
+	t    int
+	reqs []geom.Point // the step's merged batch, for the observers at resolve
+	// buckets[i] is shard i's share; pends[i] its in-flight frame on the
+	// current connection (nil when unsent or already reconciled);
+	// sendErr[i] a submission failure repaired by failover at resolve;
+	// recovered[i] an outcome a failover already recovered from a welcome
+	// ring ahead of this flight's own resolve.
+	buckets   [][]wire.Point
+	pends     []*streamclient.Pending
+	sendErr   []error
+	recovered []*wire.StepResponse
 }
 
 // Coordinator forwards steps to shard workers and aggregates their
@@ -102,6 +141,13 @@ type Coordinator struct {
 
 	assign  []int // shard i is served by opts.Workers[assign[i]]
 	clients []*streamclient.Client
+
+	// window is the usable pipelined window (min of what the workers
+	// granted and opts.Window, floored at 1); flights holds the submitted
+	// steps not yet resolved, oldest first. Both are driven by the single
+	// service step loop, like everything else on the coordinator.
+	window  int
+	flights []*cflight
 
 	steps     int
 	requests  []int
@@ -167,6 +213,21 @@ func NewCoordinator(cfg core.Config, opts CoordinatorOptions, eopts engine.Optio
 			return nil, fmt.Errorf("cluster: shard 0 runs %s, shard %d runs %s", w0.Algorithm, i, w.Algorithm)
 		}
 	}
+	// The usable window is what the least-granting worker allows: a mixed
+	// fleet with one lockstep worker (no grant → 1) degrades to lockstep.
+	c.window = 1
+	if opts.Window > 1 {
+		c.window = opts.Window
+		for _, cl := range c.clients {
+			g := cl.Welcome().Window
+			if g < 1 {
+				g = 1
+			}
+			if g < c.window {
+				c.window = g
+			}
+		}
+	}
 	if err := c.adopt(); err != nil {
 		c.closeClients()
 		return nil, err
@@ -218,6 +279,7 @@ func (c *Coordinator) dialOpts() streamclient.Options {
 	return streamclient.Options{
 		Dim:              c.cfg.Dim,
 		Wire:             c.opts.Wire,
+		Window:           c.opts.Window,
 		MaxAttempts:      c.opts.MaxAttempts,
 		BaseBackoff:      c.opts.BaseBackoff,
 		MaxBackoff:       c.opts.MaxBackoff,
@@ -265,6 +327,10 @@ func (c *Coordinator) closeClients() {
 
 // T returns the number of global steps fed so far.
 func (c *Coordinator) T() int { return c.steps }
+
+// Window returns the usable pipelined window: the minimum the workers
+// granted at handshake (and opts.Window), floored at 1 (lockstep).
+func (c *Coordinator) Window() int { return c.window }
 
 // Algorithm returns the coordinator's reported name: the workers' per
 // shard algorithm tagged with the shard count, exactly like shard.Router.
@@ -361,30 +427,89 @@ func (c *Coordinator) LastFailovers() []wire.FailoverEvent {
 // step another shard refused (every candidate unreachable, or a lockstep
 // violation), the fleet is out of sync and the coordinator refuses to
 // compute from inconsistent state.
+//
+// Step is the lockstep form: submit one step and block for it. A windowed
+// service drives StepAsync/ResolveOldest instead to overlap the round
+// trips of up to Window steps.
 func (c *Coordinator) Step(requests []geom.Point) error {
+	if err := c.StepAsync(requests); err != nil {
+		return err
+	}
+	return c.ResolveOldest()
+}
+
+// StepAsync submits one global step — fanning its buckets out to every
+// shard's worker as pipelined frames — without waiting for the acks. A
+// submission failure on a shard's connection is recorded, not returned:
+// the resolve repairs it through the failover path, exactly like a frame
+// that died after the write. The batch must stay valid and unmodified
+// until the step's ResolveOldest returns.
+func (c *Coordinator) StepAsync(requests []geom.Point) error {
 	if c.err != nil {
 		return c.err
 	}
 	if c.finished {
 		return engine.ErrFinished
 	}
+	if len(c.flights) >= c.window {
+		return fmt.Errorf("cluster: pipeline window %d is full", c.window)
+	}
+	t := c.steps + len(c.flights)
 	for i, v := range requests {
 		if v.Dim() != c.cfg.Dim {
-			return fmt.Errorf("cluster: request %d in step %d has dim %d, want %d", i, c.steps, v.Dim(), c.cfg.Dim)
+			return fmt.Errorf("cluster: request %d in step %d has dim %d, want %d", i, t, v.Dim(), c.cfg.Dim)
 		}
 		if !v.IsFinite() {
-			return fmt.Errorf("cluster: request %d in step %d is not finite: %v", i, c.steps, v)
+			return fmt.Errorf("cluster: request %d in step %d is not finite: %v", i, t, v)
 		}
 	}
 
 	n := len(c.clients)
-	buckets := make([][]wire.Point, n)
+	f := &cflight{
+		t:         t,
+		reqs:      requests,
+		buckets:   make([][]wire.Point, n),
+		pends:     make([]*streamclient.Pending, n),
+		sendErr:   make([]error, n),
+		recovered: make([]*wire.StepResponse, n),
+	}
 	for _, v := range requests {
 		i := c.cfg.Partition.ShardOfPoint(v)
-		buckets[i] = append(buckets[i], wire.Point(v))
+		f.buckets[i] = append(f.buckets[i], wire.Point(v))
 	}
+	for i, cl := range c.clients {
+		if cl != nil && cl.Err() == nil {
+			p, err := cl.Step(f.buckets[i])
+			if err != nil {
+				f.sendErr[i] = err
+			} else {
+				f.pends[i] = p
+			}
+		} else if cl != nil {
+			f.sendErr[i] = cl.Err()
+		}
+	}
+	c.flights = append(c.flights, f)
+	return nil
+}
 
-	t := c.steps
+// ResolveOldest blocks for the oldest in-flight step's per-shard acks
+// (running the failover reconciliation where a connection died), merges
+// them into one StepInfo, advances the mirrors, and notifies the
+// observers — everything a synchronous Step does after its barrier.
+func (c *Coordinator) ResolveOldest() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.finished {
+		return engine.ErrFinished
+	}
+	if len(c.flights) == 0 {
+		return errors.New("cluster: no step in flight")
+	}
+	f := c.flights[0]
+	t := f.t
+	n := len(c.clients)
 	acks := make([]shardAck, n)
 	evs := make([][]wire.FailoverEvent, n)
 	errs := make([]error, n)
@@ -393,10 +518,12 @@ func (c *Coordinator) Step(requests []geom.Point) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			acks[i], evs[i], errs[i] = c.stepShard(i, t, buckets[i])
+			acks[i], evs[i], errs[i] = c.resolveShard(i, f)
 		}(i)
 	}
 	wg.Wait()
+	copy(c.flights, c.flights[1:])
+	c.flights = c.flights[:len(c.flights)-1]
 
 	c.failovers = nil
 	for _, e := range evs {
@@ -411,6 +538,8 @@ func (c *Coordinator) Step(requests []geom.Point) error {
 
 	// Merge in shard order, mirroring shard.Router.Step: identical values
 	// in identical accumulation order keep every derived float bit-equal.
+	requests := f.reqs
+	buckets := f.buckets
 	prev := make([]geom.Point, 0, len(requests))
 	pos := make([]geom.Point, 0, len(requests))
 	info := engine.StepInfo{T: t, Requests: requests}
@@ -456,48 +585,59 @@ func (c *Coordinator) Step(requests []geom.Point) error {
 	return nil
 }
 
-// stepShard forwards one shard's share of global step t, failing over to
-// the remaining candidate workers when the connection (or the worker
-// behind it) is gone. It returns the shard's outcome, the failover events
-// applied, and the terminal error if every candidate was exhausted. It
-// touches only shard-i-owned state, so the per-shard goroutines never
-// collide.
-func (c *Coordinator) stepShard(i, t int, batch []wire.Point) (shardAck, []wire.FailoverEvent, error) {
-	var lastErr error
-	if cl := c.clients[i]; cl != nil && cl.Err() == nil {
-		p, err := cl.Step(batch)
-		if err == nil {
-			ack, err := p.Wait()
-			if err == nil {
-				sa, err := c.fromAck(i, t, ack.StepResponse)
-				p.Release()
-				return sa, nil, err
-			}
-			p.Release()
-			var we *wire.Error
-			if errors.As(err, &we) {
-				// The worker spoke: a typed refusal (bad payload, worker
-				// shutting down mid-drain), not a dead connection. The step
-				// did not execute anywhere; fail it without rehoming.
-				return shardAck{}, nil, err
-			}
-			lastErr = err
-		} else {
-			lastErr = err
-		}
-	} else if cl != nil {
-		lastErr = cl.Err()
+// resolveShard produces shard i's share of the flight being resolved: a
+// recovery a previous failover already banked, the normal in-order ack,
+// or — when the connection died — the full failover reconciliation. It
+// touches only shard-i-owned state (including the later flights' shard-i
+// entries), so the per-shard goroutines never collide.
+func (c *Coordinator) resolveShard(i int, f *cflight) (shardAck, []wire.FailoverEvent, error) {
+	if r := f.recovered[i]; r != nil {
+		f.recovered[i] = nil
+		sa, err := c.fromAck(i, f.t, *r)
+		return sa, nil, err
 	}
+	var lastErr error
+	if p := f.pends[i]; p != nil {
+		ack, err := p.Wait()
+		if err == nil {
+			sa, ferr := c.fromAck(i, f.t, ack.StepResponse)
+			p.Release()
+			f.pends[i] = nil
+			return sa, nil, ferr
+		}
+		p.Release()
+		f.pends[i] = nil
+		var we *wire.Error
+		if errors.As(err, &we) {
+			// The worker spoke: a typed refusal (bad payload, worker
+			// shutting down mid-drain), not a dead connection. The step
+			// did not execute anywhere; fail it without rehoming.
+			return shardAck{}, nil, err
+		}
+		lastErr = err
+	} else if f.sendErr[i] != nil {
+		lastErr = f.sendErr[i]
+		f.sendErr[i] = nil
+	}
+	return c.failoverShard(i, f, lastErr)
+}
 
-	// The connection is dead: the in-flight step may or may not have
-	// executed before the worker went down. Rehome the shard — candidates
-	// are the assigned worker first (a restart is the cheapest recovery),
-	// then every other worker — and reconcile through the welcome.
+// failoverShard rehomes shard i after its connection died with the flight
+// f (the oldest) unresolved: candidates are the assigned worker first (a
+// restart is the cheapest recovery), then every other worker. Each
+// candidate's welcome is reconciled against EVERY in-flight step for this
+// shard — steps its restored checkpoint already executed are recovered
+// from the welcome's ack ring, the rest are resent in order on the new
+// connection — so a crash at any offset within the window neither loses
+// nor double-feeds a step.
+func (c *Coordinator) failoverShard(i int, f *cflight, lastErr error) (shardAck, []wire.FailoverEvent, error) {
 	var events []wire.FailoverEvent
 	from := c.opts.Workers[c.assign[i]]
 	start := c.assign[i]
 	nw := len(c.opts.Workers)
 	attempts := 0
+	t := f.t
+	newest := c.flights[len(c.flights)-1].t
 	for k := 0; k < nw; k++ {
 		wi := (start + k) % nw
 		addr := c.opts.Workers[wi]
@@ -514,57 +654,30 @@ func (c *Coordinator) stepShard(i, t int, batch []wire.Point) (shardAck, []wire.
 			return shardAck{}, events, err
 		}
 		w := cl.Welcome()
-		ev := wire.FailoverEvent{T: t, Shard: i, From: from, To: addr, RestoredT: w.T}
-		switch w.T {
-		case t:
-			// The crashed worker never executed the step: resend it.
-			ev.Resent = true
-			p, err := cl.Step(batch)
-			if err == nil {
-				ack, werr := p.Wait()
-				if werr == nil {
-					c.clients[i].Close()
-					c.clients[i], c.assign[i] = cl, wi
-					events = append(events, ev)
-					sa, ferr := c.fromAck(i, t, ack.StepResponse)
-					p.Release()
-					return sa, events, ferr
-				}
-				p.Release()
-				err = werr
-			}
+		// Checkpoint-before-ack bounds the restored step count: at least t
+		// (the oldest unacked step cannot have been committed-and-acked
+		// below it) and at most one past the newest in-flight step.
+		if w.T < t || w.T > newest+1 {
 			cl.Close()
-			lastErr = err
-			attempts++
-		case t + 1:
-			// The step executed but its ack died with the worker: recover
-			// the exact outcome from the restored checkpoint's recovery
-			// payload instead of resending (which would double-feed).
-			if w.Last == nil || w.Last.T != t {
-				cl.Close()
-				return shardAck{}, events, fmt.Errorf("worker %s restored step %d but carries no recovery payload for it", addr, w.T)
-			}
-			if w.Last.Batched != len(batch) {
-				cl.Close()
-				return shardAck{}, events, fmt.Errorf("worker %s recovered step %d with %d requests, coordinator sent %d", addr, t, w.Last.Batched, len(batch))
-			}
-			c.clients[i].Close()
-			c.clients[i], c.assign[i] = cl, wi
-			events = append(events, ev)
-			sa, ferr := c.fromAck(i, t, wire.StepResponse{
-				T:         w.Last.T,
-				Batched:   w.Last.Batched,
-				Cost:      w.Last.Cost,
-				Clamped:   w.Last.Clamped,
-				Positions: w.Last.Positions,
-			})
-			return sa, events, ferr
-		default:
-			// Neither t nor t+1: the shard advanced (or lagged) beyond the
-			// one-step window the checkpoint-before-ack invariant allows.
-			cl.Close()
-			return shardAck{}, events, fmt.Errorf("worker %s is at step %d, coordinator expected %d or %d — lockstep violated", addr, w.T, t, t+1)
+			return shardAck{}, events, fmt.Errorf("worker %s is at step %d, coordinator expected %d..%d — pipeline window violated", addr, w.T, t, newest+1)
 		}
+		sa, retry, rerr := c.reconcile(i, cl, w)
+		if rerr != nil {
+			cl.Close()
+			if retry {
+				lastErr = rerr
+				attempts++
+				continue
+			}
+			return shardAck{}, events, rerr
+		}
+		c.clients[i].Close()
+		c.clients[i], c.assign[i] = cl, wi
+		events = append(events, wire.FailoverEvent{
+			T: t, Shard: i, From: from, To: addr,
+			RestoredT: w.T, Resent: w.T <= newest,
+		})
+		return sa, events, nil
 	}
 	if lastErr == nil {
 		lastErr = errors.New("no candidate workers")
@@ -574,6 +687,84 @@ func (c *Coordinator) stepShard(i, t int, batch []wire.Point) (shardAck, []wire.
 		Attempts: attempts,
 		Err:      lastErr,
 	}
+}
+
+// reconcile replays shard i's in-flight suffix against a freshly dialed
+// candidate at step w.T: flights below w.T executed before the crash and
+// their exact outcomes are recovered from the welcome's ring (the oldest
+// is converted and returned, later ones are banked in recovered[] for
+// their own resolves); flights at or above w.T never executed and are
+// resent in order. The returned retry flag distinguishes a transport
+// failure on the new connection (try the next candidate) from a
+// reconciliation that can never succeed (missing or mismatched ring entry
+// — fatal).
+func (c *Coordinator) reconcile(i int, cl *streamclient.Client, w wire.WelcomeFrame) (shardAck, bool, error) {
+	addr := c.opts.Workers[c.assign[i]] // only for error text; reassignment happens on success
+	for _, fj := range c.flights {
+		// Any pending from the dead connection (or an earlier failed
+		// candidate) is void; dropping without Wait is safe and the resend
+		// below replaces it.
+		fj.pends[i] = nil
+		fj.sendErr[i] = nil
+		if fj.t >= w.T {
+			p, serr := cl.Step(fj.buckets[i])
+			if serr != nil {
+				return shardAck{}, true, serr
+			}
+			fj.pends[i] = p
+			continue
+		}
+		ls := ringEntry(w, fj.t)
+		if ls == nil {
+			return shardAck{}, false, fmt.Errorf("worker %s restored step %d but carries no recovery payload for step %d", addr, w.T, fj.t)
+		}
+		if ls.Batched != len(fj.buckets[i]) {
+			return shardAck{}, false, fmt.Errorf("worker %s recovered step %d with %d requests, coordinator sent %d", addr, fj.t, ls.Batched, len(fj.buckets[i]))
+		}
+		fj.recovered[i] = &wire.StepResponse{
+			T:         ls.T,
+			Batched:   ls.Batched,
+			Cost:      ls.Cost,
+			Clamped:   ls.Clamped,
+			Positions: ls.Positions,
+		}
+	}
+	// The oldest flight's outcome: banked above (aliasing the welcome's
+	// storage), or the ack of its resend (aliasing the pending's pooled
+	// buffer — converted via fromAck, which deep-copies the positions,
+	// BEFORE Release recycles that buffer).
+	f0 := c.flights[0]
+	if r := f0.recovered[i]; r != nil {
+		f0.recovered[i] = nil
+		sa, err := c.fromAck(i, f0.t, *r)
+		return sa, false, err
+	}
+	p := f0.pends[i]
+	ack, werr := p.Wait()
+	if werr != nil {
+		p.Release()
+		f0.pends[i] = nil
+		return shardAck{}, true, werr
+	}
+	sa, err := c.fromAck(i, f0.t, ack.StepResponse)
+	p.Release()
+	f0.pends[i] = nil
+	return sa, false, err
+}
+
+// ringEntry finds the welcome's recovery payload for step t: the ring
+// entry with that index, or the single-step Last payload a lockstep (or
+// pre-window) worker serves.
+func ringEntry(w wire.WelcomeFrame, t int) *wire.LastStep {
+	for i := range w.Ring {
+		if w.Ring[i].T == t {
+			return &w.Ring[i]
+		}
+	}
+	if w.Last != nil && w.Last.T == t {
+		return w.Last
+	}
+	return nil
 }
 
 // fromAck validates one shard's step outcome and converts it to the
@@ -623,6 +814,11 @@ func (c *Coordinator) Snapshot() ([]byte, error) {
 	}
 	if c.err != nil {
 		return nil, fmt.Errorf("cluster: cannot snapshot a failed coordinator: %w", c.err)
+	}
+	if len(c.flights) > 0 {
+		// The workers are ahead of the resolved mirrors while steps are in
+		// flight; a snapshot taken now would not be one consistent cut.
+		return nil, fmt.Errorf("cluster: cannot snapshot with %d steps in flight", len(c.flights))
 	}
 	n := len(c.clients)
 	docs := make([]json.RawMessage, n)

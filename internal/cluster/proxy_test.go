@@ -18,10 +18,14 @@ import (
 //   - blackhole() is a hang: established client-facing connections stay
 //     OPEN but fall silent and new dials are refused — the failure mode
 //     only a liveness probe can notice.
+//   - silence() is one-way: requests still reach the worker and execute,
+//     but its acks never come back — the executed-but-unacknowledged
+//     window the pipelined failover tests need to open deterministically.
 type testProxy struct {
 	ln      net.Listener
 	backend string
 	dead    atomic.Bool
+	silent  atomic.Bool
 
 	mu       sync.Mutex
 	clients  []net.Conn
@@ -55,6 +59,13 @@ func (p *testProxy) kill() {
 		c.Close()
 	}
 	p.clients, p.backends = nil, nil
+}
+
+// silence drops the worker→client direction only: steps keep flowing to
+// the worker (which executes and checkpoints them), but the acks are
+// swallowed. The listener stays open and new dials still relay.
+func (p *testProxy) silence() {
+	p.silent.Store(true)
 }
 
 // blackhole hangs the proxied worker: the listener closes and the backend
@@ -91,22 +102,23 @@ func (p *testProxy) accept() {
 		p.clients = append(p.clients, client)
 		p.backends = append(p.backends, backend)
 		p.mu.Unlock()
-		go p.pipe(backend, client)
-		go p.pipe(client, backend)
+		go p.pipe(backend, client, false)
+		go p.pipe(client, backend, true)
 	}
 }
 
 // pipe relays src → dst until either side fails. Once the proxy is dead it
 // swallows anything still in flight instead of delivering it, and never
 // closes the sockets itself — kill and blackhole decide which halves die.
-func (p *testProxy) pipe(dst, src net.Conn) {
+// toClient marks the worker→client half, the one silence() suppresses.
+func (p *testProxy) pipe(dst, src net.Conn, toClient bool) {
 	buf := make([]byte, 4096)
 	for {
 		n, err := src.Read(buf)
 		if err != nil {
 			return
 		}
-		if p.dead.Load() {
+		if p.dead.Load() || (toClient && p.silent.Load()) {
 			continue
 		}
 		if _, err := dst.Write(buf[:n]); err != nil {

@@ -21,25 +21,42 @@ import (
 // build cmd/mobcluster, spawn two workers and a coordinator, drive steps
 // over HTTP, SIGKILL one worker mid-run, keep driving — and require the
 // coordinator's /metrics and /state to stay byte-identical to an
-// uninterrupted in-process run of the same steps.
+// uninterrupted in-process run of the same steps. The windowed variant
+// reruns the same drill with pipelined ingestion and group commit turned
+// on (-window 3, workers at -commit-every 2), pinning the negotiation and
+// the ring-backed failover path through the real binary.
 func TestClusterProcessSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process smoke test skipped in -short mode")
 	}
-	const before, total, perStep = 5, 10, 4
-	const smokeSpan = 20.0 // -span: partition half-width AND fresh placement
-
 	bin := filepath.Join(t.TempDir(), "mobcluster")
 	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/mobcluster").CombinedOutput(); err != nil {
 		t.Fatalf("building mobcluster: %v\n%s", err, out)
 	}
+	t.Run("lockstep", func(t *testing.T) {
+		runProcessSmoke(t, bin, nil, nil)
+	})
+	t.Run("windowed", func(t *testing.T) {
+		runProcessSmoke(t, bin,
+			[]string{"-window", "3", "-commit-every", "2"},
+			[]string{"-window", "3"})
+	})
+}
+
+// runProcessSmoke spawns one fleet from the prebuilt binary — workerExtra
+// and coordExtra are appended to the respective roles' flags — and runs
+// the SIGKILL-mid-run equivalence drill against it.
+func runProcessSmoke(t *testing.T, bin string, workerExtra, coordExtra []string) {
+	const before, total, perStep = 5, 10, 4
+	const smokeSpan = 20.0 // -span: partition half-width AND fresh placement
 
 	ckptDir := t.TempDir() // shared: the survivor takes over the victim's shards
 	common := []string{"-dim", "2", "-k", "2", "-shards", "2", "-span", "20"}
-	w1 := spawnNode(t, bin, append([]string{"-role", "worker", "-addr", "127.0.0.1:0", "-ckpt-dir", ckptDir}, common...), "worker listening on ")
-	w2 := spawnNode(t, bin, append([]string{"-role", "worker", "-addr", "127.0.0.1:0", "-ckpt-dir", ckptDir}, common...), "worker listening on ")
-	co := spawnNode(t, bin, append([]string{"-role", "coordinator", "-addr", "127.0.0.1:0", "-window", "0",
-		"-workers", w1.addr + "," + w2.addr}, common...), "coordinator listening on ")
+	wargs := append(append([]string{"-role", "worker", "-addr", "127.0.0.1:0", "-ckpt-dir", ckptDir}, workerExtra...), common...)
+	w1 := spawnNode(t, bin, wargs, "worker listening on ")
+	w2 := spawnNode(t, bin, wargs, "worker listening on ")
+	co := spawnNode(t, bin, append(append([]string{"-role", "coordinator", "-addr", "127.0.0.1:0", "-coalesce", "0",
+		"-workers", w1.addr + "," + w2.addr}, coordExtra...), common...), "coordinator listening on ")
 
 	// The uninterrupted reference, in-process, built exactly as mobcluster
 	// builds its config from the flags above (Order's zero value is

@@ -67,6 +67,19 @@ type WorkerOptions struct {
 	// mixed-version fleet (old workers, new coordinator) be reproduced in
 	// tests.
 	Wire string
+	// MaxWindow, when > 1, lets the hosted shard services grant pipelined
+	// ingestion windows up to this depth: each keeps an ack ring of its
+	// last MaxWindow executed steps (persisted in the checkpoint) so a
+	// coordinator with that many steps in flight can reconcile a crash at
+	// any offset. Zero or 1 keeps the worker lockstep — a coordinator
+	// asking for a window degrades to lockstep against it.
+	MaxWindow int
+	// CommitEvery, when > 1, amortizes checkpoint durability with group
+	// commit: one fsynced checkpoint write covers up to CommitEvery
+	// executed steps, and their acks are released only once it lands —
+	// checkpoint-before-ack per group instead of per step. Default 1
+	// (checkpoint and fsync every step).
+	CommitEvery int
 }
 
 // DefaultSpan is the start-placement half-width used when
@@ -180,16 +193,19 @@ func (w *Worker) shard(i, floor int) (*server.Server, error) {
 }
 
 // open starts shard i's service: resumed from its checkpoint file when one
-// exists, fresh otherwise. Every shard session runs with no coalescing
-// window — the coordinator sends exactly one step frame per global step
-// and blocks for its ack, and merging two of its frames into one engine
-// step would desync the global step counter — and checkpoints every step,
-// before acknowledgement.
+// exists, fresh otherwise. Every shard session runs with NoCoalesce — the
+// coordinator sends one step frame per global step (up to MaxWindow of
+// them in flight), and merging two of its frames into one engine step
+// would desync the global step counter — and checkpoints before
+// acknowledgement: every step in lockstep, per group under CommitEvery.
 func (w *Worker) open(i int) (*server.Server, error) {
 	sopts := server.Options{
 		QueueLimit:      w.opts.QueueLimit,
 		CheckpointPath:  w.CheckpointPath(i),
 		CheckpointEvery: 1,
+		CommitEvery:     w.opts.CommitEvery,
+		AckRing:         w.opts.MaxWindow,
+		NoCoalesce:      true,
 		Mode:            w.opts.Mode,
 		Tol:             w.opts.Tol,
 	}

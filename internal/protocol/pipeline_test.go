@@ -1,0 +1,451 @@
+package protocol
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/multi"
+	"repro/internal/wire"
+)
+
+// TestGroupCommitHoldsAcksUntilCadence pins checkpoint-before-ack under
+// group commit: with CommitEvery = 3 and the queue kept busy, the first
+// two executed steps stay unacknowledged (and the checkpoint file
+// unwritten) until the third lands — then one commit releases all three.
+func TestGroupCommitHoldsAcksUntilCadence(t *testing.T) {
+	cfg := testConfig(1)
+	path := filepath.Join(t.TempDir(), "group.ckpt")
+	obs := &blockingObserver{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		CheckpointPath: path,
+		CommitEvery:    3,
+		NoCoalesce:     true,
+		QueueLimit:     8,
+		Observers:      []engine.Observer{obs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	p0, err := svc.Enqueue(reqsFor(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-obs.entered // the loop is parked inside step 0
+	p1, err := svc.Enqueue(reqsFor(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := svc.Enqueue(reqsFor(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.release <- struct{}{}
+	<-obs.entered // step 1 running ⇒ step 0 executed and is now held
+	if len(p0.ch) != 0 {
+		t.Fatal("step 0 acknowledged before its group committed")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint written before the group committed: %v", err)
+	}
+	obs.release <- struct{}{}
+	<-obs.entered // step 2 running ⇒ steps 0 and 1 both held
+	if len(p0.ch) != 0 || len(p1.ch) != 0 {
+		t.Fatal("held steps acknowledged before the third completed the group")
+	}
+	obs.release <- struct{}{}
+
+	// Step 3 completes the group: one commit, three acks, in step order.
+	for i, p := range []*Pending{p0, p1, p2} {
+		ack, err := p.Wait()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if ack.T != i || ack.Batched != 1 {
+			t.Fatalf("step %d ack = %+v", i, ack)
+		}
+		p.Release()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no checkpoint after the commit: %v", err)
+	}
+	ck, err := wire.ParseCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Metrics == nil || ck.Metrics.Steps != 3 {
+		t.Fatalf("committed checkpoint covers %+v, want all 3 steps", ck.Metrics)
+	}
+}
+
+// TestGroupCommitFlushesOnIdle: a sparse stream never waits for the full
+// cadence — the commit fires the moment the queue goes idle, so group
+// commit adds no latency when there is nothing to amortize over.
+func TestGroupCommitFlushesOnIdle(t *testing.T) {
+	cfg := testConfig(1)
+	path := filepath.Join(t.TempDir(), "idle.ckpt")
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		CheckpointPath: path,
+		CommitEvery:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	for i := 0; i < 2; i++ {
+		// Submit blocks for the ack, so each returning at all proves the
+		// idle flush released the single held step.
+		if _, err := svc.Submit(reqsFor(i, 1)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("no checkpoint after idle step %d: %v", i, err)
+		}
+		ck, err := wire.ParseCheckpoint(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck.Metrics.Steps != i+1 {
+			t.Fatalf("idle commit after step %d covers %d steps", i, ck.Metrics.Steps)
+		}
+	}
+}
+
+// TestGroupCommitAbortReleasesHeld: Abort during a run with steps held
+// for a future commit must release them as executed-but-not-durable
+// (DurabilityError wrapping ErrShuttingDown) WITHOUT touching the
+// checkpoint file, and refuse the still-queued batches outright.
+func TestGroupCommitAbortReleasesHeld(t *testing.T) {
+	cfg := testConfig(1)
+	path := filepath.Join(t.TempDir(), "abort.ckpt")
+	obs := &blockingObserver{entered: make(chan struct{}, 64), release: make(chan struct{}, 64)}
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		CheckpointPath: path,
+		CommitEvery:    100, // the cadence never fires on its own
+		NoCoalesce:     true,
+		QueueLimit:     64,
+		Observers:      []engine.Observer{obs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const queued = 20
+	pends := make([]*Pending, queued)
+	if pends[0], err = svc.Enqueue(reqsFor(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-obs.entered // parked inside step 0; the rest pile up behind it
+	for i := 1; i < queued; i++ {
+		if pends[i], err = svc.Enqueue(reqsFor(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- svc.Abort() }()
+	// Release steps as the loop executes them; it stops executing (and the
+	// entered channel goes quiet) once the drain starts refusing.
+	go func() {
+		for range obs.entered {
+			obs.release <- struct{}{}
+		}
+	}()
+	obs.release <- struct{}{}
+	if err := <-closeDone; err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	close(obs.entered)
+
+	aborted, refused := 0, 0
+	for i, p := range pends {
+		_, err := p.Wait()
+		var de *DurabilityError
+		switch {
+		case errors.As(err, &de):
+			if !errors.Is(de.Err, ErrShuttingDown) {
+				t.Fatalf("step %d durability error wraps %v, want ErrShuttingDown", i, de.Err)
+			}
+			aborted++
+		case errors.Is(err, ErrShuttingDown):
+			refused++
+		case err == nil:
+			// Possible only if every queued step executed before the drain
+			// won a race (an idle commit then released them) — legal, but
+			// vanishingly unlikely with 20 queued batches.
+		default:
+			t.Fatalf("step %d = %v, want abort-held or refused", i, err)
+		}
+	}
+	if aborted > 0 {
+		// The held group was aborted, so the file must never have been
+		// written — an aborted service must not clobber a checkpoint that
+		// may belong to a newer incarnation.
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("abort wrote the checkpoint file: %v", err)
+		}
+	}
+	if aborted+refused != queued && aborted != 0 {
+		t.Fatalf("outcomes: %d aborted + %d refused of %d", aborted, refused, queued)
+	}
+}
+
+// TestNoCoalescePinsBatchPerStep: with NoCoalesce, concurrently queued
+// batches are NOT merged — each becomes its own engine step with its own
+// index, the invariant a pipelining forwarding tier's step numbering
+// depends on.
+func TestNoCoalescePinsBatchPerStep(t *testing.T) {
+	cfg := testConfig(1)
+	obs := &blockingObserver{entered: make(chan struct{}, 8), release: make(chan struct{}, 8)}
+	svc, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()), Options{
+		NoCoalesce: true,
+		QueueLimit: 8,
+		Observers:  []engine.Observer{obs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	sizes := []int{2, 3, 1}
+	pends := make([]*Pending, len(sizes))
+	if pends[0], err = svc.Enqueue(reqsFor(0, sizes[0])); err != nil {
+		t.Fatal(err)
+	}
+	<-obs.entered // parked inside step 0 with the queue filling behind it
+	for i := 1; i < len(sizes); i++ {
+		if pends[i], err = svc.Enqueue(reqsFor(i, sizes[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range sizes {
+		obs.release <- struct{}{}
+	}
+	for i, p := range pends {
+		ack, err := p.Wait()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if ack.T != i || ack.Batched != sizes[i] || ack.Accepted != sizes[i] {
+			t.Fatalf("step %d ack = %+v, want its own step of %d requests", i, ack, sizes[i])
+		}
+		p.Release()
+	}
+}
+
+// TestAckRingPersistsAcrossResume: with AckRing configured the service
+// keeps (and checkpoints) the outcomes of its most recent steps, each
+// with its own position copy — and a resumed service re-serves the same
+// ring, so suffix-replay recovery survives a crash.
+func TestAckRingPersistsAcrossResume(t *testing.T) {
+	cfg := testConfig(2)
+	path := filepath.Join(t.TempDir(), "ring.ckpt")
+	opts := Options{CheckpointPath: path, AckRing: 3}
+	svc, err := New(cfg, multi.SpreadStarts(cfg, 5), multi.NewMtCK(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.MaxWindow(); got != 3 {
+		t.Fatalf("MaxWindow = %d, want the ring depth 3", got)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := svc.Submit(reqsFor(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring := svc.RecentSteps()
+	if len(ring) != 3 {
+		t.Fatalf("ring holds %d steps, want 3", len(ring))
+	}
+	for i, ls := range ring {
+		if want := 4 + i; ls.T != want {
+			t.Fatalf("ring[%d].T = %d, want %d (oldest first)", i, ls.T, want)
+		}
+		if len(ls.Positions) != 2 {
+			t.Fatalf("ring[%d] carries %d positions", i, len(ls.Positions))
+		}
+	}
+
+	// Kill without Close; the per-step checkpoint carries the ring.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resume(cfg, multi.NewMtCK(), data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.RecentSteps(); !reflect.DeepEqual(got, ring) {
+		t.Fatalf("resumed ring diverged:\n%+v\nvs\n%+v", got, ring)
+	}
+	_ = svc // intentionally left un-Closed
+}
+
+// fakePipeline is a stub PipelinedBackend recording how deep the service's
+// windowed loop actually pipelines: StepAsync counts submissions in
+// flight, ResolveOldest blocks until the test feeds a token through gate.
+type fakePipeline struct {
+	window int
+	gate   chan struct{}
+	// resolving is signaled each time ResolveOldest begins blocking, so
+	// the test can park the loop there deterministically.
+	resolving chan struct{}
+
+	mu          sync.Mutex
+	t           int
+	inflight    int
+	maxInflight int
+	submitted   int
+}
+
+func (f *fakePipeline) StepAsync(reqs []geom.Point) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inflight++
+	f.submitted++
+	if f.inflight > f.maxInflight {
+		f.maxInflight = f.inflight
+	}
+	return nil
+}
+
+func (f *fakePipeline) ResolveOldest() error {
+	select {
+	case f.resolving <- struct{}{}:
+	default:
+	}
+	<-f.gate
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inflight--
+	f.t++
+	return nil
+}
+
+func (f *fakePipeline) Window() int { return f.window }
+
+func (f *fakePipeline) stats() (maxInflight, submitted, resolved int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxInflight, f.submitted, f.t
+}
+
+func (f *fakePipeline) T() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+func (f *fakePipeline) Step([]geom.Point) error { return errors.New("fakePipeline: synchronous Step") }
+func (f *fakePipeline) Algorithm() string       { return "fake-pipeline" }
+func (f *fakePipeline) Cost() core.Cost         { return core.Cost{} }
+func (f *fakePipeline) Clamped() int            { return 0 }
+func (f *fakePipeline) Positions() []geom.Point { return nil }
+func (f *fakePipeline) Snapshot() ([]byte, error) {
+	return nil, errors.New("fakePipeline: no snapshot")
+}
+func (f *fakePipeline) Finish() *engine.Result { return &engine.Result{} }
+
+// startFakeWindowed builds a windowed service over a fakePipeline and
+// parks its loop inside the first resolve with `queued` more batches
+// waiting, returning every Pending (index 0 is the in-flight one).
+func startFakeWindowed(t *testing.T, fake *fakePipeline, window, queued int) (*Service, []*Pending) {
+	t.Helper()
+	cfg := testConfig(1)
+	svc, err := NewFromBackend(cfg, func(engine.Options) (Backend, error) { return fake, nil },
+		Options{Window: window, NoCoalesce: true, QueueLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+
+	pends := make([]*Pending, queued+1)
+	if pends[0], err = svc.Enqueue(reqsFor(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-fake.resolving // the loop submitted step 0 and is parked in its resolve
+	for i := 1; i <= queued; i++ {
+		if pends[i], err = svc.Enqueue(reqsFor(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return svc, pends
+}
+
+// TestWindowedLoopPipelines drives the service's windowed loop against a
+// stub backend: once the queue is deep the loop keeps exactly Window
+// steps in flight, resolves strictly in submission order, and acks carry
+// consecutive step indices.
+func TestWindowedLoopPipelines(t *testing.T) {
+	fake := &fakePipeline{window: 8, gate: make(chan struct{}), resolving: make(chan struct{}, 1)}
+	_, pends := startFakeWindowed(t, fake, 3, 5)
+
+	// Feed the parked resolve: the loop then drains the queue into the
+	// window — exactly 3 in flight — before it must resolve again.
+	for i := 0; i < len(pends); i++ {
+		fake.gate <- struct{}{}
+	}
+	for i, p := range pends {
+		ack, err := p.Wait()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if ack.T != i || ack.Batched != 1 {
+			t.Fatalf("step %d ack = %+v, want in-order resolution", i, ack)
+		}
+		p.Release()
+	}
+	maxInflight, submitted, resolved := fake.stats()
+	if maxInflight != 3 {
+		t.Fatalf("max in-flight depth = %d, want the full window of 3", maxInflight)
+	}
+	if submitted != len(pends) || resolved != len(pends) {
+		t.Fatalf("submitted %d / resolved %d, want %d each", submitted, resolved, len(pends))
+	}
+}
+
+// TestWindowedLoopHonorsBackendCap: the effective window is the MINIMUM of
+// the service option and what the backend grants — a backend capped at 2
+// never holds 3 submissions no matter what the option asks.
+func TestWindowedLoopHonorsBackendCap(t *testing.T) {
+	fake := &fakePipeline{window: 2, gate: make(chan struct{}), resolving: make(chan struct{}, 1)}
+	_, pends := startFakeWindowed(t, fake, 5, 4)
+
+	for i := 0; i < len(pends); i++ {
+		fake.gate <- struct{}{}
+	}
+	for i, p := range pends {
+		if ack, err := p.Wait(); err != nil || ack.T != i {
+			t.Fatalf("step %d = %+v, %v", i, ack, err)
+		}
+		p.Release()
+	}
+	if maxInflight, _, _ := fake.stats(); maxInflight != 2 {
+		t.Fatalf("max in-flight depth = %d, want the backend's cap of 2", maxInflight)
+	}
+}
+
+// TestWindowOptionValidation: Window > 1 demands a pipelined backend, and
+// a service cannot both pipeline its backend and group-commit checkpoints.
+func TestWindowOptionValidation(t *testing.T) {
+	cfg := testConfig(1)
+	if _, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()),
+		Options{Window: 4}); err == nil {
+		t.Fatal("Window > 1 over a non-pipelined backend must be refused")
+	}
+	if _, err := New(cfg, []geom.Point{geom.NewPoint(0, 0)}, core.Fleet(core.NewMtC()),
+		Options{Window: 4, CommitEvery: 4, CheckpointPath: filepath.Join(t.TempDir(), "x.ckpt")}); err == nil {
+		t.Fatal("Window plus CommitEvery must be refused as mutually exclusive")
+	}
+}

@@ -25,6 +25,7 @@
 package protocol
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -78,6 +79,27 @@ type ShardedBackend interface {
 	LastRebalance() *shard.RebalanceEvent
 }
 
+// PipelinedBackend is the optional surface a forwarding-tier backend (the
+// cluster coordinator) exposes to let the service keep several backend
+// steps in flight at once instead of blocking on each: StepAsync submits
+// one step's batch without waiting and ResolveOldest blocks for the
+// oldest in-flight step, applying its outcome to the backend's mirrors
+// and notifying the observers exactly as a synchronous Step would — so
+// everything the service reads after a resolve (T, Cost, Positions,
+// LastSteps, the observer counters) reflects precisely the resolved
+// prefix. Both are called only from the service's step loop, under the
+// service lock, with resolves strictly in submission order. Window caps
+// how many submissions the backend can hold unresolved.
+//
+// The batch passed to StepAsync must stay valid and unmodified until its
+// ResolveOldest returns (a failover resends it).
+type PipelinedBackend interface {
+	Backend
+	StepAsync(requests []geom.Point) error
+	ResolveOldest() error
+	Window() int
+}
+
 // FailoverBackend is the optional surface a forwarding-tier backend (the
 // cluster coordinator) exposes: the live shard→worker assignment and the
 // failover events the most recent step applied. The service mirrors them
@@ -110,6 +132,39 @@ type Options struct {
 	// CheckpointEvery is the number of steps between checkpoints.
 	// Default 1 (checkpoint after every step).
 	CheckpointEvery int
+	// CommitEvery, when > 1, amortizes checkpoint durability with group
+	// commit: executed steps are held unacknowledged until CommitEvery of
+	// them have accumulated (or the queue goes idle, or the service
+	// drains), then ONE checkpoint write — taken after the newest held
+	// step, so it covers every step in the group — is made durable and the
+	// whole group is acknowledged at once. Checkpoint-before-ack is
+	// preserved per group: an acknowledged step is always covered by a
+	// durable checkpoint, which a per-step cadence buys with one fsync per
+	// step and group commit buys with one fsync per CommitEvery steps.
+	// Overrides CheckpointEvery, has no effect without a CheckpointPath,
+	// and is mutually exclusive with Window (a pipelining coordinator does
+	// not checkpoint; its workers do).
+	CommitEvery int
+	// AckRing, when > 1, keeps the outcomes of the most recent AckRing
+	// executed steps — each with a deep copy of its post-step positions —
+	// instead of only the newest. The ring is persisted in the checkpoint
+	// and re-served in WelcomeFrame.Ring, so a pipelined client that
+	// reconnects with up to AckRing frames in flight can recover every
+	// executed step's exact outcome and resend only the true suffix. It is
+	// also the pipelined window the service advertises (MaxWindow).
+	AckRing int
+	// Window, when > 1 and the backend implements PipelinedBackend, lets
+	// the step loop keep up to Window backend steps in flight at once
+	// (submitting new steps while earlier ones await their acks) instead
+	// of blocking on each. Acknowledgements, observer updates, and Watch
+	// events still happen strictly in step order, at each resolve.
+	Window int
+	// NoCoalesce pins exactly one queued batch per engine step: the loop
+	// never merges concurrently queued batches. A pipelining forwarding
+	// tier needs it on the receiving service — with several frames in
+	// flight the coalescer would merge them into one engine step and
+	// desynchronize the sender's step numbering.
+	NoCoalesce bool
 	// Mode and Tol configure the engine's cap enforcement.
 	Mode engine.Mode
 	Tol  float64
@@ -135,6 +190,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 1
+	}
+	if o.CommitEvery <= 1 || o.CheckpointPath == "" {
+		o.CommitEvery = 1
 	}
 	return o
 }
@@ -320,6 +378,34 @@ type outcome struct {
 	err error
 }
 
+// ringStep is one ack-ring entry: the persisted outcome of an executed
+// step plus a deep copy of its post-step positions. Intermediate entries
+// need their own positions — the session only holds the newest fleet, and
+// suffix-replay recovery re-serves each in-flight step's exact outcome.
+type ringStep struct {
+	st  wire.LastStepState
+	pos []geom.Point
+}
+
+// heldStep is one executed-but-unacknowledged step awaiting the group
+// commit that makes it durable: the merged callers to reply to, the ack
+// they share, and the Watch event to publish once released.
+type heldStep struct {
+	items []batch
+	ack   Ack
+	ev    MetricsEvent
+}
+
+// flight is one submitted-but-unresolved pipelined step: the merged
+// callers and their combined batch, owned by the flight until its resolve
+// replies (a backend failover resends the batch, so the request storage
+// must stay untouched until then).
+type flight struct {
+	items []batch
+	reqs  []geom.Point
+	total int
+}
+
 // Pending is an in-flight submission: the batch is enqueued (it owns a
 // queue slot) and will be coalesced into an engine step by the loop. Wait
 // blocks for that step's outcome. Each Pending must be waited at most
@@ -398,6 +484,28 @@ type Service struct {
 	posPool   sync.Pool
 	itemsBuf  []batch
 	mergedBuf []geom.Point
+
+	// ring is the ack ring (oldest first, newest last, capped at
+	// Options.AckRing): the suffix-replay recovery state, guarded by mu
+	// like the rest of the step outcome. Entry position storage is
+	// recycled as the ring rotates.
+	ring []ringStep
+	// held, heldFree, and flightFree are step-loop private (like
+	// itemsBuf): the executed-but-unacknowledged steps awaiting a group
+	// commit, and the free lists recycling their storage.
+	held       []heldStep
+	heldFree   [][]batch
+	flightFree []flight
+
+	// ckptDir is the checkpoint directory handle, opened once at start and
+	// held for the service's lifetime so the post-rename directory fsync
+	// does not re-open the directory on every write; nil when the open
+	// failed (writes fall back to per-write opens) or checkpointing is
+	// off. ckptBuf/ckptEnc are the reused checkpoint encoding buffer —
+	// both are touched only by the step loop.
+	ckptDir *os.File
+	ckptBuf bytes.Buffer
+	ckptEnc *json.Encoder
 
 	queue    chan batch
 	rejected atomic.Int64
@@ -480,6 +588,9 @@ func NewFromBackend(cfg core.Config, open func(engine.Options) (Backend, error),
 
 func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.Options) (Backend, error)) (*Service, error) {
 	opts = opts.withDefaults()
+	if opts.Window > 1 && opts.CommitEvery > 1 {
+		return nil, errors.New("protocol: Window and CommitEvery are mutually exclusive")
+	}
 	s := &Service{
 		cfg:      cfg,
 		opts:     opts,
@@ -504,6 +615,16 @@ func start(cfg core.Config, opts Options, ck *wire.Checkpoint, open func(engine.
 		return nil, err
 	}
 	s.sess = sess
+	if opts.Window > 1 {
+		if _, ok := sess.(PipelinedBackend); !ok {
+			return nil, errors.New("protocol: Window > 1 requires a pipelined backend")
+		}
+	}
+	if opts.CheckpointPath != "" {
+		if dir, err := os.Open(filepath.Dir(opts.CheckpointPath)); err == nil {
+			s.ckptDir = dir
+		}
+	}
 	if opts.Rebalancer != nil {
 		sb, ok := sess.(ShardedBackend)
 		if !ok {
@@ -566,6 +687,23 @@ func (s *Service) seedObservers(ck wire.Checkpoint) {
 	if ls := ck.LastStep; ls != nil {
 		last := *ls
 		s.last = &last
+	}
+	if s.opts.AckRing > 1 && len(ck.Ring) > 0 {
+		// Keep the newest AckRing entries: a checkpoint written under a
+		// deeper ring than this incarnation runs with still restores the
+		// suffix this incarnation can serve.
+		entries := ck.Ring
+		if extra := len(entries) - s.opts.AckRing; extra > 0 {
+			entries = entries[extra:]
+		}
+		for _, r := range entries {
+			e := ringStep{st: r.LastStepState}
+			e.pos = make([]geom.Point, len(r.Positions))
+			for i, p := range r.Positions {
+				e.pos[i] = append(geom.Point(nil), p...)
+			}
+			s.ring = append(s.ring, e)
+		}
 	}
 }
 
@@ -713,6 +851,45 @@ func (s *Service) LastStep() *LastStep {
 	}
 }
 
+// MaxWindow reports how many pipelined step frames the service can
+// reconcile for a reconnecting client: the ack-ring depth, or 1 (lockstep)
+// without a ring. The streaming transport caps the window it grants in the
+// welcome at this value.
+func (s *Service) MaxWindow() int {
+	if s.opts.AckRing > 1 {
+		return s.opts.AckRing
+	}
+	return 1
+}
+
+// RecentSteps returns the ack ring — the outcomes of the most recent
+// executed steps, oldest first and ending with the newest — with
+// deep-copied positions, or nil when the service keeps no ring. Streaming
+// transports re-serve it inside the welcome frame (WelcomeFrame.Ring) so a
+// pipelined client can reconcile every in-flight frame after a reconnect.
+func (s *Service) RecentSteps() []LastStep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) == 0 {
+		return nil
+	}
+	out := make([]LastStep, len(s.ring))
+	for i, e := range s.ring {
+		pos := make([]geom.Point, len(e.pos))
+		for j, p := range e.pos {
+			pos[j] = append(geom.Point(nil), p...)
+		}
+		out[i] = LastStep{
+			T:         e.st.T,
+			Batched:   e.st.Batched,
+			Cost:      core.Cost{Move: e.st.MoveCost, Serve: e.st.ServeCost},
+			Clamped:   e.st.Clamped,
+			Positions: pos,
+		}
+	}
+	return out
+}
+
 // Snapshot returns the backend's bare resumable snapshot (what
 // GET /snapshot serves; observer state is not included — checkpoint files
 // written by the service itself carry it).
@@ -757,10 +934,19 @@ func (s *Service) Finish() *engine.Result {
 
 // loop is the single goroutine that steps the session: it pulls the first
 // queued batch, coalesces what arrives within the window, executes one
-// engine step, checkpoints, and acknowledges the merged callers.
+// engine step, checkpoints, and acknowledges the merged callers. With
+// group commit, executed steps accumulate unacknowledged until the group
+// is due; with a pipelined window, the loop hands off to loopWindowed.
 func (s *Service) loop() {
 	defer s.closeSubs()
 	defer close(s.loopDone)
+	if s.ckptDir != nil {
+		defer s.ckptDir.Close()
+	}
+	if s.opts.Window > 1 {
+		s.loopWindowed(s.sess.(PipelinedBackend))
+		return
+	}
 	for {
 		select {
 		case <-s.closed:
@@ -768,8 +954,96 @@ func (s *Service) loop() {
 			return
 		case first := <-s.queue:
 			s.execute(s.coalesce(first))
+			if len(s.held) > 0 && (len(s.held) >= s.opts.CommitEvery || len(s.queue) == 0) {
+				s.commitHeld()
+			}
 		}
 	}
+}
+
+// loopWindowed drives a PipelinedBackend with up to w backend steps in
+// flight: it submits whenever the queue has work and the window has room,
+// and resolves the oldest flight when the window is full or the queue goes
+// idle — so pipelining never adds latency to a sparse stream, and a dense
+// stream overlaps each step's round trip with the submission of the next.
+func (s *Service) loopWindowed(pb PipelinedBackend) {
+	w := s.opts.Window
+	if bw := pb.Window(); bw > 0 && bw < w {
+		w = bw
+	}
+	var flights []flight
+	for {
+		if len(flights) >= w {
+			flights = s.resolveOldest(pb, flights)
+			continue
+		}
+		if len(flights) == 0 {
+			select {
+			case <-s.closed:
+				s.drain()
+				return
+			case first := <-s.queue:
+				flights = s.submitFlight(pb, flights, s.coalesce(first))
+			}
+			continue
+		}
+		select {
+		case first := <-s.queue:
+			flights = s.submitFlight(pb, flights, s.coalesce(first))
+		case <-s.closed:
+			for len(flights) > 0 {
+				flights = s.resolveOldest(pb, flights)
+			}
+			s.drain()
+			return
+		default:
+			flights = s.resolveOldest(pb, flights)
+		}
+	}
+}
+
+// submitFlight copies the coalesced items out of the loop scratch into a
+// (recycled) flight, submits its merged batch to the backend without
+// waiting, and appends it to the in-flight list. A refused submission
+// replies immediately — the step never started.
+func (s *Service) submitFlight(pb PipelinedBackend, flights []flight, items []batch) []flight {
+	var f flight
+	if n := len(s.flightFree); n > 0 {
+		f = s.flightFree[n-1]
+		s.flightFree = s.flightFree[:n-1]
+	}
+	f.items = append(f.items[:0], items...)
+	f.reqs = f.reqs[:0]
+	f.total = 0
+	for _, b := range items {
+		f.reqs = append(f.reqs, b.reqs...)
+		f.total += len(b.reqs)
+	}
+	s.mu.Lock()
+	err := pb.StepAsync(f.reqs)
+	s.mu.Unlock()
+	if err != nil {
+		for _, b := range f.items {
+			b.reply <- outcome{err: err}
+		}
+		s.flightFree = append(s.flightFree, f)
+		return flights
+	}
+	return append(flights, f)
+}
+
+// resolveOldest blocks for the oldest in-flight step's outcome and
+// finishes it exactly like a synchronous step: ack, ring, checkpoint if
+// due, replies, Watch event.
+func (s *Service) resolveOldest(pb PipelinedBackend, flights []flight) []flight {
+	f := flights[0]
+	copy(flights, flights[1:])
+	flights = flights[:len(flights)-1]
+	s.mu.Lock()
+	err := pb.ResolveOldest()
+	s.finishStepLocked(f.items, f.total, err)
+	s.flightFree = append(s.flightFree, f)
+	return flights
 }
 
 // coalesce gathers the batches that share first's engine step into the
@@ -777,6 +1051,9 @@ func (s *Service) loop() {
 func (s *Service) coalesce(first batch) []batch {
 	items := append(s.itemsBuf[:0], first)
 	defer func() { s.itemsBuf = items }()
+	if s.opts.NoCoalesce {
+		return items
+	}
 	if w := s.opts.CoalesceWindow; w > 0 {
 		timer := time.NewTimer(w)
 		defer timer.Stop()
@@ -814,14 +1091,78 @@ func (s *Service) drain() {
 				continue
 			}
 			s.execute([]batch{b})
+			if len(s.held) >= s.opts.CommitEvery {
+				s.commitHeld()
+			}
 		default:
 			if s.aborting.Load() {
+				s.abortHeld()
+				return
+			}
+			if len(s.held) > 0 {
+				// The commit writes a checkpoint at the final state, so the
+				// unconditional shutdown write below would only duplicate it.
+				s.closeErr = s.commitHeld()
 				return
 			}
 			s.closeErr = s.checkpointNow()
 			return
 		}
 	}
+}
+
+// commitHeld makes the held group durable with one checkpoint write —
+// taken at the current state, which is exactly the newest held step, so it
+// covers the whole group — then releases every held acknowledgement and
+// Watch event in step order. A failed write degrades each ack to a
+// DurabilityError, same as the per-step path; the returned error is that
+// write error, if any.
+func (s *Service) commitHeld() error {
+	held := s.held
+	s.held = s.held[:0]
+	s.mu.Lock()
+	snap, snapErr := s.checkpointDoc()
+	s.mu.Unlock()
+	if snapErr == nil {
+		snapErr = writeAtomic(s.opts.CheckpointPath, snap, s.ckptDir)
+	}
+	for i := range held {
+		h := &held[i]
+		var err error
+		if snapErr != nil {
+			err = &DurabilityError{ExecutedT: h.ack.T, Err: snapErr}
+		}
+		for _, b := range h.items {
+			a := h.ack
+			a.Accepted = len(b.reqs)
+			b.reply <- outcome{ack: a, err: err}
+		}
+		s.heldFree = append(s.heldFree, h.items[:0])
+		h.items = nil
+		h.ev.QueueDepth = len(s.queue)
+		h.ev.Rejected = s.rejected.Load()
+		s.publish(h.ev)
+	}
+	return snapErr
+}
+
+// abortHeld releases the held group without touching the checkpoint file
+// (Abort must not clobber a file that may belong to a newer incarnation):
+// the steps executed but their durability is unknown, which is precisely a
+// DurabilityError.
+func (s *Service) abortHeld() {
+	for i := range s.held {
+		h := &s.held[i]
+		err := &DurabilityError{ExecutedT: h.ack.T, Err: ErrShuttingDown}
+		for _, b := range h.items {
+			a := h.ack
+			a.Accepted = len(b.reqs)
+			b.reply <- outcome{ack: a, err: err}
+		}
+		s.heldFree = append(s.heldFree, h.items[:0])
+		h.items = nil
+	}
+	s.held = s.held[:0]
 }
 
 // execute merges the items into one request batch, runs one engine step,
@@ -846,10 +1187,21 @@ func (s *Service) execute(items []batch) {
 
 	s.mu.Lock()
 	err := s.sess.Step(merged)
+	s.finishStepLocked(items, total, err)
+}
+
+// finishStepLocked is everything that follows a backend step — shared by
+// the synchronous path (execute) and the pipelined path (resolveOldest).
+// It builds the ack and Watch event, updates the last-step record and the
+// ack ring, and either releases the step immediately (checkpointing first
+// when due) or appends it to the held group for a later commit. Called
+// with mu held; releases it.
+func (s *Service) finishStepLocked(items []batch, total int, err error) {
 	var ack Ack
 	var ev MetricsEvent
 	var snap []byte
 	var snapErr error
+	hold := false
 	if err == nil {
 		ack = Ack{
 			T:       s.sess.T() - 1,
@@ -881,6 +1233,7 @@ func (s *Service) execute(items []batch) {
 			ServeCost: s.lastCost.Serve,
 			Clamped:   s.lastClamped,
 		}
+		s.pushRingLocked(ack.Positions)
 		ev = MetricsEvent{
 			T:           ack.T,
 			Batched:     total,
@@ -901,14 +1254,25 @@ func (s *Service) execute(items []batch) {
 		if fb, ok := s.sess.(FailoverBackend); ok {
 			ev.Failovers = fb.LastFailovers()
 		}
-		if s.opts.CheckpointPath != "" && s.sess.T()%s.opts.CheckpointEvery == 0 {
+		if s.opts.CommitEvery > 1 {
+			hold = true
+			var hi []batch
+			if n := len(s.heldFree); n > 0 {
+				hi = s.heldFree[n-1]
+				s.heldFree = s.heldFree[:n-1]
+			}
+			s.held = append(s.held, heldStep{items: append(hi, items...), ack: ack, ev: ev})
+		} else if s.opts.CheckpointPath != "" && s.sess.T()%s.opts.CheckpointEvery == 0 {
 			snap, snapErr = s.checkpointDoc()
 		}
 	}
 	s.mu.Unlock()
+	if hold {
+		return
+	}
 
 	if snap != nil {
-		snapErr = writeAtomic(s.opts.CheckpointPath, snap)
+		snapErr = writeAtomic(s.opts.CheckpointPath, snap, s.ckptDir)
 	}
 	executed := err == nil
 	if executed && snapErr != nil {
@@ -928,6 +1292,35 @@ func (s *Service) execute(items []batch) {
 	}
 }
 
+// pushRingLocked appends the just-executed step's outcome (s.last) and a
+// deep copy of its positions to the ack ring, rotating the oldest entry
+// out — and recycling its position storage — once the ring is at capacity.
+// The caller must hold mu.
+func (s *Service) pushRingLocked(pts []geom.Point) {
+	if s.opts.AckRing <= 1 {
+		return
+	}
+	var e ringStep
+	if len(s.ring) >= s.opts.AckRing {
+		e = s.ring[0]
+		copy(s.ring, s.ring[1:])
+		s.ring = s.ring[:len(s.ring)-1]
+	}
+	e.st = *s.last
+	if cap(e.pos) < len(pts) {
+		e.pos = append(e.pos[:cap(e.pos)], make([]geom.Point, len(pts)-cap(e.pos))...)
+	}
+	e.pos = e.pos[:len(pts)]
+	for i, p := range pts {
+		if cap(e.pos[i]) < len(p) {
+			e.pos[i] = make(geom.Point, len(p))
+		}
+		e.pos[i] = e.pos[i][:len(p)]
+		copy(e.pos[i], p)
+	}
+	s.ring = append(s.ring, e)
+}
+
 // checkpointNow snapshots and writes the checkpoint file unconditionally
 // (used at shutdown). A service without a checkpoint path does nothing.
 func (s *Service) checkpointNow() error {
@@ -940,20 +1333,23 @@ func (s *Service) checkpointNow() error {
 	if err != nil {
 		return err
 	}
-	return writeAtomic(s.opts.CheckpointPath, snap)
+	return writeAtomic(s.opts.CheckpointPath, snap, s.ckptDir)
 }
 
 // checkpointDoc marshals the checkpoint document: the backend snapshot
 // plus the current observer state, captured together so the file is one
 // consistent cut of the run, stamped with the wire version (plus the
-// legacy stamp, so pre-envelope readers keep working). The caller must
-// hold mu.
+// legacy stamp, so pre-envelope readers keep working). The encoding reuses
+// the service's checkpoint buffer, so the returned bytes are valid only
+// until the next checkpointDoc call — write them before re-marshaling.
+// The caller must hold mu (the step loop is the only caller, which is what
+// makes the single buffer safe).
 func (s *Service) checkpointDoc() ([]byte, error) {
 	sess, err := s.sess.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(wire.Checkpoint{
+	doc := wire.Checkpoint{
 		V:       wire.V1,
 		Version: wire.CheckpointVersion,
 		Session: sess,
@@ -971,13 +1367,38 @@ func (s *Service) checkpointDoc() ([]byte, error) {
 			CapHits:   s.moves.CapHits,
 		},
 		LastStep: s.last,
-	})
+	}
+	if len(s.ring) > 0 {
+		doc.Ring = make([]wire.RingStep, len(s.ring))
+		for i, e := range s.ring {
+			doc.Ring[i] = wire.RingStep{
+				LastStepState: e.st,
+				Positions:     wire.FromPoints(e.pos),
+			}
+		}
+	}
+	s.ckptBuf.Reset()
+	if s.ckptEnc == nil {
+		s.ckptEnc = json.NewEncoder(&s.ckptBuf)
+	}
+	if err := s.ckptEnc.Encode(&doc); err != nil {
+		return nil, err
+	}
+	// Drop the encoder's trailing newline: the file bytes stay identical
+	// to what json.Marshal produced before the buffer was reused.
+	b := s.ckptBuf.Bytes()
+	return b[:len(b)-1], nil
 }
 
 // writeAtomic writes data to path via a temp file in the same directory,
 // fsync, and an atomic rename, so neither a process kill mid-write nor a
-// system crash shortly after leaves a torn or empty checkpoint.
-func writeAtomic(path string, data []byte) error {
+// system crash shortly after leaves a torn or empty checkpoint. dir, when
+// non-nil, is the already-open parent directory handle used to make the
+// rename itself durable without re-opening the directory on every write;
+// a nil dir falls back to a per-write open. The directory fsync is
+// best-effort either way: some platforms/filesystems refuse it, and the
+// rename is already atomic for process-level crashes.
+func writeAtomic(path string, data []byte, dir *os.File) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -997,12 +1418,11 @@ func writeAtomic(path string, data []byte) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
-	// Make the rename itself durable. Directory fsync is best-effort:
-	// some platforms/filesystems refuse it, and the rename is already
-	// atomic for process-level crashes.
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+	if dir != nil {
 		_ = dir.Sync()
-		dir.Close()
+	} else if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return nil
 }

@@ -238,6 +238,28 @@ func (c *srvStream) handshake() bool {
 			Positions: wire.FromPoints(ls.Positions),
 		}
 	}
+	// Grant a pipelined window capped at what the service can actually
+	// reconcile (its ack-ring depth; 1 without a ring), and re-serve the
+	// ring itself so a reconnecting pipeliner recovers every executed
+	// in-flight step, not just the newest.
+	if hello.Window > 1 {
+		grant := s.svc.MaxWindow()
+		if hello.Window < grant {
+			grant = hello.Window
+		}
+		if grant > 1 {
+			welcome.Window = grant
+			for _, ls := range s.svc.RecentSteps() {
+				welcome.Ring = append(welcome.Ring, wire.LastStep{
+					T:         ls.T,
+					Batched:   ls.Batched,
+					Cost:      wire.FromCost(ls.Cost),
+					Clamped:   ls.Clamped,
+					Positions: wire.FromPoints(ls.Positions),
+				})
+			}
+		}
+	}
 	return c.writeHandshakeFrame(welcome) == nil
 }
 

@@ -70,6 +70,14 @@ type Options struct {
 	// binary encoding (Dial fails when the server does not grant it);
 	// wire.WireNDJSON never asks.
 	Wire string
+	// Window, when > 1, asks the server to accept that many pipelined step
+	// frames in flight with suffix-replay reconciliation after a reconnect
+	// (WelcomeFrame.Ring). The grant is whatever Welcome().Window reports —
+	// possibly smaller, or absent (lockstep) from a server that keeps no
+	// ack ring. A server so old it strict-rejects the unknown hello field
+	// gets the same transparent downgrade as the wire negotiation: Dial
+	// re-sends the hello without the field and runs lockstep.
+	Window int
 	// MaxAttempts bounds the connection attempts one Dial makes before
 	// giving up with *protocol.UnreachableError. Default DefaultMaxAttempts.
 	MaxAttempts int
@@ -203,8 +211,9 @@ type Client struct {
 	closed   bool
 	pendPool sync.Pool
 
-	throttles atomic.Int64
-	lastRecv  atomic.Int64 // UnixNano of the most recent received frame
+	throttles      atomic.Int64
+	throttleAborts atomic.Int64
+	lastRecv       atomic.Int64 // UnixNano of the most recent received frame
 
 	failOnce sync.Once
 	fatal    atomic.Value // error
@@ -251,10 +260,14 @@ func Dial(base, path string, opts Options) (*Client, error) {
 	default:
 		return nil, fmt.Errorf("streamclient: unknown wire option %q", opts.Wire)
 	}
+	askWindow := 0
+	if opts.Window > 1 {
+		askWindow = opts.Window
+	}
 	var lastErr error
 	backoff := opts.BaseBackoff
 	for attempt := 1; ; attempt++ {
-		c, err := dialOnce(host, path, opts, askWire)
+		c, err := dialOnce(host, path, opts, askWire, askWindow)
 		if err == nil {
 			if opts.Wire == wire.WireBinary && !c.binary {
 				c.Close()
@@ -264,14 +277,22 @@ func Dial(base, path string, opts Options) (*Client, error) {
 		}
 		var we *wire.Error
 		if errors.As(err, &we) {
-			// A server that predates the "wire" hello field strict-rejects
-			// it as a bad frame: fall back to a plain NDJSON hello (a
+			// A server that predates one of the optional hello fields
+			// strict-rejects it as a bad frame: fall back by dropping the
+			// newest field first — the window, then the wire ask (a
 			// protocol downgrade, not a transport failure). Any other
 			// rejection is permanent — the server spoke and said no.
-			if we.Code == wire.CodeBadFrame && askWire != "" && opts.Wire != wire.WireBinary {
-				askWire = ""
-				attempt--
-				continue
+			if we.Code == wire.CodeBadFrame {
+				if askWindow != 0 {
+					askWindow = 0
+					attempt--
+					continue
+				}
+				if askWire != "" && opts.Wire != wire.WireBinary {
+					askWire = ""
+					attempt--
+					continue
+				}
 			}
 			return nil, err
 		}
@@ -290,7 +311,7 @@ func Dial(base, path string, opts Options) (*Client, error) {
 // (asking for askWire when nonempty), welcome. A server error frame during
 // the handshake comes back as a *wire.Error (wrapped), which Dial treats
 // as permanent (or as the fallback signal for the encoding downgrade).
-func dialOnce(host, path string, opts Options, askWire string) (*Client, error) {
+func dialOnce(host, path string, opts Options, askWire string, askWindow int) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", host, opts.HandshakeTimeout)
 	if err != nil {
 		return nil, err
@@ -331,7 +352,7 @@ func dialOnce(host, path string, opts Options, askWire string) (*Client, error) 
 		done:    make(chan struct{}),
 	}
 	c.pendPool.New = func() any { return &Pending{ch: make(chan stepResult, 1)} }
-	hello := wire.HelloFrame{V: wire.V1, Type: wire.FrameHello, Dim: opts.Dim, Wire: askWire}
+	hello := wire.HelloFrame{V: wire.V1, Type: wire.FrameHello, Dim: opts.Dim, Wire: askWire, Window: askWindow}
 	if err := c.writeJSONLocked(hello); err != nil {
 		conn.Close()
 		return nil, err
@@ -376,6 +397,13 @@ func (c *Client) Wire() string {
 // Throttles counts the throttle frames the connection has absorbed (each
 // one resent automatically after the server's jittered backoff hint).
 func (c *Client) Throttles() int64 { return c.throttles.Load() }
+
+// ThrottleAborts counts throttle resends abandoned because the connection
+// died during their backoff — the frame was resolved by the teardown (and
+// possibly resent through a failover replacement), so writing it again
+// from the stale goroutine would have re-read a batch its caller no
+// longer guarantees.
+func (c *Client) ThrottleAborts() int64 { return c.throttleAborts.Load() }
 
 // Err returns the connection's fatal error, or nil while it is healthy.
 func (c *Client) Err() error {
@@ -514,7 +542,11 @@ func (c *Client) take(id int64) *Pending {
 }
 
 // throttled schedules the jittered resend of a throttled frame. The entry
-// stays pending: its Wait resolves with the eventual ack.
+// stays pending: its Wait resolves with the eventual ack. The backoff
+// aborts the moment the connection dies: a dead connection has already
+// resolved the pending, its caller may have reclaimed (or resent through a
+// failover replacement) the request batch, and a resend goroutine that
+// slept through the teardown must not re-encode from it.
 func (c *Client) throttled(id int64, retryMS int) bool {
 	c.throttles.Add(1)
 	c.mu.Lock()
@@ -525,7 +557,14 @@ func (c *Client) throttled(id int64, retryMS int) bool {
 		return false
 	}
 	go func(reqs []wire.Point, wait time.Duration) {
-		time.Sleep(Jitter(wait))
+		timer := time.NewTimer(Jitter(wait))
+		defer timer.Stop()
+		select {
+		case <-c.done:
+			c.throttleAborts.Add(1)
+			return
+		case <-timer.C:
+		}
 		if err := c.writeStep(id, reqs); err != nil {
 			c.fail(err)
 		}

@@ -323,11 +323,12 @@ func (r *binReader) done() error {
 
 // --- per-frame payloads ---
 
-// AppendHello appends the hello payload: v, dim, wire.
+// AppendHello appends the hello payload: v, dim, wire, window.
 func AppendHello(dst []byte, f *HelloFrame) []byte {
 	dst = binary.AppendUvarint(dst, uint64(f.V))
 	dst = binary.AppendUvarint(dst, uint64(f.Dim))
-	return appendString(dst, f.Wire)
+	dst = appendString(dst, f.Wire)
+	return binary.AppendUvarint(dst, uint64(f.Window))
 }
 
 // DecodeHello decodes a hello payload.
@@ -344,11 +345,25 @@ func DecodeHello(payload []byte, f *HelloFrame) error {
 	if f.Wire, err = r.str(); err != nil {
 		return err
 	}
+	if f.Window, err = r.count(); err != nil {
+		return err
+	}
 	return r.done()
 }
 
+// appendLastStep appends one recovery payload: t, batched, cost, clamped,
+// positions.
+func appendLastStep(dst []byte, ls *LastStep) []byte {
+	dst = binary.AppendUvarint(dst, uint64(ls.T))
+	dst = binary.AppendUvarint(dst, uint64(ls.Batched))
+	dst = appendCost(dst, ls.Cost)
+	dst = binary.AppendUvarint(dst, uint64(ls.Clamped))
+	return appendPoints(dst, ls.Positions)
+}
+
 // AppendWelcome appends the welcome payload: v, algorithm, t, dim, wire,
-// and the optional last-step recovery payload.
+// the optional last-step recovery payload, the granted window, and the
+// suffix-replay ring.
 func AppendWelcome(dst []byte, f *WelcomeFrame) []byte {
 	dst = binary.AppendUvarint(dst, uint64(f.V))
 	dst = appendString(dst, f.Algorithm)
@@ -357,11 +372,12 @@ func AppendWelcome(dst []byte, f *WelcomeFrame) []byte {
 	dst = appendString(dst, f.Wire)
 	dst = appendBool(dst, f.Last != nil)
 	if f.Last != nil {
-		dst = binary.AppendUvarint(dst, uint64(f.Last.T))
-		dst = binary.AppendUvarint(dst, uint64(f.Last.Batched))
-		dst = appendCost(dst, f.Last.Cost)
-		dst = binary.AppendUvarint(dst, uint64(f.Last.Clamped))
-		dst = appendPoints(dst, f.Last.Positions)
+		dst = appendLastStep(dst, f.Last)
+	}
+	dst = binary.AppendUvarint(dst, uint64(f.Window))
+	dst = binary.AppendUvarint(dst, uint64(len(f.Ring)))
+	for i := range f.Ring {
+		dst = appendLastStep(dst, &f.Ring[i])
 	}
 	return dst
 }
@@ -394,24 +410,52 @@ func DecodeWelcome(payload []byte, f *WelcomeFrame) error {
 	f.Last = nil
 	if hasLast {
 		last := &LastStep{}
-		if last.T, err = r.count(); err != nil {
-			return err
-		}
-		if last.Batched, err = r.count(); err != nil {
-			return err
-		}
-		if last.Cost, err = r.cost(); err != nil {
-			return err
-		}
-		if last.Clamped, err = r.count(); err != nil {
-			return err
-		}
-		if last.Positions, err = r.points(nil); err != nil {
+		if err := r.lastStep(last); err != nil {
 			return err
 		}
 		f.Last = last
 	}
+	if f.Window, err = r.count(); err != nil {
+		return err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	// Each encoded ring entry takes at least 28 bytes (two uvarints, a
+	// cost, a clamp count, and a point count).
+	if n > uint64(len(r.b))/28 {
+		return fmt.Errorf("wire: binary ring count %d exceeds payload", n)
+	}
+	f.Ring = nil
+	if n > 0 {
+		f.Ring = make([]LastStep, n)
+		for i := range f.Ring {
+			if err := r.lastStep(&f.Ring[i]); err != nil {
+				return err
+			}
+		}
+	}
 	return r.done()
+}
+
+// lastStep decodes one recovery payload in appendLastStep's order.
+func (r *binReader) lastStep(ls *LastStep) error {
+	var err error
+	if ls.T, err = r.count(); err != nil {
+		return err
+	}
+	if ls.Batched, err = r.count(); err != nil {
+		return err
+	}
+	if ls.Cost, err = r.cost(); err != nil {
+		return err
+	}
+	if ls.Clamped, err = r.count(); err != nil {
+		return err
+	}
+	ls.Positions, err = r.points(nil)
+	return err
 }
 
 // AppendStep appends the step payload: v, id, requests.

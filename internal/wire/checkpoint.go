@@ -40,6 +40,23 @@ type Checkpoint struct {
 	// reconnecting after the process died between checkpoint and ack can
 	// still recover the executed step's exact outcome.
 	LastStep *LastStepState `json:"last_step,omitempty"`
+	// Ring carries the outcomes of the most recent executed steps, oldest
+	// first and ending with the step LastStep describes, when the service
+	// runs with an ack ring deeper than one (pipelined ingestion). Unlike
+	// LastStep, ring entries keep their own post-step positions: the
+	// session snapshot only holds the newest fleet, and a suffix-replay
+	// recovery needs each intermediate step's exact positions. Nil in
+	// files written by lockstep services; ParseCheckpoint is lenient, so
+	// older readers ignore the field.
+	Ring []RingStep `json:"ring,omitempty"`
+}
+
+// RingStep is one persisted ack-ring entry: a LastStepState plus the
+// post-step positions that intermediate entries cannot recover from the
+// session snapshot.
+type RingStep struct {
+	LastStepState
+	Positions []Point `json:"positions"`
 }
 
 // LastStepState is the serialized outcome of the last executed step. Move

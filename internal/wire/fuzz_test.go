@@ -63,6 +63,8 @@ var fuzzSeeds = map[string][][]byte{
 		[]byte(`{"v":2,"type":"ping"}`),
 		[]byte(`{"type":"ping"}`),
 		[]byte(`not json`),
+		[]byte(`{"v":1,"type":"hello","dim":2,"wire":"binary","window":8}`),
+		[]byte(`{"v":1,"type":"welcome","algorithm":"MtC","t":4,"dim":2,"window":8,"ring":[{"t":2,"batched":1,"cost":{"move":1,"serve":0,"total":1},"positions":[[0,1]]},{"t":3,"batched":2,"cost":{"move":0,"serve":2,"total":2},"positions":[[1,2]]}]}`),
 	},
 	"FuzzBinaryFrame": nil, // built in init: needs the Append helpers
 	"FuzzParseCheckpoint": {
@@ -78,9 +80,13 @@ var fuzzSeeds = map[string][][]byte{
 }
 
 func init() {
-	hello := &HelloFrame{V: V1, Type: FrameHello, Dim: 2, Wire: WireBinary}
+	hello := &HelloFrame{V: V1, Type: FrameHello, Dim: 2, Wire: WireBinary, Window: 8}
 	last := &LastStep{T: 3, Batched: 1, Cost: Cost{Move: 1, Serve: 2, Total: 3}, Positions: []Point{{1, 2}}}
-	welcome := &WelcomeFrame{V: V1, Type: FrameWelcome, Algorithm: "MtC", T: 4, Dim: 2, Wire: WireBinary, Last: last}
+	ring := []LastStep{
+		{T: 2, Batched: 2, Cost: Cost{Move: 0.5, Serve: 1, Total: 1.5}, Positions: []Point{{0, 1}}},
+		*last,
+	}
+	welcome := &WelcomeFrame{V: V1, Type: FrameWelcome, Algorithm: "MtC", T: 4, Dim: 2, Wire: WireBinary, Last: last, Window: 8, Ring: ring}
 	ack := AppendAckFrom(nil, V1, 7, 1, 2, 2, Cost{Serve: 1, Total: 1}, 0,
 		[]Point{{1, 1}}, []ShardStep{{Shard: 0, Routed: 2, Cost: Cost{Serve: 1, Total: 1}}})
 	throttle := &ThrottleFrame{V: V1, Type: FrameThrottle, ID: 9, RetryAfterMS: 50}

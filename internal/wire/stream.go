@@ -142,6 +142,13 @@ type HelloFrame struct {
 	// reject the hello strictly (bad_frame), which clients treat as "speak
 	// NDJSON" by re-dialing without the field.
 	Wire string `json:"wire,omitempty"`
+	// Window, when > 1, asks the server to accept up to Window pipelined
+	// step frames in flight at once with suffix-replay reconciliation
+	// (see WelcomeFrame.Ring). Absent or <= 1 is lockstep — the only
+	// behavior before the field existed. Servers that predate the field
+	// reject the hello strictly (bad_frame), which clients treat exactly
+	// like the wire downgrade: re-dial without the field and run lockstep.
+	Window int `json:"window,omitempty"`
 }
 
 // WelcomeFrame accepts a stream:
@@ -166,6 +173,18 @@ type WelcomeFrame struct {
 	// Empty means NDJSON (the only encoding before the field existed). A
 	// server never confirms an encoding the hello did not ask for.
 	Wire string `json:"wire,omitempty"`
+	// Window is the granted in-flight pipeline depth: the server accepts
+	// up to Window unacked step frames and retains a ring of the last
+	// Window executed outcomes for suffix-replay recovery. Never more
+	// than the hello asked for; absent or <= 1 means lockstep.
+	Window int `json:"window,omitempty"`
+	// Ring carries the outcomes of the most recent executed steps, oldest
+	// first and ending with step T-1, each with its post-step positions —
+	// the suffix-replay recovery payload. A reconnecting pipeliner with
+	// several unacked frames recovers every frame below T from here
+	// (matching entries by step index) and resends the rest. Last always
+	// duplicates the newest entry, so pre-window consumers keep working.
+	Ring []LastStep `json:"ring,omitempty"`
 }
 
 // LastStep is the recovery payload inside a welcome frame: the outcome of
@@ -308,11 +327,15 @@ type FailoverEvent struct {
 	From string `json:"from"`
 	To   string `json:"to"`
 	// RestoredT is the step count the new owner reported after restoring
-	// the shard's checkpoint: T means the in-flight step had not executed
-	// and was resent; T+1 means it had executed and its outcome was
-	// recovered from the welcome instead of resending.
+	// the shard's checkpoint. In lockstep it is T (the in-flight step had
+	// not executed and was resent) or T+1 (it had executed and its
+	// outcome was recovered from the welcome instead of resending); with
+	// a pipeline window of W unacked steps it lands anywhere in
+	// [T, T+W] — steps below RestoredT are recovered from the welcome's
+	// ring, steps at or above it are resent in order.
 	RestoredT int `json:"restored_t"`
-	// Resent reports which of those two paths ran.
+	// Resent reports whether any in-flight step was resent (RestoredT
+	// did not cover the whole unacked suffix).
 	Resent bool `json:"resent"`
 }
 

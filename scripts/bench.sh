@@ -3,21 +3,26 @@
 # sharded-vs-unsharded serving benchmark (BenchmarkRouterStep), the
 # transport comparison (BenchmarkStreamVsHTTP), the stream-encoding
 # comparison (BenchmarkStreamBinaryVsNDJSON), the shard-layout
-# comparison (BenchmarkRebalanceVsStatic), and the multi-process serving
-# comparison (BenchmarkClusterVsLocal) and emit a machine-readable
-# JSON summary, so the bench trajectory is tracked as a CI artifact
-# instead of scrolling away in logs. The summary carries four derived
-# entries: "stream_vs_http" (per-batch latency of each transport and the
+# comparison (BenchmarkRebalanceVsStatic), the multi-process serving
+# comparison (BenchmarkClusterVsLocal), and the pipelined-ingestion
+# comparison (BenchmarkClusterPipelinedVsLockstep) and emit a
+# machine-readable JSON summary, so the bench trajectory is tracked as a
+# CI artifact instead of scrolling away in logs. The summary carries five
+# derived entries: "stream_vs_http" (per-batch latency of each transport and the
 # speedup of pipelined NDJSON ingestion over per-request HTTP),
 # "stream_binary_vs_ndjson" (per-frame latency of each stream encoding,
 # the speedup of binary frames over NDJSON, and the binary path's
 # allocs/op — the zero-copy pipeline's headline numbers),
 # "rebalance_vs_static" (per-step serving cost of the drifting-hotspot
 # workload under a static vs a dynamically rebalanced shard layout, and
-# the fraction of cost the rebalancer saves), and "cluster_vs_local"
+# the fraction of cost the rebalancer saves), "cluster_vs_local"
 # (per-step latency of the in-process sharded server vs a coordinator
 # forwarding to worker-hosted shards over loopback, pinning the
-# forwarding overhead of the cluster tier).
+# forwarding overhead of the cluster tier), and
+# "cluster_pipelined_vs_lockstep" (per-step latency of the cluster tier
+# in lockstep vs with a pipelined ingestion window and group-commit
+# checkpointing, the speedup the window buys, and the negotiated window
+# depth).
 #
 # The script fails (non-zero exit) when any expected summary entry is
 # missing from the output — a benchmark that silently stopped emitting
@@ -43,6 +48,7 @@ go test -run '^$' -bench 'BenchmarkStreamVsHTTP' -benchtime "${BENCHTIME:-300x}"
 go test -run '^$' -bench 'BenchmarkStreamBinaryVsNDJSON' -benchtime "${BENCHTIME:-300x}" ./internal/server/ | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkRebalanceVsStatic' -benchtime "${BENCHTIME:-3x}" ./internal/shard/ | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkClusterVsLocal' -benchtime "${BENCHTIME:-200x}" ./internal/cluster/ | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkClusterPipelinedVsLockstep' -benchtime "${BENCHTIME:-200x}" ./internal/cluster/ | tee -a "$raw"
 
 # Convert `BenchmarkName-P   N   T ns/op [extras...]` lines into a JSON
 # document. The -P CPU suffix is stripped from the name. The comparison
@@ -55,6 +61,7 @@ BEGIN {
 	ndjson_ns = ""; binary_ns = ""; binary_allocs = ""
 	static_cost = ""; rebalance_cost = ""
 	local_ns = ""; cluster_ns = ""
+	lockstep_ns = ""; pipelined_ns = ""; pipe_window = ""
 }
 /^Benchmark/ && $4 == "ns/op" {
 	name = $1
@@ -69,6 +76,10 @@ BEGIN {
 			if (name ~ /BenchmarkStreamBinaryVsNDJSON\/binary$/) binary_allocs = $i
 		}
 		if ($(i+1) == "req/s")     extra = extra sprintf(", \"req_per_sec\": %s", $i)
+		if ($(i+1) == "window") {
+			extra = extra sprintf(", \"window\": %s", $i)
+			if (name ~ /BenchmarkClusterPipelinedVsLockstep\/pipelined$/) pipe_window = $i
+		}
 		if ($(i+1) == "cost/step") {
 			extra = extra sprintf(", \"cost_per_step\": %s", $i)
 			if (name ~ /BenchmarkRebalanceVsStatic\/static$/)    static_cost = $i
@@ -81,6 +92,8 @@ BEGIN {
 	if (name ~ /BenchmarkStreamBinaryVsNDJSON\/binary$/) binary_ns = ns
 	if (name ~ /BenchmarkClusterVsLocal\/local$/)   local_ns = ns
 	if (name ~ /BenchmarkClusterVsLocal\/cluster$/) cluster_ns = ns
+	if (name ~ /BenchmarkClusterPipelinedVsLockstep\/lockstep$/)  lockstep_ns = ns
+	if (name ~ /BenchmarkClusterPipelinedVsLockstep\/pipelined$/) pipelined_ns = ns
 	if (n++) printf ",\n"
 	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extra
 }
@@ -104,13 +117,19 @@ END {
 		printf ",\n  \"cluster_vs_local\": {\"local_ns_per_step\": %s, \"cluster_ns_per_step\": %s, \"forwarding_overhead_ns\": %d, \"slowdown\": %.2f}",
 			local_ns, cluster_ns, (cluster_ns + 0) - (local_ns + 0), (cluster_ns + 0) / (local_ns + 0)
 	}
+	if (lockstep_ns != "" && pipelined_ns != "" && pipelined_ns + 0 > 0) {
+		printf ",\n  \"cluster_pipelined_vs_lockstep\": {\"lockstep_ns_per_step\": %s, \"pipelined_ns_per_step\": %s, \"speedup\": %.2f",
+			lockstep_ns, pipelined_ns, (lockstep_ns + 0) / (pipelined_ns + 0)
+		if (pipe_window != "") printf ", \"window\": %d", pipe_window + 0
+		printf "}"
+	}
 	printf "\n}\n"
 }' "$raw" > "$out"
 
 # Fail loudly when an expected summary entry is missing: the benchmark it
 # derives from was renamed, skipped, or broke without failing the run.
 missing=0
-for key in stream_vs_http stream_binary_vs_ndjson rebalance_vs_static cluster_vs_local; do
+for key in stream_vs_http stream_binary_vs_ndjson rebalance_vs_static cluster_vs_local cluster_pipelined_vs_lockstep; do
 	if ! grep -q "\"$key\"" "$out"; then
 		echo "bench.sh: missing expected summary entry \"$key\" in $out" >&2
 		missing=1
