@@ -1,0 +1,161 @@
+// Command moblab is the scenario lab's CLI: "moblab sweep" runs a
+// declarative experiment matrix (internal/lab) through the real serving
+// stack and writes results/<stamp>/<cell>/summary.json plus the
+// aggregated report, resumable per cell and parallel across CPUs;
+// "moblab watch" renders a live terminal dashboard over a running
+// mobserve's GET /metrics/stream SSE feed — cost rate, per-shard skew and
+// layout, cap pressure, rebalance and failover events.
+//
+// Usage:
+//
+//	moblab sweep -matrix matrices/example.json
+//	moblab sweep -matrix matrices/example.json -out results -stamp rerun -rerun
+//	moblab watch -addr http://localhost:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	var err error
+	switch os.Args[1] {
+	case "sweep":
+		err = sweep(ctx, os.Args[2:])
+	case "watch":
+		err = watch(ctx, os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "moblab: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moblab:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `moblab — the scenario lab
+
+  moblab sweep -matrix <file> [-out results] [-stamp <name>] [-parallel N] [-rerun] [-mobserve <bin>]
+      Run every cell of the matrix and write results/<stamp>/<cell>/summary.json
+      plus report.json and bench.json. Resumable: cells with an existing
+      summary are adopted unless -rerun.
+
+  moblab watch [-addr http://localhost:8080] [-interval 500ms] [-points 240] [-width 64] [-height 12]
+      Live dashboard over a running mobserve's GET /metrics/stream feed.`)
+}
+
+func sweep(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	matrix := fs.String("matrix", "", "matrix spec file (required)")
+	out := fs.String("out", "results", "results root directory")
+	stamp := fs.String("stamp", "", "results subdirectory name (default: UTC timestamp)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "cells run concurrently")
+	rerun := fs.Bool("rerun", false, "rerun cells even when a summary already exists")
+	mobserve := fs.String("mobserve", "", "mobserve binary for live cells")
+	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
+	fs.Parse(args)
+	if *matrix == "" {
+		return fmt.Errorf("sweep: -matrix is required")
+	}
+	spec, err := lab.LoadSpec(*matrix)
+	if err != nil {
+		return err
+	}
+	name := *stamp
+	if name == "" {
+		name = time.Now().UTC().Format("20060102T150405Z")
+	}
+	outDir := filepath.Join(*out, name)
+	r := &lab.Runner{
+		Spec:        spec,
+		BaseDir:     filepath.Dir(*matrix),
+		OutDir:      outDir,
+		Parallel:    *parallel,
+		Rerun:       *rerun,
+		MobserveBin: *mobserve,
+	}
+	if !*quiet {
+		r.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+	}
+	report, err := r.Sweep(ctx)
+	if report != nil {
+		fmt.Printf("\nsweep %s: %d cells (%d ran, %d adopted) in %dms -> %s\n",
+			report.Name, report.Cells, report.Ran, report.Skipped, report.ElapsedMS, outDir)
+		be := report.Bench
+		if be.StaticCostPerStep > 0 {
+			fmt.Printf("static %.4g vs rebalance %.4g cost/step (%.1f%% saved)\n",
+				be.StaticCostPerStep, be.RebalanceCostPerStep, 100*be.CostSavedFrac)
+		}
+		for _, b := range be.Best {
+			fmt.Printf("best %-12s %s (%.4g cost/step)\n", b.Workload, b.Cell, b.CostPerStep)
+		}
+	}
+	return err
+}
+
+func watch(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "mobserve base URL")
+	interval := fs.Duration("interval", 500*time.Millisecond, "redraw and /state poll interval")
+	points := fs.Int("points", 240, "cost-rate history length")
+	width := fs.Int("width", 64, "cost plot width")
+	height := fs.Int("height", 12, "cost plot height")
+	fs.Parse(args)
+
+	d := &lab.Dashboard{Points: *points, Width: *width, Height: *height}
+	sseErr := make(chan error, 1)
+	go func() {
+		sseErr <- lab.FollowSSE(ctx, *addr+"/metrics/stream", lab.SSEHandlers{
+			Metrics:   d.ObserveMetrics,
+			Rebalance: d.ObserveRebalance,
+			Failover:  d.ObserveFailover,
+		})
+	}()
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		var st wire.StateResponse
+		if err := lab.GetState(ctx, *addr, &st); err == nil {
+			d.ObserveState(st)
+		}
+		// ANSI clear-and-home, then one full frame: a flicker-free enough
+		// redraw loop without any terminal dependency.
+		fmt.Print("\x1b[H\x1b[2J")
+		fmt.Printf("moblab watch %s  (%s)\n\n", *addr, time.Now().Format("15:04:05"))
+		fmt.Print(d.Render())
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case err := <-sseErr:
+			// The feed ended: the server shut down (nil) or refused (err).
+			fmt.Println()
+			return err
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,9 +1,17 @@
 // Client is a load generator for cmd/mobserve: concurrent workers POST
-// request batches from a moving-hotspot workload, honor 429 backpressure by
-// backing off and retrying, and finally reconcile their own counters
-// against the server's GET /metrics — every accepted request must be
-// counted exactly once server-side, and the per-step costs the workers saw
-// (summed once per step) must equal the server's running cost totals.
+// request batches from a named internal/workload generator, honor 429
+// backpressure by backing off and retrying, and finally reconcile their
+// own counters against the server's GET /metrics — every accepted request
+// must be counted exactly once server-side, and the per-step costs the
+// workers saw (summed once per step) must equal the server's running cost
+// totals.
+//
+// The load comes from the same deterministic workload registry the
+// scenario lab (internal/lab, cmd/moblab) sweeps over: -workload picks
+// the generator by name (uniform, hotspot, clusters, burst, zipf, drift)
+// and -seed pins the sequence, so a load pattern explored in the lab can
+// be replayed against a live server verbatim. The whole instance is
+// generated up front; transports only deliver it.
 //
 // With -stream the same workload rides the persistent streaming transport
 // instead: one TCP connection is upgraded via POST /stream and every batch
@@ -26,21 +34,20 @@
 //	go run ./examples/client -n 10000 -stream                # one pipelined connection
 //	go run ./examples/client -n 2000 -workers 16 -batch 1   # more contention
 //
-// Against a sharded server, -regions spreads the load over that many
-// distinct hotspots across [-span, span] on axis 0 (one per region,
-// round-robin), so every shard of `mobserve -shards N` sees traffic:
+// Against a sharded server, -workload clusters (or zipf) spreads load
+// over several sites so every shard of `mobserve -shards N` sees traffic:
 //
 //	mobserve -addr :8080 -shards 4 -k 2 &
-//	go run ./examples/client -n 10000 -regions 4
+//	go run ./examples/client -n 10000 -workload clusters
 //
-// With -drift the load is instead one tight hotspot that sweeps across
-// [-span, span] over the whole run — the adversarial pattern for a static
-// shard layout, and the workload dynamic rebalancing is built for. Compare
-// the final cost of a static server against one started with
+// With -workload drift the load is one tight hotspot that sweeps across
+// the space over the whole run — the adversarial pattern for a static
+// shard layout, and the workload dynamic rebalancing is built for.
+// Compare the final cost of a static server against one started with
 // -rebalance threshold:
 //
 //	mobserve -addr :8080 -shards 4 -k 2 -rebalance threshold &
-//	go run ./examples/client -n 20000 -drift
+//	go run ./examples/client -n 20000 -workload drift
 //
 // Point it at a server started with a tiny -queue to watch backpressure:
 //
@@ -63,20 +70,22 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/streamclient"
 	"repro/internal/wire"
+	"repro/internal/workload"
+	"repro/internal/xrand"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "mobserve base URL")
-		n        = flag.Int("n", 10_000, "total number of requests to send")
+		n        = flag.Int("n", 10_000, "total number of requests to send (whole batches; burst phases vary it)")
 		batch    = flag.Int("batch", 5, "requests per POST /step call (or per stream frame)")
 		workers  = flag.Int("workers", 8, "concurrent client workers (HTTP mode)")
 		dim      = flag.Int("dim", 2, "request dimension (must match the server)")
-		regions  = flag.Int("regions", 1, "distinct hotspot regions across [-span, span] (match the server's -shards)")
-		span     = flag.Float64("span", 25, "half-width of the region interval (match the server's -span)")
-		drift    = flag.Bool("drift", false, "one tight hotspot sweeping across [-span, span] over the run (exercises dynamic rebalancing)")
+		wlName   = flag.String("workload", "hotspot", "workload generator: uniform|hotspot|clusters|burst|zipf|drift")
+		seed     = flag.Uint64("seed", 1, "workload random seed (same seed, same sequence)")
 		stream   = flag.Bool("stream", false, "pipeline step frames over one persistent POST /stream connection instead of per-request HTTP")
 		inflight = flag.Int("inflight", 32, "stream mode: maximum unacknowledged frames in flight")
 		wireOpt  = flag.String("wire", "auto", "stream mode encoding: auto (negotiate binary, fall back to ndjson) | binary (require) | ndjson (pin)")
@@ -88,28 +97,31 @@ func main() {
 		*addr = "http://" + *addr
 	}
 	batches := (*n + *batch - 1) / *batch
-	gen := workload{regions: *regions, span: *span, dim: *dim, drift: *drift, batches: batches}
+	gen, err := makeLoad(*wlName, *seed, *dim, *batch, batches)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "client: %v\n", err)
+		os.Exit(1)
+	}
 	mode := fmt.Sprintf("%d workers", *workers)
 	if *stream {
 		mode = fmt.Sprintf("one stream, %d frames in flight", *inflight)
 	}
-	fmt.Printf("driving %d requests (%d batches of %d) with %s against %s\n",
-		*n, batches, *batch, mode, *addr)
+	fmt.Printf("driving %d %s requests (%d batches, seed %d) with %s against %s\n",
+		gen.total, *wlName, batches, *seed, mode, *addr)
 
 	var (
 		accepted, retries int
 		costs             map[int]wire.Cost
-		err               error
 	)
 	start := time.Now()
 	if *stream {
-		accepted, retries, costs, err = driveStream(*addr, gen, *n, *batch, *inflight, *wireOpt)
+		accepted, retries, costs, err = driveStream(*addr, gen, *dim, *inflight, *wireOpt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "client: stream: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
-		accepted, retries, costs = driveHTTP(*addr, gen, *n, *batch, *workers)
+		accepted, retries, costs = driveHTTP(*addr, gen, *workers)
 	}
 	elapsed := time.Since(start)
 
@@ -155,15 +167,41 @@ func main() {
 	}
 }
 
+// load is the pre-generated request sequence: one wire-ready batch per
+// step of a registry workload's instance. Generating up front keeps the
+// transports pure delivery — the same sequence the lab would replay.
+type load struct {
+	batches []wire.StepRequest
+	total   int
+}
+
+// makeLoad builds the instance from the named generator: T = batches
+// steps, batchSize requests per step (the burst generator varies counts
+// by phase, as it does in the lab).
+func makeLoad(name string, seed uint64, dim, batchSize, batches int) (load, error) {
+	g, err := workload.ByName(name)
+	if err != nil {
+		return load{}, err
+	}
+	g = workload.WithRequests(g, batchSize)
+	cfg := core.Config{Dim: dim, D: 2, M: 1, Delta: 0.5}
+	in := g.Generate(xrand.NewStream(seed, 0), cfg, batches)
+	out := load{batches: make([]wire.StepRequest, len(in.Steps))}
+	for i, step := range in.Steps {
+		out.batches[i] = wire.StepRequest{Requests: wire.FromPoints(step.Requests)}
+		out.total += len(step.Requests)
+	}
+	return out, nil
+}
+
 // driveHTTP is the per-request transport: a pool of workers posting
 // batches, each call blocking for its step's outcome.
-func driveHTTP(addr string, gen workload, n, batchSize, workers int) (accepted, retries int, costs map[int]wire.Cost) {
+func driveHTTP(addr string, gen load, workers int) (accepted, retries int, costs map[int]wire.Cost) {
 	type tally struct {
 		accepted int
 		retries  int
 		costs    map[int]wire.Cost
 	}
-	batches := (n + batchSize - 1) / batchSize
 	tallies := make([]tally, workers)
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -173,11 +211,7 @@ func driveHTTP(addr string, gen workload, n, batchSize, workers int) (accepted, 
 			defer wg.Done()
 			tallies[w].costs = map[int]wire.Cost{}
 			for b := range work {
-				size := batchSize
-				if rest := n - b*batchSize; rest < size {
-					size = rest
-				}
-				resp, r, err := post(addr, gen.batch(b, size))
+				resp, r, err := post(addr, gen.batches[b])
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "client: batch %d: %v\n", b, err)
 					os.Exit(1)
@@ -188,7 +222,7 @@ func driveHTTP(addr string, gen workload, n, batchSize, workers int) (accepted, 
 			}
 		}(w)
 	}
-	for b := 0; b < batches; b++ {
+	for b := range gen.batches {
 		work <- b
 	}
 	close(work)
@@ -211,8 +245,8 @@ func driveHTTP(addr string, gen workload, n, batchSize, workers int) (accepted, 
 // to inflight of them unacknowledged. Throttle frames are resent by the
 // client itself after a jittered backoff; acks are tallied exactly like
 // HTTP responses.
-func driveStream(addr string, gen workload, n, batchSize, inflight int, wireOpt string) (accepted, retries int, costs map[int]wire.Cost, err error) {
-	c, err := streamclient.Dial(addr, "/stream", streamclient.Options{Dim: gen.dim, Wire: wireOpt})
+func driveStream(addr string, gen load, dim, inflight int, wireOpt string) (accepted, retries int, costs map[int]wire.Cost, err error) {
+	c, err := streamclient.Dial(addr, "/stream", streamclient.Options{Dim: dim, Wire: wireOpt})
 	if err != nil {
 		return 0, 0, nil, err
 	}
@@ -223,19 +257,14 @@ func driveStream(addr string, gen workload, n, batchSize, inflight int, wireOpt 
 	// Writer: pipeline fresh frames as the in-flight window allows. The
 	// semaphore is released per ack; a throttled frame keeps its slot
 	// until its resend is acked (resends happen inside the client).
-	batches := (n + batchSize - 1) / batchSize
 	sem := make(chan struct{}, inflight)
 	pends := make(chan *streamclient.Pending, inflight)
 	writeErr := make(chan error, 1)
 	go func() {
 		defer close(pends)
-		for b := 0; b < batches; b++ {
-			size := batchSize
-			if rest := n - b*batchSize; rest < size {
-				size = rest
-			}
+		for b := range gen.batches {
 			sem <- struct{}{}
-			p, err := c.Step(gen.batch(b, size).Requests)
+			p, err := c.Step(gen.batches[b].Requests)
 			if err != nil {
 				writeErr <- err
 				return
@@ -263,50 +292,6 @@ func driveStream(addr string, gen workload, n, batchSize, inflight int, wireOpt 
 	default:
 	}
 	return accepted, int(c.Throttles()), costs, nil
-}
-
-// workload generates the deterministic load: with one region, requests
-// cluster on a hotspot orbiting the origin at radius 20 (the original
-// workload); with R > 1 regions, batch b's hotspot orbits the center of
-// region b%R across [-span, span] on axis 0, so a sharded server sees
-// round-robin traffic in every shard. With drift the hotspot instead
-// sweeps linearly across [-0.8·span, 0.8·span] over the whole run,
-// crossing every shard boundary — the pattern a static layout handles
-// worst and a rebalancing server absorbs by migrating servers after it.
-type workload struct {
-	regions int
-	span    float64
-	dim     int
-	drift   bool
-	batches int
-}
-
-func (g workload) batch(b, size int) wire.StepRequest {
-	cx, radius := 0.0, 20.0
-	if g.drift {
-		frac := 0.0
-		if g.batches > 1 {
-			frac = float64(b) / float64(g.batches-1)
-		}
-		cx = g.span * (-0.8 + 1.6*frac)
-		radius = 0.1 * g.span
-	} else if g.regions > 1 {
-		width := 2 * g.span / float64(g.regions)
-		cx = -g.span + width*(float64(b%g.regions)+0.5)
-		radius = 0.35 * width
-	}
-	reqs := make([]wire.Point, size)
-	for i := range reqs {
-		angle := 2 * math.Pi * float64(b) / 500
-		jitter := 0.5 * math.Sin(float64(b*7+i*13))
-		p := make(wire.Point, g.dim)
-		p[0] = cx + (radius+jitter)*math.Cos(angle)
-		if g.dim > 1 {
-			p[1] = (radius + jitter) * math.Sin(angle)
-		}
-		reqs[i] = p
-	}
-	return wire.StepRequest{Requests: reqs}
 }
 
 // post sends one batch, retrying on 429 after the server's backoff hint:

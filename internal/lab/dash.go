@@ -1,0 +1,168 @@
+// The live TUI dashboard behind moblab watch: a Dashboard accumulates the
+// SSE metrics feed (plus periodic /state scrapes) and renders one text
+// frame — cost-rate plot, per-shard load/layout bars, cap pressure, and
+// the recent rebalance/failover log — for the terminal redraw loop.
+
+package lab
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/asciiplot"
+	"repro/internal/wire"
+)
+
+// Dashboard accumulates live feed events and renders text frames. Safe
+// for one renderer and several observers.
+type Dashboard struct {
+	// Points bounds the cost-rate history ring. Default 240.
+	Points int
+	// Width and Height shape the cost plot. Defaults 64×12.
+	Width, Height int
+
+	mu sync.Mutex
+	// ts and stepCost are the cost-rate history (per-step cost at step t),
+	// a ring truncated to Points.
+	ts       []float64
+	stepCost []float64
+	last     wire.MetricsEvent
+	seen     bool
+	state    *wire.StateResponse
+	// events is the rolling rebalance/failover log, newest last.
+	events     []string
+	rebalances int
+	failovers  int
+	dropped    int
+}
+
+// dashEventLog bounds the rolling event log.
+const dashEventLog = 6
+
+// ObserveMetrics feeds one step event from the SSE stream.
+func (d *Dashboard) ObserveMetrics(ev wire.MetricsEvent) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.last = ev
+	d.seen = true
+	d.dropped += ev.Dropped
+	points := d.Points
+	if points <= 0 {
+		points = 240
+	}
+	d.ts = append(d.ts, float64(ev.T))
+	d.stepCost = append(d.stepCost, ev.StepCost.Total)
+	if n := len(d.ts) - points; n > 0 {
+		d.ts = d.ts[n:]
+		d.stepCost = d.stepCost[n:]
+	}
+}
+
+// ObserveRebalance feeds one rebalance event from the SSE stream.
+func (d *Dashboard) ObserveRebalance(ev wire.RebalanceEvent) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rebalances++
+	d.pushEvent(fmt.Sprintf("t=%-6d rebalance: shard %d -> %d, layout %v", ev.T, ev.From, ev.To, ev.Ks))
+}
+
+// ObserveFailover feeds one failover event from the SSE stream.
+func (d *Dashboard) ObserveFailover(ev wire.FailoverEvent) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failovers++
+	d.pushEvent(fmt.Sprintf("t=%-6d failover: shard %d %s -> %s", ev.T, ev.Shard, ev.From, ev.To))
+}
+
+// ObserveState feeds one GET /state scrape (shard layout and positions).
+func (d *Dashboard) ObserveState(st wire.StateResponse) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state = &st
+}
+
+func (d *Dashboard) pushEvent(line string) {
+	d.events = append(d.events, line)
+	if len(d.events) > dashEventLog {
+		d.events = d.events[len(d.events)-dashEventLog:]
+	}
+}
+
+// Render draws one full dashboard frame.
+func (d *Dashboard) Render() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var b strings.Builder
+	if !d.seen {
+		b.WriteString("waiting for metrics events...\n")
+		return b.String()
+	}
+	ev := d.last
+	fmt.Fprintf(&b, "step %d   requests %d   total cost %.4g (move %.4g, serve %.4g)\n",
+		ev.T, ev.Requests, ev.Cost.Total, ev.Cost.Move, ev.Cost.Serve)
+	fmt.Fprintf(&b, "avg cost/step %.4g   queue %d   rejected %d   events dropped %d\n",
+		ev.AvgStepCost, ev.QueueDepth, ev.Rejected, d.dropped)
+	fmt.Fprintf(&b, "rebalances %d   failovers %d\n\n", d.rebalances, d.failovers)
+
+	w, h := d.Width, d.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 12
+	}
+	b.WriteString(asciiplot.Plot{
+		Width: w, Height: h,
+		Title: "step cost over time",
+	}.Render([]asciiplot.Series{{Name: "cost/step", X: d.ts, Y: d.stepCost, Marker: '*'}}))
+	b.WriteByte('\n')
+
+	if st := d.state; st != nil {
+		if len(st.Shards) > 0 {
+			b.WriteString(renderShards(st))
+		} else {
+			fmt.Fprintf(&b, "%s: %d servers, max move %.3g, cap hits %d, clamped %d\n",
+				st.Algorithm, len(st.Positions), st.MaxMove, st.CapHits, st.Clamped)
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(d.events) > 0 {
+		b.WriteString("recent events:\n")
+		for _, e := range d.events {
+			b.WriteString("  " + e + "\n")
+		}
+	}
+	return b.String()
+}
+
+// renderShards draws one bar per shard: request share (the routing skew)
+// and the live fleet size, plus cap pressure.
+func renderShards(st *wire.StateResponse) string {
+	total := 0
+	for _, sh := range st.Shards {
+		total += sh.Requests
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards (%s, cap hits %d, clamped %d):\n", st.Algorithm, st.CapHits, st.Clamped)
+	const barWidth = 32
+	for _, sh := range st.Shards {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(sh.Requests) / float64(total)
+		}
+		fill := int(frac*barWidth + 0.5)
+		if fill > barWidth {
+			fill = barWidth
+		}
+		bar := strings.Repeat("#", fill) + strings.Repeat(".", barWidth-fill)
+		workers := ""
+		if sh.Shard < len(st.Workers) {
+			workers = "  @" + st.Workers[sh.Shard]
+		}
+		fmt.Fprintf(&b, "  shard %d [%s] %5.1f%%  k=%d  reqs=%d  clamped=%d%s\n",
+			sh.Shard, bar, 100*frac, sh.Servers, sh.Requests, sh.Clamped, workers)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package lab
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// sseBody is a canned GET /metrics/stream transcript: two metrics events,
+// one rebalance, one failover — in the server's exact framing.
+const sseBody = "id: 0\nevent: metrics\ndata: {\"v\":1,\"t\":0,\"batched\":2,\"step_cost\":{\"move\":1,\"serve\":0.5,\"total\":1.5},\"steps\":1,\"requests\":2,\"cost\":{\"move\":1,\"serve\":0.5,\"total\":1.5},\"avg_step_cost\":1.5,\"queue_depth\":0,\"rejected\":0}\n\n" +
+	"event: rebalance\ndata: {\"v\":1,\"t\":1,\"from\":0,\"to\":1,\"server\":[3,0],\"ks\":[1,3]}\n\n" +
+	"event: failover\ndata: {\"v\":1,\"t\":2,\"shard\":1,\"from\":\"a:1\",\"to\":\"b:2\"}\n\n" +
+	"id: 3\nevent: metrics\ndata: {\"v\":1,\"t\":3,\"batched\":1,\"step_cost\":{\"move\":2,\"serve\":1,\"total\":3},\"steps\":4,\"requests\":7,\"cost\":{\"move\":5,\"serve\":2,\"total\":7},\"avg_step_cost\":1.75,\"queue_depth\":1,\"rejected\":2,\"dropped\":1}\n\n"
+
+func TestFollowSSEDispatch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Write([]byte(sseBody))
+	}))
+	defer srv.Close()
+
+	var metrics []wire.MetricsEvent
+	var rebalances []wire.RebalanceEvent
+	var failovers []wire.FailoverEvent
+	err := FollowSSE(context.Background(), srv.URL, SSEHandlers{
+		Metrics:   func(ev wire.MetricsEvent) { metrics = append(metrics, ev) },
+		Rebalance: func(ev wire.RebalanceEvent) { rebalances = append(rebalances, ev) },
+		Failover:  func(ev wire.FailoverEvent) { failovers = append(failovers, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 2 || len(rebalances) != 1 || len(failovers) != 1 {
+		t.Fatalf("dispatched %d/%d/%d events, want 2/1/1", len(metrics), len(rebalances), len(failovers))
+	}
+	if metrics[1].T != 3 || metrics[1].Cost.Total != 7 || metrics[1].Dropped != 1 {
+		t.Errorf("second metrics event decoded wrong: %+v", metrics[1])
+	}
+	if rebalances[0].From != 0 || rebalances[0].To != 1 || len(rebalances[0].Ks) != 2 {
+		t.Errorf("rebalance event decoded wrong: %+v", rebalances[0])
+	}
+	if failovers[0].Shard != 1 || failovers[0].To != "b:2" {
+		t.Errorf("failover event decoded wrong: %+v", failovers[0])
+	}
+}
+
+func TestDashboardRender(t *testing.T) {
+	d := &Dashboard{Points: 10, Width: 40, Height: 8}
+	if got := d.Render(); !strings.Contains(got, "waiting for metrics") {
+		t.Fatalf("empty dashboard render: %q", got)
+	}
+	d.ObserveMetrics(wire.MetricsEvent{T: 0, StepCost: wire.Cost{Total: 1.5}, Steps: 1, Requests: 2, Cost: wire.Cost{Move: 1, Serve: 0.5, Total: 1.5}, AvgStepCost: 1.5})
+	d.ObserveMetrics(wire.MetricsEvent{T: 1, StepCost: wire.Cost{Total: 3}, Steps: 2, Requests: 4, Cost: wire.Cost{Move: 3, Serve: 1.5, Total: 4.5}, AvgStepCost: 2.25})
+	d.ObserveRebalance(wire.RebalanceEvent{T: 1, From: 0, To: 1, Ks: []int{1, 3}})
+	d.ObserveFailover(wire.FailoverEvent{T: 2, Shard: 1, From: "a:1", To: "b:2"})
+	d.ObserveState(wire.StateResponse{
+		Algorithm: "MtC-k×2",
+		Shards: []wire.ShardState{
+			{Shard: 0, Servers: 1, Requests: 3},
+			{Shard: 1, Servers: 3, Requests: 1},
+		},
+	})
+	out := d.Render()
+	for _, want := range []string{
+		"step 1",
+		"rebalances 1",
+		"failovers 1",
+		"step cost over time",
+		"shard 0",
+		"k=3",
+		"rebalance: shard 0 -> 1",
+		"failover: shard 1 a:1 -> b:2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard frame missing %q:\n%s", want, out)
+		}
+	}
+	// The history ring stays bounded.
+	for i := 2; i < 50; i++ {
+		d.ObserveMetrics(wire.MetricsEvent{T: i, StepCost: wire.Cost{Total: 1}})
+	}
+	d.mu.Lock()
+	n := len(d.ts)
+	d.mu.Unlock()
+	if n != 10 {
+		t.Fatalf("history ring holds %d points, want 10", n)
+	}
+}

@@ -1,0 +1,105 @@
+// Instance construction for lab cells: one request sequence per workload
+// label, shared by every cell that serves it, drawn from an xrand stream
+// keyed by that label so the sequence survives matrix reordering and
+// parallel scheduling.
+
+package lab
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/traceio"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// instances memoizes the per-workload request sequences of one sweep.
+type instances struct {
+	spec *Spec
+	// baseDir resolves relative trace paths (the matrix file's directory).
+	baseDir string
+
+	mu    sync.Mutex
+	cache map[string]*core.Instance
+}
+
+func newInstances(spec *Spec, baseDir string) *instances {
+	return &instances{spec: spec, baseDir: baseDir, cache: map[string]*core.Instance{}}
+}
+
+// For returns the workload's instance, building it on first use.
+func (b *instances) For(w WorkloadSpec) (*core.Instance, error) {
+	label := w.Label()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if in, ok := b.cache[label]; ok {
+		return in, nil
+	}
+	in, err := b.build(w)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("lab: workload %s produced invalid instance: %w", label, err)
+	}
+	b.cache[label] = in
+	return in, nil
+}
+
+func (b *instances) build(w WorkloadSpec) (*core.Instance, error) {
+	cfg := b.spec.BaseConfig()
+	r := xrand.NewStream(b.spec.Seed, b.spec.Stream(w))
+	switch {
+	case w.Generator != "":
+		g, err := workload.ByName(w.Generator)
+		if err != nil {
+			return nil, err
+		}
+		g = workload.WithRequests(g, b.spec.Requests)
+		return g.Generate(r, cfg, b.spec.T), nil
+	case w.Adversary != "":
+		return buildAdversary(w.Adversary, cfg, b.spec.T, b.spec.Requests, r)
+	case w.Trace != "":
+		path := w.Trace
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(b.baseDir, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("lab: trace: %w", err)
+		}
+		defer f.Close()
+		return traceio.ReadInstance(f)
+	default:
+		return nil, fmt.Errorf("lab: empty workload spec")
+	}
+}
+
+// buildAdversary maps a construction name onto the lower-bound generators
+// of internal/adversary. The generated instance's own config (dimension,
+// serve order, augmentation) rides into the cell.
+func buildAdversary(name string, cfg core.Config, T, requests int, r *xrand.Rand) (*core.Instance, error) {
+	switch name {
+	case "theorem1":
+		g := adversary.Theorem1(adversary.Theorem1Params{T: T, D: cfg.D, M: cfg.M, Dim: cfg.Dim}, r)
+		return g.Instance, nil
+	case "theorem2":
+		g := adversary.Theorem2(adversary.Theorem2Params{
+			T: T, D: cfg.D, M: cfg.M, Delta: cfg.Delta, Dim: cfg.Dim,
+			Rmin: requests, Rmax: 8 * requests,
+		}, r)
+		return g.Instance, nil
+	case "theorem3":
+		g := adversary.Theorem3(adversary.Theorem3Params{
+			T: T, D: cfg.D, M: cfg.M, Delta: cfg.Delta, Dim: cfg.Dim, R: requests,
+		}, r)
+		return g.Instance, nil
+	default:
+		return nil, fmt.Errorf("lab: unknown adversary %q (theorem1|theorem2|theorem3)", name)
+	}
+}

@@ -1,0 +1,123 @@
+package lab
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/traceio"
+	"repro/internal/xrand"
+)
+
+func unmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func jsonStr(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestAdversaryTraceReplay is the trace round trip of the lab: an
+// adversary instance written via traceio, replayed through a lab cell as
+// a trace workload, must produce byte-identical summary.json files across
+// two sweeps with the same seed — and the trace cell must agree exactly
+// with a cell fed by the adversary source directly.
+func TestAdversaryTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+
+	// Generate the adversary instance exactly as the lab's adversary
+	// source would, so the trace replay is comparable cell for cell.
+	spec, err := ParseSpec([]byte(`{
+		"name": "replay", "seed": 21, "t": 30, "requests": 1,
+		"workloads": [{"adversary": "theorem1"}],
+		"shards": [1], "k": [1]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.BaseConfig()
+	r := xrand.NewStream(spec.Seed, spec.Stream(WorkloadSpec{Adversary: "theorem1"}))
+	gen := adversary.Theorem1(adversary.Theorem1Params{T: spec.T, D: cfg.D, M: cfg.M, Dim: cfg.Dim}, r)
+	tracePath := filepath.Join(dir, "adv.trace")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traceio.WriteInstance(f, gen.Instance); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	traceSpec, err := ParseSpec([]byte(`{
+		"name": "replay-trace", "seed": 21, "t": 30,
+		"workloads": [{"trace": "adv.trace"}],
+		"shards": [1], "k": [1]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sweep := func(out string, s *Spec) string {
+		t.Helper()
+		run := &Runner{Spec: s, BaseDir: dir, OutDir: out, Parallel: 1}
+		report, err := run.Sweep(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Ran != 1 {
+			t.Fatalf("ran %d cells, want 1", report.Ran)
+		}
+		return report.Summaries[0].Cell
+	}
+
+	outA := filepath.Join(dir, "a")
+	outB := filepath.Join(dir, "b")
+	cellA := sweep(outA, traceSpec)
+	cellB := sweep(outB, traceSpec)
+	if cellA != cellB {
+		t.Fatalf("cell names differ: %q vs %q", cellA, cellB)
+	}
+	a, err := os.ReadFile(filepath.Join(outA, cellA, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(outB, cellB, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("trace replay is not byte-deterministic:\n%s\nvs\n%s", a, b)
+	}
+
+	// The replayed trace serves the identical instance the adversary
+	// source generates, so everything but the cell coordinates (workload
+	// label, hence cell name) must match.
+	outC := filepath.Join(dir, "c")
+	cellC := sweep(outC, spec)
+	c, err := os.ReadFile(filepath.Join(outC, cellC, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromTrace, fromAdv map[string]any
+	unmarshal(t, a, &fromTrace)
+	unmarshal(t, c, &fromAdv)
+	for _, key := range []string{"cost", "cost_per_step", "t", "requests", "algorithm", "clamped", "rebalances"} {
+		av, cv := jsonStr(t, fromTrace[key]), jsonStr(t, fromAdv[key])
+		if av != cv {
+			t.Errorf("%s differs between trace replay and adversary source: %s vs %s", key, av, cv)
+		}
+	}
+}

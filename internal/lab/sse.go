@@ -1,0 +1,107 @@
+// The client side of GET /metrics/stream: a minimal server-sent-events
+// reader dispatching the feed's three typed events. Shared by the live
+// cell runner (best-effort rebalance/failover counts) and the moblab
+// watch dashboard.
+
+package lab
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// SSEHandlers receives the typed events of one metrics stream. Nil fields
+// skip their event type.
+type SSEHandlers struct {
+	Metrics   func(wire.MetricsEvent)
+	Rebalance func(wire.RebalanceEvent)
+	Failover  func(wire.FailoverEvent)
+}
+
+// FollowSSE connects to an SSE endpoint (GET /metrics/stream) and
+// dispatches events until ctx is done or the server closes the stream.
+// A clean server-side close (or ctx cancellation) returns nil.
+func FollowSSE(ctx context.Context, url string, h SSEHandlers) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("lab: %s: %s", url, resp.Status)
+	}
+
+	// SSE framing: "event:" and "data:" lines, a blank line ends the
+	// event. The feed writes single-line data payloads, so no data
+	// concatenation is needed.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event, data := "", []byte(nil)
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(bytes.TrimSpace(line)) == 0:
+			if len(data) > 0 {
+				if err := dispatchSSE(event, data, h); err != nil {
+					return err
+				}
+			}
+			event, data = "", nil
+		case bytes.HasPrefix(line, []byte("event:")):
+			event = strings.TrimSpace(string(line[len("event:"):]))
+		case bytes.HasPrefix(line, []byte("data:")):
+			data = append([]byte(nil), bytes.TrimSpace(line[len("data:"):])...)
+		}
+		// "id:" lines and comments are cursor/keepalive chrome; skip.
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+func dispatchSSE(event string, data []byte, h SSEHandlers) error {
+	switch event {
+	case "metrics":
+		if h.Metrics == nil {
+			return nil
+		}
+		var ev wire.MetricsEvent
+		if err := wire.UnmarshalStrict(data, &ev); err != nil {
+			return fmt.Errorf("lab: metrics event: %w", err)
+		}
+		h.Metrics(ev)
+	case "rebalance":
+		if h.Rebalance == nil {
+			return nil
+		}
+		var ev wire.RebalanceEvent
+		if err := wire.UnmarshalStrict(data, &ev); err != nil {
+			return fmt.Errorf("lab: rebalance event: %w", err)
+		}
+		h.Rebalance(ev)
+	case "failover":
+		if h.Failover == nil {
+			return nil
+		}
+		var ev wire.FailoverEvent
+		if err := wire.UnmarshalStrict(data, &ev); err != nil {
+			return fmt.Errorf("lab: failover event: %w", err)
+		}
+		h.Failover(ev)
+	}
+	return nil
+}

@@ -319,7 +319,40 @@ func randUnit(r *xrand.Rand, dim int) geom.Point {
 // Registry returns the standard named workloads used by the comparison
 // experiments.
 func Registry() []Generator {
-	return []Generator{Uniform{}, Hotspot{}, Clusters{}, Burst{}}
+	return []Generator{Uniform{}, Hotspot{}, Clusters{}, Burst{}, Zipf{}, Drift{}}
+}
+
+// WithRequests returns a copy of a registry generator with its fixed
+// per-step request count set to n (n <= 0 keeps the generator's default).
+// Callers that look generators up ByName use it to dial the load without
+// knowing the concrete type.
+func WithRequests(g Generator, n int) Generator {
+	if n <= 0 {
+		return g
+	}
+	switch w := g.(type) {
+	case Uniform:
+		w.Requests = n
+		return w
+	case Hotspot:
+		w.Requests = n
+		return w
+	case Clusters:
+		w.Requests = n
+		return w
+	case Burst:
+		w.Rmin = n
+		w.Rmax = 8 * n
+		return w
+	case Zipf:
+		w.Requests = n
+		return w
+	case Drift:
+		w.Requests = n
+		return w
+	default:
+		return g
+	}
 }
 
 // ByName returns the registry generator with the given name.

@@ -176,7 +176,7 @@ func TestBurstSitesSeparated(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"uniform", "hotspot", "clusters", "burst"} {
+	for _, name := range []string{"uniform", "hotspot", "clusters", "burst", "zipf", "drift"} {
 		g, err := ByName(name)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	g := Zipf{Requests: 3}
+	a := g.Generate(xrand.New(11), cfg2D(), 100)
+	b := g.Generate(xrand.New(11), cfg2D(), 100)
+	for i := range a.Steps {
+		if len(a.Steps[i].Requests) != len(b.Steps[i].Requests) {
+			t.Fatalf("step %d counts differ", i)
+		}
+		for j := range a.Steps[i].Requests {
+			if !a.Steps[i].Requests[j].Equal(b.Steps[i].Requests[j]) {
+				t.Fatalf("step %d request %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With a tight scatter, requests cluster on sites; the busiest site
+	// must absorb far more than a uniform share.
+	sites := 8
+	in := Zipf{Sites: sites, S: 1.2, Sigma: 0.01, Requests: 4}.Generate(xrand.New(9), cfg2D(), 500)
+	// Recover site assignment by quantizing: count requests per rounded
+	// location bucket and look at the share of the biggest bucket.
+	counts := map[[2]int]int{}
+	total := 0
+	for _, s := range in.Steps {
+		for _, v := range s.Requests {
+			counts[[2]int{int(math.Round(v[0])), int(math.Round(v[1]))}]++
+			total++
+		}
+	}
+	shares := make([]int, 0, len(counts))
+	for _, c := range counts {
+		shares = append(shares, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(shares)))
+	if float64(shares[0])/float64(total) < 1.5/float64(sites) {
+		t.Fatalf("head site share %d/%d shows no Zipf skew over %d sites", shares[0], total, sites)
+	}
+}
+
+func TestZipfStaysInArena(t *testing.T) {
+	half := 6.0
+	in := Zipf{Half: half, Sigma: 1}.Generate(xrand.New(3), cfg2D(), 200)
+	b := in.Bounds()
+	for i := 0; i < 2; i++ {
+		if b.Min[i] < -half-1e-9 || b.Max[i] > half+1e-9 {
+			t.Fatalf("zipf left arena: %v..%v", b.Min, b.Max)
+		}
+	}
+}
+
+func TestDriftSweepsAxis0(t *testing.T) {
+	half := 10.0
+	in := Drift{Half: half, Sigma: 0.1, Requests: 2}.Generate(xrand.New(5), cfg2D(), 200)
+	first := geom.Centroid(in.Steps[0].Requests)
+	last := geom.Centroid(in.Steps[len(in.Steps)-1].Requests)
+	if first[0] > -0.6*half || last[0] < 0.6*half {
+		t.Fatalf("drift did not sweep: start %.2f end %.2f", first[0], last[0])
+	}
+	// The sweep is monotone up to scatter noise.
+	worse := 0
+	prev := first[0]
+	for _, s := range in.Steps[1:] {
+		c := geom.Centroid(s.Requests)
+		if c[0] < prev-1 {
+			worse++
+		}
+		prev = c[0]
+	}
+	if worse > 5 {
+		t.Fatalf("drift reversed %d times", worse)
+	}
+}
+
+func TestDriftDeterministic(t *testing.T) {
+	g := Drift{Requests: 2}
+	a := g.Generate(xrand.New(13), cfg1D(), 60)
+	b := g.Generate(xrand.New(13), cfg1D(), 60)
+	for i := range a.Steps {
+		for j := range a.Steps[i].Requests {
+			if !a.Steps[i].Requests[j].Equal(b.Steps[i].Requests[j]) {
+				t.Fatalf("step %d request %d differs", i, j)
+			}
+		}
+	}
+}

@@ -22,7 +22,12 @@
 # "cluster_pipelined_vs_lockstep" (per-step latency of the cluster tier
 # in lockstep vs with a pipelined ingestion window and group-commit
 # checkpointing, the speedup the window buys, and the negotiated window
-# depth).
+# depth). A sixth entry, "lab_matrix", is not awk-derived at all: the
+# scenario lab's committed example matrix (matrices/example.json) is
+# swept via cmd/moblab — in-process cells, so the numbers are
+# byte-deterministic per seed — and its aggregated cross-cell bench
+# entry (paired static-vs-threshold cost/step, best cell per workload)
+# is spliced into the summary verbatim.
 #
 # The script fails (non-zero exit) when any expected summary entry is
 # missing from the output — a benchmark that silently stopped emitting
@@ -40,7 +45,12 @@ set -eu
 
 out="${1:-BENCH_$(date -u +%Y%m%d-%H%M%S).json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+lab_dir="$(mktemp -d)"
+trap 'rm -f "$raw"; rm -rf "$lab_dir"' EXIT
+
+# Sweep the committed example matrix first: 12 in-process cells, a few
+# hundred milliseconds, and the aggregate feeds the "lab_matrix" entry.
+go run ./cmd/moblab sweep -matrix matrices/example.json -out "$lab_dir" -stamp bench -q
 
 go test -run '^$' -bench 'BenchmarkE' -benchtime "${BENCHTIME:-1x}" . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkRouterStep' -benchtime "${BENCHTIME:-50x}" ./internal/shard/ | tee -a "$raw"
@@ -126,10 +136,26 @@ END {
 	printf "\n}\n"
 }' "$raw" > "$out"
 
+# Splice the lab sweep's aggregated bench entry into the summary. The
+# awk document's last line is the bare closing brace; drop it, put a
+# comma after what is now the final entry, and append the lab JSON
+# re-indented one level.
+lab_json="$lab_dir/bench/bench.json"
+if [ -f "$lab_json" ]; then
+	spliced="$(mktemp)"
+	{
+		sed '$d' "$out" | sed '$s/$/,/'
+		printf '  "lab_matrix": '
+		sed '1!s/^/  /' "$lab_json"
+		printf '}\n'
+	} > "$spliced"
+	mv "$spliced" "$out"
+fi
+
 # Fail loudly when an expected summary entry is missing: the benchmark it
 # derives from was renamed, skipped, or broke without failing the run.
 missing=0
-for key in stream_vs_http stream_binary_vs_ndjson rebalance_vs_static cluster_vs_local cluster_pipelined_vs_lockstep; do
+for key in stream_vs_http stream_binary_vs_ndjson rebalance_vs_static cluster_vs_local cluster_pipelined_vs_lockstep lab_matrix; do
 	if ! grep -q "\"$key\"" "$out"; then
 		echo "bench.sh: missing expected summary entry \"$key\" in $out" >&2
 		missing=1
