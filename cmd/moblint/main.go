@@ -1,0 +1,68 @@
+// Command moblint checks the repository's correctness contracts at
+// compile time: strict decoding of external bytes (strictdecode),
+// fsync-before-rename durability of persisted artifacts (atomicwrite),
+// no wall-clock or unseeded randomness in the deterministic packages
+// (nodeterminism), and no known-allocating calls in annotated zero-alloc
+// loops (hotpath). See internal/lint for the contracts and the
+// //moblint:<check> <reason> suppression grammar.
+//
+// It runs two ways:
+//
+//	moblint ./...                      # standalone, from the module root
+//	go vet -vettool=$(which moblint) ./...
+//
+// Standalone invocation re-executes itself through go vet, which supplies
+// the type-checked compilation units; the exit status is non-zero when
+// any unsuppressed diagnostic is reported, and each diagnostic carries a
+// file:line position.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// go vet drives its -vettool with -V=full (version handshake), -flags
+	// (flag discovery), and one JSON .cfg per compilation unit; anything
+	// else is a human asking for a standalone run over package patterns.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
+			unitchecker.Main(lint.Analyzers()...) // never returns
+		}
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// standalone re-invokes this binary through go vet, which handles package
+// loading, caching, and per-unit type-checking exactly as CI's other vet
+// steps do.
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moblint:", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "moblint:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildMoblint compiles cmd/moblint into a temp dir and returns the
+// binary path.
+func buildMoblint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "moblint")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/moblint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRepoIsClean is the regression gate: moblint over the whole module
+// must exit 0. A new diagnostic means either a real contract violation or
+// a missing //moblint:<check> <reason> annotation.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module")
+	}
+	bin := buildMoblint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "../.." // module root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("moblint ./... reported violations:\n%s", out)
+	}
+}
+
+// TestViolationsAreReported proves the other half of the contract: a
+// module with a violation makes moblint exit non-zero and name the
+// file:line.
+func TestViolationsAreReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets a scratch module")
+	}
+	bin := buildMoblint(t)
+
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "scratch.go"), `package scratch
+
+import "os"
+
+func finalize(tmp, path string) error {
+	return os.Rename(tmp, path)
+}
+`)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	// The scratch module has no vendor directory; make sure an inherited
+	// -mod=vendor cannot leak into its go vet invocation.
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("moblint exited 0 on a module with an unsynced os.Rename\n%s", out)
+	}
+	if !strings.Contains(string(out), "scratch.go:6") {
+		t.Fatalf("diagnostic does not name file:line:\n%s", out)
+	}
+	if !strings.Contains(string(out), "os.Rename finalizes a file") {
+		t.Fatalf("diagnostic does not carry the atomicwrite message:\n%s", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

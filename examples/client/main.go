@@ -319,7 +319,7 @@ func post(addr string, body wire.StepRequest) (wire.StepResponse, int, error) {
 		switch resp.StatusCode {
 		case http.StatusOK:
 			var sr wire.StepResponse
-			if err := json.Unmarshal(data, &sr); err != nil {
+			if err := wire.UnmarshalStrict(data, &sr); err != nil {
 				return wire.StepResponse{}, retries, err
 			}
 			return sr, retries, nil
@@ -327,6 +327,10 @@ func post(addr string, body wire.StepRequest) (wire.StepResponse, int, error) {
 			retries++
 			wait := 5 * time.Millisecond
 			var e wire.ErrorResponse
+			// Best-effort probe for a retry hint: a 429 body that fails to
+			// parse just falls back to the Retry-After header, so leniency
+			// here cannot corrupt state.
+			//moblint:rawdecode best-effort 429 retry-hint probe with header fallback
 			if err := json.Unmarshal(data, &e); err == nil && e.RetryAfterMs > 0 {
 				wait = time.Duration(e.RetryAfterMs) * time.Millisecond
 			} else if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
@@ -351,5 +355,12 @@ func get(url string, v any) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("GET %s: %s", url, resp.Status)
 	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	// /metrics and /state feed the reconciliation check; decode them as
+	// strictly as the frames, so a schema drift fails loudly here rather
+	// than as a bogus mismatch report.
+	return wire.UnmarshalStrict(data, v)
 }

@@ -288,13 +288,15 @@ func (c *Coordinator) dialOpts() streamclient.Options {
 	}
 }
 
-// getJSON fetches one worker HTTP endpoint.
+// getJSON fetches one worker HTTP endpoint. The body is a network input
+// like any frame: decoded strictly, so a worker speaking a drifted schema
+// is an error instead of silently dropped fields.
 func (c *Coordinator) getJSON(addr, path string, v any) error {
 	data, err := httpGet(addr, path)
 	if err != nil {
 		return err
 	}
-	return json.Unmarshal(data, v)
+	return wire.UnmarshalStrict(data, v)
 }
 
 // httpGet fetches path from a worker base address (host:port or URL).

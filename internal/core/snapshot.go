@@ -47,6 +47,7 @@ func (a *MtC) SnapshotState() ([]byte, error) {
 // RestoreState implements Snapshotter.
 func (a *MtC) RestoreState(data []byte) error {
 	var st mtcState
+	//moblint:rawdecode legacy snapshot compatibility: algorithm state blobs are validated structurally (dim check) below
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("core: MtC state: %w", err)
 	}

@@ -1,0 +1,56 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteFileAtomic(path, []byte("one"), nil); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "one" {
+		t.Fatalf("read back %q, %v; want %q", got, err, "one")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	// Overwrite is atomic: the new content fully replaces the old.
+	if err := WriteFileAtomic(path, []byte("two — longer content"), nil); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "two — longer content" {
+		t.Fatalf("after overwrite read %q", got)
+	}
+}
+
+func TestWriteFileAtomicWithDirHandle(t *testing.T) {
+	dir := t.TempDir()
+	d, err := os.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	path := filepath.Join(dir, "ck.json")
+	if err := WriteFileAtomic(path, []byte("snap"), d); err != nil {
+		t.Fatalf("WriteFileAtomic with dir handle: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "snap" {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), nil)
+	if err == nil {
+		t.Fatal("want error writing into a missing directory")
+	}
+}

@@ -11,7 +11,6 @@ package lab
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -219,7 +218,9 @@ func reservePort() (string, error) {
 // waitReady polls GET /metrics until the spawned server answers, the
 // process dies, or the timeout lapses.
 func waitReady(ctx context.Context, base string, cmd *exec.Cmd) error {
+	//moblint:nondeterminism live-cell process-readiness deadline; no summary field derives from it
 	deadline := time.Now().Add(liveReadyTimeout)
+	//moblint:nondeterminism live-cell process-readiness deadline; no summary field derives from it
 	for time.Now().Before(deadline) {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -264,7 +265,10 @@ func getJSON(ctx context.Context, url string, v any) error {
 	if err != nil {
 		return err
 	}
-	if err := json.Unmarshal(data, v); err != nil {
+	// A live cell's polls cross the process boundary like any frame:
+	// decode strictly, so a mobserve speaking a drifted schema fails the
+	// cell instead of silently zeroing fields in its summary.
+	if err := wire.UnmarshalStrict(data, v); err != nil {
 		return fmt.Errorf("lab: %s: %w", url, err)
 	}
 	return nil

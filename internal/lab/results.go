@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/fsx"
 	"repro/internal/wire"
 )
 
@@ -34,18 +35,15 @@ func writeReport(outDir string, report *wire.LabReport) error {
 	return writeJSON(filepath.Join(outDir, "bench.json"), report.Bench)
 }
 
-// writeJSON marshals v indented and writes it atomically (tmp + rename),
-// so a sweep interrupted mid-write never leaves a torn summary a resume
-// would half-trust.
+// writeJSON marshals v indented and writes it through fsx.WriteFileAtomic
+// (tmp + fsync + rename), so a sweep interrupted mid-write — or a system
+// crash right after it — never leaves a torn or zero-length summary a
+// resume would half-trust.
 func writeJSON(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return fsx.WriteFileAtomic(path, data, nil)
 }

@@ -7,7 +7,6 @@ package lab
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -59,6 +58,7 @@ func (r *Runner) logf(format string, args ...any) {
 // stop the other cells; Sweep then returns a joined error after writing
 // the report over the cells that did complete.
 func (r *Runner) Sweep(ctx context.Context) (*wire.LabReport, error) {
+	//moblint:nondeterminism sweep wall-time feeds report.json's ElapsedMS, which the byte-determinism contract excludes (summary.json only)
 	start := time.Now()
 	cells, err := r.Spec.Cells()
 	if err != nil {
@@ -139,6 +139,7 @@ func (r *Runner) Sweep(ctx context.Context) (*wire.LabReport, error) {
 		return report.Summaries[i].Cell < report.Summaries[j].Cell
 	})
 	report.Bench = BenchEntry(r.Spec.Name, report.Summaries)
+	//moblint:nondeterminism ElapsedMS is a report.json field outside the byte-determinism contract
 	report.ElapsedMS = time.Since(start).Milliseconds()
 	if err := writeReport(r.OutDir, report); err != nil {
 		errs = append(errs, err)
@@ -156,8 +157,11 @@ func (r *Runner) adopt(c Cell) (wire.LabCellSummary, bool) {
 	if err != nil {
 		return wire.LabCellSummary{}, false
 	}
+	// Strict parse: a summary with unknown fields (written by a different
+	// version) or trailing bytes is not adopted — the cell reruns rather
+	// than resume from a document this version might misread.
 	var sum wire.LabCellSummary
-	if err := json.Unmarshal(data, &sum); err != nil || sum.Cell != c.Name {
+	if err := wire.UnmarshalStrict(data, &sum); err != nil || sum.Cell != c.Name {
 		return wire.LabCellSummary{}, false
 	}
 	return sum, true

@@ -1,0 +1,31 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestStrictDecode(t *testing.T) {
+	linttest.Run(t, "strictdecode", lint.StrictDecodeAnalyzer)
+}
+
+func TestAtomicWrite(t *testing.T) {
+	linttest.Run(t, "atomicwrite", lint.AtomicWriteAnalyzer)
+}
+
+func TestNoDeterminismInScope(t *testing.T) {
+	linttest.Run(t, "engine", lint.NoDeterminismAnalyzer)
+}
+
+func TestNoDeterminismOutOfScope(t *testing.T) {
+	// Package webui is not in the deterministic set: the same wall-clock
+	// and global-rand calls produce no diagnostics, and the fixture has no
+	// want comments for them to miss.
+	linttest.Run(t, "webui", lint.NoDeterminismAnalyzer)
+}
+
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, "hotpath", lint.HotPathAnalyzer)
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// AtomicWriteAnalyzer enforces the durability half of the tmp+rename
+// idiom: an os.Rename that finalizes a persisted artifact must be
+// preceded, in the same function, by (*os.File).Sync on the temp file.
+// The rename alone is atomic against a process kill, but without the
+// fsync a system crash shortly after can leave the *renamed* file empty —
+// a summary.json or checkpoint that parses as zero bytes on resume.
+//
+// The check is syntactic dominance within the enclosing function: some
+// (*os.File).Sync call must occur textually before the os.Rename. Code
+// that delegates to fsx.WriteFileAtomic contains no os.Rename of its own
+// and passes trivially; a rename that genuinely needs no fsync (moving a
+// directory, renaming a non-durable scratch file) carries
+// //moblint:unsyncedrename <reason>.
+var AtomicWriteAnalyzer = &analysis.Analyzer{
+	Name:     "atomicwrite",
+	Doc:      "flags os.Rename finalizations not preceded by (*os.File).Sync",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runAtomicWrite,
+}
+
+func runAtomicWrite(pass *analysis.Pass) (interface{}, error) {
+	supp := gatherSuppressions(pass, "unsyncedrename")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || inTestFile(pass.Fset, decl.Pos()) {
+			return
+		}
+		var renames []token.Pos
+		var syncs []token.Pos
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			switch fn.FullName() {
+			case "os.Rename":
+				renames = append(renames, call.Pos())
+			case "(*os.File).Sync":
+				syncs = append(syncs, call.Pos())
+			}
+			return true
+		})
+		for _, r := range renames {
+			if supp.covers(r) {
+				continue
+			}
+			synced := false
+			for _, s := range syncs {
+				if s < r {
+					synced = true
+					break
+				}
+			}
+			if !synced {
+				pass.Reportf(r,
+					"os.Rename finalizes a file no (*os.File).Sync precedes: a crash can leave it zero-length; use fsx.WriteFileAtomic, or annotate //moblint:unsyncedrename <reason>")
+			}
+		}
+	})
+	return nil, nil
+}

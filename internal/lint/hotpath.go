@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// HotPathAnalyzer guards the zero-alloc loops: a function whose doc
+// comment carries //moblint:hotpath (the pooled step encode/decode loops
+// the benchmarks hold at 0 allocs/op) may not call known-allocating APIs.
+// The alloc-budget benchmarks catch a regression on the paths they
+// execute; the annotation catches it on every path, at compile time,
+// before a reviewer has to re-run them.
+//
+// Inside a hotpath function the analyzer flags:
+//
+//   - any call into package fmt (every fmt call allocates for its
+//     ...any boxing, even on the error path);
+//   - errors.New inside a loop body (a fixed sentinel belongs outside
+//     the loop as a package-level var);
+//   - non-constant string concatenation (+ or +=).
+//
+// Escape-dependent allocations (append on an escaping slice, closure
+// captures) remain the benchmarks' job: deciding them statically needs
+// the compiler's escape analysis, not a syntax check. A function that
+// needs one cold formatted error should return a sentinel instead, or
+// drop the annotation and let the alloc benchmark police it.
+var HotPathAnalyzer = &analysis.Analyzer{
+	Name:     "hotpath",
+	Doc:      "forbids known-allocating calls in //moblint:hotpath functions",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runHotPath,
+}
+
+func runHotPath(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || !funcHasDirective(decl, "hotpath") {
+			return
+		}
+		checkHotPath(pass, decl)
+	})
+	return nil, nil
+}
+
+func checkHotPath(pass *analysis.Pass, decl *ast.FuncDecl) {
+	// Loop extents, for the errors.New-in-loop rule.
+	type span struct{ lo, hi ast.Node }
+	var loops []span
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, span{n, n})
+		}
+		return true
+	})
+	inLoop := func(n ast.Node) bool {
+		for _, l := range loops {
+			if n.Pos() >= l.lo.Pos() && n.End() <= l.hi.End() {
+				return true
+			}
+		}
+		return false
+	}
+	isString := func(e ast.Expr) bool {
+		t := pass.TypesInfo.TypeOf(e)
+		basic, ok := t.Underlying().(*types.Basic)
+		return ok && basic.Info()&types.IsString != 0
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+			if !ok {
+				return true
+			}
+			full := fn.FullName()
+			switch {
+			case strings.HasPrefix(full, "fmt."):
+				pass.Reportf(n.Pos(), "%s allocates in hotpath function %s", full, decl.Name.Name)
+			case full == "errors.New" && inLoop(n):
+				pass.Reportf(n.Pos(), "errors.New allocates per iteration in hotpath function %s: hoist the sentinel to a package-level var", decl.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			// A concatenation of constants folds at compile time; only flag
+			// concatenation the runtime must perform.
+			if n.Op == token.ADD && isString(n.X) && pass.TypesInfo.Types[n].Value == nil {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hotpath function %s", decl.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hotpath function %s", decl.Name.Name)
+			}
+		}
+		return true
+	})
+}

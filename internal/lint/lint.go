@@ -1,0 +1,126 @@
+// Package lint holds the repository's custom go/analysis analyzers: the
+// static side of the correctness contracts the test suite can only probe
+// pointwise. Each analyzer encodes one invariant the design depends on:
+//
+//   - strictdecode: bytes that cross a process boundary (wire frames,
+//     checkpoints, lab summaries, trace files, HTTP/SSE bodies) must be
+//     decoded through wire.UnmarshalStrict, never raw encoding/json.
+//   - atomicwrite: an os.Rename that finalizes a persisted artifact must
+//     be preceded by (*os.File).Sync on the temp file, or the artifact can
+//     be zero-length after a crash despite the "atomic" rename.
+//   - nodeterminism: the deterministic packages (engine, core, shard,
+//     adversary, workload, xrand, lab) may not read the wall clock or draw
+//     from legacy/unseeded rand sources — the lab's byte-determinism
+//     contract, enforced at compile time instead of by a rerun-and-diff.
+//   - hotpath: functions annotated //moblint:hotpath (the pooled step
+//     loops benchmarked at 0 allocs/op) may not call known-allocating
+//     APIs.
+//
+// A deliberate violation is suppressed in place with a directive comment
+// on the flagged line or the line above it:
+//
+//	//moblint:<check> <reason>
+//
+// where <check> is rawdecode, unsyncedrename, or nondeterminism, and
+// <reason> is mandatory free text justifying the exception (an empty
+// reason is itself a diagnostic). //moblint:hotpath is the opposite kind
+// of directive: an opt-in annotation on a function's doc comment that
+// turns the hotpath analyzer on for that function.
+//
+// The analyzers are packaged by cmd/moblint, which runs standalone
+// (moblint ./...) or as a vet tool (go vet -vettool=$(which moblint)),
+// and they are exercised against fixtures under testdata/ by the
+// linttest harness.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full moblint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		StrictDecodeAnalyzer,
+		AtomicWriteAnalyzer,
+		NoDeterminismAnalyzer,
+		HotPathAnalyzer,
+	}
+}
+
+// directivePrefix opens every moblint control comment.
+const directivePrefix = "//moblint:"
+
+// suppressions indexes the //moblint:<check> directives of one pass for a
+// single check name: the set of file:line positions they cover. A
+// directive covers its own line and the line below it, so it can trail
+// the flagged call or sit on its own line above.
+type suppressions struct {
+	fset  *token.FileSet
+	lines map[string]map[int]bool // filename -> directive line
+}
+
+// gatherSuppressions scans every comment in the pass for directives named
+// check. A directive with an empty reason is reported as a diagnostic on
+// the spot: a suppression without a justification is a contract violation
+// of its own.
+func gatherSuppressions(pass *analysis.Pass, check string) *suppressions {
+	s := &suppressions{fset: pass.Fset, lines: make(map[string]map[int]bool)}
+	want := directivePrefix + check
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, want) {
+					continue
+				}
+				rest := c.Text[len(want):]
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // a longer check name, e.g. rawdecodeX
+				}
+				if strings.TrimSpace(rest) == "" {
+					pass.Reportf(c.Pos(), "moblint:%s directive needs a reason", check)
+					continue
+				}
+				pos := s.fset.Position(c.Pos())
+				if s.lines[pos.Filename] == nil {
+					s.lines[pos.Filename] = make(map[int]bool)
+				}
+				s.lines[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether a directive covers pos: one sits on the same
+// line (trailing comment) or on the line directly above.
+func (s *suppressions) covers(pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	lines := s.lines[p.Filename]
+	return lines[p.Line] || lines[p.Line-1]
+}
+
+// inTestFile reports whether pos lies in a _test.go file. The contracts
+// govern production code; tests decode trusted fixtures and time out on
+// wall-clock deadlines freely.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// funcHasDirective reports whether decl's doc comment carries the given
+// directive (e.g. //moblint:hotpath).
+func funcHasDirective(decl *ast.FuncDecl, name string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	want := directivePrefix + name
+	for _, c := range decl.Doc.List {
+		if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+// Package linttest runs a go/analysis analyzer over a fixture package and
+// compares its diagnostics against expectations written in the fixture
+// source, in the style of golang.org/x/tools/go/analysis/analysistest
+// (which go's cmd vendor tree does not ship, so this repository carries
+// its own small equivalent):
+//
+//	json.Unmarshal(data, v) // want `decode through wire\.UnmarshalStrict`
+//
+// Each back-quoted or double-quoted string after "// want" is a regexp
+// that must match a diagnostic reported on that line; every diagnostic
+// must be matched by some expectation, and every expectation must be
+// matched by some diagnostic. A want comment that stands alone on its
+// line anchors to the line above it instead — for diagnostics reported
+// on a line that already ends in another comment (e.g. a reasonless
+// //moblint directive). Fixtures live under internal/lint/testdata/src/
+// and are plain Go packages (they may import only the standard library,
+// which is loaded through the compiler's export data).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// expectation is one want-regexp anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// finding is one reported diagnostic.
+type finding struct {
+	file    string
+	line    int
+	message string
+	matched bool
+}
+
+// Run analyzes the fixture package at testdata/src/<dir> (relative to the
+// caller's working directory, i.e. the internal/lint package) with a and
+// checks its diagnostics against the fixture's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgDir := filepath.Join("testdata", "src", dir)
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(pkgDir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		exps, err := wantComments(fset, f, src)
+		if err != nil {
+			t.Fatalf("linttest: %s: %v", path, err)
+		}
+		expects = append(expects, exps...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", pkgDir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	// The fixture's package path is its directory name, so analyzers that
+	// scope by package (nodeterminism) see e.g. "engine" for
+	// testdata/src/engine.
+	pkg, err := conf.Check(dir, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-check %s: %v", pkgDir, err)
+	}
+
+	var found []*finding
+	report := func(d analysis.Diagnostic) {
+		pos := fset.Position(d.Pos)
+		found = append(found, &finding{file: pos.Filename, line: pos.Line, message: d.Message})
+	}
+	if err := runWithDeps(a, fset, files, pkg, info, report, map[*analysis.Analyzer]interface{}{}); err != nil {
+		t.Fatalf("linttest: run %s: %v", a.Name, err)
+	}
+
+	// Match findings to expectations by (file, line, regexp).
+	for _, f := range found {
+		for _, e := range expects {
+			if e.hit || e.file != f.file || e.line != f.line {
+				continue
+			}
+			if e.re.MatchString(f.message) {
+				e.hit = true
+				f.matched = true
+				break
+			}
+		}
+	}
+	var errs []string
+	for _, f := range found {
+		if !f.matched {
+			errs = append(errs, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", f.file, f.line, f.message))
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			errs = append(errs, fmt.Sprintf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw))
+		}
+	}
+	sort.Strings(errs)
+	for _, msg := range errs {
+		t.Error(msg)
+	}
+}
+
+// runWithDeps runs a's Requires (memoized in results), then a itself,
+// building each analysis.Pass by hand over the single fixture package.
+func runWithDeps(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(analysis.Diagnostic), results map[*analysis.Analyzer]interface{}) error {
+	for _, req := range a.Requires {
+		if _, done := results[req]; done {
+			continue
+		}
+		// Dependency diagnostics are discarded; only the analyzer under
+		// test reports.
+		if err := runWithDeps(req, fset, files, pkg, info, func(analysis.Diagnostic) {}, results); err != nil {
+			return err
+		}
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report:     report,
+	}
+	for _, req := range a.Requires {
+		pass.ResultOf[req] = results[req]
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.Name, err)
+	}
+	results[a] = res
+	return nil
+}
+
+// wantComments extracts the // want expectations of one parsed file. A
+// want comment preceded only by whitespace on its line anchors to the
+// previous line.
+func wantComments(fset *token.FileSet, f *ast.File, src []byte) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			line := pos.Line
+			if lineStart := pos.Offset - (pos.Column - 1); strings.TrimSpace(string(src[lineStart:pos.Offset])) == "" {
+				line--
+			}
+			patterns, err := splitPatterns(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", pos.Line, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad want regexp %q: %w", pos.Line, p, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: line, re: re, raw: p})
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitPatterns parses a want payload: a sequence of back-quoted or
+// double-quoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		quote := s[0]
+		if quote != '`' && quote != '"' {
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = s[end+2:]
+	}
+}

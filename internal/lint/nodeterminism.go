@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// NoDeterminismAnalyzer enforces the byte-determinism contract of the
+// algorithmic packages: two sweeps of the same lab matrix must produce
+// byte-identical summary.json files, so the packages a cell's result
+// flows through may not read the wall clock or draw from a source whose
+// seed the run does not control. The CI smoke matrix proves the contract
+// for the cells it happens to run; this analyzer proves the absence of
+// the failure mode for every code path.
+//
+// In the deterministic packages (the -packages flag; by default engine,
+// core, shard, adversary, workload, xrand, and lab) non-test files may
+// not:
+//
+//   - import legacy math/rand (its global source is seeded behind the
+//     program's back; use internal/xrand, the seeded math/rand/v2
+//     wrapper);
+//   - call math/rand/v2 package-level functions (the auto-seeded global
+//     source; constructing an explicitly seeded generator via rand.New,
+//     rand.NewPCG, rand.NewChaCha8, or rand.NewZipf is fine);
+//   - call time.Now, time.Since, or time.Until.
+//
+// Sites outside the determinism contract (live-cell readiness polls, the
+// sweep's elapsed-time report field, which is excluded from the byte
+// comparison) carry //moblint:nondeterminism <reason>.
+var NoDeterminismAnalyzer = &analysis.Analyzer{
+	Name:     "nodeterminism",
+	Doc:      "forbids wall-clock and unseeded rand in the deterministic packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runNoDeterminism,
+}
+
+func init() {
+	NoDeterminismAnalyzer.Flags.String("packages",
+		"engine,core,shard,adversary,workload,xrand,lab",
+		"comma-separated final path elements of the deterministic packages")
+}
+
+// randV2Constructors are the math/rand/v2 package-level functions that
+// build an explicitly seeded generator rather than drawing from the
+// auto-seeded global source.
+var randV2Constructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runNoDeterminism(pass *analysis.Pass) (interface{}, error) {
+	scope := map[string]bool{}
+	for _, name := range strings.Split(pass.Analyzer.Flags.Lookup("packages").Value.String(), ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			scope[name] = true
+		}
+	}
+	path := pass.Pkg.Path()
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	if !scope[strings.TrimSuffix(path, "_test")] {
+		return nil, nil
+	}
+	supp := gatherSuppressions(pass, "nondeterminism")
+	for _, f := range pass.Files {
+		if inTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"math/rand"` && !supp.covers(imp.Pos()) {
+				pass.Reportf(imp.Pos(),
+					"legacy math/rand in deterministic package %s: its global source seeds itself; use internal/xrand (seeded math/rand/v2), or annotate //moblint:nondeterminism <reason>",
+					pass.Pkg.Name())
+			}
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || inTestFile(pass.Fset, call.Pos()) || supp.covers(call.Pos()) {
+			return
+		}
+		full := fn.FullName()
+		switch {
+		case full == "time.Now" || full == "time.Since" || full == "time.Until":
+			pass.Reportf(call.Pos(),
+				"%s in deterministic package %s: wall-clock values fork byte-identical reruns; derive values from the instance, or annotate //moblint:nondeterminism <reason>",
+				full, pass.Pkg.Name())
+		case strings.HasPrefix(full, "math/rand/v2.") && !randV2Constructors[fn.Name()]:
+			pass.Reportf(call.Pos(),
+				"%s draws from the auto-seeded global source in deterministic package %s: use internal/xrand or an explicit rand.New(rand.NewPCG(seed, ...)), or annotate //moblint:nondeterminism <reason>",
+				full, pass.Pkg.Name())
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,51 @@
+// Fixture for the atomicwrite analyzer: an os.Rename finalization must be
+// preceded by (*os.File).Sync in the same function, or carry a
+// //moblint:unsyncedrename directive.
+package atomicwrite
+
+import "os"
+
+// unsyncedFinalize is the bug the analyzer exists for: os.WriteFile does
+// not fsync, so the renamed file can be zero-length after a crash.
+func unsyncedFinalize(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `os\.Rename finalizes a file no \(\*os\.File\)\.Sync precedes`
+}
+
+// syncedFinalize is the correct idiom: write, fsync, close, rename.
+func syncedFinalize(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// suppressed documents a rename that needs no durability.
+func suppressed(old, new string) error {
+	//moblint:unsyncedrename fixture: moving a scratch directory, durability not required
+	return os.Rename(old, new)
+}
+
+// reasonless shows a directive without a justification is itself flagged
+// and suppresses nothing.
+func reasonless(old, new string) error {
+	//moblint:unsyncedrename
+	// want `moblint:unsyncedrename directive needs a reason`
+	return os.Rename(old, new) // want `os\.Rename finalizes a file`
+}

@@ -1,0 +1,32 @@
+// Fixture for the nodeterminism analyzer: the package is named engine, so
+// it falls inside the default deterministic-package scope.
+package engine
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package engine`
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since in deterministic package engine`
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `math/rand/v2\.Float64 draws from the auto-seeded global source`
+}
+
+// seededRand constructs an explicitly seeded generator: allowed.
+func seededRand(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return r.Float64()
+}
+
+// suppressedClock documents a deliberate wall-clock read.
+func suppressedClock() int64 {
+	//moblint:nondeterminism fixture: diagnostics-only timestamp outside the contract
+	return time.Now().UnixNano()
+}

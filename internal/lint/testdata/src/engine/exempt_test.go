@@ -1,0 +1,9 @@
+package engine
+
+import "time"
+
+// Test files are exempt from the determinism contract: this time.Now
+// produces no diagnostic.
+func deadline() time.Time {
+	return time.Now().Add(5 * time.Second)
+}

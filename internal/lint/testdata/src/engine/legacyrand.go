@@ -1,0 +1,9 @@
+package engine
+
+import (
+	"math/rand" // want `legacy math/rand in deterministic package engine`
+)
+
+func legacyDraw() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,63 @@
+// Fixture for the hotpath analyzer: //moblint:hotpath functions may not
+// call known-allocating APIs; unannotated functions are unconstrained.
+package hotpath
+
+import (
+	"errors"
+	"fmt"
+)
+
+// encodeLoud is annotated and full of allocations.
+//
+//moblint:hotpath
+func encodeLoud(dst []byte, id int64, names []string) ([]byte, error) {
+	for _, name := range names {
+		if name == "" {
+			return nil, errors.New("empty name") // want `errors\.New allocates per iteration in hotpath function encodeLoud`
+		}
+		label := "name=" + name // want `string concatenation allocates in hotpath function encodeLoud`
+		dst = append(dst, label...)
+	}
+	msg := fmt.Sprintf("id=%d", id) // want `fmt\.Sprintf allocates in hotpath function encodeLoud`
+	return append(dst, msg...), nil
+}
+
+// concatAssign is annotated; += on a string allocates every time.
+//
+//moblint:hotpath
+func concatAssign(parts []string) string {
+	var out string
+	for _, p := range parts {
+		out += p // want `string concatenation allocates in hotpath function concatAssign`
+	}
+	return out
+}
+
+// encodeQuiet is annotated and clean: appends into the caller's buffer,
+// returns a package-level sentinel.
+var errEmpty = errors.New("hotpath: empty input")
+
+//moblint:hotpath
+func encodeQuiet(dst []byte, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return dst, errEmpty
+	}
+	dst = append(dst, byte(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// unannotated is not a hotpath function: fmt and concatenation are fine.
+func unannotated(id int64) string {
+	return fmt.Sprintf("id=%d", id) + "!"
+}
+
+// coldSentinel: errors.New outside any loop is allowed even in a hotpath
+// function (a once-per-call cold error, not a per-iteration allocation).
+//
+//moblint:hotpath
+func coldSentinel(ok bool) error {
+	if !ok {
+		return errors.New("not ok")
+	}
+	return nil
+}

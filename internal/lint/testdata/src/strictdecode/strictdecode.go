@@ -1,0 +1,52 @@
+// Fixture for the strictdecode analyzer: raw encoding/json decodes are
+// flagged unless a //moblint:rawdecode directive with a reason covers
+// them.
+package strictdecode
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+type doc struct {
+	Name string `json:"name"`
+}
+
+func rawUnmarshal(data []byte) (doc, error) {
+	var d doc
+	err := json.Unmarshal(data, &d) // want `json\.Unmarshal on possibly-external bytes: decode through wire\.UnmarshalStrict`
+	return d, err
+}
+
+func rawDecoder(data []byte) (doc, error) {
+	var d doc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	err := dec.Decode(&d) // want `\(\*json\.Decoder\)\.Decode on possibly-external bytes`
+	return d, err
+}
+
+func suppressedTrailing(data []byte) (doc, error) {
+	var d doc
+	err := json.Unmarshal(data, &d) //moblint:rawdecode fixture: deliberate lenient decode
+	return d, err
+}
+
+func suppressedAbove(data []byte) (doc, error) {
+	var d doc
+	//moblint:rawdecode fixture: deliberate lenient decode
+	err := json.Unmarshal(data, &d)
+	return d, err
+}
+
+func reasonlessDirective(data []byte) (doc, error) {
+	var d doc
+	//moblint:rawdecode
+	// want `moblint:rawdecode directive needs a reason`
+	err := json.Unmarshal(data, &d) // want `json\.Unmarshal on possibly-external bytes`
+	return d, err
+}
+
+// marshalIsFine shows the encode direction is out of scope.
+func marshalIsFine(d doc) ([]byte, error) {
+	return json.Marshal(d)
+}

@@ -1,0 +1,17 @@
+// Fixture for the nodeterminism analyzer's scope: the package is NOT one
+// of the deterministic packages, so wall-clock reads and the auto-seeded
+// global source are fine here and nothing is reported.
+package webui
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+}

@@ -107,6 +107,7 @@ func snapshotFleetState(pos []geom.Point) ([]byte, error) {
 
 func restoreFleetState(data []byte, pos []geom.Point) error {
 	var st fleetState
+	//moblint:rawdecode legacy snapshot compatibility: fleet state blobs are validated structurally (count and dim checks) below
 	if err := json.Unmarshal(data, &st); err != nil {
 		return err
 	}

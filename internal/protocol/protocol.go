@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fsx"
 	"repro/internal/geom"
 	"repro/internal/shard"
 	"repro/internal/wire"
@@ -1391,38 +1392,11 @@ func (s *Service) checkpointDoc() ([]byte, error) {
 }
 
 // writeAtomic writes data to path via a temp file in the same directory,
-// fsync, and an atomic rename, so neither a process kill mid-write nor a
-// system crash shortly after leaves a torn or empty checkpoint. dir, when
-// non-nil, is the already-open parent directory handle used to make the
-// rename itself durable without re-opening the directory on every write;
-// a nil dir falls back to a per-write open. The directory fsync is
-// best-effort either way: some platforms/filesystems refuse it, and the
-// rename is already atomic for process-level crashes.
+// fsync, and an atomic rename (fsx.WriteFileAtomic), so neither a process
+// kill mid-write nor a system crash shortly after leaves a torn or empty
+// checkpoint. dir, when non-nil, is the already-open parent directory
+// handle used to make the rename itself durable without re-opening the
+// directory on every write.
 func writeAtomic(path string, data []byte, dir *os.File) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	if dir != nil {
-		_ = dir.Sync()
-	} else if d, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-	return nil
+	return fsx.WriteFileAtomic(path, data, dir)
 }

@@ -85,6 +85,7 @@ func (r *Router) Snapshot() ([]byte, error) {
 // fed after the restore.
 func Restore(cfg core.Config, newAlg func() core.FleetAlgorithm, data []byte, opts engine.Options) (*Router, error) {
 	var snap snapshot
+	//moblint:rawdecode version-gated legacy snapshot compatibility: pre-layout documents restore at uniform Config.K
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("shard: bad snapshot: %w", err)
 	}

@@ -42,7 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"net"
 	"net/url"
 	"sync"
@@ -504,6 +504,8 @@ func (c *Client) writeJSONLocked(v any) error {
 
 // writeBinaryLocked assembles tag|uvarint(len)|payload into the frame
 // scratch and writes it in one call; the caller holds wmu.
+//
+//moblint:hotpath
 func (c *Client) writeBinaryLocked(tag byte, payload []byte) error {
 	c.frame = append(c.frame[:0], tag)
 	var head [binary.MaxVarintLen64]byte
@@ -764,7 +766,9 @@ func decodeExpected(line []byte, wantType string, v any) error {
 
 // Jitter spreads a wait by ±20%, so many clients told to retry at the same
 // moment do not re-stampede a bounded queue (or a restarting worker) in
-// lockstep.
+// lockstep. It draws from math/rand/v2's global source: backoff spreading
+// wants each process desynchronized, which is exactly what the
+// deterministic packages forbid and a retry path needs.
 func Jitter(d time.Duration) time.Duration {
 	if d <= 0 {
 		return d

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/wire"
 )
 
 // instanceJSON is the stable on-disk schema for core.Instance.
@@ -52,10 +53,16 @@ func WriteInstance(w io.Writer, in *core.Instance) error {
 }
 
 // ReadInstance decodes an instance written by WriteInstance and validates
-// it.
+// it. Trace files are untrusted disk input (often hand-edited), so the
+// decode is strict: an unknown or misspelled field is an error, not a
+// silently ignored no-op.
 func ReadInstance(r io.Reader) (*core.Instance, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: read: %w", err)
+	}
 	var dec instanceJSON
-	if err := json.NewDecoder(r).Decode(&dec); err != nil {
+	if err := wire.UnmarshalStrict(data, &dec); err != nil {
 		return nil, fmt.Errorf("traceio: decode: %w", err)
 	}
 	var order core.ServeOrder

@@ -172,6 +172,8 @@ func appendCost(dst []byte, c Cost) []byte {
 // appendPoints encodes a point list; it is generic so both wire.Point
 // lists (client side) and geom.Point lists (server side) encode without
 // converting.
+//
+//moblint:hotpath
 func appendPoints[P ~[]float64](dst []byte, pts []P) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(pts)))
 	for _, p := range pts {
@@ -466,6 +468,8 @@ func AppendStep(dst []byte, f *StepFrame) []byte {
 // AppendStepFrom appends a step payload from raw parts, generic over the
 // point representation so callers holding geometry points encode without
 // converting.
+//
+//moblint:hotpath
 func AppendStepFrom[P ~[]float64](dst []byte, v int, id int64, requests []P) []byte {
 	dst = binary.AppendUvarint(dst, uint64(v))
 	dst = binary.AppendVarint(dst, id)
@@ -499,6 +503,8 @@ func AppendAck(dst []byte, f *AckFrame) []byte {
 // AppendAckFrom appends an ack payload from raw parts, generic over the
 // point representation; the server's writer encodes straight from the
 // protocol layer's geometry positions with no intermediate wire structs.
+//
+//moblint:hotpath
 func AppendAckFrom[P ~[]float64](dst []byte, v int, id int64, t, accepted, batched int, cost Cost, clamped int, positions []P, shards []ShardStep) []byte {
 	dst = binary.AppendUvarint(dst, uint64(v))
 	dst = binary.AppendVarint(dst, id)
@@ -520,6 +526,8 @@ func AppendAckFrom[P ~[]float64](dst []byte, v int, id int64, t, accepted, batch
 // BinaryAckID peeks the frame id of an encoded ack payload without
 // decoding the rest, so a client can pick the waiting frame's own reusable
 // AckFrame as the decode target before calling DecodeAck.
+//
+//moblint:hotpath
 func BinaryAckID(payload []byte) (int64, error) {
 	r := binReader{payload}
 	if _, err := r.uvarint(); err != nil { // v
@@ -677,6 +685,8 @@ func DecodeErrorFrame(payload []byte, f *ErrorFrame) error {
 }
 
 // AppendControl appends the payload shared by bye/ping/pong: just v.
+//
+//moblint:hotpath
 func AppendControl(dst []byte, v int) []byte {
 	return binary.AppendUvarint(dst, uint64(v))
 }

@@ -105,6 +105,7 @@ type MoveState struct {
 // resuming a session from a document we might misread.
 func ParseCheckpoint(data []byte) (Checkpoint, error) {
 	var ck Checkpoint
+	//moblint:rawdecode legacy-checkpoint compatibility: three envelope generations share this parse, version-gated below
 	if err := json.Unmarshal(data, &ck); err != nil {
 		return Checkpoint{}, fmt.Errorf("wire: bad checkpoint: %w", err)
 	}

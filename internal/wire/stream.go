@@ -120,6 +120,7 @@ type FrameHead struct {
 // PeekFrame reads just the envelope of one NDJSON line.
 func PeekFrame(line []byte) (FrameHead, error) {
 	var h FrameHead
+	//moblint:rawdecode deliberately lenient envelope peek; the dispatched line is re-decoded strictly per type
 	if err := json.Unmarshal(line, &h); err != nil {
 		return FrameHead{}, fmt.Errorf("wire: bad frame: %w", err)
 	}
@@ -346,6 +347,7 @@ type FailoverEvent struct {
 func UnmarshalStrict(data []byte, v any) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
+	//moblint:rawdecode this is the strict decoder every other decode is required to use
 	if err := dec.Decode(v); err != nil {
 		return err
 	}
